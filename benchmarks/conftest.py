@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and asserts
+its *shape* (orderings and rough factors).  Simulations are memoized in
+a session-scoped cache, and each experiment is timed with a single
+pedantic round (re-running a multi-second suite simulation dozens of
+times would measure nothing new).
+
+Scale: set ``REPRO_BENCH_SCALE=1.0`` for paper-scale runs; the default
+0.2 keeps the full harness in the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import SimulationCache
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimulationCache:
+    return SimulationCache(scale=BENCH_SCALE)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Time one invocation of an experiment function."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,115 @@
+"""Ablations of TCOR's individual design choices (DESIGN.md section 5).
+
+Each ablation disables exactly one mechanism and checks that it was
+pulling its weight:
+
+- OPT-number replacement vs LRU in the Attribute Cache (Section III-A);
+- the interleaved PB-Lists layout (Section III-B);
+- write bypass in the Attribute Cache (Section III-C.4);
+- XOR indexing of the Primitive Buffer (Section III-C.2);
+- the dead-line L2 policy (Section III-D).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.analysis import attribute_access_trace, policy_miss_ratio
+from repro.config import TCORConfig
+from repro.tcor.system import simulate_tcor
+
+ABLATION_ALIASES = ("CCS", "TRu", "DDS")
+
+
+def _suite(sim_cache):
+    return [(alias, sim_cache.workload(alias)) for alias in ABLATION_ALIASES]
+
+
+def test_ablation_opt_vs_lru_replacement(benchmark, sim_cache):
+    """The OPT Number policy never misses more than LRU on the stream."""
+    def run():
+        gaps = {}
+        for alias, workload in _suite(sim_cache):
+            trace = attribute_access_trace(workload)
+            capacity = max(8, len(set(trace)) // 3)
+            lru = policy_miss_ratio(trace, capacity, "lru", associativity=4)
+            opt = policy_miss_ratio(trace, capacity, "belady",
+                                    associativity=4)
+            gaps[alias] = (lru, opt)
+        return gaps
+
+    gaps = run_once(benchmark, run)
+    for alias, (lru, opt) in gaps.items():
+        assert opt <= lru + 1e-9, alias
+    assert any(opt < lru * 0.98 for lru, opt in gaps.values())
+
+
+def test_ablation_interleaved_layout(benchmark, sim_cache):
+    """Contiguous PB-Lists costs extra L2 traffic even with the rest of
+    TCOR in place."""
+    def run():
+        outcomes = {}
+        for alias, workload in _suite(sim_cache):
+            inter = simulate_tcor(workload)
+            contig = simulate_tcor(workload, interleaved_lists=False)
+            outcomes[alias] = (inter.pb_l2_accesses, contig.pb_l2_accesses)
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    for alias, (inter, contig) in outcomes.items():
+        assert inter <= contig, alias
+    assert any(inter < contig for inter, contig in outcomes.values())
+
+
+def test_ablation_write_bypass(benchmark, sim_cache):
+    """Disabling write bypass forces read-needed lines out on writes."""
+    def run():
+        outcomes = {}
+        for alias, workload in _suite(sim_cache):
+            with_bypass = simulate_tcor(workload)
+            without = simulate_tcor(
+                workload, tcor=TCORConfig(write_bypass=False))
+            outcomes[alias] = (with_bypass, without)
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    for alias, (with_bypass, without) in outcomes.items():
+        assert with_bypass.attr_read_hit_ratio >= \
+            without.attr_read_hit_ratio - 0.02, alias
+        assert without.write_bypasses == 0
+    # Benchmarks whose PB outgrows the cache actually exercise the bypass
+    # (small-PB benchmarks legitimately never need it).
+    assert any(with_bypass.write_bypasses > 0
+               for with_bypass, _ in outcomes.values())
+
+
+def test_ablation_xor_indexing(benchmark, sim_cache):
+    """Modulo indexing of the Primitive Buffer loses hits to conflicts."""
+    def run():
+        outcomes = {}
+        for alias, workload in _suite(sim_cache):
+            xor = simulate_tcor(workload)
+            modulo = simulate_tcor(
+                workload, tcor=TCORConfig(use_xor_indexing=False))
+            outcomes[alias] = (xor.attr_read_hit_ratio,
+                               modulo.attr_read_hit_ratio)
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    for alias, (xor, modulo) in outcomes.items():
+        assert xor >= modulo - 0.03, alias
+
+
+def test_ablation_dead_line_l2(benchmark, sim_cache):
+    """Without the dead-line L2, PB main-memory traffic reappears."""
+    def run():
+        outcomes = {}
+        for alias, workload in _suite(sim_cache):
+            full = simulate_tcor(workload)
+            no_l2 = simulate_tcor(workload, l2_enhancements=False)
+            outcomes[alias] = (full.pb_mm_accesses, no_l2.pb_mm_accesses)
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    for alias, (full, no_l2) in outcomes.items():
+        assert full <= no_l2, alias
+    assert any(full < no_l2 for full, no_l2 in outcomes.values())

@@ -1,0 +1,24 @@
+"""Figure 1: the introductory LRU-vs-OPT gap, fully associative L1."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig01_intro_gap
+
+
+def _scaled_sizes():
+    return sorted({max(1, round(size * BENCH_SCALE))
+                   for size in fig01_intro_gap.SIZES_KIB})
+
+
+def test_fig01_lru_opt_gap(benchmark, sim_cache):
+    result = run_once(benchmark, fig01_intro_gap.run,
+                      scale=BENCH_SCALE, cache=sim_cache,
+                      sizes_kib=_scaled_sizes())
+    lru = result.column("lru_miss_ratio")
+    opt = result.column("opt_miss_ratio")
+    # Paper shape: OPT at or below LRU everywhere, both trending down,
+    # and a visible gap in the mid range.
+    assert all(o <= l + 1e-9 for l, o in zip(lru, opt))
+    assert lru[-1] <= lru[0]
+    assert opt[-1] <= opt[0]
+    mid = len(lru) // 2
+    assert opt[mid] < lru[0]

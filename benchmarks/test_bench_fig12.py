@@ -1,0 +1,29 @@
+"""Figure 12: associativity sweep for LRU and OPT."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig12_associativity
+
+
+def _scaled_sizes():
+    return sorted({max(1, round(size * BENCH_SCALE))
+                   for size in fig12_associativity.SIZES_KIB})
+
+
+def test_fig12_associativity_collapse(benchmark, sim_cache):
+    result = run_once(benchmark, fig12_associativity.run,
+                      scale=BENCH_SCALE, cache=sim_cache,
+                      sizes_kib=_scaled_sizes())
+    mid = len(result.rows) // 2
+    row = dict(zip(result.headers, result.rows[mid]))
+    # Within each policy, more associativity never hurts much.
+    assert row["lru_full"] <= row["lru_1way"] + 0.05
+    assert row["belady_full"] <= row["belady_1way"] + 0.05
+    # OPT at every associativity beats the matching LRU.
+    for assoc in ("1way", "2way", "4way", "8way", "full"):
+        assert row[f"belady_{assoc}"] <= row[f"lru_{assoc}"] + 1e-9
+    # The paper's callout: 2-way OPT is about as good as fully
+    # associative LRU.
+    assert row["belady_2way"] <= row["lru_full"] + 0.03
+    # And nothing dips below the bound.
+    for assoc in ("1way", "2way", "4way", "8way", "full"):
+        assert row["lower_bound"] <= row[f"belady_{assoc}"] + 1e-9

@@ -1,0 +1,23 @@
+"""Figure 13: LRU / MRU / DRRIP / OPT in the 4-way L1."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig13_policies
+
+
+def _scaled_sizes():
+    return sorted({max(1, round(size * BENCH_SCALE))
+                   for size in fig13_policies.SIZES_KIB})
+
+
+def test_fig13_policy_ordering(benchmark, sim_cache):
+    result = run_once(benchmark, fig13_policies.run,
+                      scale=BENCH_SCALE, cache=sim_cache,
+                      sizes_kib=_scaled_sizes())
+    for row in result.rows:
+        entry = dict(zip(result.headers, row))
+        # Paper shape: MRU highest; DRRIP shows no benefit over LRU on
+        # this stream; OPT lowest, pinned to the bound.
+        assert entry["opt"] <= entry["lru"] + 1e-9
+        assert entry["lru"] <= entry["mru"] + 0.05
+        assert entry["drrip_m2"] >= entry["lru"] - 0.03
+        assert entry["lower_bound"] <= entry["opt"] + 1e-9

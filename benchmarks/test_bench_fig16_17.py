@@ -1,0 +1,25 @@
+"""Figures 16/17: PB accesses to Main Memory vanish under TCOR."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig16_17_mm_pb
+
+
+def _check(result):
+    average = result.row_for("average")[5]
+    # Paper: 93.0% / 94.1% average decrease.
+    assert average > 60.0
+    # Small-PB benchmarks are eliminated outright.
+    for alias in ("CCS", "SoD", "GTr", "RoK"):
+        assert result.row_for(alias)[5] > 95.0, alias
+
+
+def test_fig16_pb_mm_64k(benchmark, sim_cache):
+    result = run_once(benchmark, fig16_17_mm_pb.run_one, "64KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)
+
+
+def test_fig17_pb_mm_128k(benchmark, sim_cache):
+    result = run_once(benchmark, fig16_17_mm_pb.run_one, "128KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)

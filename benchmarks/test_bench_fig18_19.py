@@ -1,0 +1,27 @@
+"""Figures 18/19: total Main Memory accesses."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig18_19_mm_total
+
+
+def _check(result):
+    average = result.row_for("average")[3]
+    # Paper: 13.9% / 13.3% average decrease.
+    assert average > 3.0
+    # Texture-heavy RoK benefits least among the suite (paper Figure 18);
+    # compare it against the geometry-heavy trio.
+    rok = result.row_for("RoK")[3]
+    for alias in ("CRa", "DDS", "Snp"):
+        assert result.row_for(alias)[3] > rok, alias
+
+
+def test_fig18_total_mm_64k(benchmark, sim_cache):
+    result = run_once(benchmark, fig18_19_mm_total.run_one, "64KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)
+
+
+def test_fig19_total_mm_128k(benchmark, sim_cache):
+    result = run_once(benchmark, fig18_19_mm_total.run_one, "128KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)

@@ -1,0 +1,29 @@
+"""Figures 20/21: memory-hierarchy energy, with and without the L2
+enhancement."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig20_21_energy
+
+
+def _check(result):
+    average_row = result.row_for("average")
+    no_l2_avg, full_avg = average_row[4], average_row[5]
+    # Paper: ~9% without the L2 enhancements, ~14% with.  Qualitatively:
+    # both positive, and the full design strictly better.
+    assert full_avg > 2.0
+    assert full_avg > no_l2_avg
+    for row in result.rows[:-1]:
+        _alias, base, no_l2, tcor, *_rest = row
+        assert tcor <= no_l2 <= base * 1.001
+
+
+def test_fig20_energy_64k(benchmark, sim_cache):
+    result = run_once(benchmark, fig20_21_energy.run_one, "64KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)
+
+
+def test_fig21_energy_128k(benchmark, sim_cache):
+    result = run_once(benchmark, fig20_21_energy.run_one, "128KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)

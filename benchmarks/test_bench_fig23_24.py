@@ -1,0 +1,27 @@
+"""Figures 23/24: Tile Fetcher primitives per cycle."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig23_24_throughput
+
+
+def _check(result):
+    average = result.row_for("average")[3]
+    # Paper: ~5x average speedup; qualitatively a multi-x win.
+    assert average > 1.5
+    for row in result.rows[:-1]:
+        alias, base_ppc, tcor_ppc, speedup, _paper = row
+        assert 0 < base_ppc <= 1.0
+        assert 0 < tcor_ppc <= 1.0
+        assert tcor_ppc > base_ppc, alias
+
+
+def test_fig23_throughput_64k(benchmark, sim_cache):
+    result = run_once(benchmark, fig23_24_throughput.run_one, "64KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)
+
+
+def test_fig24_throughput_128k(benchmark, sim_cache):
+    result = run_once(benchmark, fig23_24_throughput.run_one, "128KiB",
+                      scale=BENCH_SCALE, cache=sim_cache)
+    _check(result)

@@ -1,0 +1,54 @@
+"""The abstract's headline numbers, plus the related-work lookahead gap.
+
+Covers the paper's summary claims (Section I / Abstract) and the
+Shepherd-Cache comparison from Section VI: bounded lookahead bridges
+only part of the LRU-OPT gap, full future knowledge (TCOR) closes it.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.analysis import attribute_access_trace
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.policies import BeladyOPT, LookaheadOPT, make_policy
+from repro.experiments import headline
+
+
+def test_headline_numbers(benchmark, sim_cache):
+    result = run_once(benchmark, headline.run,
+                      scale=BENCH_SCALE, cache=sim_cache)
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["memory hierarchy energy decrease (%)"] > 2.0
+    assert values["total GPU energy decrease (%)"] > 0.5
+    assert values["FPS increase (%)"] > 0.5
+    assert values["Tiling Engine speedup (x)"] > 1.5
+    # Ordering: memhier saving > GPU saving > 0 (dilution by compute).
+    assert values["memory hierarchy energy decrease (%)"] > \
+        values["total GPU energy decrease (%)"]
+
+
+def test_lookahead_gap_closure(benchmark, sim_cache):
+    """Shepherd-style bounded lookahead lands strictly between LRU and
+    OPT on the Parameter Buffer stream (paper Section VI cites 30-52%
+    gap closure for the Shepherd Cache)."""
+    def run():
+        workload = sim_cache.workload("TRu")
+        trace = attribute_access_trace(workload)
+        capacity = max(8, len(set(trace)) // 4)
+
+        def misses(policy):
+            cache = fully_associative_cache(capacity * 64, 64, policy)
+            for line in trace:
+                cache.access(line * 64)
+            return cache.stats.misses
+
+        return {
+            "lru": misses(make_policy("lru")),
+            "lookahead": misses(LookaheadOPT.from_trace(trace, window=128)),
+            "belady": misses(BeladyOPT.from_trace(trace)),
+        }
+
+    outcome = run_once(benchmark, run)
+    assert outcome["belady"] <= outcome["lookahead"] <= outcome["lru"]
+    gap = outcome["lru"] - outcome["belady"]
+    if gap > 0:
+        closure = (outcome["lru"] - outcome["lookahead"]) / gap
+        assert 0.0 <= closure <= 1.0

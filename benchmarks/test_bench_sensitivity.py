@@ -1,0 +1,32 @@
+"""Sensitivity sweeps (beyond the paper's figures)."""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import sensitivity
+
+
+def test_traversal_order_robustness(benchmark, sim_cache):
+    result = run_once(benchmark, sensitivity.run_traversal_orders,
+                      scale=BENCH_SCALE, cache=sim_cache)
+    decreases = result.column("pb_l2_decrease_%")
+    # TCOR helps under every order, and the orders agree within a few
+    # points (OPT Numbers adapt to whatever order is fixed).
+    assert all(value > 0 for value in decreases)
+    assert max(decreases) - min(decreases) < 15
+
+
+def test_tile_cache_split(benchmark, sim_cache):
+    result = run_once(benchmark, sensitivity.run_tile_cache_split,
+                      scale=BENCH_SCALE, cache=sim_cache)
+    hits = result.column("attr_hit_ratio")
+    # Attribute hit ratio is monotone in the attribute budget (rows are
+    # ordered by shrinking attribute share).
+    assert all(a >= b - 0.02 for a, b in zip(hits, hits[1:]))
+
+
+def test_l2_size_saturation(benchmark, sim_cache):
+    result = run_once(benchmark, sensitivity.run_l2_size,
+                      scale=BENCH_SCALE, cache=sim_cache)
+    eliminations = result.column("elimination_%")
+    # Larger L2s never hurt, and elimination saturates at 100%.
+    assert all(b >= a - 5 for a, b in zip(eliminations, eliminations[1:]))
+    assert eliminations[-1] >= 95.0

@@ -1,0 +1,25 @@
+"""Tables I and II."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import tables
+
+
+def test_table1_machine_description(benchmark):
+    result = run_once(benchmark, tables.run_table1)
+    assert result.row_for("screen")[1] == "1960x768"
+    assert result.row_for("tile")[1].startswith("32x32")
+    assert "1024KiB, 8-way" in result.row_for("l2 cache")[1]
+
+
+def test_table2_benchmark_characteristics(benchmark, sim_cache):
+    result = run_once(benchmark, tables.run_table2,
+                      scale=BENCH_SCALE, cache=sim_cache)
+    assert len(result.rows) == 10
+    for row in result.rows:
+        alias, *_rest = row
+        published_reuse, measured_reuse = row[6], row[7]
+        assert measured_reuse == pytest.approx(published_reuse, rel=0.3), alias
+        published_fp, measured_fp = row[4], row[5]
+        assert measured_fp == pytest.approx(published_fp, rel=0.35), alias

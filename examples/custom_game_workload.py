@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Evaluate TCOR on your own game profile.
+
+Shows the intended downstream use of the library: describe a game by the
+characteristics a GPU vendor can measure (Parameter Buffer footprint,
+average primitive reuse, texture footprint, shader length), synthesize a
+matching workload, and ask whether TCOR's split Tile Cache would pay off
+— including the ablation the paper calls "TCOR without L2 Enhancements".
+
+Run:
+    python examples/custom_game_workload.py
+"""
+
+from repro.energy import gpu_energy
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.workloads import BenchmarkSpec, build_workload
+
+# An imaginary mid-weight 3D action game.
+MY_GAME = BenchmarkSpec(
+    alias="MyG",
+    name="My Imaginary Game",
+    installs_millions=1,
+    genre="Action",
+    is_2d=False,
+    pb_footprint_mib=0.45,        # moderate geometry
+    avg_reuse=3.2,                # primitives span ~3 tiles each
+    texture_mib=1.4,
+    shader_insts_per_pixel=11,
+    coverage_fraction=0.5,        # geometry concentrated mid-screen
+    seed=2024,
+)
+
+CONFIGS = [
+    ("baseline (unified 64 KiB LRU)", dict(kind="baseline")),
+    ("TCOR w/o L2 enhancements", dict(kind="tcor", l2_enhancements=False)),
+    ("TCOR (full)", dict(kind="tcor", l2_enhancements=True)),
+]
+
+
+def main() -> None:
+    workload = build_workload(MY_GAME, scale=0.25)
+    print(f"Synthesized {workload.num_primitives} primitives; "
+          f"measured reuse {workload.measured_reuse():.2f} "
+          f"(target {MY_GAME.avg_reuse})\n")
+
+    results = []
+    for label, config in CONFIGS:
+        if config["kind"] == "baseline":
+            result = simulate_baseline(workload)
+        else:
+            result = simulate_tcor(
+                workload, l2_enhancements=config["l2_enhancements"])
+        energy = gpu_energy(result, workload)
+        results.append((label, result, energy))
+
+    base = results[0]
+    print(f"{'configuration':<32} {'PB->L2':>8} {'PB->DRAM':>9} "
+          f"{'DRAM':>8} {'mem mJ':>8} {'GPU mJ':>8}")
+    for label, result, energy in results:
+        print(f"{label:<32} {result.pb_l2_accesses:8d} "
+              f"{result.pb_mm_accesses:9d} {result.mm_accesses:8d} "
+              f"{energy.memory_hierarchy_nj / 1e6:8.3f} "
+              f"{energy.total_gpu_nj / 1e6:8.3f}")
+
+    _, base_result, base_energy = base
+    _, tcor_result, tcor_energy = results[-1]
+    saving = 1 - tcor_energy.memory_hierarchy_nj / base_energy.memory_hierarchy_nj
+    print(f"\nVerdict: TCOR cuts this game's memory-hierarchy energy by "
+          f"{100 * saving:.1f}% and its Parameter Buffer DRAM traffic by "
+          f"{100 * (1 - tcor_result.pb_mm_accesses / max(1, base_result.pb_mm_accesses)):.1f}%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Replacement-policy showdown on the Parameter Buffer stream.
+
+Recreates the paper's Figures 1/13 story interactively: sweeps cache
+size for LRU, MRU, FIFO, DRRIP and offline Belady OPT on one benchmark's
+PB-Attributes access stream, prints the curves next to the theoretical
+lower bound, and draws a small ASCII chart.
+
+Run:
+    python examples/replacement_policy_showdown.py [alias] [scale]
+"""
+
+import sys
+
+from repro.analysis import (
+    attribute_access_trace,
+    lower_bound_ratio,
+    policy_miss_ratio,
+    primitives_capacity,
+)
+from repro.workloads import BENCHMARKS, build_workload
+
+PAPER_SIZES_KIB = [8, 16, 32, 48, 64, 96, 128]
+POLICIES = ["mru", "fifo", "drrip", "lru", "belady"]
+
+
+def ascii_bar(value: float, width: int = 40) -> str:
+    filled = int(round(value * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    alias = sys.argv[1] if len(sys.argv) > 1 else "SoD"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    workload = build_workload(BENCHMARKS[alias], scale=scale)
+    trace = attribute_access_trace(workload)
+    mean_attrs = workload.scenes[0].average_attributes()
+    total_primitives = len(set(trace))
+    # Shrink the paper's size grid with the geometry, so the curves show
+    # the same capacity-vs-footprint story at any scale.
+    sizes_kib = sorted({max(1, round(size * scale))
+                        for size in PAPER_SIZES_KIB})
+    print(f"{alias}: {total_primitives} primitives, "
+          f"{len(trace)} attribute-cache accesses "
+          f"(sizes scaled by {scale})\n")
+
+    header = "size   " + "".join(f"{name:>9}" for name in POLICIES) \
+        + f"{'bound':>9}"
+    print(header)
+    print("-" * len(header))
+    curves = {}
+    for size in sizes_kib:
+        capacity = primitives_capacity(size * 1024, mean_attrs)
+        row = [f"{size:3d}KiB"]
+        for name in POLICIES:
+            ratio = policy_miss_ratio(trace, capacity, name, associativity=4)
+            curves.setdefault(name, []).append(ratio)
+            row.append(f"{ratio:9.3f}")
+        bound = lower_bound_ratio(total_primitives, capacity, len(trace))
+        curves.setdefault("bound", []).append(bound)
+        row.append(f"{bound:9.3f}")
+        print("".join(row))
+
+    anchor = sizes_kib[len(sizes_kib) * 2 // 3]
+    print(f"\nMiss-ratio profile at {anchor} KiB (4-way):")
+    index = sizes_kib.index(anchor)
+    for name in POLICIES + ["bound"]:
+        value = curves[name][index]
+        print(f"  {name:>7} {value:.3f} |{ascii_bar(value)}|")
+
+    opt = curves["belady"][index]
+    lru = curves["lru"][index]
+    print(f"\nLRU-OPT gap at {anchor} KiB: {100 * (lru - opt) / lru:.1f}% "
+          "of LRU's misses are avoidable — the gap TCOR closes in hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Ground-truth texture traffic through real texture caches.
+
+The system-level simulations abstract texture traffic to calibrated L2
+pressure.  This study generates *real* texel traffic — rasterized
+fragments, UV interpolation, mip selection, bilinear footprints — and
+replays it through a 64 KiB, 4-way texture L1 (Table I), measuring the
+miss behaviour the abstraction postulates: high L1 hit ratios, a
+tile-local streaming component at the L2, and a shared mip-tail hot set.
+
+Run:
+    python examples/texture_cache_study.py
+"""
+
+from repro.caches.policies import make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.config import DEFAULT_GPU, ScreenConfig
+from repro.geometry import SceneGenerator, SceneParameters
+from repro.geometry.traversal import TraversalOrder, tile_traversal
+from repro.textures import MipmappedTexture, texel_trace_for_tile
+
+
+def texture_l1() -> SetAssociativeCache:
+    config = DEFAULT_GPU.texture_cache
+    return SetAssociativeCache(config.num_sets, config.associativity,
+                               config.line_bytes, make_policy("lru"),
+                               name="texture_l1")
+
+
+def main() -> None:
+    screen = ScreenConfig(256, 256, 32)  # 8x8 tiles
+    scene = SceneGenerator(screen, SceneParameters(
+        num_primitives=120, target_reuse=2.5, seed=11)).generate()
+    texture = MipmappedTexture(0x4000_0000, 1024, 1024)
+    print(f"Scene: {len(scene)} triangles over {screen.num_tiles} tiles; "
+          f"texture: 1024x1024 + mips = {texture.total_bytes // 1024} KiB\n")
+
+    for label, texels_per_pixel in (("magnified (level 0)", 1.0),
+                                    ("minified (mip tail)", 16.0)):
+        cache = texture_l1()
+        l2_stream: list[int] = []
+        per_tile_blocks: list[set] = []
+        for tile_id in tile_traversal(screen, TraversalOrder.Z_ORDER):
+            trace = texel_trace_for_tile(
+                scene, tile_id, texture,
+                texels_per_pixel=texels_per_pixel)
+            per_tile_blocks.append(set(trace))
+            for address in trace:
+                if not cache.access(address).hit:
+                    l2_stream.append(address)
+        stats = cache.stats
+        non_empty = [blocks for blocks in per_tile_blocks if blocks]
+        cross_tile = 0.0
+        if len(non_empty) > 1:
+            shared = set.intersection(*non_empty[:8]) \
+                if len(non_empty) >= 8 else set()
+            cross_tile = len(shared) / max(1, len(non_empty[0]))
+        print(f"== {label} ==")
+        print(f"  texture L1: {stats.accesses} accesses, "
+              f"hit ratio {1 - stats.miss_ratio:.3f}")
+        print(f"  L2-level texel reads: {len(l2_stream)} "
+              f"({len(set(l2_stream))} distinct blocks)")
+        print(f"  cross-tile shared blocks (first 8 tiles): "
+              f"{100 * cross_tile:.0f}%\n")
+
+    print("Reading: magnified sampling streams tile-local regions (low "
+          "cross-tile sharing,\nmany distinct L2 blocks) while minified "
+          "sampling collapses into a hot mip tail —\nthe two components "
+          "the calibrated background model mixes.")
+
+
+if __name__ == "__main__":
+    main()

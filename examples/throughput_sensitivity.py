@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Tiling Engine throughput sensitivity (the paper's future-work angle).
+
+The paper argues TCOR's faster Tiling Engine "opens the door to a more
+aggressive Raster Pipeline".  This example quantifies the headroom: it
+sweeps the MSHR file size and the memory latency and reports primitives
+per cycle for both organizations — showing that the baseline is
+miss-bound (more MSHRs barely help) while TCOR converges on the
+1-primitive/cycle ceiling.
+
+Run:
+    python examples/throughput_sensitivity.py [alias] [scale]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.config import DEFAULT_GPU
+from repro.timing import tile_fetcher_throughput
+from repro.workloads import BENCHMARKS, build_workload
+
+
+def main() -> None:
+    alias = sys.argv[1] if len(sys.argv) > 1 else "TRu"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    workload = build_workload(BENCHMARKS[alias], scale=scale)
+    print(f"{alias} at scale {scale}: "
+          f"{workload.traces[0].num_primitive_reads} primitive reads\n")
+
+    print("== MSHR sweep (memory latency 50-100 cycles) ==")
+    print(f"{'mshrs':>6} {'baseline ppc':>13} {'tcor ppc':>9} {'speedup':>8}")
+    for entries in (2, 4, 8, 16, 32, 64):
+        gpu = replace(DEFAULT_GPU,
+                      tiling=replace(DEFAULT_GPU.tiling,
+                                     mshr_entries=entries))
+        base = tile_fetcher_throughput(workload, "baseline", gpu=gpu)
+        tcor = tile_fetcher_throughput(workload, "tcor", gpu=gpu)
+        print(f"{entries:>6} {base.primitives_per_cycle:>13.3f} "
+              f"{tcor.primitives_per_cycle:>9.3f} "
+              f"{tcor.primitives_per_cycle / max(1e-9, base.primitives_per_cycle):>7.1f}x")
+
+    print("\n== Memory latency sweep (16 MSHRs) ==")
+    print(f"{'latency':>8} {'baseline ppc':>13} {'tcor ppc':>9} {'speedup':>8}")
+    for latency in (30, 60, 100, 160, 240):
+        gpu = replace(DEFAULT_GPU,
+                      memory=replace(DEFAULT_GPU.memory,
+                                     min_latency_cycles=latency,
+                                     max_latency_cycles=latency))
+        base = tile_fetcher_throughput(workload, "baseline", gpu=gpu)
+        tcor = tile_fetcher_throughput(workload, "tcor", gpu=gpu)
+        print(f"{latency:>8} {base.primitives_per_cycle:>13.3f} "
+              f"{tcor.primitives_per_cycle:>9.3f} "
+              f"{tcor.primitives_per_cycle / max(1e-9, base.primitives_per_cycle):>7.1f}x")
+
+    print("\nReading: the baseline's curve is flat in MSHRs (it is "
+          "miss-bound at the L2/DRAM),\nwhile TCOR needs only a handful of "
+          "MSHRs to track its few remaining misses.")
+
+
+if __name__ == "__main__":
+    main()

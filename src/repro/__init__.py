@@ -1,0 +1,45 @@
+"""TCOR: A Tile Cache with Optimal Replacement — reproduction library.
+
+A full-system model of the paper's Tile-Based-Rendering GPU memory
+hierarchy: geometry binning, the Parameter Buffer, a pluggable cache
+simulator, the TCOR Attribute Cache with hardware OPT replacement, the
+dead-line-aware L2, and the energy/timing models behind every figure in
+the paper's evaluation.
+
+Quickstart::
+
+    from repro.workloads import BENCHMARKS, build_workload
+    from repro.tcor.system import simulate_baseline, simulate_tcor
+
+    workload = build_workload(BENCHMARKS["CCS"], scale=0.25)
+    base = simulate_baseline(workload)
+    tcor = simulate_tcor(workload)
+    print(tcor.pb_l2_accesses / base.pb_l2_accesses)
+"""
+
+from repro.config import (
+    DEFAULT_GPU,
+    DEFAULT_TCOR,
+    CacheConfig,
+    GPUConfig,
+    MemoryConfig,
+    ParameterBufferConfig,
+    ScreenConfig,
+    TCORConfig,
+    TilingEngineConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "DEFAULT_GPU",
+    "DEFAULT_TCOR",
+    "GPUConfig",
+    "MemoryConfig",
+    "ParameterBufferConfig",
+    "ScreenConfig",
+    "TCORConfig",
+    "TilingEngineConfig",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis helpers: the miss lower bound and policy miss-curve sweeps."""
+
+from repro.analysis.lower_bound import (
+    lower_bound_misses,
+    lower_bound_ratio,
+    primitives_capacity,
+)
+from repro.analysis.miss_curves import (
+    attribute_access_trace,
+    policy_miss_ratio,
+    suite_miss_curve,
+)
+from repro.analysis.ascii_plot import ChartSeries, ascii_chart, chart_from_result
+
+__all__ = [
+    "ChartSeries",
+    "ascii_chart",
+    "attribute_access_trace",
+    "chart_from_result",
+    "lower_bound_misses",
+    "lower_bound_ratio",
+    "policy_miss_ratio",
+    "primitives_capacity",
+    "suite_miss_curve",
+]

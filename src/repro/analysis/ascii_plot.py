@@ -1,0 +1,105 @@
+"""Terminal line charts for miss curves and sweeps.
+
+The experiment CLI renders every figure as a table; for the curve
+figures (1, 11-13) a picture is worth a lot of digits.  This renders
+multi-series line charts with pure text — no plotting dependency — the
+way the library's examples and the ``--plot`` runner flag display them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class ChartSeries:
+    name: str
+    values: list[float]
+
+
+def ascii_chart(x_values: list[float], series: list[ChartSeries],
+                width: int = 64, height: int = 16,
+                y_label: str = "", x_label: str = "") -> str:
+    """Render aligned series as a text chart with a legend.
+
+    Every series must have one value per ``x_values`` entry.  The y-axis
+    is scaled to the data's min/max with a small margin.
+    """
+    if not x_values or not series:
+        raise ValueError("need at least one x value and one series")
+    for entry in series:
+        if len(entry.values) != len(x_values):
+            raise ValueError(f"series {entry.name!r} length mismatch")
+
+    lo = min(min(s.values) for s in series)
+    hi = max(max(s.values) for s in series)
+    if hi == lo:
+        hi = lo + 1.0
+    margin = (hi - lo) * 0.05
+    lo -= margin
+    hi += margin
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    def column(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+
+    def row(y: float) -> int:
+        return min(height - 1,
+                   int((hi - y) / (hi - lo) * (height - 1)))
+
+    for index, entry in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, entry.values):
+            grid[row(y)][column(x)] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            axis = f"{hi:8.3f} |"
+        elif r == height - 1:
+            axis = f"{lo:8.3f} |"
+        else:
+            axis = "         |"
+        lines.append(axis + "".join(cells))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10g}{' ' * max(0, width - 22)}{x_hi:>10g}"
+                 + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {entry.name}"
+        for i, entry in enumerate(series)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def chart_from_result(result, x_column: str,
+                      series_columns: list[str] | None = None,
+                      **kwargs) -> str:
+    """Chart an :class:`~repro.experiments.common.ExperimentResult`.
+
+    Numeric columns only; ``series_columns`` defaults to every column
+    except ``x_column``.  Rows with non-numeric cells (e.g. the
+    "average" footer) are skipped.
+    """
+    numeric_rows = [
+        row for row in result.rows
+        if all(isinstance(cell, (int, float)) for cell in row)
+    ]
+    if not numeric_rows:
+        raise ValueError("no fully numeric rows to chart")
+    headers = result.headers
+    x_index = headers.index(x_column)
+    names = series_columns or [h for h in headers if h != x_column]
+    x_values = [row[x_index] for row in numeric_rows]
+    series = [
+        ChartSeries(name, [row[headers.index(name)] for row in numeric_rows])
+        for name in names
+    ]
+    return ascii_chart(x_values, series, **kwargs)

@@ -1,0 +1,45 @@
+"""The miss-count lower bound (paper Section V-A).
+
+Every primitive's attributes are written exactly once (a compulsory
+miss) and read at least once.  A primitive not resident when the Polygon
+List Builder finishes must miss on its first read.  With TP primitives
+total and room for CP primitives in the Attribute Cache::
+
+    LB >= TP + (TP - CP)   for CP < TP
+    LB >= TP               for CP >= TP
+
+This bound holds for every associativity and replacement policy, and is
+the yardstick Figures 11-13 plot.
+"""
+
+from __future__ import annotations
+
+from repro.config import ParameterBufferConfig
+
+
+def lower_bound_misses(total_primitives: int, capacity_primitives: int) -> int:
+    """Minimum misses any replacement policy can achieve."""
+    if total_primitives < 0 or capacity_primitives < 0:
+        raise ValueError("counts must be non-negative")
+    shortfall = max(0, total_primitives - capacity_primitives)
+    return total_primitives + shortfall
+
+
+def lower_bound_ratio(total_primitives: int, capacity_primitives: int,
+                      total_accesses: int) -> float:
+    """The bound as a miss *ratio* over the full access stream."""
+    if total_accesses <= 0:
+        raise ValueError("need at least one access")
+    return lower_bound_misses(total_primitives, capacity_primitives) \
+        / total_accesses
+
+
+def primitives_capacity(size_bytes: int, mean_attributes: float,
+                        pbuffer: ParameterBufferConfig | None = None) -> int:
+    """How many average primitives fit in ``size_bytes`` of attribute
+    storage (each attribute occupies one block-aligned slot)."""
+    pbuffer = pbuffer or ParameterBufferConfig()
+    per_primitive = mean_attributes * pbuffer.attribute_stride
+    if per_primitive <= 0:
+        raise ValueError("primitives must have attributes")
+    return max(1, int(size_bytes / per_primitive))

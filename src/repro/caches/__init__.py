@@ -1,0 +1,64 @@
+"""Cache-simulator substrate.
+
+A trace-driven, policy-pluggable cache model: set-associative (or fully
+associative) write-back caches, a library of replacement policies
+(LRU, MRU, FIFO, Random, PLRU, SRRIP/BRRIP/DRRIP, offline Belady OPT and
+the online OPT-number policy TCOR implements in hardware), XOR-based set
+indexing, MSHRs, and single-pass Mattson stack-distance analysis for LRU
+miss curves.
+"""
+
+from repro.caches.line import CacheLine, LineMeta
+from repro.caches.stats import CacheStats
+from repro.caches.indexing import ModuloIndexing, SetIndexing, XorIndexing
+from repro.caches.set_assoc import AccessResult, EvictedLine, SetAssociativeCache
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.mshr import MSHRFile
+from repro.caches.hierarchy import CacheHierarchy, HierarchyOutcome
+from repro.caches.mattson import MattsonStack, lru_miss_curve
+from repro.caches.policies import (
+    BeladyOPT,
+    LookaheadOPT,
+    BRRIPPolicy,
+    DRRIPPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    OptNumberPolicy,
+    PLRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "BRRIPPolicy",
+    "BeladyOPT",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheStats",
+    "DRRIPPolicy",
+    "EvictedLine",
+    "FIFOPolicy",
+    "HierarchyOutcome",
+    "LRUPolicy",
+    "LineMeta",
+    "LookaheadOPT",
+    "MRUPolicy",
+    "MSHRFile",
+    "MattsonStack",
+    "ModuloIndexing",
+    "OptNumberPolicy",
+    "PLRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "SetAssociativeCache",
+    "SetIndexing",
+    "XorIndexing",
+    "fully_associative_cache",
+    "lru_miss_curve",
+    "make_policy",
+]

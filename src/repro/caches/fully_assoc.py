@@ -1,0 +1,23 @@
+"""Fully associative cache constructor.
+
+A fully associative cache is a set-associative cache with a single set;
+this helper sizes it from a byte capacity the way the paper's
+fully-associative sweeps (Figures 1 and 11) are parameterized.
+"""
+
+from __future__ import annotations
+
+from repro.caches.policies.base import ReplacementPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+def fully_associative_cache(size_bytes: int, line_bytes: int,
+                            policy: ReplacementPolicy,
+                            name: str = "fa-cache") -> SetAssociativeCache:
+    if size_bytes < line_bytes:
+        raise ValueError("cache smaller than one line")
+    ways = size_bytes // line_bytes
+    return SetAssociativeCache(
+        num_sets=1, ways=ways, line_bytes=line_bytes, policy=policy,
+        name=name,
+    )

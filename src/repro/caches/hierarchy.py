@@ -1,0 +1,167 @@
+"""Two-level cache hierarchy replay.
+
+Composes an L1 with a shared L2 backed by main memory.  An access first
+probes the L1; L1 misses become L2 reads, L1 dirty evictions (and
+bypassed writes) become L2 writes, and L2 misses/writebacks become main
+memory accesses — the accounting behind Figures 14-19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.line import LineMeta
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+@dataclass
+class MemoryCounters:
+    """Main-memory traffic, split by requester-declared region."""
+
+    reads: int = 0
+    writes: int = 0
+    by_region: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def record(self, is_write: bool, region: int | None) -> None:
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if region is not None:
+            entry = self.by_region.setdefault(region, {"reads": 0, "writes": 0})
+            entry["writes" if is_write else "reads"] += 1
+
+    def region_reads(self, region: int) -> int:
+        return self.by_region.get(region, {}).get("reads", 0)
+
+    def region_writes(self, region: int) -> int:
+        return self.by_region.get(region, {}).get("writes", 0)
+
+    def region_accesses(self, region: int) -> int:
+        return self.region_reads(region) + self.region_writes(region)
+
+
+@dataclass(frozen=True)
+class HierarchyOutcome:
+    """What one L1 access caused downstream."""
+
+    l1_hit: bool
+    l2_reads: int = 0
+    l2_writes: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+
+class SharedL2:
+    """A shared L2 plus the main-memory counters behind it.
+
+    Several L1 front-ends (tile, texture, vertex, instruction) funnel
+    into one instance; it turns L2 misses into memory reads and dirty L2
+    evictions into memory writes.  A ``dead`` predicate installed by the
+    TCOR L2 enhancement suppresses the writeback of dead lines.
+    """
+
+    def __init__(self, l2: SetAssociativeCache,
+                 memory: MemoryCounters | None = None) -> None:
+        self.l2 = l2
+        self.memory = memory if memory is not None else MemoryCounters()
+
+    def access(self, address: int, is_write: bool,
+               meta: LineMeta | None = None) -> tuple[int, int]:
+        """Returns (memory_reads, memory_writes) this L2 access caused."""
+        region = meta.region if meta else None
+        result = self.l2.access(address, is_write=is_write, meta=meta)
+        mem_reads = mem_writes = 0
+        if not result.hit and not result.bypassed and not is_write:
+            # Read misses fill from memory.  Write misses (L1 writebacks
+            # of full lines, or fresh-buffer streaming writes) allocate
+            # without fetching.
+            self.memory.record(is_write=False, region=region)
+            mem_reads += 1
+        if result.bypassed:
+            self.memory.record(is_write=is_write, region=region)
+            if is_write:
+                mem_writes += 1
+            else:
+                mem_reads += 1
+        if result.evicted is not None and result.evicted.dirty:
+            self.memory.record(is_write=True, region=result.evicted.meta.region)
+            mem_writes += 1
+        return mem_reads, mem_writes
+
+    def flush(self) -> int:
+        """End-of-frame: write back every dirty resident line."""
+        writebacks = 0
+        for evicted in self.l2.flush():
+            if evicted.dirty:
+                self.memory.record(is_write=True, region=evicted.meta.region)
+                writebacks += 1
+        return writebacks
+
+
+class CacheHierarchy:
+    """One L1 in front of a (possibly shared) L2."""
+
+    def __init__(self, l1: SetAssociativeCache, shared_l2: SharedL2) -> None:
+        self.l1 = l1
+        self.shared_l2 = shared_l2
+
+    @property
+    def memory(self) -> MemoryCounters:
+        return self.shared_l2.memory
+
+    def access(self, address: int, is_write: bool = False,
+               meta: LineMeta | None = None,
+               opt_number: int | None = None) -> HierarchyOutcome:
+        result = self.l1.access(address, is_write=is_write, meta=meta,
+                                opt_number=opt_number)
+        if result.hit:
+            return HierarchyOutcome(l1_hit=True)
+
+        l2_reads = l2_writes = mem_reads = mem_writes = 0
+        if result.bypassed:
+            # The request itself moves down a level.
+            if is_write:
+                l2_writes += 1
+            else:
+                l2_reads += 1
+            dr, dw = self.shared_l2.access(address, is_write=is_write, meta=meta)
+        else:
+            # Fill the allocated L1 line from the L2.
+            l2_reads += 1
+            dr, dw = self.shared_l2.access(address, is_write=False, meta=meta)
+        mem_reads += dr
+        mem_writes += dw
+
+        if result.evicted is not None and result.evicted.dirty:
+            l2_writes += 1
+            evicted_addr = result.evicted.tag * self.l1.line_bytes
+            dr, dw = self.shared_l2.access(evicted_addr, is_write=True,
+                                           meta=result.evicted.meta)
+            mem_reads += dr
+            mem_writes += dw
+
+        return HierarchyOutcome(l1_hit=False, l2_reads=l2_reads,
+                                l2_writes=l2_writes, memory_reads=mem_reads,
+                                memory_writes=mem_writes)
+
+    def flush_l1(self) -> tuple[int, int, int]:
+        """Write back dirty L1 lines through the L2.
+
+        Returns (l2_writes, memory_reads, memory_writes).
+        """
+        l2_writes = mem_reads = mem_writes = 0
+        for evicted in self.l1.flush():
+            if evicted.dirty:
+                l2_writes += 1
+                dr, dw = self.shared_l2.access(
+                    evicted.tag * self.l1.line_bytes, is_write=True,
+                    meta=evicted.meta,
+                )
+                mem_reads += dr
+                mem_writes += dw
+        return l2_writes, mem_reads, mem_writes

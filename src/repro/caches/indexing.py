@@ -1,0 +1,58 @@
+"""Set-index functions.
+
+The paper's Primitive Buffer uses an XOR-based placement function
+(González et al. [12]) to spread conflicting addresses over sets; the
+baseline uses plain modulo indexing, which is exactly what makes the
+contiguous PB-Lists layout pathological (tile lists separated by a large
+power of two all map to the same few sets).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class SetIndexing(ABC):
+    """Maps a line address (address >> log2(line size)) to a set index."""
+
+    def __init__(self, num_sets: int) -> None:
+        if num_sets <= 0:
+            raise ValueError("need at least one set")
+        self.num_sets = num_sets
+
+    @abstractmethod
+    def set_of(self, line_address: int) -> int:
+        """Set index in [0, num_sets)."""
+
+
+class ModuloIndexing(SetIndexing):
+    """Conventional indexing: low-order line-address bits."""
+
+    def set_of(self, line_address: int) -> int:
+        return line_address % self.num_sets
+
+
+class XorIndexing(SetIndexing):
+    """XOR-folded indexing.
+
+    The line address is split into index-sized chunks which are XOR-ed
+    together, so addresses that differ only in high-order bits (the
+    power-of-two strides of the contiguous PB-Lists layout) land in
+    different sets.  For non-power-of-two set counts the fold is followed
+    by a modulo.
+    """
+
+    def __init__(self, num_sets: int) -> None:
+        super().__init__(num_sets)
+        self._bits = max(1, (num_sets - 1).bit_length())
+        self._mask = (1 << self._bits) - 1
+        self._power_of_two = num_sets & (num_sets - 1) == 0
+
+    def set_of(self, line_address: int) -> int:
+        folded = 0
+        remaining = line_address
+        while remaining:
+            folded ^= remaining & self._mask
+            remaining >>= self._bits
+        return folded if self._power_of_two and folded < self.num_sets \
+            else folded % self.num_sets

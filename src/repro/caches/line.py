@@ -1,0 +1,41 @@
+"""Cache line state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LineMeta:
+    """Metadata a request can attach to the line it touches.
+
+    The TCOR L2 replacement policy reads these fields to classify lines
+    into dead / non-PB / live-PB priority groups; other policies ignore
+    them.  ``region`` uses :class:`repro.workloads.trace.Region` values
+    but is typed loosely so the cache substrate stays independent of the
+    workload package.
+    """
+
+    region: int | None = None
+    last_tile_rank: int | None = None
+    opt_number: int | None = None
+
+
+@dataclass
+class CacheLine:
+    """One resident line of a set-associative cache."""
+
+    tag: int
+    dirty: bool = False
+    meta: LineMeta = field(default_factory=LineMeta)
+
+    def update_meta(self, meta: LineMeta | None) -> None:
+        """Merge non-None fields of ``meta`` into this line's metadata."""
+        if meta is None:
+            return
+        if meta.region is not None:
+            self.meta.region = meta.region
+        if meta.last_tile_rank is not None:
+            self.meta.last_tile_rank = meta.last_tile_rank
+        if meta.opt_number is not None:
+            self.meta.opt_number = meta.opt_number

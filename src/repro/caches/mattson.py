@@ -1,0 +1,106 @@
+"""Mattson stack-distance analysis for LRU.
+
+LRU is a stack algorithm (Mattson et al., 1970 — the paper's reference
+[27]), so one pass over a trace yields the miss count of *every* fully
+associative LRU cache size at once.  The stack distance of an access is
+the number of distinct lines touched since the previous access to the
+same line; an access misses in a cache of C lines iff its distance
+exceeds C (or it is the first touch).
+
+Distances are computed with a Fenwick tree over access timestamps:
+mark each line's latest access time, and the distance is the count of
+marked times after the line's previous access — O(log n) per access.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+COMPULSORY = -1  # stack distance of a first touch
+
+
+class _FenwickTree:
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+
+class MattsonStack:
+    """Streaming LRU stack-distance computation."""
+
+    def __init__(self, trace_length_hint: int = 0) -> None:
+        self._last_seen: dict[int, int] = {}
+        self._tree: _FenwickTree | None = None
+        self._capacity = max(1, trace_length_hint)
+        self._time = 0
+        self.histogram: Counter[int] = Counter()
+
+    def _ensure_capacity(self) -> None:
+        if self._tree is None:
+            self._tree = _FenwickTree(self._capacity)
+        elif self._time >= self._capacity:
+            # Grow by rebuilding with the live marks only.
+            self._capacity *= 2
+            tree = _FenwickTree(self._capacity)
+            for when in self._last_seen.values():
+                tree.add(when, 1)
+            self._tree = tree
+
+    def record(self, line: int) -> int:
+        """Feed one access; returns its stack distance
+        (:data:`COMPULSORY` for a first touch)."""
+        self._ensure_capacity()
+        assert self._tree is not None
+        previous = self._last_seen.get(line)
+        if previous is None:
+            distance = COMPULSORY
+        else:
+            marked_after = (self._tree.prefix_sum(self._time - 1)
+                            - self._tree.prefix_sum(previous))
+            distance = marked_after
+            self._tree.add(previous, -1)
+        self._tree.add(self._time, 1)
+        self._last_seen[line] = self._time
+        self._time += 1
+        self.histogram[distance] += 1
+        return distance
+
+    def misses_for_capacity(self, capacity_lines: int) -> int:
+        """LRU misses in a fully associative cache of that many lines."""
+        if capacity_lines <= 0:
+            return sum(self.histogram.values())
+        misses = self.histogram[COMPULSORY]
+        for distance, count in self.histogram.items():
+            if distance >= capacity_lines:
+                misses += count
+        return misses
+
+    @property
+    def accesses(self) -> int:
+        return self._time
+
+
+def lru_miss_curve(trace: Iterable[int],
+                   capacities: Sequence[int]) -> dict[int, int]:
+    """Miss counts of fully associative LRU caches of the given line
+    capacities, in a single pass over ``trace``."""
+    trace = list(trace)
+    stack = MattsonStack(trace_length_hint=len(trace))
+    for line in trace:
+        stack.record(line)
+    return {c: stack.misses_for_capacity(c) for c in capacities}

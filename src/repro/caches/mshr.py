@@ -1,0 +1,71 @@
+"""Miss-status holding registers.
+
+The timing model uses a finite MSHR file to bound the number of misses
+in flight: a primary miss allocates an entry, secondary misses to the
+same line merge into it, and the requester stalls when the file is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MSHREntry:
+    line_address: int
+    ready_cycle: int
+    merged_requests: int = 1
+
+
+@dataclass
+class MSHRFile:
+    """Fixed-capacity outstanding-miss tracker keyed by line address."""
+
+    entries: int
+    _inflight: dict[int, MSHREntry] = field(default_factory=dict)
+    peak_occupancy: int = 0
+    merges: int = 0
+    allocations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def full(self) -> bool:
+        return len(self._inflight) >= self.entries
+
+    def lookup(self, line_address: int) -> MSHREntry | None:
+        return self._inflight.get(line_address)
+
+    def allocate(self, line_address: int, ready_cycle: int) -> MSHREntry:
+        """Track a primary miss; merges into an existing entry when the
+        line is already in flight."""
+        entry = self._inflight.get(line_address)
+        if entry is not None:
+            entry.merged_requests += 1
+            self.merges += 1
+            return entry
+        if self.full:
+            raise RuntimeError("MSHR file full; caller must stall")
+        entry = MSHREntry(line_address, ready_cycle)
+        self._inflight[line_address] = entry
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._inflight))
+        return entry
+
+    def earliest_ready(self) -> int | None:
+        if not self._inflight:
+            return None
+        return min(entry.ready_cycle for entry in self._inflight.values())
+
+    def retire_ready(self, now: int) -> list[MSHREntry]:
+        """Free and return all entries whose fill has arrived by ``now``."""
+        done = [e for e in self._inflight.values() if e.ready_cycle <= now]
+        for entry in done:
+            del self._inflight[entry.line_address]
+        return done

@@ -1,0 +1,68 @@
+"""Replacement policies.
+
+Every policy implements :class:`ReplacementPolicy`; caches call back on
+hits, insertions and evictions and delegate victim selection.  Offline
+Belady OPT additionally needs the full future trace
+(:meth:`BeladyOPT.from_trace`), and the OPT-number policy consumes the
+per-request OPT Numbers that TCOR's Polygon List Builder embeds in PMDs.
+"""
+
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+from repro.caches.policies.lru import LRUPolicy
+from repro.caches.policies.mru import MRUPolicy
+from repro.caches.policies.fifo import FIFOPolicy
+from repro.caches.policies.random_policy import RandomPolicy
+from repro.caches.policies.plru import PLRUPolicy
+from repro.caches.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.caches.policies.belady import BeladyOPT
+from repro.caches.policies.lookahead import LookaheadOPT
+from repro.caches.policies.ship import SHiPPolicy
+from repro.caches.policies.hawkeye import HawkeyePolicy, OPTgen
+from repro.caches.policies.opt_number import OptNumberPolicy
+
+_FACTORIES = {
+    "lru": LRUPolicy,
+    "mru": MRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "opt_number": OptNumberPolicy,
+    "ship": SHiPPolicy,
+    "hawkeye": HawkeyePolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Construct a policy by name (``belady`` needs a trace; use
+    :meth:`BeladyOPT.from_trace` directly)."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "AccessContext",
+    "BRRIPPolicy",
+    "BeladyOPT",
+    "DRRIPPolicy",
+    "FIFOPolicy",
+    "HawkeyePolicy",
+    "LRUPolicy",
+    "LookaheadOPT",
+    "OPTgen",
+    "SHiPPolicy",
+    "MRUPolicy",
+    "OptNumberPolicy",
+    "PLRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "make_policy",
+]

@@ -1,0 +1,65 @@
+"""Replacement-policy interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.caches.line import CacheLine
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Per-access information a policy may use.
+
+    ``access_index`` is the position of this access in the trace (Belady
+    OPT keys its next-use table on it); ``opt_number`` is the traversal
+    rank of the requester's next use (the OPT-number policy's input);
+    ``is_write`` lets insertion-differentiating policies distinguish fill
+    writes from reads.
+    """
+
+    access_index: int = 0
+    opt_number: int | None = None
+    is_write: bool = False
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection plus bookkeeping hooks.
+
+    A policy instance is bound to one cache.  ``set_index`` identifies the
+    set; ``tag`` is the line address.  The cache guarantees that
+    ``on_insert``/``on_evict`` are called exactly once per residency and
+    ``on_hit`` for every hit.
+    """
+
+    name = "abstract"
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        """Called once by the owning cache before any access."""
+        self.num_sets = num_sets
+        self.ways = ways
+
+    @abstractmethod
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        ...
+
+    @abstractmethod
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        ...
+
+    @abstractmethod
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        """Tag of the line to evict, chosen among ``candidates``.
+
+        ``candidates`` is non-empty and lists every *evictable* line of
+        the set (the cache filters locked lines out before calling).
+        """
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        """Default: nothing to clean up."""
+
+    def reset(self) -> None:
+        """Forget all state (used when replaying a cache over a new frame)."""

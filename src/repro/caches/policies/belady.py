@@ -1,0 +1,98 @@
+"""Offline Belady/OPT replacement.
+
+Given the full future trace, evict the resident line whose next use is
+farthest away (never-used-again lines first).  This is the yardstick the
+paper measures every practical policy against, and the reference that
+TCOR's online OPT-number mechanism is validated against in our tests.
+
+Victim selection uses a per-set lazy max-heap keyed on next-use index, so
+fully associative caches with thousands of ways stay O(log n) per access
+— required for the Figure 1/11 size sweeps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.caches.line import CacheLine
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+
+NEVER = 1 << 62  # next-use sentinel for "not accessed again"
+
+
+def next_use_table(tags: Sequence[int]) -> list[int]:
+    """For each access position, the index of the next access to the same
+    tag (``NEVER`` when there is none)."""
+    next_use = [NEVER] * len(tags)
+    upcoming: dict[int, int] = {}
+    for index in range(len(tags) - 1, -1, -1):
+        next_use[index] = upcoming.get(tags[index], NEVER)
+        upcoming[tags[index]] = index
+    return next_use
+
+
+class BeladyOPT(ReplacementPolicy):
+    """OPT driven by a precomputed next-use table.
+
+    The owning cache must replay exactly the trace the table was built
+    from, passing the running ``access_index`` in the context (the
+    :class:`~repro.caches.set_assoc.SetAssociativeCache` does this
+    automatically).
+    """
+
+    name = "belady"
+
+    def __init__(self, next_use: Sequence[int]) -> None:
+        self._next_use = next_use
+        self._resident_next: dict[int, int] = {}
+        self._heaps: dict[int, list[tuple[int, int]]] = {}
+
+    @classmethod
+    def from_trace(cls, tags: Iterable[int]) -> "BeladyOPT":
+        return cls(next_use_table(list(tags)))
+
+    def _record(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        if ctx.access_index >= len(self._next_use):
+            raise IndexError(
+                "access beyond the trace BeladyOPT was constructed from"
+            )
+        nxt = self._next_use[ctx.access_index]
+        self._resident_next[tag] = nxt
+        heap = self._heaps.setdefault(set_index, [])
+        heapq.heappush(heap, (-nxt, tag))
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._record(set_index, tag, ctx)
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._record(set_index, tag, ctx)
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        heap = self._heaps.get(set_index, [])
+        allowed = {line.tag for line in candidates}
+        stashed: list[tuple[int, int]] = []
+        chosen: int | None = None
+        while heap:
+            neg_next, tag = heap[0]
+            if self._resident_next.get(tag) != -neg_next:
+                heapq.heappop(heap)  # stale entry
+                continue
+            if tag not in allowed:
+                stashed.append(heapq.heappop(heap))  # locked; keep for later
+                continue
+            chosen = tag
+            break
+        for entry in stashed:
+            heapq.heappush(heap, entry)
+        if chosen is None:
+            raise RuntimeError("victim() called with no evictable candidate")
+        return chosen
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        self._resident_next.pop(tag, None)
+
+    def reset(self) -> None:
+        self._resident_next.clear()
+        self._heaps.clear()

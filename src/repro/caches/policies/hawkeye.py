@@ -1,0 +1,158 @@
+"""Hawkeye (Jain & Lin, ISCA 2016) — the paper's reference [21].
+
+Hawkeye "looks backwards" instead of forwards: OPTgen replays a window
+of past accesses to decide what OPT *would have done* with each of them
+(hit or miss), and a predictor learns, per signature, whether lines
+brought in by that signature are cache-friendly.  Friendly lines insert
+like SRRIP-hot; averse lines insert dead-on-arrival.
+
+OPTgen here is the exact structure from the paper: a circular *liveness
+interval* vector.  A reuse interval [prev, now] is an OPT hit iff every
+time step in it still has spare cache capacity; if so, all its steps'
+occupancy is incremented.
+
+As with SHiP, signatures are address-region hashes rather than PCs
+(trace-driven model without program counters).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.caches.line import CacheLine
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+
+
+class OPTgen:
+    """Liveness-interval based reconstruction of OPT's decisions."""
+
+    def __init__(self, capacity: int, window: int = 8 * 64) -> None:
+        if capacity <= 0:
+            raise ValueError("OPTgen needs positive capacity")
+        self.capacity = capacity
+        self.window = window
+        self._occupancy = [0] * window
+        self._time = 0
+        self._last_access: dict[int, int] = {}
+
+    def access(self, tag: int) -> bool | None:
+        """Record an access; True/False = OPT hit/miss, None = cold."""
+        now = self._time
+        previous = self._last_access.get(tag)
+        self._last_access[tag] = now
+        self._time += 1
+        verdict: bool | None = None
+        if previous is not None and now - previous < self.window:
+            steps = range(previous, now)
+            if all(self._occupancy[t % self.window] < self.capacity
+                   for t in steps):
+                for t in steps:
+                    self._occupancy[t % self.window] += 1
+                verdict = True
+            else:
+                verdict = False
+        # Retire the slot that `now` is about to reuse next lap.
+        self._occupancy[now % self.window] = 0
+        return verdict
+
+
+class HawkeyePolicy(ReplacementPolicy):
+    """OPTgen-trained insertion with RRIP-style aging."""
+
+    name = "hawkeye"
+
+    def __init__(self, capacity_per_set: int | None = None,
+                 signature_bits: int = 10, counter_bits: int = 3,
+                 region_shift: int = 8, m_bits: int = 3) -> None:
+        self.signature_mask = (1 << signature_bits) - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.region_shift = region_shift
+        self.distant = (1 << m_bits) - 1
+        self._capacity_per_set = capacity_per_set
+        self._predictor: dict[int, int] = {}
+        self._optgen: dict[int, OPTgen] = {}
+        self._rrpv: dict[int, dict[int, int]] = {}
+        self._recency: dict[int, OrderedDict[int, None]] = {}
+        self._line_signature: dict[int, int] = {}
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        if self._capacity_per_set is None:
+            self._capacity_per_set = ways
+
+    def _signature(self, tag: int) -> int:
+        region = tag >> self.region_shift
+        return (region ^ (region >> 9) ^ (region >> 5)) & self.signature_mask
+
+    def _counter(self, signature: int) -> int:
+        return self._predictor.get(signature, self.counter_max // 2 + 1)
+
+    def _train(self, signature: int, friendly: bool) -> None:
+        value = self._counter(signature)
+        if friendly:
+            self._predictor[signature] = min(self.counter_max, value + 1)
+        else:
+            self._predictor[signature] = max(0, value - 1)
+
+    def _is_friendly(self, signature: int) -> bool:
+        return self._counter(signature) > self.counter_max // 2
+
+    def _structures(self, set_index: int):
+        optgen = self._optgen.setdefault(
+            set_index, OPTgen(self._capacity_per_set or self.ways))
+        rrpv = self._rrpv.setdefault(set_index, {})
+        recency = self._recency.setdefault(set_index, OrderedDict())
+        return optgen, rrpv, recency
+
+    def _observe(self, set_index: int, tag: int) -> None:
+        optgen, _rrpv, _rec = self._structures(set_index)
+        signature = self._signature(tag)
+        verdict = optgen.access(tag)
+        if verdict is not None:
+            self._train(signature, friendly=verdict)
+        self._line_signature[tag] = signature
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._observe(set_index, tag)
+        _optgen, rrpv, recency = self._structures(set_index)
+        signature = self._line_signature[tag]
+        rrpv[tag] = 0 if self._is_friendly(signature) else self.distant
+        recency[tag] = None
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._observe(set_index, tag)
+        _optgen, rrpv, recency = self._structures(set_index)
+        signature = self._line_signature[tag]
+        rrpv[tag] = 0 if self._is_friendly(signature) else self.distant
+        recency.move_to_end(tag)
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        _optgen, rrpv, recency = self._structures(set_index)
+        allowed = {line.tag for line in candidates}
+        # Prefer cache-averse lines (RRPV == distant), oldest first;
+        # otherwise evict the oldest friendly line (Hawkeye detrains its
+        # signature: OPT would not have kept it either).
+        for tag in recency:
+            if tag in allowed and rrpv.get(tag, self.distant) >= self.distant:
+                return tag
+        for tag in recency:
+            if tag in allowed:
+                signature = self._line_signature.get(tag)
+                if signature is not None:
+                    self._train(signature, friendly=False)
+                return tag
+        raise RuntimeError("victim() called with no evictable candidate")
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        _optgen, rrpv, recency = self._structures(set_index)
+        rrpv.pop(tag, None)
+        recency.pop(tag, None)
+
+    def reset(self) -> None:
+        self._predictor.clear()
+        self._optgen.clear()
+        self._rrpv.clear()
+        self._recency.clear()
+        self._line_signature.clear()

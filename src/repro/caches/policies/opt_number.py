@@ -1,0 +1,82 @@
+"""TCOR's online OPT-number replacement (paper Section III-C.6).
+
+Unlike offline Belady, the policy never sees the future trace: every
+*request* carries the traversal rank of the next tile that will use the
+line (the OPT Number computed by the Polygon List Builder and stored in
+the PMD).  On replacement, the line with the greatest OPT Number — the
+farthest next use — is evicted.  Lines whose OPT Number is the
+"no next use" sentinel are preferred victims.
+
+This is exactly equivalent to Belady on the Parameter Buffer read stream
+because reads arrive in traversal order, so "next tile rank" and "next
+access index" induce the same ordering (a property our integration tests
+assert).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.caches.line import CacheLine
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+
+NO_NEXT_USE = 1 << 30  # a 12-bit field in hardware; any rank beyond the frame
+
+
+class OptNumberPolicy(ReplacementPolicy):
+    """Evict the unlocked line with the greatest OPT Number.
+
+    The cache stores each request's OPT Number in the line's metadata
+    (see :meth:`CacheLine.update_meta`); the policy only reads it.  Ties
+    fall back to LRU order, which the policy tracks itself.
+    """
+
+    name = "opt_number"
+
+    def __init__(self) -> None:
+        self._recency: dict[int, OrderedDict[int, None]] = {}
+
+    def _set(self, set_index: int) -> OrderedDict[int, None]:
+        return self._recency.setdefault(set_index, OrderedDict())
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._set(set_index)[tag] = None
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._set(set_index).move_to_end(tag)
+
+    @staticmethod
+    def effective_opt_number(line: CacheLine) -> int:
+        number = line.meta.opt_number
+        return NO_NEXT_USE if number is None else number
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        recency = self._set(set_index)
+        age = {tag: position for position, tag in enumerate(recency)}
+        return max(
+            candidates,
+            key=lambda line: (self.effective_opt_number(line),
+                              -age.get(line.tag, 0)),
+        ).tag
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        self._set(set_index).pop(tag, None)
+
+    def reset(self) -> None:
+        self._recency.clear()
+
+    def should_bypass_write(self, candidates: Sequence[CacheLine],
+                            request_opt_number: int) -> bool:
+        """Paper Section III-C.4: bypass a fill write when every resident
+        line will be used no later than the incoming primitive.
+
+        The write is admitted only if some unlocked line has a *strictly
+        greater* OPT Number than the request (equal numbers — same tile —
+        also bypass).
+        """
+        if not candidates:
+            return True
+        farthest = max(self.effective_opt_number(line) for line in candidates)
+        return farthest <= request_opt_number

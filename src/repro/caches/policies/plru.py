@@ -1,0 +1,99 @@
+"""Tree-based pseudo-LRU.
+
+The single-bit binary tree per set that real L1s implement.  Ways must be
+a power of two.  When the tree's choice is not evictable (locked by the
+caller), the nearest evictable leaf is used instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.caches.line import CacheLine
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+
+
+class PLRUPolicy(ReplacementPolicy):
+    name = "plru"
+
+    def __init__(self) -> None:
+        self._bits: dict[int, list[int]] = {}
+        self._slots: dict[int, list[int | None]] = {}
+        self._slot_of: dict[int, dict[int, int]] = {}
+
+    def bind(self, num_sets: int, ways: int) -> None:
+        super().bind(num_sets, ways)
+        if ways & (ways - 1):
+            raise ValueError("PLRU requires a power-of-two way count")
+
+    def _state(self, set_index: int):
+        bits = self._bits.setdefault(set_index, [0] * max(1, self.ways - 1))
+        slots = self._slots.setdefault(set_index, [None] * self.ways)
+        slot_of = self._slot_of.setdefault(set_index, {})
+        return bits, slots, slot_of
+
+    def _touch(self, bits: list[int], slot: int) -> None:
+        """Flip the tree bits along the path to ``slot`` away from it.
+
+        Bit convention: 0 = next victim in the left subtree, 1 = right.
+        Touching a slot points every bit on its path at the *other* half.
+        """
+        node = 0
+        span = self.ways
+        while span > 1:
+            span //= 2
+            left = slot < span
+            bits[node] = 1 if left else 0  # victim lives in the other half
+            node = 2 * node + (1 if left else 2)
+            if not left:
+                slot -= span
+
+    def _walk(self, bits: list[int]) -> int:
+        node = 0
+        slot = 0
+        span = self.ways
+        while span > 1:
+            span //= 2
+            go_right = bits[node] == 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                slot += span
+        return slot
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        bits, slots, slot_of = self._state(set_index)
+        try:
+            slot = slots.index(None)
+        except ValueError:
+            raise RuntimeError("insert into a full set without eviction")
+        slots[slot] = tag
+        slot_of[tag] = slot
+        self._touch(bits, slot)
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        bits, _slots, slot_of = self._state(set_index)
+        self._touch(bits, slot_of[tag])
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        bits, slots, _slot_of = self._state(set_index)
+        allowed = {line.tag for line in candidates}
+        slot = self._walk(bits)
+        tag = slots[slot]
+        if tag in allowed:
+            return tag
+        for candidate in slots:  # fall back: any evictable slot
+            if candidate in allowed:
+                return candidate
+        raise RuntimeError("victim() called with no evictable candidate")
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        _bits, slots, slot_of = self._state(set_index)
+        slot = slot_of.pop(tag, None)
+        if slot is not None:
+            slots[slot] = None
+
+    def reset(self) -> None:
+        self._bits.clear()
+        self._slots.clear()
+        self._slot_of.clear()

@@ -1,0 +1,30 @@
+"""Seeded random replacement (a cheap hardware baseline)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.caches.line import CacheLine
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        pass
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        pass
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        return self._rng.choice(list(candidates)).tag
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,137 @@
+"""Re-Reference Interval Prediction policies (Jaleel et al., ISCA 2010).
+
+SRRIP predicts a *long* re-reference interval on insertion; BRRIP
+predicts *distant* for most insertions; DRRIP set-duels between them with
+a policy-selection counter.  Figure 13 of the paper contrasts DRRIP
+(M = 2) with LRU, MRU and OPT on the Parameter Buffer stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.caches.line import CacheLine
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP with hit-priority promotion."""
+
+    name = "srrip"
+
+    def __init__(self, m_bits: int = 2) -> None:
+        if m_bits < 1:
+            raise ValueError("RRIP needs at least one bit")
+        self.m_bits = m_bits
+        self.distant = (1 << m_bits) - 1
+        self.long_interval = self.distant - 1
+        self._rrpv: dict[int, dict[int, int]] = {}
+
+    def _set(self, set_index: int) -> dict[int, int]:
+        return self._rrpv.setdefault(set_index, {})
+
+    def _insertion_rrpv(self, set_index: int) -> int:
+        return self.long_interval
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._set(set_index)[tag] = self._insertion_rrpv(set_index)
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._set(set_index)[tag] = 0
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        rrpv = self._set(set_index)
+        allowed = [line.tag for line in candidates]
+        while True:
+            for tag in allowed:
+                if rrpv.get(tag, self.distant) >= self.distant:
+                    return tag
+            for tag in rrpv:
+                rrpv[tag] += 1
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        self._set(set_index).pop(tag, None)
+
+    def reset(self) -> None:
+        self._rrpv.clear()
+
+
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP: inserts at distant except every 32nd insertion.
+
+    A deterministic counter replaces the usual random draw so simulations
+    are reproducible.
+    """
+
+    name = "brrip"
+
+    def __init__(self, m_bits: int = 2, long_every: int = 32) -> None:
+        super().__init__(m_bits)
+        if long_every < 1:
+            raise ValueError("long_every must be positive")
+        self.long_every = long_every
+        self._insertions = 0
+
+    def _insertion_rrpv(self, set_index: int) -> int:
+        self._insertions += 1
+        if self._insertions % self.long_every == 0:
+            return self.long_interval
+        return self.distant
+
+    def reset(self) -> None:
+        super().reset()
+        self._insertions = 0
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    """Dynamic RRIP: SRRIP/BRRIP set dueling with a saturating PSEL.
+
+    A handful of leader sets always run one of the component policies;
+    misses in leader sets steer PSEL, and follower sets adopt whichever
+    component is currently missing less.
+    """
+
+    name = "drrip"
+
+    def __init__(self, m_bits: int = 2, psel_bits: int = 10,
+                 dueling_period: int = 32, long_every: int = 32) -> None:
+        super().__init__(m_bits)
+        self.dueling_period = dueling_period
+        self.long_every = long_every
+        self._psel_max = (1 << psel_bits) - 1
+        self._psel = self._psel_max // 2
+        self._insertions = 0
+
+    def _leader_kind(self, set_index: int) -> str | None:
+        phase = set_index % self.dueling_period
+        if phase == 0:
+            return "srrip"
+        if phase == self.dueling_period // 2:
+            return "brrip"
+        return None
+
+    def _brrip_rrpv(self) -> int:
+        self._insertions += 1
+        if self._insertions % self.long_every == 0:
+            return self.long_interval
+        return self.distant
+
+    def _insertion_rrpv(self, set_index: int) -> int:
+        leader = self._leader_kind(set_index)
+        if leader == "srrip":
+            # A miss (insertion) in an SRRIP leader is evidence against it.
+            self._psel = min(self._psel_max, self._psel + 1)
+            return self.long_interval
+        if leader == "brrip":
+            self._psel = max(0, self._psel - 1)
+            return self._brrip_rrpv()
+        # Followers pick the component with fewer leader misses.
+        if self._psel < self._psel_max // 2:
+            return self.long_interval
+        return self._brrip_rrpv()
+
+    def reset(self) -> None:
+        super().reset()
+        self._psel = self._psel_max // 2
+        self._insertions = 0

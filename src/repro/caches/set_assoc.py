@@ -1,0 +1,178 @@
+"""Trace-driven set-associative write-back cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.caches.indexing import ModuloIndexing, SetIndexing
+from repro.caches.line import CacheLine, LineMeta
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+from repro.caches.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out by a replacement (or flush)."""
+
+    tag: int
+    dirty: bool
+    meta: LineMeta
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one access.
+
+    ``evicted`` is set when the fill displaced a resident line;
+    ``bypassed`` when the request was not cached at all (no evictable
+    candidate, or an explicit policy bypass decision upstream).
+    """
+
+    hit: bool
+    evicted: EvictedLine | None = None
+    bypassed: bool = False
+
+    @property
+    def writeback(self) -> bool:
+        return self.evicted is not None and self.evicted.dirty
+
+
+class SetAssociativeCache:
+    """A write-allocate, write-back cache with a pluggable policy.
+
+    Addresses are byte addresses; the cache works on line addresses
+    (``address >> log2(line_bytes)``).  The replacement policy sees a
+    monotonically increasing ``access_index`` so offline policies
+    (Belady) can line accesses up with a precomputed trace.
+    """
+
+    def __init__(self, num_sets: int, ways: int, line_bytes: int,
+                 policy: ReplacementPolicy,
+                 indexing: SetIndexing | None = None,
+                 write_allocate: bool = True,
+                 name: str = "cache") -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+        self.policy = policy
+        policy.bind(num_sets, ways)
+        self.indexing = indexing or ModuloIndexing(num_sets)
+        if self.indexing.num_sets != num_sets:
+            raise ValueError("indexing function sized for a different cache")
+        self.write_allocate = write_allocate
+        self.name = name
+        self.stats = CacheStats()
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(num_sets)]
+        self._access_index = 0
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self.num_sets * self.ways * self.line_bytes
+
+    def line_address(self, address: int) -> int:
+        return address >> self._line_shift
+
+    def set_of(self, address: int) -> int:
+        return self.indexing.set_of(self.line_address(address))
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool = False,
+               meta: LineMeta | None = None,
+               evictable: Callable[[CacheLine], bool] | None = None,
+               opt_number: int | None = None) -> AccessResult:
+        """One read or write; returns hit/eviction outcome.
+
+        ``evictable`` filters victim candidates (locked lines); when no
+        candidate survives, the request bypasses the cache.
+        """
+        tag = self.line_address(address)
+        set_index = self.indexing.set_of(tag)
+        ctx = AccessContext(access_index=self._access_index,
+                            opt_number=opt_number, is_write=is_write)
+        self._access_index += 1
+        lines = self._sets[set_index]
+        region = meta.region if meta else None
+
+        line = lines.get(tag)
+        if line is not None:
+            self.stats.record(is_write, hit=True, region=region)
+            line.update_meta(meta)
+            if is_write:
+                line.dirty = True
+            self.policy.on_hit(set_index, tag, ctx)
+            return AccessResult(hit=True)
+
+        self.stats.record(is_write, hit=False, region=region)
+        if is_write and not self.write_allocate:
+            self.stats.bypasses += 1
+            return AccessResult(hit=False, bypassed=True)
+
+        evicted = None
+        if len(lines) >= self.ways:
+            candidates = [
+                resident for resident in lines.values()
+                if evictable is None or evictable(resident)
+            ]
+            if not candidates:
+                self.stats.bypasses += 1
+                return AccessResult(hit=False, bypassed=True)
+            victim_tag = self.policy.victim(set_index, candidates, ctx)
+            evicted = self._evict(set_index, victim_tag)
+
+        new_line = CacheLine(tag=tag, dirty=is_write)
+        new_line.update_meta(meta)
+        lines[tag] = new_line
+        self.policy.on_insert(set_index, tag, ctx)
+        return AccessResult(hit=False, evicted=evicted)
+
+    def _evict(self, set_index: int, tag: int) -> EvictedLine:
+        line = self._sets[set_index].pop(tag)
+        self.policy.on_evict(set_index, tag)
+        if line.dirty:
+            self.stats.writebacks += 1
+        else:
+            self.stats.clean_evictions += 1
+        return EvictedLine(tag=tag, dirty=line.dirty, meta=line.meta)
+
+    # ------------------------------------------------------------------
+    # Inspection and maintenance
+    # ------------------------------------------------------------------
+    def probe(self, address: int) -> CacheLine | None:
+        """Non-mutating lookup."""
+        tag = self.line_address(address)
+        return self._sets[self.indexing.set_of(tag)].get(tag)
+
+    def occupancy(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    def iter_lines(self) -> Iterator[tuple[int, CacheLine]]:
+        for set_index, lines in enumerate(self._sets):
+            for line in lines.values():
+                yield set_index, line
+
+    def flush(self) -> list[EvictedLine]:
+        """Evict everything (end of frame); dirty lines are returned in
+        eviction order for writeback accounting."""
+        flushed = []
+        for set_index, lines in enumerate(self._sets):
+            for tag in list(lines):
+                flushed.append(self._evict(set_index, tag))
+        return flushed
+
+    def reset(self) -> None:
+        """Drop all contents and statistics."""
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+        self.policy.reset()
+        self._access_index = 0

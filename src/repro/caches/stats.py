@@ -1,0 +1,69 @@
+"""Access counters shared by every cache model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache.
+
+    ``by_region`` splits accesses and misses by the requester-supplied
+    region tag (Parameter Buffer sections vs. texture/instruction/...)
+    which Figures 14-17 report separately.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    clean_evictions: int = 0
+    dead_evictions: int = 0
+    dead_writebacks_avoided: int = 0
+    bypasses: int = 0
+    by_region: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, is_write: bool, hit: bool, region: int | None) -> None:
+        if is_write:
+            self.writes += 1
+            if not hit:
+                self.write_misses += 1
+        else:
+            self.reads += 1
+            if not hit:
+                self.read_misses += 1
+        if region is not None:
+            entry = self.by_region.setdefault(
+                region, {"reads": 0, "writes": 0, "misses": 0}
+            )
+            entry["writes" if is_write else "reads"] += 1
+            if not hit:
+                entry["misses"] += 1
+
+    def region_accesses(self, region: int) -> int:
+        entry = self.by_region.get(region)
+        if not entry:
+            return 0
+        return entry["reads"] + entry["writes"]
+
+    def region_misses(self, region: int) -> int:
+        entry = self.by_region.get(region)
+        return entry["misses"] if entry else 0

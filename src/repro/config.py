@@ -1,0 +1,249 @@
+"""Machine configuration for the simulated mobile GPU (paper Table I).
+
+The paper evaluates on a TEAPOT-modelled mobile GPU.  This module captures
+the same machine description as plain dataclasses so every simulator
+component (caches, tiling engine, energy model) reads its parameters from
+one place.
+
+All sizes are in bytes unless a name says otherwise.  The defaults are the
+paper's Table I values:
+
+=====================  =======================================
+Tech specs             600 MHz, 1 V, 32 nm
+Screen resolution      1960 x 768
+Tile size              32 x 32
+Tile traversal order   Z-order
+Main memory            50-100 cycles, 1 GiB
+Vertex cache           64 B/line, 64 KiB, 4-way, 1 cycle
+Texture caches (4x)    64 B/line, 64 KiB, 4-way, 1 cycle
+Tile cache             64 B/line, 64 KiB, 4-way, 1 cycle
+L2 cache               64 B/line, 1 MiB, 8-way, 12 cycles
+=====================  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+    latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % self.line_bytes:
+            raise ValueError(f"{self.name}: size not a multiple of line size")
+        if self.associativity <= 0:
+            raise ValueError(f"{self.name}: associativity must be positive")
+        if self.num_lines % self.associativity:
+            raise ValueError(
+                f"{self.name}: {self.num_lines} lines not divisible by "
+                f"{self.associativity} ways"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def fully_associative(self) -> "CacheConfig":
+        """The same cache with a single set."""
+        return replace(self, associativity=self.num_lines)
+
+
+@dataclass(frozen=True)
+class ScreenConfig:
+    """Screen and tile geometry."""
+
+    width: int = 1960
+    height: int = 768
+    tile_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("screen dimensions must be positive")
+        if self.tile_size <= 0:
+            raise ValueError("tile size must be positive")
+
+    @property
+    def tiles_x(self) -> int:
+        return math.ceil(self.width / self.tile_size)
+
+    @property
+    def tiles_y(self) -> int:
+        return math.ceil(self.height / self.tile_size)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+    def tile_of_pixel(self, x: int, y: int) -> int:
+        """Row-major tile index containing pixel (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"pixel ({x}, {y}) outside {self.width}x{self.height}")
+        return (y // self.tile_size) * self.tiles_x + (x // self.tile_size)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main memory parameters."""
+
+    size_bytes: int = 1 * 1024 * MIB
+    min_latency_cycles: int = 50
+    max_latency_cycles: int = 100
+
+    def __post_init__(self) -> None:
+        if self.min_latency_cycles > self.max_latency_cycles:
+            raise ValueError("min latency exceeds max latency")
+
+    @property
+    def avg_latency_cycles(self) -> int:
+        return (self.min_latency_cycles + self.max_latency_cycles) // 2
+
+
+@dataclass(frozen=True)
+class ParameterBufferConfig:
+    """Layout constants of the Parameter Buffer (paper Section II-B).
+
+    - A PMD is 4 bytes; 16 PMDs fill one 64-byte block.
+    - Each tile list holds at most 1024 primitives (64 blocks).
+    - Each attribute is 48 bytes, block aligned (one 64-byte block).
+    """
+
+    pmd_bytes: int = 4
+    block_bytes: int = 64
+    max_primitives_per_tile: int = 1024
+    attribute_bytes: int = 48
+    pb_lists_pointer: int = 0x1000_0000
+    pb_attributes_pointer: int = 0x2000_0000
+
+    @property
+    def pmds_per_block(self) -> int:
+        return self.block_bytes // self.pmd_bytes
+
+    @property
+    def blocks_per_tile_list(self) -> int:
+        return self.max_primitives_per_tile // self.pmds_per_block
+
+    @property
+    def attribute_stride(self) -> int:
+        """Address-space stride of one attribute (block aligned)."""
+        blocks = math.ceil(self.attribute_bytes / self.block_bytes)
+        return blocks * self.block_bytes
+
+
+@dataclass(frozen=True)
+class TilingEngineConfig:
+    """Queue and MSHR sizing of the Tiling Engine."""
+
+    output_queue_entries: int = 32
+    mshr_entries: int = 16
+    reorder_queue_entries: int = 64
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Complete machine description (paper Table I)."""
+
+    frequency_hz: int = 600_000_000
+    voltage_v: float = 1.0
+    technology_nm: int = 32
+    screen: ScreenConfig = field(default_factory=ScreenConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    pbuffer: ParameterBufferConfig = field(default_factory=ParameterBufferConfig)
+    tiling: TilingEngineConfig = field(default_factory=TilingEngineConfig)
+    vertex_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("vertex", 64 * KIB)
+    )
+    texture_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("texture", 64 * KIB)
+    )
+    num_texture_caches: int = 4
+    tile_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("tile", 64 * KIB)
+    )
+    l2_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("l2", 1 * MIB, associativity=8,
+                                            latency_cycles=12)
+    )
+
+    def with_tile_cache_size(self, size_bytes: int) -> "GPUConfig":
+        """The same GPU with a resized unified Tile Cache.
+
+        Used for the paper's 64 KiB vs 128 KiB experiments.
+        """
+        return replace(self, tile_cache=replace(self.tile_cache,
+                                                size_bytes=size_bytes))
+
+
+@dataclass(frozen=True)
+class TCORConfig:
+    """TCOR's split Tile Cache sizing (paper Section V-B).
+
+    To match a 64 KiB baseline, TCOR uses a 16 KiB Primitive List Cache and
+    a 48 KiB Attribute Cache; for 128 KiB it is 16 KiB + 112 KiB.
+    """
+
+    primitive_list_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("primitive_list", 16 * KIB)
+    )
+    attribute_buffer_bytes: int = 48 * KIB
+    attribute_bytes: int = 48
+    primitive_buffer_associativity: int = 4
+    use_xor_indexing: bool = True
+    write_bypass: bool = True
+    l2_dead_line_policy: bool = True
+
+    @property
+    def attribute_buffer_entries(self) -> int:
+        """Number of 48-byte attribute slots in the Attribute Buffer."""
+        return self.attribute_buffer_bytes // self.attribute_bytes
+
+    @property
+    def primitive_buffer_entries(self) -> int:
+        """Primitive Buffer lines: one per ~2 attribute slots.
+
+        An average primitive has about 3 attributes, so entries for half
+        the attribute slots comfortably cover the buffer while keeping the
+        pointer field within the paper's 10-bit budget at 48 KiB.
+        """
+        entries = self.attribute_buffer_entries // 2
+        ways = self.primitive_buffer_associativity
+        return max(ways, (entries // ways) * ways)
+
+    @classmethod
+    def for_total_size(cls, total_bytes: int, **overrides) -> "TCORConfig":
+        """Split a total Tile Cache budget per the paper's rule.
+
+        16 KiB goes to the Primitive List Cache and the remainder to the
+        Attribute Cache (48 KiB or 112 KiB in the paper's experiments).
+        """
+        pl_bytes = 16 * KIB
+        if total_bytes <= pl_bytes:
+            raise ValueError("total size must exceed the 16 KiB list cache")
+        return cls(
+            primitive_list_cache=CacheConfig("primitive_list", pl_bytes),
+            attribute_buffer_bytes=total_bytes - pl_bytes,
+            **overrides,
+        )
+
+
+DEFAULT_GPU = GPUConfig()
+DEFAULT_TCOR = TCORConfig()

@@ -1,0 +1,12 @@
+"""Main-memory model (the DRAMSim2 substitute).
+
+A row-buffer-aware LPDDR-class DRAM: banks with open rows, where a
+row-buffer hit costs the low end of Table I's 50-100 cycle band and a
+row conflict (precharge + activate) the high end.  The traffic
+simulations only need access *counts*; this model refines the timing
+path (`repro.timing`) and the per-access energy split.
+"""
+
+from repro.dram.model import DRAMConfig, DRAMModel, DRAMStats
+
+__all__ = ["DRAMConfig", "DRAMModel", "DRAMStats"]

@@ -1,0 +1,115 @@
+"""Row-buffer-aware DRAM timing and energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """An LPDDR-class part mapped onto Table I's 50-100 cycle band.
+
+    Address mapping is row:bank:column — consecutive blocks walk a row
+    before switching banks, the streaming-friendly mapping mobile
+    memory controllers use.
+    """
+
+    num_banks: int = 8
+    row_bytes: int = 2048
+    block_bytes: int = 64
+    row_hit_cycles: int = 50       # CAS only
+    row_empty_cycles: int = 75     # activate + CAS
+    row_conflict_cycles: int = 100  # precharge + activate + CAS
+    # Energy (nJ per event, 32 nm LPDDR ballpark).
+    activate_nj: float = 8.0
+    read_nj: float = 12.0
+    write_nj: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ValueError("need at least one bank")
+        if self.row_bytes % self.block_bytes:
+            raise ValueError("row size must be a multiple of the block size")
+        if not (self.row_hit_cycles <= self.row_empty_cycles
+                <= self.row_conflict_cycles):
+            raise ValueError("latency ordering violated")
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.row_bytes // self.block_bytes
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_empties: int = 0
+    row_conflicts: int = 0
+    activations: int = 0
+    total_cycles: int = 0
+    energy_nj: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_ratio(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_cycles / self.accesses if self.accesses else 0.0
+
+
+class DRAMModel:
+    """Per-bank open-row state machine (open-page policy)."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self._open_rows: dict[int, int] = {}
+        self.stats = DRAMStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        """(bank, row) of a byte address under row:bank:column mapping."""
+        config = self.config
+        block = address // config.block_bytes
+        column_blocks = config.blocks_per_row
+        bank = (block // column_blocks) % config.num_banks
+        row = block // (column_blocks * config.num_banks)
+        return bank, row
+
+    def access(self, address: int, is_write: bool = False) -> int:
+        """One 64-byte access; returns its latency in GPU cycles."""
+        config = self.config
+        bank, row = self._locate(address)
+        open_row = self._open_rows.get(bank)
+        if open_row == row:
+            latency = config.row_hit_cycles
+            self.stats.row_hits += 1
+            energy = 0.0
+        elif open_row is None:
+            latency = config.row_empty_cycles
+            self.stats.row_empties += 1
+            self.stats.activations += 1
+            energy = config.activate_nj
+        else:
+            latency = config.row_conflict_cycles
+            self.stats.row_conflicts += 1
+            self.stats.activations += 1
+            energy = config.activate_nj
+        self._open_rows[bank] = row
+
+        energy += config.write_nj if is_write else config.read_nj
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.total_cycles += latency
+        self.stats.energy_nj += energy
+        return latency
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+        self.stats = DRAMStats()

@@ -1,0 +1,22 @@
+"""Energy models: per-access costs and system-level accounting.
+
+The paper uses McPAT at 32 nm; we substitute an analytical CACTI-style
+model whose constants sit in the published 32 nm ballpark.  The
+evaluation's energy deltas are driven by access-count changes (L2 and
+DRAM traffic), which the model preserves exactly.
+"""
+
+from repro.energy.model import EnergyModel, StructureEnergy
+from repro.energy.accounting import (
+    EnergyReport,
+    gpu_energy,
+    memory_hierarchy_energy,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "StructureEnergy",
+    "gpu_energy",
+    "memory_hierarchy_energy",
+]

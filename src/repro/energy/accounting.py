@@ -1,0 +1,78 @@
+"""System-level energy accounting (Figures 20-22).
+
+Memory-hierarchy energy is the per-access cost of every cache and DRAM
+access a frame performs; total GPU energy adds the compute side (shader
+instructions, geometry processing, fixed-function raster work), which is
+identical between baseline and TCOR and therefore dilutes the relative
+saving — exactly the paper's ~14% memory-hierarchy vs ~5.5% total-GPU
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.model import EnergyModel
+from repro.tcor.system import SystemResult
+from repro.workloads.suite import Workload
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one simulated frame, in nanojoules."""
+
+    label: str
+    alias: str
+    memory_hierarchy_nj: float
+    compute_nj: float
+    breakdown: dict
+
+    @property
+    def total_gpu_nj(self) -> float:
+        return self.memory_hierarchy_nj + self.compute_nj
+
+    @property
+    def memory_share(self) -> float:
+        return self.memory_hierarchy_nj / self.total_gpu_nj
+
+
+def memory_hierarchy_energy(result: SystemResult,
+                            model: EnergyModel | None = None) -> float:
+    """Total nJ spent in caches + DRAM for one simulated configuration."""
+    model = model or EnergyModel.default()
+    return sum(
+        model.access_energy_nj(structure, accesses)
+        for structure, accesses in result.structure_accesses.items()
+    )
+
+
+def compute_energy(workload: Workload,
+                   model: EnergyModel | None = None) -> float:
+    """Non-memory GPU energy of a frame (same for every organization)."""
+    model = model or EnergyModel.default()
+    spec = workload.spec
+    screen = workload.screen
+    pixels = screen.width * screen.height * workload.scale
+    shader_nj = (pixels * spec.shader_insts_per_pixel
+                 * model.shader_instruction_nj)
+    geometry_nj = (workload.num_primitives * len(workload.traces)
+                   * model.geometry_per_primitive_nj)
+    fixed_nj = pixels * model.fixed_function_per_pixel_nj
+    return shader_nj + geometry_nj + fixed_nj
+
+
+def gpu_energy(result: SystemResult, workload: Workload,
+               model: EnergyModel | None = None) -> EnergyReport:
+    """Full GPU energy report for one simulated configuration."""
+    model = model or EnergyModel.default()
+    breakdown = {
+        structure: model.access_energy_nj(structure, accesses)
+        for structure, accesses in result.structure_accesses.items()
+    }
+    return EnergyReport(
+        label=result.label,
+        alias=result.alias,
+        memory_hierarchy_nj=sum(breakdown.values()),
+        compute_nj=compute_energy(workload, model),
+        breakdown=breakdown,
+    )

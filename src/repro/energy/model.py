@@ -1,0 +1,139 @@
+"""Per-access energy model (CACTI-style, 32 nm).
+
+Dynamic energy per access of an SRAM array grows roughly with the square
+root of its capacity (bitline/wordline lengths) and mildly with
+associativity (parallel tag+data way reads).  DRAM access energy is
+dominated by I/O and row activation and is two to three orders of
+magnitude above a small SRAM read — which is why the paper's energy wins
+track DRAM-traffic reductions so closely.
+
+Anchor points (64-byte transfers, 32 nm, 1 V — the ballpark McPAT/CACTI
+report for mobile-class parts):
+
+====================  ==============
+32 KiB 4-way SRAM     ~0.045 nJ/read
+1 MiB 8-way SRAM      ~0.40 nJ/read
+LPDDR main memory     ~25 nJ/access
+====================  ==============
+
+Writes cost ~15% more than reads (bitline full-swing).  Leakage is folded
+into the per-access constants, the usual simplification when comparing
+organizations with identical array inventories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig
+
+KIB = 1024
+
+# Calibration anchor: a 32 KiB, 4-way array costs this many nJ per read.
+_SRAM_ANCHOR_KIB = 32.0
+_SRAM_ANCHOR_NJ = 0.045
+_WRITE_FACTOR = 1.15
+_ASSOC_FACTOR = 0.03          # relative cost per extra way beyond 1
+_DRAM_ACCESS_NJ = 25.0
+
+# Non-memory (compute) energy anchors used for total-GPU accounting.
+_SHADER_INSTRUCTION_NJ = 0.28    # ALU op + operand movement per pixel-inst
+_GEOMETRY_PER_PRIMITIVE_NJ = 3.0  # vertex shading + binning arithmetic
+_FIXED_FUNCTION_PER_PIXEL_NJ = 0.30   # raster/z/blend per pixel
+
+
+def sram_read_energy_nj(size_bytes: int, associativity: int = 1) -> float:
+    """Dynamic read energy of one access to an SRAM array."""
+    if size_bytes <= 0:
+        raise ValueError("array size must be positive")
+    size_kib = size_bytes / KIB
+    scale = math.sqrt(size_kib / _SRAM_ANCHOR_KIB)
+    assoc_scale = 1.0 + _ASSOC_FACTOR * max(0, associativity - 4)
+    return _SRAM_ANCHOR_NJ * scale * assoc_scale
+
+
+@dataclass(frozen=True)
+class StructureEnergy:
+    """Read/write energy of one hardware structure."""
+
+    name: str
+    read_nj: float
+    write_nj: float
+
+    @classmethod
+    def for_sram(cls, name: str, size_bytes: int,
+                 associativity: int = 1) -> "StructureEnergy":
+        read = sram_read_energy_nj(size_bytes, associativity)
+        return cls(name=name, read_nj=read, write_nj=read * _WRITE_FACTOR)
+
+    @property
+    def access_nj(self) -> float:
+        """Mean cost assuming a typical read-dominated mix."""
+        return 0.7 * self.read_nj + 0.3 * self.write_nj
+
+
+@dataclass
+class EnergyModel:
+    """Energy costs of every structure in the modelled GPU.
+
+    ``structures`` maps the access-count keys produced by
+    :class:`~repro.tcor.system.SystemResult` to per-access energies.
+    """
+
+    structures: dict[str, StructureEnergy] = field(default_factory=dict)
+    dram_access_nj: float = _DRAM_ACCESS_NJ
+    shader_instruction_nj: float = _SHADER_INSTRUCTION_NJ
+    geometry_per_primitive_nj: float = _GEOMETRY_PER_PRIMITIVE_NJ
+    fixed_function_per_pixel_nj: float = _FIXED_FUNCTION_PER_PIXEL_NJ
+
+    @classmethod
+    def default(cls, tile_cache: CacheConfig | None = None,
+                attribute_buffer_bytes: int = 48 * KIB) -> "EnergyModel":
+        """Costs for the paper's Table I machine.
+
+        Baseline and TCOR structure keys are both present; each system's
+        report only consumes the keys it actually touched.
+        """
+        from repro.config import DEFAULT_GPU, DEFAULT_TCOR
+
+        gpu = DEFAULT_GPU
+        tile = tile_cache or gpu.tile_cache
+        tcor = DEFAULT_TCOR
+        structures = {
+            "tile_cache": StructureEnergy.for_sram(
+                "tile_cache", tile.size_bytes, tile.associativity),
+            "primitive_list_cache": StructureEnergy.for_sram(
+                "primitive_list_cache",
+                tcor.primitive_list_cache.size_bytes,
+                tcor.primitive_list_cache.associativity),
+            # The Primitive Buffer is a small tag/pointer array: ~8 bytes
+            # of state per line.
+            "primitive_buffer": StructureEnergy.for_sram(
+                "primitive_buffer",
+                max(1024, tcor.primitive_buffer_entries * 8)),
+            # The Attribute Buffer moves one 48-byte entry per access.
+            "attribute_buffer": StructureEnergy.for_sram(
+                "attribute_buffer", attribute_buffer_bytes),
+            "texture_l1": StructureEnergy.for_sram(
+                "texture_l1", gpu.texture_cache.size_bytes,
+                gpu.texture_cache.associativity),
+            "vertex_l1": StructureEnergy.for_sram(
+                "vertex_l1", gpu.vertex_cache.size_bytes,
+                gpu.vertex_cache.associativity),
+            "instruction_l1": StructureEnergy.for_sram(
+                "instruction_l1", 16 * KIB),
+            "l2": StructureEnergy.for_sram(
+                "l2", gpu.l2_cache.size_bytes, gpu.l2_cache.associativity),
+        }
+        return cls(structures=structures)
+
+    def access_energy_nj(self, structure: str, accesses: int) -> float:
+        if structure == "dram":
+            return accesses * self.dram_access_nj
+        try:
+            entry = self.structures[structure]
+        except KeyError:
+            raise KeyError(f"no energy entry for structure {structure!r}") \
+                from None
+        return accesses * entry.access_nj

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale=..., cache=...) -> ExperimentResult``
+(or a list of results for paired figures).  The CLI
+(``python -m repro.experiments.runner``) regenerates everything and
+prints paper-style tables.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    SimulationCache,
+    format_table,
+    suite_workloads,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentResult",
+    "SimulationCache",
+    "format_table",
+    "suite_workloads",
+]

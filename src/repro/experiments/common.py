@@ -1,0 +1,117 @@
+"""Shared experiment plumbing.
+
+Workloads and full-system simulations are expensive, and several figures
+reuse the same (benchmark, tile-cache size, organization) run — a
+:class:`SimulationCache` memoizes them across experiment modules within
+one runner invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import TCORConfig
+from repro.tcor.system import SystemResult, simulate_baseline, simulate_tcor
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    Workload,
+    build_workload,
+)
+
+KIB = 1024
+DEFAULT_SCALE = 1.0
+# The paper evaluates two Tile Cache budgets.
+TILE_CACHE_SIZES = {"64KiB": 64 * KIB, "128KiB": 128 * KIB}
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure, as printable rows."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key) -> list:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Fixed-width text rendering of an experiment result."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [result.headers] + [[fmt(v) for v in row] for row in result.rows]
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(result.headers))]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+class SimulationCache:
+    """Memoizes workloads and system simulations across experiments."""
+
+    def __init__(self, scale: float = DEFAULT_SCALE,
+                 aliases: tuple[str, ...] | None = None) -> None:
+        self.scale = scale
+        self.aliases = tuple(aliases) if aliases else BENCHMARK_ORDER
+        self._workloads: dict[str, Workload] = {}
+        self._systems: dict[tuple, SystemResult] = {}
+
+    def workload(self, alias: str) -> Workload:
+        if alias not in self._workloads:
+            self._workloads[alias] = build_workload(BENCHMARKS[alias],
+                                                    scale=self.scale)
+        return self._workloads[alias]
+
+    def workloads(self) -> list[Workload]:
+        return [self.workload(alias) for alias in self.aliases]
+
+    def baseline(self, alias: str, tile_cache_bytes: int) -> SystemResult:
+        key = ("baseline", alias, tile_cache_bytes)
+        if key not in self._systems:
+            self._systems[key] = simulate_baseline(
+                self.workload(alias), tile_cache_bytes=tile_cache_bytes)
+        return self._systems[key]
+
+    def tcor(self, alias: str, tile_cache_bytes: int,
+             l2_enhancements: bool = True) -> SystemResult:
+        key = ("tcor", alias, tile_cache_bytes, l2_enhancements)
+        if key not in self._systems:
+            tcor = TCORConfig.for_total_size(tile_cache_bytes)
+            self._systems[key] = simulate_tcor(
+                self.workload(alias), tcor=tcor,
+                l2_enhancements=l2_enhancements)
+        return self._systems[key]
+
+
+def suite_workloads(scale: float = DEFAULT_SCALE,
+                    aliases: tuple[str, ...] | None = None) -> list[Workload]:
+    cache = SimulationCache(scale=scale, aliases=aliases)
+    return cache.workloads()
+
+
+def geometric_mean_ratio(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0

@@ -1,0 +1,63 @@
+"""Figures 14/15: Parameter Buffer accesses to the L2, TCOR vs baseline.
+
+Paper shape: per-benchmark decreases, averaging 33.5% (64 KiB Tile
+Cache) and 37.1% (128 KiB); high-reuse, small-footprint benchmarks (SoD,
+CCS, GTr, RoK) reduce the most, DDS/Snp the least.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    TILE_CACHE_SIZES,
+    ExperimentResult,
+    SimulationCache,
+)
+
+PAPER_DECREASE = {
+    "64KiB": {"CCS": 47.3, "SoD": 59.6, "TRu": 30.2, "SWa": 31.9,
+              "CRa": 23.5, "RoK": 41.5, "DDS": 14.6, "Snp": 17.4,
+              "Mze": 22.0, "GTr": 46.6, "average": 33.5},
+    "128KiB": {"CCS": 48.5, "SoD": 64.4, "TRu": 36.7, "SWa": 39.6,
+               "CRa": 24.2, "RoK": 57.5, "DDS": 14.4, "Snp": 20.8,
+               "Mze": 21.3, "GTr": 43.5, "average": 37.1},
+}
+
+
+def run_one(size_label: str, scale: float = DEFAULT_SCALE,
+            cache: SimulationCache | None = None) -> ExperimentResult:
+    cache = cache or SimulationCache(scale=scale)
+    size = TILE_CACHE_SIZES[size_label]
+    rows = []
+    decreases = []
+    for alias in cache.aliases:
+        base = cache.baseline(alias, size)
+        tcor = cache.tcor(alias, size)
+        ratio = tcor.pb_l2_accesses / max(1, base.pb_l2_accesses)
+        decreases.append(100 * (1 - ratio))
+        rows.append([
+            alias,
+            base.pb_l2_reads, base.pb_l2_writes,
+            tcor.pb_l2_reads, tcor.pb_l2_writes,
+            round(100 * (1 - ratio), 1),
+            PAPER_DECREASE[size_label][alias],
+        ])
+    average = sum(decreases) / len(decreases)
+    rows.append(["average", "", "", "", "", round(average, 1),
+                 PAPER_DECREASE[size_label]["average"]])
+    fig = "fig14" if size_label == "64KiB" else "fig15"
+    return ExperimentResult(
+        exp_id=fig,
+        title=f"PB accesses to L2, TCOR vs baseline ({size_label} Tile Cache)",
+        headers=["bench", "base_l2_reads", "base_l2_writes",
+                 "tcor_l2_reads", "tcor_l2_writes",
+                 "decrease_%", "paper_decrease_%"],
+        rows=rows,
+        notes="normalized per benchmark; higher reuse => larger decrease",
+    )
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: SimulationCache | None = None) -> list[ExperimentResult]:
+    cache = cache or SimulationCache(scale=scale)
+    return [run_one("64KiB", scale, cache), run_one("128KiB", scale, cache)]

@@ -1,0 +1,63 @@
+"""Figures 16/17: Parameter Buffer accesses to Main Memory.
+
+Paper shape: TCOR eliminates PB main-memory traffic entirely for 7 of 10
+benchmarks; CRa/Mze/DDS (the large Parameter Buffers) spill but still
+drop 53-99%.  Averages: 93.0% (64 KiB) and 94.1% (128 KiB).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    TILE_CACHE_SIZES,
+    ExperimentResult,
+    SimulationCache,
+)
+
+PAPER_DECREASE = {
+    "64KiB": {"CCS": 100.0, "SoD": 100.0, "TRu": 100.0, "SWa": 100.0,
+              "CRa": 98.7, "RoK": 100.0, "DDS": 53.4, "Snp": 100.0,
+              "Mze": 78.2, "GTr": 100.0, "average": 93.0},
+    "128KiB": {"CCS": 100.0, "SoD": 100.0, "TRu": 100.0, "SWa": 100.0,
+               "CRa": 99.5, "RoK": 100.0, "DDS": 58.1, "Snp": 100.0,
+               "Mze": 82.9, "GTr": 100.0, "average": 94.1},
+}
+
+
+def run_one(size_label: str, scale: float = DEFAULT_SCALE,
+            cache: SimulationCache | None = None) -> ExperimentResult:
+    cache = cache or SimulationCache(scale=scale)
+    size = TILE_CACHE_SIZES[size_label]
+    rows = []
+    decreases = []
+    for alias in cache.aliases:
+        base = cache.baseline(alias, size)
+        tcor = cache.tcor(alias, size)
+        ratio = tcor.pb_mm_accesses / max(1, base.pb_mm_accesses)
+        decreases.append(100 * (1 - ratio))
+        rows.append([
+            alias,
+            base.pb_mm_reads, base.pb_mm_writes,
+            tcor.pb_mm_reads, tcor.pb_mm_writes,
+            round(100 * (1 - ratio), 1),
+            PAPER_DECREASE[size_label][alias],
+        ])
+    average = sum(decreases) / len(decreases)
+    rows.append(["average", "", "", "", "", round(average, 1),
+                 PAPER_DECREASE[size_label]["average"]])
+    fig = "fig16" if size_label == "64KiB" else "fig17"
+    return ExperimentResult(
+        exp_id=fig,
+        title=f"PB accesses to Main Memory ({size_label} Tile Cache)",
+        headers=["bench", "base_mm_reads", "base_mm_writes",
+                 "tcor_mm_reads", "tcor_mm_writes",
+                 "decrease_%", "paper_decrease_%"],
+        rows=rows,
+        notes="PB larger than the L2 (CRa/Mze/DDS) spills; others vanish",
+    )
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: SimulationCache | None = None) -> list[ExperimentResult]:
+    cache = cache or SimulationCache(scale=scale)
+    return [run_one("64KiB", scale, cache), run_one("128KiB", scale, cache)]

@@ -1,0 +1,60 @@
+"""Figures 18/19: total Main Memory accesses (all regions).
+
+Paper shape: 13.9% (64 KiB) / 13.3% (128 KiB) average decrease; the
+geometry-heavy benchmarks (CRa, DDS, Snp) benefit most, texture-heavy
+RoK least.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    TILE_CACHE_SIZES,
+    ExperimentResult,
+    SimulationCache,
+)
+
+PAPER_DECREASE = {
+    "64KiB": {"CCS": 8.2, "SoD": 6.0, "TRu": 18.2, "SWa": 10.8,
+              "CRa": 23.0, "RoK": 4.3, "DDS": 19.2, "Snp": 27.5,
+              "Mze": 15.1, "GTr": 6.4, "average": 13.9},
+    "128KiB": {"CCS": 5.2, "SoD": 3.9, "TRu": 16.3, "SWa": 10.6,
+               "CRa": 23.3, "RoK": 2.4, "DDS": 20.9, "Snp": 27.2,
+               "Mze": 16.5, "GTr": 6.4, "average": 13.3},
+}
+
+
+def run_one(size_label: str, scale: float = DEFAULT_SCALE,
+            cache: SimulationCache | None = None) -> ExperimentResult:
+    cache = cache or SimulationCache(scale=scale)
+    size = TILE_CACHE_SIZES[size_label]
+    rows = []
+    decreases = []
+    for alias in cache.aliases:
+        base = cache.baseline(alias, size)
+        tcor = cache.tcor(alias, size)
+        ratio = tcor.mm_accesses / max(1, base.mm_accesses)
+        decreases.append(100 * (1 - ratio))
+        rows.append([
+            alias, base.mm_accesses, tcor.mm_accesses,
+            round(100 * (1 - ratio), 1),
+            PAPER_DECREASE[size_label][alias],
+        ])
+    average = sum(decreases) / len(decreases)
+    rows.append(["average", "", "", round(average, 1),
+                 PAPER_DECREASE[size_label]["average"]])
+    fig = "fig18" if size_label == "64KiB" else "fig19"
+    return ExperimentResult(
+        exp_id=fig,
+        title=f"Total Main Memory accesses ({size_label} Tile Cache)",
+        headers=["bench", "baseline_mm", "tcor_mm", "decrease_%",
+                 "paper_decrease_%"],
+        rows=rows,
+        notes="geometry-heavy benchmarks gain most; texture-heavy RoK least",
+    )
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: SimulationCache | None = None) -> list[ExperimentResult]:
+    cache = cache or SimulationCache(scale=scale)
+    return [run_one("64KiB", scale, cache), run_one("128KiB", scale, cache)]

@@ -1,0 +1,70 @@
+"""Figures 20/21: memory-hierarchy energy (baseline / TCOR w/o L2
+enhancements / TCOR).
+
+Paper shape: 14.1% (64 KiB) and 13.6% (128 KiB) average decrease with
+the full design, ~9% without the L2 enhancements; high-geometry
+benchmarks (Snp, SWa) save the most.
+"""
+
+from __future__ import annotations
+
+from repro.energy import EnergyModel, memory_hierarchy_energy
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    TILE_CACHE_SIZES,
+    ExperimentResult,
+    SimulationCache,
+)
+
+PAPER_DECREASE = {
+    "64KiB": {"CCS": 8.5, "SoD": 5.9, "TRu": 22.0, "SWa": 24.9,
+              "CRa": 17.4, "RoK": 3.4, "DDS": 14.3, "Snp": 24.2,
+              "Mze": 7.5, "GTr": 12.5, "average": 14.1},
+    "128KiB": {"CCS": 6.5, "SoD": 4.6, "TRu": 19.9, "SWa": 24.9,
+               "CRa": 17.6, "RoK": 2.2, "DDS": 15.4, "Snp": 24.0,
+               "Mze": 8.4, "GTr": 12.6, "average": 13.6},
+}
+
+
+def run_one(size_label: str, scale: float = DEFAULT_SCALE,
+            cache: SimulationCache | None = None) -> ExperimentResult:
+    cache = cache or SimulationCache(scale=scale)
+    size = TILE_CACHE_SIZES[size_label]
+    model = EnergyModel.default()
+    rows = []
+    full_decreases = []
+    partial_decreases = []
+    for alias in cache.aliases:
+        base_nj = memory_hierarchy_energy(cache.baseline(alias, size), model)
+        no_l2_nj = memory_hierarchy_energy(
+            cache.tcor(alias, size, l2_enhancements=False), model)
+        tcor_nj = memory_hierarchy_energy(cache.tcor(alias, size), model)
+        partial = 100 * (1 - no_l2_nj / base_nj)
+        full = 100 * (1 - tcor_nj / base_nj)
+        partial_decreases.append(partial)
+        full_decreases.append(full)
+        rows.append([
+            alias, round(base_nj / 1e6, 3), round(no_l2_nj / 1e6, 3),
+            round(tcor_nj / 1e6, 3), round(partial, 1), round(full, 1),
+            PAPER_DECREASE[size_label][alias],
+        ])
+    rows.append(["average", "", "", "",
+                 round(sum(partial_decreases) / len(partial_decreases), 1),
+                 round(sum(full_decreases) / len(full_decreases), 1),
+                 PAPER_DECREASE[size_label]["average"]])
+    fig = "fig20" if size_label == "64KiB" else "fig21"
+    return ExperimentResult(
+        exp_id=fig,
+        title=f"Memory hierarchy energy ({size_label} Tile Cache)",
+        headers=["bench", "baseline_mJ", "no_l2_mJ", "tcor_mJ",
+                 "no_l2_decrease_%", "tcor_decrease_%", "paper_decrease_%"],
+        rows=rows,
+        notes="the dead-line L2 contributes the DRAM-side savings on top "
+              "of the L1 reorganization",
+    )
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: SimulationCache | None = None) -> list[ExperimentResult]:
+    cache = cache or SimulationCache(scale=scale)
+    return [run_one("64KiB", scale, cache), run_one("128KiB", scale, cache)]

@@ -1,0 +1,71 @@
+"""Bounded-lookahead OPT vs TCOR's free unbounded lookahead.
+
+The paper's related-work section (VI) positions TCOR against the
+Shepherd Cache [31], which emulates OPT with a bounded lookahead window
+and bridges only 30-52% of the LRU-OPT gap.  This experiment sweeps the
+window on the Parameter Buffer stream and reports the gap closure —
+quantifying the value of what TCOR gets for free: the Polygon List
+Builder has already seen the *entire* future when the Tile Fetcher
+starts reading.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lower_bound import primitives_capacity
+from repro.analysis.miss_curves import attribute_access_trace
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.policies import BeladyOPT, LookaheadOPT, make_policy
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentResult,
+    SimulationCache,
+)
+
+WINDOWS = (8, 32, 128, 512, 2048)
+CACHE_KIB = 48  # the paper's Attribute Cache budget
+
+
+def _misses(trace: list[int], capacity: int, policy) -> int:
+    cache = fully_associative_cache(capacity * 64, 64, policy)
+    for line in trace:
+        cache.access(line * 64)
+    return cache.stats.misses
+
+
+def run(scale: float = DEFAULT_SCALE,
+        cache: SimulationCache | None = None,
+        windows: tuple[int, ...] = WINDOWS) -> ExperimentResult:
+    cache = cache or SimulationCache(scale=scale)
+    rows = []
+    closure_sums = {window: 0.0 for window in windows}
+    counted = 0
+    for alias in cache.aliases:
+        workload = cache.workload(alias)
+        trace = attribute_access_trace(workload)
+        mean_attrs = workload.scenes[0].average_attributes()
+        capacity = primitives_capacity(
+            int(CACHE_KIB * 1024 * scale) or 1024, mean_attrs)
+        lru = _misses(trace, capacity, make_policy("lru"))
+        opt = _misses(trace, capacity, BeladyOPT.from_trace(trace))
+        gap = lru - opt
+        row = [alias, lru, opt]
+        for window in windows:
+            bounded = _misses(trace, capacity,
+                              LookaheadOPT.from_trace(trace, window))
+            closure = 100 * (lru - bounded) / gap if gap > 0 else 100.0
+            row.append(round(closure, 1))
+            closure_sums[window] += closure
+        counted += 1
+        rows.append(row)
+    rows.append(["average", "", ""] + [
+        round(closure_sums[window] / counted, 1) for window in windows
+    ])
+    return ExperimentResult(
+        exp_id="lookahead",
+        title="LRU-OPT gap closed by bounded lookahead (Shepherd-style)",
+        headers=["bench", "lru_misses", "opt_misses"]
+                + [f"closure_w{window}_%" for window in windows],
+        rows=rows,
+        notes="Shepherd Cache bridges 30-52% of the gap; TCOR's OPT "
+              "Numbers are an unbounded window at zero lookahead cost",
+    )

@@ -1,0 +1,36 @@
+"""Markdown rendering of experiment results.
+
+Turns :class:`~repro.experiments.common.ExperimentResult` objects into
+GitHub-flavoured markdown tables — the format EXPERIMENTS.md uses — so a
+paper-scale run can regenerate the results document mechanically
+(``tcor-experiments --all --markdown results.md``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    lines = [f"## {result.exp_id}: {result.title}", ""]
+    lines.append("| " + " | ".join(result.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_cell(value) for value in row) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    return "\n".join(lines)
+
+
+def report_to_markdown(results: list[ExperimentResult],
+                       title: str = "TCOR reproduction results") -> str:
+    sections = [f"# {title}", ""]
+    sections.extend(result_to_markdown(result) + "\n" for result in results)
+    return "\n".join(sections)

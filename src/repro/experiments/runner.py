@@ -1,0 +1,138 @@
+"""Experiment CLI: regenerate every table and figure of the paper.
+
+Usage::
+
+    tcor-experiments --all                    # everything, paper scale
+    tcor-experiments --experiment fig14 fig16 # a subset
+    tcor-experiments --all --scale 0.25       # fast reduced-scale pass
+    tcor-experiments --all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import common
+from repro.experiments import (
+    fig01_intro_gap,
+    fig10_example,
+    headline,
+    fig11_lower_bound,
+    fig12_associativity,
+    fig13_policies,
+    fig14_15_l2_accesses,
+    fig16_17_mm_pb,
+    fig18_19_mm_total,
+    fig20_21_energy,
+    fig22_gpu_energy,
+    fig23_24_throughput,
+    lookahead_gap,
+    sensitivity,
+    tables,
+)
+from repro.experiments.common import ExperimentResult, SimulationCache
+
+_MODULES = {
+    "tables": tables,
+    "headline": headline,
+    "fig01": fig01_intro_gap,
+    "fig10": fig10_example,
+    "fig11": fig11_lower_bound,
+    "fig12": fig12_associativity,
+    "fig13": fig13_policies,
+    "fig14": fig14_15_l2_accesses,
+    "fig16": fig16_17_mm_pb,
+    "fig18": fig18_19_mm_total,
+    "fig20": fig20_21_energy,
+    "fig22": fig22_gpu_energy,
+    "fig23": fig23_24_throughput,
+    "sensitivity": sensitivity,
+    "lookahead": lookahead_gap,
+}
+
+# Paired figures resolve to the same module.
+_ALIASES = {"fig15": "fig14", "fig17": "fig16", "fig19": "fig18",
+            "fig21": "fig20", "fig24": "fig23", "table1": "tables",
+            "table2": "tables"}
+
+
+def run_experiments(names: list[str], scale: float,
+                    aliases: tuple[str, ...] | None = None) -> list[ExperimentResult]:
+    cache = SimulationCache(scale=scale, aliases=aliases)
+    results: list[ExperimentResult] = []
+    seen: set[str] = set()
+    for name in names:
+        key = _ALIASES.get(name, name)
+        if key in seen:
+            continue
+        seen.add(key)
+        module = _MODULES.get(key)
+        if module is None:
+            raise ValueError(
+                f"unknown experiment {name!r}; choose from "
+                f"{sorted(set(_MODULES) | set(_ALIASES))}"
+            )
+        outcome = module.run(scale=scale, cache=cache)
+        if isinstance(outcome, ExperimentResult):
+            results.append(outcome)
+        else:
+            results.extend(outcome)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the TCOR paper's tables and figures")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--experiment", nargs="+", default=[],
+                        help="experiment ids (fig01, fig11, ..., tables)")
+    parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE,
+                        help="geometry scale (1.0 = paper scale)")
+    parser.add_argument("--benchmarks", nargs="+", default=None,
+                        help="benchmark aliases to include (default: all 10)")
+    parser.add_argument("--output", default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--plot", action="store_true",
+                        help="render curve figures as ASCII charts too")
+    parser.add_argument("--markdown", default=None,
+                        help="also write a markdown report to this file")
+    args = parser.parse_args(argv)
+
+    names = list(_MODULES) if args.all else args.experiment
+    if not names:
+        parser.error("pass --all or --experiment ...")
+    aliases = tuple(args.benchmarks) if args.benchmarks else None
+
+    started = time.time()
+    results = run_experiments(names, scale=args.scale, aliases=aliases)
+    blocks = []
+    for result in results:
+        block = common.format_table(result)
+        if args.plot and result.headers[0] == "size_kib":
+            from repro.analysis.ascii_plot import chart_from_result
+            try:
+                block += "\n" + chart_from_result(result, "size_kib",
+                                                   width=56, height=14,
+                                                   x_label="KiB")
+            except ValueError:
+                pass
+        blocks.append(block)
+    report = "\n\n".join(blocks)
+    footer = (f"\n\n[{len(results)} experiment tables in "
+              f"{time.time() - started:.1f}s at scale {args.scale}]")
+    print(report + footer)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + footer + "\n")
+    if args.markdown:
+        from repro.experiments.reporting import report_to_markdown
+        with open(args.markdown, "w") as handle:
+            handle.write(report_to_markdown(results) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

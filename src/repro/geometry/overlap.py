@@ -1,0 +1,142 @@
+"""Tile overlap tests (binning geometry).
+
+The Polygon List Builder must decide, for every primitive, exactly which
+tiles it overlaps.  A cheap conservative test (bounding box) is refined by
+an exact triangle/rectangle intersection test, mirroring the tile-aware
+overlap tests of Antochi et al. that the paper builds on.
+
+The exact test treats both shapes as closed regions: touching at a single
+point or edge counts as overlap, which is the conservative choice a binner
+must make (a missed tile would drop geometry from the image).
+"""
+
+from __future__ import annotations
+
+from repro.config import ScreenConfig
+from repro.geometry.primitives import BoundingBox, Primitive, Vertex
+
+
+def tile_rect(screen: ScreenConfig, tile_id: int) -> BoundingBox:
+    """Pixel-space rectangle of a tile (clipped to the screen edge)."""
+    if not (0 <= tile_id < screen.num_tiles):
+        raise ValueError(f"tile {tile_id} out of range")
+    tx = tile_id % screen.tiles_x
+    ty = tile_id // screen.tiles_x
+    min_x = tx * screen.tile_size
+    min_y = ty * screen.tile_size
+    max_x = min(min_x + screen.tile_size, screen.width)
+    max_y = min(min_y + screen.tile_size, screen.height)
+    return BoundingBox(min_x, min_y, max_x, max_y)
+
+
+def _point_in_rect(x: float, y: float, rect: BoundingBox) -> bool:
+    return rect.min_x <= x <= rect.max_x and rect.min_y <= y <= rect.max_y
+
+
+def _orient(ax: float, ay: float, bx: float, by: float,
+            px: float, py: float) -> float:
+    """Cross product sign of (b - a) x (p - a)."""
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def _point_in_triangle(px: float, py: float,
+                       a: Vertex, b: Vertex, c: Vertex) -> bool:
+    d1 = _orient(a.x, a.y, b.x, b.y, px, py)
+    d2 = _orient(b.x, b.y, c.x, c.y, px, py)
+    d3 = _orient(c.x, c.y, a.x, a.y, px, py)
+    has_neg = d1 < 0 or d2 < 0 or d3 < 0
+    has_pos = d1 > 0 or d2 > 0 or d3 > 0
+    return not (has_neg and has_pos)
+
+
+def _segments_intersect(p1: tuple[float, float], p2: tuple[float, float],
+                        q1: tuple[float, float], q2: tuple[float, float]) -> bool:
+    """Closed-segment intersection (collinear touching counts)."""
+    d1 = _orient(*q1, *q2, *p1)
+    d2 = _orient(*q1, *q2, *p2)
+    d3 = _orient(*p1, *p2, *q1)
+    d4 = _orient(*p1, *p2, *q2)
+    if ((d1 > 0) != (d2 > 0) and (d1 != 0 or d2 != 0)
+            and (d3 > 0) != (d4 > 0) and (d3 != 0 or d4 != 0)):
+        return True
+
+    def on_segment(a, b, p):
+        return (min(a[0], b[0]) <= p[0] <= max(a[0], b[0])
+                and min(a[1], b[1]) <= p[1] <= max(a[1], b[1]))
+
+    if d1 == 0 and on_segment(q1, q2, p1):
+        return True
+    if d2 == 0 and on_segment(q1, q2, p2):
+        return True
+    if d3 == 0 and on_segment(p1, p2, q1):
+        return True
+    if d4 == 0 and on_segment(p1, p2, q2):
+        return True
+    return False
+
+
+def triangle_overlaps_rect(prim: Primitive, rect: BoundingBox) -> bool:
+    """Exact closed-region triangle/rectangle overlap test."""
+    bbox = prim.bounding_box()
+    if not bbox.intersects(rect):
+        return False
+
+    # Any triangle vertex inside the rectangle.
+    for v in prim.vertices:
+        if _point_in_rect(v.x, v.y, rect):
+            return True
+
+    # Any rectangle corner inside the triangle.
+    corners = (
+        (rect.min_x, rect.min_y),
+        (rect.max_x, rect.min_y),
+        (rect.max_x, rect.max_y),
+        (rect.min_x, rect.max_y),
+    )
+    for cx, cy in corners:
+        if _point_in_triangle(cx, cy, prim.v0, prim.v1, prim.v2):
+            return True
+
+    # Any pair of edges intersecting.
+    tri_edges = (
+        ((prim.v0.x, prim.v0.y), (prim.v1.x, prim.v1.y)),
+        ((prim.v1.x, prim.v1.y), (prim.v2.x, prim.v2.y)),
+        ((prim.v2.x, prim.v2.y), (prim.v0.x, prim.v0.y)),
+    )
+    rect_edges = (
+        (corners[0], corners[1]),
+        (corners[1], corners[2]),
+        (corners[2], corners[3]),
+        (corners[3], corners[0]),
+    )
+    for te in tri_edges:
+        for re in rect_edges:
+            if _segments_intersect(te[0], te[1], re[0], re[1]):
+                return True
+    return False
+
+
+def tiles_overlapped_by(prim: Primitive, screen: ScreenConfig) -> list[int]:
+    """Row-major IDs of every tile the primitive overlaps.
+
+    Primitives fully outside the screen yield an empty list (they would be
+    clipped before binning).
+    """
+    bbox = prim.bounding_box()
+    ts = screen.tile_size
+    first_tx = max(0, int(bbox.min_x) // ts)
+    first_ty = max(0, int(bbox.min_y) // ts)
+    last_tx = min(screen.tiles_x - 1, int(bbox.max_x) // ts)
+    last_ty = min(screen.tiles_y - 1, int(bbox.max_y) // ts)
+    if bbox.max_x < 0 or bbox.max_y < 0:
+        return []
+    if bbox.min_x >= screen.width or bbox.min_y >= screen.height:
+        return []
+
+    overlapped = []
+    for ty in range(first_ty, last_ty + 1):
+        for tx in range(first_tx, last_tx + 1):
+            tile_id = ty * screen.tiles_x + tx
+            if triangle_overlaps_rect(prim, tile_rect(screen, tile_id)):
+                overlapped.append(tile_id)
+    return overlapped

@@ -1,0 +1,113 @@
+"""Primitives as seen by the Tiling Engine.
+
+After the Geometry Pipeline, a primitive is a screen-space triangle plus a
+variable number of per-vertex attributes (color, normals, texture
+coordinates, ...).  The Tiling Engine never interprets attribute values;
+it only moves them through memory.  We therefore keep attribute payloads
+symbolic (an index), while vertices carry real screen coordinates so that
+binning is geometrically exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Vertex:
+    """A transformed vertex in screen space."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """One attribute of a primitive (48 bytes: 16 per vertex).
+
+    Only identity matters to the memory system, so the payload is the
+    (primitive, slot) pair.
+    """
+
+    primitive_id: int
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned bounding box in screen pixels (inclusive bounds)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError("malformed bounding box")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """A screen-space triangle with its attributes.
+
+    ``primitive_id`` follows program order (the order the Primitive
+    Assembly emits them), which is also the order the Polygon List Builder
+    bins them and writes their attributes to PB-Attributes.
+    """
+
+    primitive_id: int
+    v0: Vertex
+    v1: Vertex
+    v2: Vertex
+    num_attributes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.primitive_id < 0:
+            raise ValueError("primitive id must be non-negative")
+        if not (1 <= self.num_attributes <= 15):
+            # The PMD reserves 4 bits for the attribute count.
+            raise ValueError("attribute count must fit in 4 bits (1..15)")
+
+    @property
+    def vertices(self) -> tuple[Vertex, Vertex, Vertex]:
+        return (self.v0, self.v1, self.v2)
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return tuple(
+            Attribute(self.primitive_id, slot)
+            for slot in range(self.num_attributes)
+        )
+
+    def bounding_box(self) -> BoundingBox:
+        xs = (self.v0.x, self.v1.x, self.v2.x)
+        ys = (self.v0.y, self.v1.y, self.v2.y)
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    def signed_area(self) -> float:
+        """Twice the signed area (positive for counter-clockwise)."""
+        ax, ay = self.v0.x, self.v0.y
+        bx, by = self.v1.x, self.v1.y
+        cx, cy = self.v2.x, self.v2.y
+        return (bx - ax) * (cy - ay) - (cx - ax) * (by - ay)
+
+    def is_degenerate(self, epsilon: float = 1e-12) -> bool:
+        return abs(self.signed_area()) <= epsilon

@@ -1,0 +1,119 @@
+"""The Vertex Stage: transforms object-space geometry to screen space.
+
+The Geometry Pipeline (paper Figure 2, left) fetches vertices,
+transforms them by the model-view-projection matrix, and hands
+screen-space primitives to the binner.  This module provides the matrix
+toolkit (numpy 4x4, column vectors) and the clip -> NDC -> viewport
+chain, including near-plane rejection.
+
+Triangles that straddle the near plane are rejected rather than clipped
+into sub-triangles — the synthetic scenes this library generates never
+straddle it, and exact polygon clipping would add state the memory
+system never sees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ScreenConfig
+
+
+def identity() -> np.ndarray:
+    return np.eye(4)
+
+
+def translation(x: float, y: float, z: float) -> np.ndarray:
+    matrix = np.eye(4)
+    matrix[:3, 3] = (x, y, z)
+    return matrix
+
+
+def scaling(x: float, y: float, z: float) -> np.ndarray:
+    return np.diag([x, y, z, 1.0])
+
+
+def rotation_y(angle_rad: float) -> np.ndarray:
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    matrix = np.eye(4)
+    matrix[0, 0], matrix[0, 2] = c, s
+    matrix[2, 0], matrix[2, 2] = -s, c
+    return matrix
+
+
+def rotation_x(angle_rad: float) -> np.ndarray:
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    matrix = np.eye(4)
+    matrix[1, 1], matrix[1, 2] = c, -s
+    matrix[2, 1], matrix[2, 2] = s, c
+    return matrix
+
+
+def perspective(fov_y_rad: float, aspect: float,
+                near: float, far: float) -> np.ndarray:
+    """OpenGL-style right-handed perspective projection."""
+    if near <= 0 or far <= near:
+        raise ValueError("need 0 < near < far")
+    f = 1.0 / math.tan(fov_y_rad / 2.0)
+    matrix = np.zeros((4, 4))
+    matrix[0, 0] = f / aspect
+    matrix[1, 1] = f
+    matrix[2, 2] = (far + near) / (near - far)
+    matrix[2, 3] = 2 * far * near / (near - far)
+    matrix[3, 2] = -1.0
+    return matrix
+
+
+def look_at(eye, target, up=(0.0, 1.0, 0.0)) -> np.ndarray:
+    eye = np.asarray(eye, dtype=float)
+    forward = np.asarray(target, dtype=float) - eye
+    forward /= np.linalg.norm(forward)
+    right = np.cross(forward, np.asarray(up, dtype=float))
+    right /= np.linalg.norm(right)
+    true_up = np.cross(right, forward)
+    matrix = np.eye(4)
+    matrix[0, :3] = right
+    matrix[1, :3] = true_up
+    matrix[2, :3] = -forward
+    matrix[:3, 3] = -matrix[:3, :3] @ eye
+    return matrix
+
+
+@dataclass(frozen=True)
+class ScreenVertex:
+    """A vertex after the viewport transform (pixels + depth in [0,1])."""
+
+    x: float
+    y: float
+    depth: float
+
+
+class VertexTransform:
+    """clip = MVP * object; NDC = clip/w; screen = viewport(NDC)."""
+
+    def __init__(self, mvp: np.ndarray, screen: ScreenConfig) -> None:
+        mvp = np.asarray(mvp, dtype=float)
+        if mvp.shape != (4, 4):
+            raise ValueError("MVP must be a 4x4 matrix")
+        self.mvp = mvp
+        self.screen = screen
+
+    def to_clip(self, position) -> np.ndarray:
+        x, y, z = position
+        return self.mvp @ np.array([x, y, z, 1.0])
+
+    def to_screen(self, position) -> ScreenVertex | None:
+        """Screen-space vertex, or None when behind the near plane."""
+        clip = self.to_clip(position)
+        w = clip[3]
+        if w <= 0:
+            return None
+        ndc = clip[:3] / w
+        x = (ndc[0] * 0.5 + 0.5) * self.screen.width
+        # NDC y is up; pixel y is down.
+        y = (0.5 - ndc[1] * 0.5) * self.screen.height
+        depth = ndc[2] * 0.5 + 0.5
+        return ScreenVertex(float(x), float(y), float(depth))

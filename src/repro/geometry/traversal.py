@@ -1,0 +1,83 @@
+"""Tile traversal orders.
+
+The Tile Fetcher processes tiles in a fixed, known order (paper Table I
+uses Z-order).  OPT Numbers are tile IDs compared *in traversal order*, so
+every consumer of OPT Numbers needs the rank of a tile in the traversal,
+not its row-major ID.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+
+from repro.config import ScreenConfig
+
+
+class TraversalOrder(enum.Enum):
+    """Supported orders in which the Tile Fetcher walks the tile grid."""
+
+    SCANLINE = "scanline"
+    SERPENTINE = "serpentine"
+    Z_ORDER = "z-order"
+
+
+def _interleave_bits(x: int, y: int) -> int:
+    """Morton code of (x, y): bits of x and y interleaved."""
+    code = 0
+    shift = 0
+    while x or y:
+        code |= (x & 1) << (2 * shift)
+        code |= (y & 1) << (2 * shift + 1)
+        x >>= 1
+        y >>= 1
+        shift += 1
+    return code
+
+
+def _zorder_tiles(tiles_x: int, tiles_y: int) -> list[int]:
+    """Z-order (Morton) traversal of a possibly non-square grid.
+
+    Non-power-of-two grids are handled by sorting all (x, y) pairs by
+    Morton code, the standard generalization.
+    """
+    coords = [(x, y) for y in range(tiles_y) for x in range(tiles_x)]
+    coords.sort(key=lambda xy: _interleave_bits(xy[0], xy[1]))
+    return [y * tiles_x + x for x, y in coords]
+
+
+@lru_cache(maxsize=64)
+def _traversal_cached(tiles_x: int, tiles_y: int,
+                      order: TraversalOrder) -> tuple[int, ...]:
+    if order is TraversalOrder.SCANLINE:
+        return tuple(range(tiles_x * tiles_y))
+    if order is TraversalOrder.SERPENTINE:
+        tiles: list[int] = []
+        for ty in range(tiles_y):
+            row = range(ty * tiles_x, (ty + 1) * tiles_x)
+            tiles.extend(row if ty % 2 == 0 else reversed(row))
+        return tuple(tiles)
+    if order is TraversalOrder.Z_ORDER:
+        return tuple(_zorder_tiles(tiles_x, tiles_y))
+    raise ValueError(f"unknown traversal order: {order!r}")
+
+
+def tile_traversal(screen: ScreenConfig,
+                   order: TraversalOrder = TraversalOrder.Z_ORDER) -> tuple[int, ...]:
+    """Row-major tile IDs in the order the Tile Fetcher processes them."""
+    return _traversal_cached(screen.tiles_x, screen.tiles_y, order)
+
+
+def traversal_rank(screen: ScreenConfig,
+                   order: TraversalOrder = TraversalOrder.Z_ORDER) -> tuple[int, ...]:
+    """Mapping from row-major tile ID to its position in the traversal.
+
+    ``traversal_rank(s, o)[tile_id]`` is the number of tiles processed
+    before ``tile_id``.  OPT Numbers are these ranks: "the next tile that
+    uses this primitive" is meaningful only under the traversal order.
+    """
+    traversal = tile_traversal(screen, order)
+    rank = [0] * len(traversal)
+    for position, tile_id in enumerate(traversal):
+        rank[tile_id] = position
+    return tuple(rank)

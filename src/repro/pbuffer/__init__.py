@@ -1,0 +1,44 @@
+"""The Parameter Buffer: PMD encodings, memory layouts, construction.
+
+The Parameter Buffer has two sections (paper Section II-B):
+
+- **PB-Lists** — per-tile lists of PMDs (primitive metadata words);
+- **PB-Attributes** — each primitive's attributes, 48 bytes apiece,
+  block aligned, stored once regardless of how many tiles reuse it.
+
+TCOR changes both: PMDs gain a 12-bit OPT Number, and the per-tile lists
+are interleaved one block per tile per section instead of occupying 64
+contiguous blocks per tile.
+"""
+
+from repro.pbuffer.pmd import (
+    NO_NEXT_TILE,
+    BaselinePMD,
+    TcorPMD,
+    decode_baseline_pmd,
+    decode_tcor_pmd,
+)
+from repro.pbuffer.layout import (
+    ContiguousPBListsLayout,
+    InterleavedPBListsLayout,
+    PBListsLayout,
+)
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.builder import ParameterBuffer, build_parameter_buffer
+from repro.pbuffer.hierarchical import HierarchicalEntry, HierarchicalLists
+
+__all__ = [
+    "BaselinePMD",
+    "ContiguousPBListsLayout",
+    "HierarchicalEntry",
+    "HierarchicalLists",
+    "InterleavedPBListsLayout",
+    "NO_NEXT_TILE",
+    "PBAttributesMap",
+    "PBListsLayout",
+    "ParameterBuffer",
+    "TcorPMD",
+    "build_parameter_buffer",
+    "decode_baseline_pmd",
+    "decode_tcor_pmd",
+]

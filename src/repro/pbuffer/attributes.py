@@ -1,0 +1,87 @@
+"""PB-Attributes address map.
+
+Attributes are written once, in binning order, each 48 bytes and block
+aligned (paper Figure 4), so a primitive with n attributes owns n
+consecutive 64-byte blocks.  The paper uses the address of a primitive's
+first attribute as its Primitive ID; we keep integer primitive IDs and
+expose the address mapping explicitly.
+
+The 16 spare bytes of each attribute block carry the TCOR dead-line tag
+(the 12-bit last-tile ID the Polygon List Builder stores there, paper
+Section III-D.1); we model that as a lookup keyed by block address.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import ParameterBufferConfig
+
+
+class PBAttributesMap:
+    """Addresses of every primitive's attributes.
+
+    Built from the per-primitive attribute counts in binning order.
+    """
+
+    def __init__(self, attribute_counts: Sequence[int],
+                 pbuffer: ParameterBufferConfig | None = None) -> None:
+        self.pbuffer = pbuffer or ParameterBufferConfig()
+        self._counts = list(attribute_counts)
+        stride = self.pbuffer.attribute_stride
+        self._first_block: list[int] = []
+        offset = 0
+        for count in self._counts:
+            if count <= 0:
+                raise ValueError("every primitive has at least one attribute")
+            self._first_block.append(offset)
+            offset += count * stride
+        self._total_bytes = offset
+        self._last_tile_by_block: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> int:
+        return self.pbuffer.pb_attributes_pointer
+
+    @property
+    def num_primitives(self) -> int:
+        return len(self._counts)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def attribute_count(self, primitive_id: int) -> int:
+        return self._counts[primitive_id]
+
+    def primitive_base(self, primitive_id: int) -> int:
+        """Address of the first attribute — the paper's Primitive ID."""
+        return self.base + self._first_block[primitive_id]
+
+    def attribute_address(self, primitive_id: int, slot: int) -> int:
+        if not (0 <= slot < self._counts[primitive_id]):
+            raise ValueError(
+                f"primitive {primitive_id} has no attribute slot {slot}"
+            )
+        return (self.primitive_base(primitive_id)
+                + slot * self.pbuffer.attribute_stride)
+
+    def attribute_addresses(self, primitive_id: int) -> list[int]:
+        return [self.attribute_address(primitive_id, slot)
+                for slot in range(self._counts[primitive_id])]
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self._total_bytes
+
+    # ------------------------------------------------------------------
+    # Dead-line tags (stored in each block's spare bytes by the PLB)
+    # ------------------------------------------------------------------
+    def tag_last_tile(self, primitive_id: int, last_tile_rank: int) -> None:
+        for address in self.attribute_addresses(primitive_id):
+            self._last_tile_by_block[address] = last_tile_rank
+
+    def last_tile_of_block(self, block_address: int) -> int | None:
+        return self._last_tile_by_block.get(block_address)

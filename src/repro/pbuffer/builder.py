@@ -1,0 +1,144 @@
+"""Parameter Buffer construction (what the Polygon List Builder computes).
+
+Binning walks primitives in program order and appends a PMD to each
+overlapped tile's list.  Because the tile traversal order is fixed and
+known, the builder can also compute, per (tile, primitive) pair, the
+traversal rank of the *next* tile that uses the primitive — the OPT
+Number — plus each primitive's first-use rank (the OPT Number of its
+attribute write) and last-use rank (the TCOR dead-line tag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ParameterBufferConfig
+from repro.geometry.scene import Scene
+from repro.geometry.traversal import TraversalOrder, traversal_rank
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.pmd import NO_NEXT_TILE, TcorPMD
+
+
+@dataclass(frozen=True)
+class PMDSlot:
+    """One PMD in a tile's list, with everything TCOR derives for it."""
+
+    tile_id: int
+    position: int          # index within the tile's list
+    pmd: TcorPMD           # opt_number = next-use rank (or NO_NEXT_TILE)
+
+
+@dataclass(frozen=True)
+class PrimitiveRecord:
+    """Per-primitive summary in binning order."""
+
+    primitive_id: int
+    num_attributes: int
+    first_use_rank: int    # OPT Number of the attribute write
+    last_use_rank: int     # dead-line tag
+    use_ranks: tuple[int, ...]  # all use ranks, ascending
+
+
+class ParameterBuffer:
+    """The built Parameter Buffer plus TCOR's derived future-use data."""
+
+    def __init__(self, scene: Scene, order: TraversalOrder,
+                 pbuffer: ParameterBufferConfig | None = None) -> None:
+        self.scene = scene
+        self.order = order
+        self.pbuffer = pbuffer or ParameterBufferConfig()
+        self.rank_of_tile = traversal_rank(scene.screen, order)
+
+        coverage = scene.coverage()
+        self.records: list[PrimitiveRecord] = []
+        # tile_id -> list of PMDSlot, positions dense in binning order.
+        self.tile_lists: list[list[PMDSlot]] = [
+            [] for _ in range(scene.screen.num_tiles)
+        ]
+        # (primitive, binning order) slots grouped per primitive.
+        self.slots_by_primitive: list[list[PMDSlot]] = []
+
+        for prim, tiles in zip(scene.primitives, coverage):
+            ranks = sorted(self.rank_of_tile[tile] for tile in tiles)
+            if tiles:
+                record = PrimitiveRecord(
+                    primitive_id=prim.primitive_id,
+                    num_attributes=prim.num_attributes,
+                    first_use_rank=ranks[0],
+                    last_use_rank=ranks[-1],
+                    use_ranks=tuple(ranks),
+                )
+            else:
+                # Clipped primitive: binned nowhere, written nowhere.
+                record = PrimitiveRecord(prim.primitive_id,
+                                         prim.num_attributes,
+                                         NO_NEXT_TILE, NO_NEXT_TILE, ())
+            self.records.append(record)
+
+            slots: list[PMDSlot] = []
+            rank_to_next: dict[int, int] = {}
+            for i, rank in enumerate(ranks):
+                rank_to_next[rank] = ranks[i + 1] if i + 1 < len(ranks) \
+                    else NO_NEXT_TILE
+            for tile_id in tiles:
+                position = len(self.tile_lists[tile_id])
+                if position >= self.pbuffer.max_primitives_per_tile:
+                    raise OverflowError(
+                        f"tile {tile_id} exceeds the "
+                        f"{self.pbuffer.max_primitives_per_tile}-primitive "
+                        "list limit"
+                    )
+                slot = PMDSlot(
+                    tile_id=tile_id,
+                    position=position,
+                    pmd=TcorPMD(
+                        primitive_id=prim.primitive_id,
+                        num_attributes=prim.num_attributes,
+                        opt_number=rank_to_next[self.rank_of_tile[tile_id]],
+                    ),
+                )
+                self.tile_lists[tile_id].append(slot)
+                slots.append(slot)
+            self.slots_by_primitive.append(slots)
+
+        self.attributes = PBAttributesMap(
+            [record.num_attributes for record in self.records], self.pbuffer
+        )
+        for record in self.records:
+            if record.use_ranks:
+                self.attributes.tag_last_tile(record.primitive_id,
+                                              record.last_use_rank)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_primitives(self) -> int:
+        return len(self.records)
+
+    def binned_primitives(self) -> list[PrimitiveRecord]:
+        """Primitives that overlap at least one tile, in binning order."""
+        return [record for record in self.records if record.use_ranks]
+
+    def list_length(self, tile_id: int) -> int:
+        return len(self.tile_lists[tile_id])
+
+    def total_pmds(self) -> int:
+        return sum(len(lst) for lst in self.tile_lists)
+
+    def footprint_bytes(self) -> int:
+        """Live Parameter Buffer bytes (attributes + PMDs actually written)."""
+        attr_bytes = sum(
+            record.num_attributes * self.pbuffer.attribute_stride
+            for record in self.binned_primitives()
+        )
+        return attr_bytes + self.total_pmds() * self.pbuffer.pmd_bytes
+
+
+def build_parameter_buffer(
+    scene: Scene,
+    order: TraversalOrder = TraversalOrder.Z_ORDER,
+    pbuffer: ParameterBufferConfig | None = None,
+) -> ParameterBuffer:
+    """Bin a scene and derive all TCOR metadata."""
+    return ParameterBuffer(scene, order, pbuffer)

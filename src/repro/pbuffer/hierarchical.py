@@ -1,0 +1,127 @@
+"""Hierarchical primitive lists (Hsiao et al. [20], paper Section VI).
+
+A related-work alternative the paper positions TCOR against: instead of
+repeating a PMD in every overlapped tile's list, primitives covering a
+whole 2x2 *tile group* are recorded once in a coarse group-level list.
+This shrinks the Parameter Buffer (fewer PMD copies) and the list-build
+work, at the cost of a second list per group that the fetcher must merge
+on every tile — and, for TCOR's purposes, it *breaks the one-PMD-per-
+(tile, primitive) structure that OPT Numbers rely on*: a group-level PMD
+is read by four tiles, so a single "next tile" field no longer captures
+its next use exactly.
+
+We implement it to quantify that trade-off: the footprint it saves vs.
+the PMD-duplication the flat structure pays (see
+``tests/test_pbuffer_hierarchical.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ParameterBufferConfig
+from repro.geometry.scene import Scene
+
+
+@dataclass(frozen=True)
+class HierarchicalEntry:
+    """One list entry: a primitive recorded at fine or coarse level."""
+
+    primitive_id: int
+    coarse: bool
+
+
+class HierarchicalLists:
+    """Two-level tile lists over 2x2 tile groups.
+
+    A primitive overlapping *all four* tiles of a group is promoted to
+    the group's coarse list (one PMD instead of four); everything else
+    stays in the per-tile fine lists.
+    """
+
+    GROUP_SPAN = 2
+
+    def __init__(self, scene: Scene,
+                 pbuffer: ParameterBufferConfig | None = None) -> None:
+        self.scene = scene
+        self.pbuffer = pbuffer or ParameterBufferConfig()
+        screen = scene.screen
+        self.groups_x = (screen.tiles_x + self.GROUP_SPAN - 1) \
+            // self.GROUP_SPAN
+        self.groups_y = (screen.tiles_y + self.GROUP_SPAN - 1) \
+            // self.GROUP_SPAN
+        self.fine_lists: list[list[int]] = [
+            [] for _ in range(screen.num_tiles)
+        ]
+        self.coarse_lists: list[list[int]] = [
+            [] for _ in range(self.groups_x * self.groups_y)
+        ]
+        self._build()
+
+    def group_of_tile(self, tile_id: int) -> int:
+        tx = tile_id % self.scene.screen.tiles_x
+        ty = tile_id // self.scene.screen.tiles_x
+        return (ty // self.GROUP_SPAN) * self.groups_x + tx // self.GROUP_SPAN
+
+    def _tiles_of_group(self, group_id: int) -> list[int]:
+        screen = self.scene.screen
+        gx = group_id % self.groups_x
+        gy = group_id // self.groups_x
+        tiles = []
+        for dy in range(self.GROUP_SPAN):
+            for dx in range(self.GROUP_SPAN):
+                tx = gx * self.GROUP_SPAN + dx
+                ty = gy * self.GROUP_SPAN + dy
+                if tx < screen.tiles_x and ty < screen.tiles_y:
+                    tiles.append(ty * screen.tiles_x + tx)
+        return tiles
+
+    def _build(self) -> None:
+        for prim_id, tiles in enumerate(self.scene.coverage()):
+            if not tiles:
+                continue
+            by_group: dict[int, list[int]] = {}
+            for tile_id in tiles:
+                by_group.setdefault(self.group_of_tile(tile_id),
+                                    []).append(tile_id)
+            for group_id, group_tiles in by_group.items():
+                full_group = self._tiles_of_group(group_id)
+                if len(group_tiles) == len(full_group) \
+                        and len(full_group) == self.GROUP_SPAN ** 2:
+                    self.coarse_lists[group_id].append(prim_id)
+                else:
+                    for tile_id in group_tiles:
+                        self.fine_lists[tile_id].append(prim_id)
+
+    # ------------------------------------------------------------------
+    # Fetch-side view
+    # ------------------------------------------------------------------
+    def entries_for_tile(self, tile_id: int) -> list[HierarchicalEntry]:
+        """The merged (fine + coarse) list the fetcher reads for a tile.
+
+        Program order is restored by a merge on primitive ID, which is
+        exactly the extra work the paper's related-work section notes
+        this structure trades for its footprint savings.
+        """
+        fine = [HierarchicalEntry(p, coarse=False)
+                for p in self.fine_lists[tile_id]]
+        coarse = [HierarchicalEntry(p, coarse=True)
+                  for p in self.coarse_lists[self.group_of_tile(tile_id)]]
+        return sorted(fine + coarse, key=lambda e: e.primitive_id)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def total_pmds(self) -> int:
+        return (sum(len(lst) for lst in self.fine_lists)
+                + sum(len(lst) for lst in self.coarse_lists))
+
+    def flat_pmds(self) -> int:
+        """What the flat (paper-baseline/TCOR) structure would store."""
+        return sum(len(tiles) for tiles in self.scene.coverage())
+
+    def pmd_savings(self) -> float:
+        flat = self.flat_pmds()
+        if not flat:
+            return 0.0
+        return 1.0 - self.total_pmds() / flat

@@ -1,0 +1,94 @@
+"""PB-Lists memory layouts.
+
+Baseline (paper Figure 3): each tile's list occupies 64 contiguous
+blocks (1024 PMDs), so consecutive tiles' live data sits a large power
+of two apart — with modulo indexing most of it maps to a few cache sets.
+
+TCOR (paper Figure 6): lists are interleaved by *section*: section s
+holds PMDs 16s..16s+15 of every tile, one block per tile, so the live
+head of every list packs densely and spreads across sets.  The
+interleaving also makes dead-tile inference trivial: the owning tile of
+a block is its block index modulo the number of tiles.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.config import ParameterBufferConfig
+
+
+class PBListsLayout(ABC):
+    """Address computation for the PB-Lists section."""
+
+    def __init__(self, num_tiles: int,
+                 pbuffer: ParameterBufferConfig | None = None) -> None:
+        if num_tiles <= 0:
+            raise ValueError("need at least one tile")
+        self.num_tiles = num_tiles
+        self.pbuffer = pbuffer or ParameterBufferConfig()
+
+    def _check_slot(self, tile_id: int, position: int) -> None:
+        if not (0 <= tile_id < self.num_tiles):
+            raise ValueError(f"tile {tile_id} out of range")
+        if not (0 <= position < self.pbuffer.max_primitives_per_tile):
+            raise ValueError(
+                f"list position {position} exceeds the per-tile maximum "
+                f"of {self.pbuffer.max_primitives_per_tile}"
+            )
+
+    @abstractmethod
+    def pmd_address(self, tile_id: int, position: int) -> int:
+        """Byte address of the ``position``-th PMD of ``tile_id``'s list."""
+
+    @abstractmethod
+    def tile_of_block(self, block_address: int) -> int | None:
+        """Owning tile of a PB-Lists block, or None if not inferable
+        without extra state."""
+
+    @property
+    def base(self) -> int:
+        return self.pbuffer.pb_lists_pointer
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.num_tiles * self.pbuffer.max_primitives_per_tile
+                * self.pbuffer.pmd_bytes)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.total_bytes
+
+
+class ContiguousPBListsLayout(PBListsLayout):
+    """Baseline: 64 consecutive blocks per tile."""
+
+    def pmd_address(self, tile_id: int, position: int) -> int:
+        self._check_slot(tile_id, position)
+        tile_bytes = (self.pbuffer.max_primitives_per_tile
+                      * self.pbuffer.pmd_bytes)
+        return self.base + tile_id * tile_bytes + position * self.pbuffer.pmd_bytes
+
+    def tile_of_block(self, block_address: int) -> int | None:
+        if not self.contains(block_address):
+            return None
+        tile_bytes = (self.pbuffer.max_primitives_per_tile
+                      * self.pbuffer.pmd_bytes)
+        return (block_address - self.base) // tile_bytes
+
+
+class InterleavedPBListsLayout(PBListsLayout):
+    """TCOR: one block per tile per section, sections concatenated."""
+
+    def pmd_address(self, tile_id: int, position: int) -> int:
+        self._check_slot(tile_id, position)
+        per_block = self.pbuffer.pmds_per_block
+        section, offset = divmod(position, per_block)
+        block_index = section * self.num_tiles + tile_id
+        return (self.base + block_index * self.pbuffer.block_bytes
+                + offset * self.pbuffer.pmd_bytes)
+
+    def tile_of_block(self, block_address: int) -> int | None:
+        if not self.contains(block_address):
+            return None
+        block_index = (block_address - self.base) // self.pbuffer.block_bytes
+        return block_index % self.num_tiles

@@ -1,0 +1,90 @@
+"""Primitive MetaData (PMD) bit-level encodings.
+
+A PMD is the 4-byte word stored in a tile's list for each primitive that
+overlaps the tile.
+
+Baseline (paper Figure 3)::
+
+    | primitive id (26) | num attributes (4) | free (2) |
+
+TCOR (paper Figure 6)::
+
+    | primitive id (16) | num attributes (4) | OPT number (12) |
+
+The OPT Number is the traversal rank of the next tile that will use the
+primitive; the all-ones value means "no further use" (the frame has at
+most 4095 tiles, so the sentinel never collides with a real rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PMD_BITS = 32
+
+_BASE_ID_BITS = 26
+_ATTR_BITS = 4
+_TCOR_ID_BITS = 16
+_OPT_BITS = 12
+
+NO_NEXT_TILE = (1 << _OPT_BITS) - 1  # 0xFFF: "never used again"
+
+
+def _check(value: int, bits: int, what: str) -> None:
+    if not (0 <= value < (1 << bits)):
+        raise ValueError(f"{what} {value} does not fit in {bits} bits")
+
+
+@dataclass(frozen=True, slots=True)
+class BaselinePMD:
+    """Decoded baseline PMD."""
+
+    primitive_id: int
+    num_attributes: int
+
+    def encode(self) -> int:
+        _check(self.primitive_id, _BASE_ID_BITS, "primitive id")
+        _check(self.num_attributes, _ATTR_BITS, "attribute count")
+        if self.num_attributes == 0:
+            raise ValueError("a primitive has at least one attribute")
+        return (self.primitive_id << (_ATTR_BITS + 2)) | (self.num_attributes << 2)
+
+
+def decode_baseline_pmd(word: int) -> BaselinePMD:
+    _check(word, PMD_BITS, "PMD word")
+    return BaselinePMD(
+        primitive_id=word >> (_ATTR_BITS + 2),
+        num_attributes=(word >> 2) & ((1 << _ATTR_BITS) - 1),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TcorPMD:
+    """Decoded TCOR PMD (with OPT Number)."""
+
+    primitive_id: int
+    num_attributes: int
+    opt_number: int
+
+    def encode(self) -> int:
+        _check(self.primitive_id, _TCOR_ID_BITS, "primitive id")
+        _check(self.num_attributes, _ATTR_BITS, "attribute count")
+        _check(self.opt_number, _OPT_BITS, "OPT number")
+        if self.num_attributes == 0:
+            raise ValueError("a primitive has at least one attribute")
+        return ((self.primitive_id << (_ATTR_BITS + _OPT_BITS))
+                | (self.num_attributes << _OPT_BITS)
+                | self.opt_number)
+
+    @property
+    def is_last_use(self) -> bool:
+        return self.opt_number == NO_NEXT_TILE
+
+
+def decode_tcor_pmd(word: int) -> TcorPMD:
+    _check(word, PMD_BITS, "PMD word")
+    return TcorPMD(
+        primitive_id=word >> (_ATTR_BITS + _OPT_BITS),
+        num_attributes=(word >> _OPT_BITS) & ((1 << _ATTR_BITS) - 1),
+        opt_number=word & ((1 << _OPT_BITS) - 1),
+    )

@@ -1,0 +1,31 @@
+"""The Raster Pipeline (paper Figure 2, right half).
+
+The Tiling Engine's consumer: per tile, primitives are rasterized into
+2x2-pixel quads, early-Z tested against the on-chip tile Z-Buffer,
+shaded, and blended into the on-chip tile Color Buffer, which is flushed
+to the Frame Buffer when the tile completes.
+
+TCOR itself never touches fragment data — this package exists because a
+full-system model needs the consumer side: it validates that the
+Parameter Buffer round-trips geometry losslessly (render-from-PB equals
+render-from-scene), generates the per-tile work the background traffic
+model abstracts, and powers the end-to-end rendering example.
+"""
+
+from repro.raster.fragments import Fragment, Quad
+from repro.raster.rasterizer import rasterize_in_tile
+from repro.raster.zbuffer import DepthTest, TileZBuffer
+from repro.raster.blend import BlendMode, blend
+from repro.raster.pipeline import RasterPipeline, render_frame
+
+__all__ = [
+    "BlendMode",
+    "DepthTest",
+    "Fragment",
+    "Quad",
+    "RasterPipeline",
+    "TileZBuffer",
+    "blend",
+    "rasterize_in_tile",
+    "render_frame",
+]

@@ -1,0 +1,43 @@
+"""Blending (paper Section II-A: the Blending Unit).
+
+Computes the final color of a pixel from the shaded fragment color and
+the color already in the tile Color Buffer, depending on transparency.
+Colors are (r, g, b, a) tuples in [0, 1].
+"""
+
+from __future__ import annotations
+
+import enum
+
+Color = tuple[float, float, float, float]
+
+
+class BlendMode(enum.Enum):
+    REPLACE = "replace"              # opaque geometry
+    ALPHA = "alpha"                  # src-over
+    ADDITIVE = "additive"            # particles / glows
+
+
+def _clamp(value: float) -> float:
+    return 0.0 if value < 0.0 else 1.0 if value > 1.0 else value
+
+
+def blend(source: Color, destination: Color,
+          mode: BlendMode = BlendMode.REPLACE) -> Color:
+    """Final pixel color of ``source`` drawn over ``destination``."""
+    if mode is BlendMode.REPLACE:
+        return source
+    sr, sg, sb, sa = source
+    dr, dg, db, da = destination
+    if mode is BlendMode.ALPHA:
+        inv = 1.0 - sa
+        return (
+            _clamp(sr * sa + dr * inv),
+            _clamp(sg * sa + dg * inv),
+            _clamp(sb * sa + db * inv),
+            _clamp(sa + da * inv),
+        )
+    if mode is BlendMode.ADDITIVE:
+        return (_clamp(sr + dr), _clamp(sg + dg), _clamp(sb + db),
+                _clamp(max(sa, da)))
+    raise ValueError(f"unknown blend mode: {mode!r}")

@@ -1,0 +1,55 @@
+"""Fragments and quads.
+
+The Rasterizer emits *quads* — aligned 2x2 pixel groups with a coverage
+mask — because derivative computation and texture LOD selection need
+neighbouring fragments (paper Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment:
+    """One covered pixel with interpolated depth."""
+
+    x: int
+    y: int
+    depth: float
+    primitive_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Quad:
+    """An aligned 2x2 pixel group.
+
+    ``base_x``/``base_y`` are even pixel coordinates; ``mask`` has bit i
+    set when sub-pixel i is covered (order: (0,0), (1,0), (0,1), (1,1));
+    ``depths`` holds the four interpolated depths (valid where covered).
+    """
+
+    base_x: int
+    base_y: int
+    mask: int
+    depths: tuple[float, float, float, float]
+    primitive_id: int
+
+    def __post_init__(self) -> None:
+        if self.base_x % 2 or self.base_y % 2:
+            raise ValueError("quads are aligned to even pixel coordinates")
+        if not (0 < self.mask <= 0xF):
+            raise ValueError("a quad has 1..4 covered pixels")
+
+    @property
+    def coverage(self) -> int:
+        return bin(self.mask).count("1")
+
+    def fragments(self) -> list[Fragment]:
+        offsets = ((0, 0), (1, 0), (0, 1), (1, 1))
+        return [
+            Fragment(self.base_x + dx, self.base_y + dy,
+                     self.depths[bit], self.primitive_id)
+            for bit, (dx, dy) in enumerate(offsets)
+            if self.mask & (1 << bit)
+        ]

@@ -1,0 +1,95 @@
+"""Edge-function rasterization with the top-left fill rule.
+
+Samples pixel centers (x + 0.5, y + 0.5) against the triangle's three
+edge functions.  The top-left rule makes shared edges exclusive: a pixel
+exactly on an edge belongs to the triangle only if that edge is a *top*
+edge (horizontal, with the interior below it in screen space, i.e.
+y grows downward) or a *left* edge — so two triangles sharing an edge
+never double-shade a pixel and never leave a gap.
+
+Depth is interpolated with barycentric weights from the vertices'
+``z``.
+"""
+
+from __future__ import annotations
+
+from repro.config import ScreenConfig
+from repro.geometry.overlap import tile_rect
+from repro.geometry.primitives import Primitive
+from repro.raster.fragments import Quad
+
+
+def _edge(ax: float, ay: float, bx: float, by: float,
+          px: float, py: float) -> float:
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def _is_top_left(ax: float, ay: float, bx: float, by: float) -> bool:
+    """Top or left edge of a counter-clockwise triangle (y-down space)."""
+    # Top edge: horizontal and pointing in -x... with CCW winding in a
+    # y-down coordinate system, a top edge runs right-to-left is not the
+    # usual phrasing; the robust form: top = dy == 0 and dx < 0 is for
+    # y-up.  In y-down screen space with CCW area positive, a top edge
+    # has dy == 0 and dx > 0, a left edge has dy > 0.
+    dx = bx - ax
+    dy = by - ay
+    return (dy == 0 and dx > 0) or dy > 0
+
+
+def rasterize_in_tile(prim: Primitive, screen: ScreenConfig,
+                      tile_id: int) -> list[Quad]:
+    """Quads of ``prim`` within one tile.
+
+    Degenerate (zero-area) triangles produce nothing.  Winding is
+    normalized internally so callers may submit either orientation.
+    """
+    area = prim.signed_area()
+    if area == 0:
+        return []
+    v0, v1, v2 = prim.vertices
+    if area < 0:  # normalize to counter-clockwise
+        v1, v2 = v2, v1
+        area = -area
+
+    rect = tile_rect(screen, tile_id)
+    bbox = prim.bounding_box()
+    min_x = int(max(rect.min_x, bbox.min_x)) & ~1
+    min_y = int(max(rect.min_y, bbox.min_y)) & ~1
+    max_x = int(min(rect.max_x - 1, bbox.max_x))
+    max_y = int(min(rect.max_y - 1, bbox.max_y))
+    if min_x > max_x or min_y > max_y:
+        return []
+
+    edges = (
+        (v0.x, v0.y, v1.x, v1.y),
+        (v1.x, v1.y, v2.x, v2.y),
+        (v2.x, v2.y, v0.x, v0.y),
+    )
+    biases = tuple(0.0 if _is_top_left(*edge) else -1e-9 for edge in edges)
+    depths = (v0.z, v1.z, v2.z)
+
+    quads: list[Quad] = []
+    for base_y in range(min_y, max_y + 1, 2):
+        for base_x in range(min_x, max_x + 1, 2):
+            mask = 0
+            quad_depths = [0.0, 0.0, 0.0, 0.0]
+            for bit, (dx, dy) in enumerate(((0, 0), (1, 0), (0, 1), (1, 1))):
+                px = base_x + dx + 0.5
+                py = base_y + dy + 0.5
+                if not (rect.min_x <= px < rect.max_x
+                        and rect.min_y <= py < rect.max_y):
+                    continue
+                w0 = _edge(*edges[1], px, py)
+                w1 = _edge(*edges[2], px, py)
+                w2 = _edge(*edges[0], px, py)
+                if (w0 + biases[1] >= 0 and w1 + biases[2] >= 0
+                        and w2 + biases[0] >= 0):
+                    mask |= 1 << bit
+                    quad_depths[bit] = (
+                        w0 * depths[0] + w1 * depths[1] + w2 * depths[2]
+                    ) / area
+            if mask:
+                quads.append(Quad(base_x=base_x, base_y=base_y, mask=mask,
+                                  depths=tuple(quad_depths),
+                                  primitive_id=prim.primitive_id))
+    return quads

@@ -1,0 +1,65 @@
+"""The on-chip tile Z-Buffer and the Early Z-Test.
+
+The Z-Buffer has the size of one tile and stores the minimum depth seen
+per pixel (paper Section II-A).  The Early Z-Test drops quads (or parts
+of them) that lie behind previously processed opaque geometry; when a
+shader changes fragment depth the test is disabled and the Late Z-Test
+used instead — same structure, applied after shading.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.raster.fragments import Quad
+
+
+class DepthTest(enum.Enum):
+    EARLY = "early"
+    LATE = "late"
+    DISABLED = "disabled"
+
+
+class TileZBuffer:
+    """Per-tile minimum-depth store with quad-granularity testing."""
+
+    def __init__(self, tile_size: int, far: float = 1.0) -> None:
+        if tile_size <= 0 or tile_size % 2:
+            raise ValueError("tile size must be positive and even")
+        self.tile_size = tile_size
+        self.far = far
+        self._depth = np.full((tile_size, tile_size), far, dtype=np.float64)
+
+    def clear(self) -> None:
+        self._depth.fill(self.far)
+
+    def depth_at(self, local_x: int, local_y: int) -> float:
+        return float(self._depth[local_y, local_x])
+
+    def test_and_update(self, quad: Quad, tile_origin_x: int,
+                        tile_origin_y: int) -> int:
+        """Run the depth test for one quad.
+
+        Returns the surviving coverage mask; survivors' depths are
+        written back (depth-write on pass, standard opaque rendering).
+        """
+        surviving = 0
+        for bit, (dx, dy) in enumerate(((0, 0), (1, 0), (0, 1), (1, 1))):
+            if not quad.mask & (1 << bit):
+                continue
+            local_x = quad.base_x + dx - tile_origin_x
+            local_y = quad.base_y + dy - tile_origin_y
+            if not (0 <= local_x < self.tile_size
+                    and 0 <= local_y < self.tile_size):
+                continue
+            depth = quad.depths[bit]
+            if depth < self._depth[local_y, local_x]:
+                self._depth[local_y, local_x] = depth
+                surviving |= 1 << bit
+        return surviving
+
+    def occupancy(self) -> float:
+        """Fraction of pixels written since the last clear."""
+        return float(np.mean(self._depth < self.far))

@@ -1,0 +1,40 @@
+"""TCOR core: the split Tile Cache with OPT replacement and the
+dead-line-aware L2 (paper Section III).
+
+- :mod:`repro.tcor.attribute_buffer` — the linked-list attribute store.
+- :mod:`repro.tcor.attribute_cache` — Primitive Buffer + Attribute
+  Buffer with OPT-number replacement and write bypass.
+- :mod:`repro.tcor.primitive_list_cache` — LRU cache over the
+  interleaved PB-Lists layout.
+- :mod:`repro.tcor.l2_policy` — dead-line priority replacement for the
+  shared L2, plus writeback suppression for dead lines.
+- :mod:`repro.tcor.baseline_tile_cache` — the unified LRU Tile Cache the
+  paper compares against.
+- :mod:`repro.tcor.system` — end-to-end frame simulation of both
+  organizations over a workload.
+"""
+
+from repro.tcor.attribute_buffer import AttributeBuffer
+from repro.tcor.attribute_cache import AttributeCache, AttributeCacheResult
+from repro.tcor.primitive_list_cache import PrimitiveListCache
+from repro.tcor.l2_policy import DeadLinePriorityPolicy, TcorSharedL2, TileProgress
+from repro.tcor.baseline_tile_cache import BaselineTileCache
+from repro.tcor.system import (
+    SystemResult,
+    simulate_baseline,
+    simulate_tcor,
+)
+
+__all__ = [
+    "AttributeBuffer",
+    "AttributeCache",
+    "AttributeCacheResult",
+    "BaselineTileCache",
+    "DeadLinePriorityPolicy",
+    "PrimitiveListCache",
+    "SystemResult",
+    "TcorSharedL2",
+    "TileProgress",
+    "simulate_baseline",
+    "simulate_tcor",
+]

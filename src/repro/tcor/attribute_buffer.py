@@ -1,0 +1,161 @@
+"""The Attribute Buffer (paper Figure 8, lower half).
+
+A pool of 48-byte entries, one attribute each.  A primitive's attributes
+form a linked list of entries; a linked free list manages allocation.
+Each entry has a valid bit, a lock bit and a next pointer (None for the
+last attribute).  Locking the *first* entry suffices to pin a primitive:
+the rest are only reachable through it and are freed together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferEntry:
+    valid: bool = False
+    locked: bool = False
+    primitive_id: int | None = None
+    slot: int | None = None          # attribute index within the primitive
+    next_entry: int | None = None
+
+
+class AttributeBuffer:
+    """Fixed-capacity linked-list attribute store."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("attribute buffer needs at least one entry")
+        self.num_entries = num_entries
+        self._entries = [BufferEntry() for _ in range(num_entries)]
+        # Free list threaded through next_entry.
+        for index in range(num_entries - 1):
+            self._entries[index].next_entry = index + 1
+        self._free_head: int | None = 0
+        self._free_count = num_entries
+        self.peak_used = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def free_entries(self) -> int:
+        return self._free_count
+
+    @property
+    def used_entries(self) -> int:
+        return self.num_entries - self._free_count
+
+    def can_allocate(self, count: int) -> bool:
+        return 0 < count <= self._free_count
+
+    # ------------------------------------------------------------------
+    # Allocation / release
+    # ------------------------------------------------------------------
+    def allocate(self, primitive_id: int, count: int) -> int:
+        """Take ``count`` entries for a primitive; returns the head index
+        (the Attribute Buffer Pointer)."""
+        if not self.can_allocate(count):
+            raise RuntimeError(
+                f"attribute buffer has {self._free_count} free entries; "
+                f"{count} requested"
+            )
+        head: int | None = None
+        tail: int | None = None
+        for slot in range(count):
+            index = self._free_head
+            assert index is not None
+            entry = self._entries[index]
+            self._free_head = entry.next_entry
+            self._free_count -= 1
+            entry.valid = True
+            entry.locked = False
+            entry.primitive_id = primitive_id
+            entry.slot = slot
+            entry.next_entry = None
+            if head is None:
+                head = index
+            else:
+                assert tail is not None
+                self._entries[tail].next_entry = index
+            tail = index
+        self.peak_used = max(self.peak_used, self.used_entries)
+        assert head is not None
+        return head
+
+    def free(self, head: int) -> int:
+        """Return a primitive's chain to the free list; returns the number
+        of entries released."""
+        self._check_head(head)
+        if self._entries[head].locked:
+            raise RuntimeError("freeing a locked primitive chain")
+        released = 0
+        index: int | None = head
+        while index is not None:
+            entry = self._entries[index]
+            next_index = entry.next_entry
+            entry.valid = False
+            entry.locked = False
+            entry.primitive_id = None
+            entry.slot = None
+            entry.next_entry = self._free_head
+            self._free_head = index
+            self._free_count += 1
+            released += 1
+            index = next_index
+        return released
+
+    # ------------------------------------------------------------------
+    # Locks and traversal
+    # ------------------------------------------------------------------
+    def _check_head(self, head: int) -> None:
+        if not (0 <= head < self.num_entries):
+            raise IndexError(f"entry {head} out of range")
+        if not self._entries[head].valid:
+            raise RuntimeError(f"entry {head} is not a valid chain head")
+
+    def lock(self, head: int) -> None:
+        """Lock the first attribute; the rest are linked and will not be
+        released until the first one is (paper Section III-C.3)."""
+        self._check_head(head)
+        self._entries[head].locked = True
+
+    def unlock(self, head: int) -> None:
+        self._check_head(head)
+        self._entries[head].locked = False
+
+    def is_locked(self, head: int) -> bool:
+        self._check_head(head)
+        return self._entries[head].locked
+
+    def chain(self, head: int) -> list[int]:
+        """Entry indices of a primitive's attribute list, in order."""
+        self._check_head(head)
+        indices = []
+        index: int | None = head
+        while index is not None:
+            indices.append(index)
+            index = self._entries[index].next_entry
+        return indices
+
+    def chain_primitive(self, head: int) -> int:
+        self._check_head(head)
+        primitive = self._entries[head].primitive_id
+        assert primitive is not None
+        return primitive
+
+    def check_invariants(self) -> None:
+        """Free list and chains partition the entries (test hook)."""
+        free = set()
+        index = self._free_head
+        while index is not None:
+            if index in free:
+                raise AssertionError("cycle in free list")
+            free.add(index)
+            index = self._entries[index].next_entry
+        if len(free) != self._free_count:
+            raise AssertionError("free count out of sync")
+        for position, entry in enumerate(self._entries):
+            if position in free and entry.valid:
+                raise AssertionError("valid entry on the free list")

@@ -1,0 +1,350 @@
+"""The TCOR Attribute Cache (paper Section III-C.2 and Figure 8).
+
+Primitive-granularity cache over PB-Attributes, decoupled into:
+
+- the **Primitive Buffer**: a set-associative tag store indexed by
+  primitive ID (XOR placement), one line per primitive holding valid,
+  lock and dirty bits, the OPT Number and the Attribute Buffer Pointer;
+- the **Attribute Buffer**: a linked-list pool of 48-byte attribute
+  entries (:class:`~repro.tcor.attribute_buffer.AttributeBuffer`).
+
+Replacement evicts the unlocked line with the greatest OPT Number.
+Writes from the Polygon List Builder may *bypass* to the L2 when every
+resident line will be read sooner than the incoming primitive.  Reads
+from the Tile Fetcher lock the primitive until the Rasterizer consumes
+it, which we model with a bounded in-flight window (the Tile Fetcher
+output queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.caches.indexing import ModuloIndexing, SetIndexing, XorIndexing
+from repro.config import TCORConfig
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.tcor.attribute_buffer import AttributeBuffer
+from repro.tcor.requests import L2Request
+from repro.workloads.trace import Region
+
+NO_NEXT_USE_RANK = 1 << 30  # internal "never used again" comparison value
+
+
+@dataclass
+class PrimitiveLine:
+    """One Primitive Buffer line."""
+
+    primitive_id: int
+    num_attributes: int
+    abp: int                     # Attribute Buffer Pointer (chain head)
+    opt_number: int              # next-use traversal rank
+    last_use_rank: int           # dead-line tag carried to the L2
+    dirty: bool
+    lock_count: int = 0
+
+    @property
+    def locked(self) -> bool:
+        return self.lock_count > 0
+
+
+@dataclass
+class AttributeCacheStats:
+    reads: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    write_bypasses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    forced_unlocks: int = 0
+    space_evictions: int = 0
+
+    @property
+    def read_hits(self) -> int:
+        return self.reads - self.read_misses
+
+    @property
+    def read_hit_ratio(self) -> float:
+        return self.read_hits / self.reads if self.reads else 0.0
+
+
+@dataclass(frozen=True)
+class AttributeCacheResult:
+    """Outcome of one Tile Fetcher read or Polygon List Builder write."""
+
+    hit: bool
+    bypassed: bool
+    l2_requests: tuple[L2Request, ...]
+    abp: int | None = None
+
+
+class AttributeCache:
+    """Primitive Buffer + Attribute Buffer with OPT replacement."""
+
+    def __init__(self, config: TCORConfig, attributes: PBAttributesMap,
+                 inflight_window: int = 32) -> None:
+        self.config = config
+        self.attributes = attributes
+        ways = config.primitive_buffer_associativity
+        entries = config.primitive_buffer_entries
+        self.num_sets = max(1, entries // ways)
+        self.ways = ways
+        self.indexing: SetIndexing = (
+            XorIndexing(self.num_sets) if config.use_xor_indexing
+            else ModuloIndexing(self.num_sets)
+        )
+        self._sets: list[dict[int, PrimitiveLine]] = [
+            dict() for _ in range(self.num_sets)
+        ]
+        self.buffer = AttributeBuffer(config.attribute_buffer_entries)
+        self.stats = AttributeCacheStats()
+        if inflight_window <= 0:
+            raise ValueError("in-flight window must be positive")
+        self._inflight: deque[int] = deque()
+        self._inflight_window = inflight_window
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+    def set_of(self, primitive_id: int) -> int:
+        return self.indexing.set_of(primitive_id)
+
+    def probe(self, primitive_id: int) -> PrimitiveLine | None:
+        return self._sets[self.set_of(primitive_id)].get(primitive_id)
+
+    def resident_primitives(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    @staticmethod
+    def _effective_opt(line: PrimitiveLine) -> int:
+        from repro.pbuffer.pmd import NO_NEXT_TILE
+        if line.opt_number == NO_NEXT_TILE:
+            return NO_NEXT_USE_RANK
+        return line.opt_number
+
+    # ------------------------------------------------------------------
+    # Locking (Rasterizer consumption window)
+    # ------------------------------------------------------------------
+    def _lock(self, line: PrimitiveLine) -> None:
+        line.lock_count += 1
+        self.buffer.lock(line.abp)
+        self._inflight.append(line.primitive_id)
+        while len(self._inflight) > self._inflight_window:
+            self._consume_oldest()
+
+    def _consume_oldest(self) -> None:
+        """The Rasterizer picks up the oldest in-flight primitive."""
+        if not self._inflight:
+            raise RuntimeError(
+                "no in-flight primitive to consume; the cache is "
+                "deadlocked (primitive larger than the Attribute Buffer?)"
+            )
+        primitive_id = self._inflight.popleft()
+        line = self.probe(primitive_id)
+        if line is not None and line.lock_count > 0:
+            line.lock_count -= 1
+            if line.lock_count == 0:
+                self.buffer.unlock(line.abp)
+
+    def drain_inflight(self) -> None:
+        """Consume everything outstanding (end of frame)."""
+        while self._inflight:
+            self._consume_oldest()
+
+    # ------------------------------------------------------------------
+    # Eviction machinery
+    # ------------------------------------------------------------------
+    def _attribute_writes(self, line: PrimitiveLine) -> list[L2Request]:
+        return [
+            L2Request(address=address, is_write=True,
+                      region=Region.PB_ATTRIBUTES,
+                      last_tile_rank=line.last_use_rank)
+            for address in self.attributes.attribute_addresses(line.primitive_id)
+        ]
+
+    def _evict(self, line: PrimitiveLine) -> list[L2Request]:
+        del self._sets[self.set_of(line.primitive_id)][line.primitive_id]
+        self.buffer.free(line.abp)
+        self.stats.evictions += 1
+        if line.dirty:
+            self.stats.dirty_evictions += 1
+            return self._attribute_writes(line)
+        return []
+
+    def _unlocked_in_set(self, set_index: int) -> list[PrimitiveLine]:
+        return [line for line in self._sets[set_index].values()
+                if not line.locked]
+
+    def _victim_in_set(self, set_index: int) -> PrimitiveLine | None:
+        candidates = self._unlocked_in_set(set_index)
+        if not candidates:
+            return None
+        return max(candidates, key=self._effective_opt)
+
+    def _global_victim(self) -> PrimitiveLine | None:
+        best: PrimitiveLine | None = None
+        for lines in self._sets:
+            for line in lines.values():
+                if line.locked:
+                    continue
+                if best is None or self._effective_opt(line) > self._effective_opt(best):
+                    best = line
+        return best
+
+    def _make_room_in_buffer(self, needed: int) -> list[L2Request]:
+        """Evict primitives (greatest OPT Number first) until ``needed``
+        attribute entries are free (paper Section III-C.3, Miss)."""
+        requests: list[L2Request] = []
+        while not self.buffer.can_allocate(needed):
+            victim = self._global_victim()
+            if victim is None:
+                # Everything is locked: the Rasterizer must make progress.
+                self.stats.forced_unlocks += 1
+                self._consume_oldest()
+                continue
+            self.stats.space_evictions += 1
+            requests.extend(self._evict(victim))
+        return requests
+
+    # ------------------------------------------------------------------
+    # Tile Fetcher reads (paper Section III-C.3)
+    # ------------------------------------------------------------------
+    def read(self, primitive_id: int, num_attributes: int,
+             opt_number: int, last_use_rank: int) -> AttributeCacheResult:
+        if num_attributes > self.buffer.num_entries:
+            # A read must deliver through the Attribute Buffer; a
+            # primitive that cannot fit is a configuration error (writes
+            # merely bypass, but reads have nowhere to stage the data).
+            raise ValueError(
+                f"primitive {primitive_id} has {num_attributes} attributes "
+                f"but the Attribute Buffer holds only "
+                f"{self.buffer.num_entries} entries"
+            )
+        self.stats.reads += 1
+        set_index = self.set_of(primitive_id)
+        line = self._sets[set_index].get(primitive_id)
+        if line is not None:
+            # Hit: lock, refresh the OPT Number from the request, hand the
+            # ABP to the Rasterizer.
+            line.opt_number = opt_number
+            self._lock(line)
+            return AttributeCacheResult(hit=True, bypassed=False,
+                                        l2_requests=(), abp=line.abp)
+
+        self.stats.read_misses += 1
+        requests: list[L2Request] = []
+
+        # A line must be freed in this set.
+        while len(self._sets[set_index]) >= self.ways:
+            victim = self._victim_in_set(set_index)
+            if victim is None:
+                self.stats.forced_unlocks += 1
+                self._consume_oldest()
+                continue
+            requests.extend(self._evict(victim))
+
+        # Enough Attribute Buffer slots for all the attributes.
+        requests.extend(self._make_room_in_buffer(num_attributes))
+
+        abp = self.buffer.allocate(primitive_id, num_attributes)
+        line = PrimitiveLine(
+            primitive_id=primitive_id, num_attributes=num_attributes,
+            abp=abp, opt_number=opt_number, last_use_rank=last_use_rank,
+            dirty=False,
+        )
+        self._sets[set_index][primitive_id] = line
+        self._lock(line)
+        # Fetch every attribute from the L2 (one MSHR request each).
+        requests.extend(
+            L2Request(address=address, is_write=False,
+                      region=Region.PB_ATTRIBUTES,
+                      last_tile_rank=last_use_rank)
+            for address in self.attributes.attribute_addresses(primitive_id)
+        )
+        return AttributeCacheResult(hit=False, bypassed=False,
+                                    l2_requests=tuple(requests), abp=abp)
+
+    # ------------------------------------------------------------------
+    # Polygon List Builder writes (paper Section III-C.4)
+    # ------------------------------------------------------------------
+    def write(self, primitive_id: int, num_attributes: int,
+              opt_number: int, last_use_rank: int) -> AttributeCacheResult:
+        self.stats.writes += 1
+        set_index = self.set_of(primitive_id)
+        if primitive_id in self._sets[set_index]:
+            raise RuntimeError(
+                f"primitive {primitive_id} written twice into PB-Attributes"
+            )
+
+        def bypass() -> AttributeCacheResult:
+            self.stats.write_bypasses += 1
+            writes = tuple(
+                L2Request(address=address, is_write=True,
+                          region=Region.PB_ATTRIBUTES,
+                          last_tile_rank=last_use_rank)
+                for address in self.attributes.attribute_addresses(primitive_id)
+            )
+            return AttributeCacheResult(hit=False, bypassed=True,
+                                        l2_requests=writes)
+
+        requests: list[L2Request] = []
+        request_opt = opt_number
+
+        if len(self._sets[set_index]) >= self.ways:
+            if not self.config.write_bypass:
+                victim = self._victim_in_set(set_index)
+                if victim is None:
+                    return bypass()  # fully locked set: nowhere to put it
+                requests.extend(self._evict(victim))
+            else:
+                victim = self._victim_in_set(set_index)
+                if victim is None:
+                    return bypass()
+                # Evict only if that line's next use is strictly farther
+                # than the incoming primitive's first use; equal or nearer
+                # means every resident line is needed sooner: bypass.
+                if self._effective_opt(victim) > request_opt:
+                    requests.extend(self._evict(victim))
+                else:
+                    return bypass()
+
+        # Attribute Buffer space, under the same OPT comparison rule.
+        while not self.buffer.can_allocate(num_attributes):
+            victim = self._global_victim()
+            if victim is None:
+                # Fully locked buffer: already-evicted lines stay evicted,
+                # the incoming write bypasses to the L2.
+                return AttributeCacheResult(
+                    hit=False, bypassed=True,
+                    l2_requests=tuple(requests) + bypass().l2_requests,
+                )
+            if self.config.write_bypass \
+                    and self._effective_opt(victim) <= request_opt:
+                result = bypass()
+                return AttributeCacheResult(
+                    hit=False, bypassed=True,
+                    l2_requests=tuple(requests) + result.l2_requests,
+                )
+            self.stats.space_evictions += 1
+            requests.extend(self._evict(victim))
+
+        abp = self.buffer.allocate(primitive_id, num_attributes)
+        self._sets[set_index][primitive_id] = PrimitiveLine(
+            primitive_id=primitive_id, num_attributes=num_attributes,
+            abp=abp, opt_number=opt_number, last_use_rank=last_use_rank,
+            dirty=True,
+        )
+        return AttributeCacheResult(hit=False, bypassed=False,
+                                    l2_requests=tuple(requests), abp=abp)
+
+    # ------------------------------------------------------------------
+    # Frame teardown
+    # ------------------------------------------------------------------
+    def flush(self) -> list[L2Request]:
+        """Evict everything; dirty primitives write their attributes back."""
+        self.drain_inflight()
+        requests: list[L2Request] = []
+        for lines in self._sets:
+            for line in list(lines.values()):
+                requests.extend(self._evict(line))
+        return requests

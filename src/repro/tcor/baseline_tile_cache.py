@@ -1,0 +1,115 @@
+"""The baseline unified Tile Cache (paper Sections II-C/II-D).
+
+One 64 KiB, 4-way, LRU, block-granularity cache serves both Parameter
+Buffer sections: PMDs through the contiguous PB-Lists layout and each
+48-byte attribute through its own block.  This is the organization every
+TCOR result is normalized against.
+"""
+
+from __future__ import annotations
+
+from repro.caches.line import LineMeta
+from repro.caches.policies.lru import LRUPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.config import CacheConfig
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.layout import PBListsLayout
+from repro.tcor.requests import L2Request
+from repro.workloads.trace import Region
+
+
+class BaselineTileCache:
+    """Unified LRU Tile Cache over both Parameter Buffer sections."""
+
+    def __init__(self, config: CacheConfig, lists_layout: PBListsLayout,
+                 attributes: PBAttributesMap, rank_of_tile) -> None:
+        self.lists_layout = lists_layout
+        self.attributes = attributes
+        self._rank_of_tile = rank_of_tile
+        self.cache = SetAssociativeCache(
+            num_sets=config.num_sets, ways=config.associativity,
+            line_bytes=config.line_bytes, policy=LRUPolicy(),
+            name=config.name,
+        )
+        # Blocks that already hold earlier-written data.  A partial-line
+        # write miss to such a block must fetch it back from the L2 to
+        # merge (write-validate semantics); a first-touch write to a fresh
+        # per-frame buffer block allocates without fetching.
+        self._written_blocks: set[int] = set()
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    # ------------------------------------------------------------------
+    # Lowering helpers
+    # ------------------------------------------------------------------
+    def _region_of(self, address: int) -> Region:
+        if self.lists_layout.contains(address):
+            return Region.PB_LISTS
+        return Region.PB_ATTRIBUTES
+
+    def _last_tile_rank_of(self, address: int, region: Region) -> int | None:
+        if region is Region.PB_LISTS:
+            tile = self.lists_layout.tile_of_block(address)
+            return None if tile is None else self._rank_of_tile[tile]
+        block = address - address % self.cache.line_bytes
+        return self.attributes.last_tile_of_block(block)
+
+    def _access(self, address: int, is_write: bool) -> list[L2Request]:
+        region = self._region_of(address)
+        rank = self._last_tile_rank_of(address, region)
+        meta = LineMeta(region=region, last_tile_rank=rank)
+        block = address - address % self.cache.line_bytes
+        result = self.cache.access(address, is_write=is_write, meta=meta)
+        requests: list[L2Request] = []
+        if not result.hit and not result.bypassed:
+            needs_fetch = not is_write or block in self._written_blocks
+            if needs_fetch:
+                requests.append(L2Request(address=address, is_write=False,
+                                          region=region, last_tile_rank=rank))
+        if is_write:
+            self._written_blocks.add(block)
+        if result.evicted is not None and result.evicted.dirty:
+            evicted_addr = result.evicted.tag * self.cache.line_bytes
+            requests.append(L2Request(
+                address=evicted_addr, is_write=True,
+                region=result.evicted.meta.region or region,
+                last_tile_rank=result.evicted.meta.last_tile_rank,
+            ))
+        return requests
+
+    # ------------------------------------------------------------------
+    # Tiling Engine operations
+    # ------------------------------------------------------------------
+    def write_pmd(self, tile_id: int, position: int) -> list[L2Request]:
+        return self._access(self.lists_layout.pmd_address(tile_id, position),
+                            is_write=True)
+
+    def read_pmd(self, tile_id: int, position: int) -> list[L2Request]:
+        return self._access(self.lists_layout.pmd_address(tile_id, position),
+                            is_write=False)
+
+    def write_attributes(self, primitive_id: int) -> list[L2Request]:
+        requests: list[L2Request] = []
+        for address in self.attributes.attribute_addresses(primitive_id):
+            requests.extend(self._access(address, is_write=True))
+        return requests
+
+    def read_attributes(self, primitive_id: int) -> list[L2Request]:
+        requests: list[L2Request] = []
+        for address in self.attributes.attribute_addresses(primitive_id):
+            requests.extend(self._access(address, is_write=False))
+        return requests
+
+    def flush(self) -> list[L2Request]:
+        requests = []
+        for evicted in self.cache.flush():
+            if evicted.dirty:
+                requests.append(L2Request(
+                    address=evicted.tag * self.cache.line_bytes,
+                    is_write=True,
+                    region=evicted.meta.region or Region.PB_ATTRIBUTES,
+                    last_tile_rank=evicted.meta.last_tile_rank,
+                ))
+        return requests

@@ -1,0 +1,159 @@
+"""TCOR's L2 enhancements (paper Section III-D).
+
+Every L2 line carries a 2-bit region tag (PB-Lists / PB-Attributes /
+other) and a 12-bit last-tile field.  The Tile Fetcher signals the L2
+each time it finishes a tile; a Parameter Buffer line whose last tile
+has already been processed is *dead*: it will never be read again.
+
+Replacement priority (Section III-D.2):
+
+1. dead Parameter Buffer lines (never written back, even if dirty);
+2. non-Parameter-Buffer lines (textures/instructions/vertices — always
+   clean, so eviction is free);
+3. live Parameter Buffer lines.
+
+LRU orders lines within each priority class.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.caches.hierarchy import MemoryCounters, SharedL2
+from repro.caches.line import CacheLine, LineMeta
+from repro.caches.policies.base import AccessContext, ReplacementPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.workloads.trace import Region
+
+
+@dataclass
+class TileProgress:
+    """Shared 'last tile finished' register (NULL before the first tile).
+
+    The Tile Fetcher bumps it on every ``TileDone``; the L2 policy reads
+    it to classify Parameter Buffer lines as dead or live.
+    """
+
+    completed_rank: int = -1
+
+    def tile_done(self, rank: int) -> None:
+        if rank < self.completed_rank:
+            raise ValueError("tiles complete in traversal order")
+        self.completed_rank = rank
+
+    def reset(self) -> None:
+        self.completed_rank = -1
+
+
+def line_is_dead(meta: LineMeta, progress: TileProgress) -> bool:
+    """A PB line is dead once its last-use tile has been processed."""
+    if meta.region not in (int(Region.PB_LISTS), int(Region.PB_ATTRIBUTES)):
+        return False
+    return (meta.last_tile_rank is not None
+            and meta.last_tile_rank <= progress.completed_rank)
+
+
+class DeadLinePriorityPolicy(ReplacementPolicy):
+    """dead PB > non-PB > live PB, LRU within each class."""
+
+    name = "dead_line_priority"
+
+    def __init__(self, progress: TileProgress) -> None:
+        self.progress = progress
+        self._recency: dict[int, OrderedDict[int, None]] = {}
+
+    def _set(self, set_index: int) -> OrderedDict[int, None]:
+        return self._recency.setdefault(set_index, OrderedDict())
+
+    def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._set(set_index)[tag] = None
+
+    def on_hit(self, set_index: int, tag: int, ctx: AccessContext) -> None:
+        self._set(set_index).move_to_end(tag)
+
+    def _priority(self, line: CacheLine) -> int:
+        if line_is_dead(line.meta, self.progress):
+            return 0
+        if line.meta.region not in (int(Region.PB_LISTS),
+                                    int(Region.PB_ATTRIBUTES)):
+            return 1
+        return 2
+
+    def victim(self, set_index: int, candidates: Sequence[CacheLine],
+               ctx: AccessContext) -> int:
+        by_tag = {line.tag: line for line in candidates}
+        best_tag: int | None = None
+        best_priority = 3
+        # Recency order is oldest first, so the first line seen in each
+        # priority class is its LRU member.
+        for tag in self._set(set_index):
+            line = by_tag.get(tag)
+            if line is None:
+                continue
+            priority = self._priority(line)
+            if priority == 0:
+                return tag
+            if priority < best_priority:
+                best_priority = priority
+                best_tag = tag
+        if best_tag is None:
+            raise RuntimeError("victim() called with no evictable candidate")
+        return best_tag
+
+    def on_evict(self, set_index: int, tag: int) -> None:
+        self._set(set_index).pop(tag, None)
+
+    def reset(self) -> None:
+        self._recency.clear()
+
+
+class TcorSharedL2(SharedL2):
+    """Shared L2 with dead-line writeback suppression.
+
+    A dead dirty line needs no writeback: the data will never be read
+    again this frame, and the Parameter Buffer is rebuilt from scratch
+    next frame (paper Section III-D.2).
+    """
+
+    def __init__(self, l2: SetAssociativeCache, progress: TileProgress,
+                 memory: MemoryCounters | None = None) -> None:
+        super().__init__(l2, memory)
+        self.progress = progress
+
+    def access(self, address: int, is_write: bool,
+               meta: LineMeta | None = None) -> tuple[int, int]:
+        region = meta.region if meta else None
+        result = self.l2.access(address, is_write=is_write, meta=meta)
+        mem_reads = mem_writes = 0
+        if not result.hit and not result.bypassed and not is_write:
+            # Read-miss fill; write misses allocate without fetching.
+            self.memory.record(is_write=False, region=region)
+            mem_reads += 1
+        if result.bypassed:
+            self.memory.record(is_write=is_write, region=region)
+            if is_write:
+                mem_writes += 1
+            else:
+                mem_reads += 1
+        if result.evicted is not None and result.evicted.dirty:
+            if line_is_dead(result.evicted.meta, self.progress):
+                self.l2.stats.dead_writebacks_avoided += 1
+            else:
+                self.memory.record(is_write=True,
+                                   region=result.evicted.meta.region)
+                mem_writes += 1
+        return mem_reads, mem_writes
+
+    def flush(self) -> int:
+        writebacks = 0
+        for evicted in self.l2.flush():
+            if evicted.dirty:
+                if line_is_dead(evicted.meta, self.progress):
+                    self.l2.stats.dead_writebacks_avoided += 1
+                else:
+                    self.memory.record(is_write=True,
+                                       region=evicted.meta.region)
+                    writebacks += 1
+        return writebacks

@@ -1,0 +1,90 @@
+"""The Primitive List Cache (paper Section III-C.1).
+
+A conventional set-associative LRU cache in front of the PB-Lists
+section.  PB-Lists traffic is small (a 4-byte PMD per primitive per
+tile) and each block is read exactly once by the Tile Fetcher, so LRU is
+sufficient; the interleaved layout (Section III-B) removes the
+power-of-two conflicts of the baseline layout.
+"""
+
+from __future__ import annotations
+
+from repro.caches.line import LineMeta
+from repro.caches.policies.lru import LRUPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.config import CacheConfig
+from repro.geometry.traversal import TraversalOrder
+from repro.pbuffer.layout import PBListsLayout
+from repro.tcor.requests import L2Request
+from repro.workloads.trace import Region
+
+
+class PrimitiveListCache:
+    """LRU block cache over a PB-Lists layout."""
+
+    def __init__(self, config: CacheConfig, layout: PBListsLayout,
+                 rank_of_tile) -> None:
+        self.layout = layout
+        self._rank_of_tile = rank_of_tile
+        self.cache = SetAssociativeCache(
+            num_sets=config.num_sets, ways=config.associativity,
+            line_bytes=config.line_bytes, policy=LRUPolicy(),
+            name=config.name,
+        )
+        # Write-validate: a PMD append to a block whose earlier PMDs were
+        # evicted must fetch the block back to merge; first touches of the
+        # fresh per-frame buffer allocate without fetching.
+        self._written_blocks: set[int] = set()
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def _last_tile_rank_of(self, address: int) -> int | None:
+        """Dead-line tag of a PB-Lists block: the rank of its owning tile
+        (the only tile that will ever read it)."""
+        tile = self.layout.tile_of_block(address)
+        if tile is None:
+            return None
+        return self._rank_of_tile[tile]
+
+    def _lower(self, address: int, is_write: bool) -> list[L2Request]:
+        rank = self._last_tile_rank_of(address)
+        meta = LineMeta(region=Region.PB_LISTS, last_tile_rank=rank)
+        block = address - address % self.cache.line_bytes
+        result = self.cache.access(address, is_write=is_write, meta=meta)
+        requests: list[L2Request] = []
+        if not result.hit and not result.bypassed:
+            needs_fetch = not is_write or block in self._written_blocks
+            if needs_fetch:
+                requests.append(L2Request(address=address, is_write=False,
+                                          region=Region.PB_LISTS,
+                                          last_tile_rank=rank))
+        if is_write:
+            self._written_blocks.add(block)
+        if result.evicted is not None and result.evicted.dirty:
+            evicted_addr = result.evicted.tag * self.cache.line_bytes
+            requests.append(L2Request(
+                address=evicted_addr, is_write=True, region=Region.PB_LISTS,
+                last_tile_rank=result.evicted.meta.last_tile_rank,
+            ))
+        return requests
+
+    def write_pmd(self, tile_id: int, position: int) -> list[L2Request]:
+        return self._lower(self.layout.pmd_address(tile_id, position),
+                           is_write=True)
+
+    def read_pmd(self, tile_id: int, position: int) -> list[L2Request]:
+        return self._lower(self.layout.pmd_address(tile_id, position),
+                           is_write=False)
+
+    def flush(self) -> list[L2Request]:
+        requests = []
+        for evicted in self.cache.flush():
+            if evicted.dirty:
+                requests.append(L2Request(
+                    address=evicted.tag * self.cache.line_bytes,
+                    is_write=True, region=Region.PB_LISTS,
+                    last_tile_rank=evicted.meta.last_tile_rank,
+                ))
+        return requests

@@ -1,0 +1,23 @@
+"""Requests emitted by an L1 structure toward the shared L2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.trace import Region
+
+
+@dataclass(frozen=True, slots=True)
+class L2Request:
+    """One block request an L1 sends down to the L2.
+
+    ``last_tile_rank`` is the dead-line tag travelling with Parameter
+    Buffer blocks (stored in spare block bytes by the Polygon List
+    Builder, paper Section III-D.1); the TCOR L2 copies it into the
+    line's metadata.
+    """
+
+    address: int
+    is_write: bool
+    region: Region
+    last_tile_rank: int | None = None

@@ -1,0 +1,322 @@
+"""End-to-end frame simulation of the baseline and TCOR systems.
+
+Replays a workload's Tiling Engine trace (plus the background traffic
+that shares the L2) through either memory organization and reports the
+traffic counters behind Figures 14-19 and the per-structure access
+counts the energy model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.caches.hierarchy import MemoryCounters, SharedL2
+from repro.caches.line import LineMeta
+from repro.caches.policies.lru import LRUPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.config import DEFAULT_GPU, CacheConfig, GPUConfig, TCORConfig
+from repro.pbuffer.layout import (
+    ContiguousPBListsLayout,
+    InterleavedPBListsLayout,
+)
+from repro.tcor.attribute_cache import AttributeCache
+from repro.tcor.baseline_tile_cache import BaselineTileCache
+from repro.tcor.l2_policy import (
+    DeadLinePriorityPolicy,
+    TcorSharedL2,
+    TileProgress,
+    line_is_dead,
+)
+from repro.tcor.primitive_list_cache import PrimitiveListCache
+from repro.tcor.requests import L2Request
+from repro.tiling.events import (
+    AttributeRead,
+    AttributeWrite,
+    PmdRead,
+    PmdWrite,
+    TileDone,
+)
+from repro.workloads.suite import Workload
+from repro.workloads.trace import Region
+
+_PB_REGIONS = (Region.PB_LISTS, Region.PB_ATTRIBUTES)
+
+
+@dataclass
+class SystemResult:
+    """Traffic accounting of one simulated configuration."""
+
+    label: str
+    alias: str
+    pb_l2_reads: int = 0
+    pb_l2_writes: int = 0
+    pb_mm_reads: int = 0
+    pb_mm_writes: int = 0
+    mm_reads: int = 0
+    mm_writes: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dead_writebacks_avoided: int = 0
+    attr_read_hits: int = 0
+    attr_reads: int = 0
+    write_bypasses: int = 0
+    structure_accesses: dict = field(default_factory=dict)
+
+    @property
+    def pb_l2_accesses(self) -> int:
+        return self.pb_l2_reads + self.pb_l2_writes
+
+    @property
+    def pb_mm_accesses(self) -> int:
+        return self.pb_mm_reads + self.pb_mm_writes
+
+    @property
+    def mm_accesses(self) -> int:
+        return self.mm_reads + self.mm_writes
+
+    @property
+    def attr_read_hit_ratio(self) -> float:
+        return self.attr_read_hits / self.attr_reads if self.attr_reads else 0.0
+
+
+def _l2_cache(config: CacheConfig, policy) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        num_sets=config.num_sets, ways=config.associativity,
+        line_bytes=config.line_bytes, policy=policy, name=config.name,
+    )
+
+
+def _send(shared: SharedL2, requests: list[L2Request] | tuple[L2Request, ...],
+          counters: dict) -> None:
+    """Forward L1->L2 requests and count the PB ones (Figures 14/15)."""
+    for request in requests:
+        meta = LineMeta(region=request.region,
+                        last_tile_rank=request.last_tile_rank)
+        shared.access(request.address, is_write=request.is_write, meta=meta)
+        if request.region in _PB_REGIONS:
+            if request.is_write:
+                counters["pb_l2_writes"] += 1
+            else:
+                counters["pb_l2_reads"] += 1
+
+
+def _send_background(shared: SharedL2, accesses) -> None:
+    for access in accesses:
+        shared.access(access.address, is_write=access.is_write,
+                      meta=LineMeta(region=access.region))
+
+
+def _writeback_pb_lines(shared: SharedL2, progress: TileProgress | None) -> None:
+    """End of frame: the Parameter Buffer is torn down.
+
+    Dirty PB lines still in the L2 are written back (baseline) unless
+    they are dead under the TCOR enhancement — at frame end every PB
+    line is dead, so TCOR writes none of them back.
+    """
+    l2 = shared.l2
+    pb_lines = [
+        (set_index, line) for set_index, line in l2.iter_lines()
+        if line.meta.region in _PB_REGIONS
+    ]
+    for set_index, line in pb_lines:
+        evicted = l2._evict(set_index, line.tag)
+        if not evicted.dirty:
+            continue
+        if progress is not None and line_is_dead(evicted.meta, progress):
+            l2.stats.dead_writebacks_avoided += 1
+        else:
+            shared.memory.record(is_write=True, region=evicted.meta.region)
+
+
+def _finalize(result: SystemResult, shared: SharedL2,
+              counters: dict) -> SystemResult:
+    result.pb_l2_reads = counters["pb_l2_reads"]
+    result.pb_l2_writes = counters["pb_l2_writes"]
+    memory = shared.memory
+    result.pb_mm_reads = sum(memory.region_reads(r) for r in _PB_REGIONS)
+    result.pb_mm_writes = sum(memory.region_writes(r) for r in _PB_REGIONS)
+    result.mm_reads = memory.reads
+    result.mm_writes = memory.writes
+    result.l2_accesses = shared.l2.stats.accesses
+    result.l2_misses = shared.l2.stats.misses
+    result.dead_writebacks_avoided = shared.l2.stats.dead_writebacks_avoided
+    return result
+
+
+def simulate_baseline(workload: Workload,
+                      gpu: GPUConfig | None = None,
+                      tile_cache_bytes: int | None = None,
+                      include_background: bool = True) -> SystemResult:
+    """The paper's baseline: unified LRU Tile Cache, contiguous PB-Lists
+    layout, LRU L2 with no dead-line awareness."""
+    gpu = gpu or DEFAULT_GPU
+    if tile_cache_bytes is not None:
+        gpu = gpu.with_tile_cache_size(tile_cache_bytes)
+    shared = SharedL2(_l2_cache(gpu.l2_cache, LRUPolicy()), MemoryCounters())
+    counters = {"pb_l2_reads": 0, "pb_l2_writes": 0}
+    result = SystemResult(label="baseline", alias=workload.spec.alias)
+    tile_cache_accesses = 0
+
+    for trace in workload.traces:
+        pb = trace.pb
+        layout = ContiguousPBListsLayout(workload.screen.num_tiles, pb.pbuffer)
+        tile_cache = BaselineTileCache(gpu.tile_cache, layout, pb.attributes,
+                                       pb.rank_of_tile)
+        for event in trace.build_events:
+            if isinstance(event, PmdWrite):
+                _send(shared, tile_cache.write_pmd(event.tile_id,
+                                                   event.position),
+                      counters)
+            elif isinstance(event, AttributeWrite):
+                if include_background:
+                    _send_background(
+                        shared,
+                        workload.background.primitive_accesses(
+                            event.primitive_id),
+                    )
+                _send(shared, tile_cache.write_attributes(event.primitive_id),
+                      counters)
+        for event in trace.fetch_events:
+            if isinstance(event, PmdRead):
+                _send(shared, tile_cache.read_pmd(event.tile_id,
+                                                  event.position),
+                      counters)
+            elif isinstance(event, AttributeRead):
+                result.attr_reads += 1
+                _send(shared, tile_cache.read_attributes(event.primitive_id),
+                      counters)
+            elif isinstance(event, TileDone):
+                if include_background:
+                    _send_background(
+                        shared,
+                        workload.background.tile_accesses(event.tile_id),
+                    )
+                    # Transaction elimination: tiles with no geometry are
+                    # unchanged and never flushed to the Frame Buffer.
+                    if pb.list_length(event.tile_id):
+                        for _ in range(workload.background
+                                       .framebuffer_writes_per_tile()):
+                            shared.memory.record(is_write=True,
+                                                 region=Region.FRAMEBUFFER)
+        _send(shared, tile_cache.flush(), counters)
+        tile_cache_accesses += tile_cache.stats.accesses
+        _writeback_pb_lines(shared, progress=None)
+
+    result.structure_accesses = {
+        "tile_cache": tile_cache_accesses,
+        "l2": shared.l2.stats.accesses,
+        "dram": shared.memory.accesses,
+    }
+    if include_background:
+        result.structure_accesses.update(
+            workload.background.l1_access_estimates(workload.num_primitives)
+        )
+    return _finalize(result, shared, counters)
+
+
+def simulate_tcor(workload: Workload,
+                  gpu: GPUConfig | None = None,
+                  tcor: TCORConfig | None = None,
+                  total_tile_cache_bytes: int | None = None,
+                  l2_enhancements: bool = True,
+                  interleaved_lists: bool = True,
+                  include_background: bool = True) -> SystemResult:
+    """TCOR: split Tile Cache (LRU Primitive List Cache + OPT Attribute
+    Cache), interleaved PB-Lists, and optionally the dead-line L2."""
+    gpu = gpu or DEFAULT_GPU
+    if tcor is None:
+        tcor = (TCORConfig.for_total_size(total_tile_cache_bytes)
+                if total_tile_cache_bytes is not None else TCORConfig())
+    progress = TileProgress()
+    if l2_enhancements:
+        policy = DeadLinePriorityPolicy(progress)
+        shared: SharedL2 = TcorSharedL2(_l2_cache(gpu.l2_cache, policy),
+                                        progress, MemoryCounters())
+    else:
+        shared = SharedL2(_l2_cache(gpu.l2_cache, LRUPolicy()),
+                          MemoryCounters())
+    counters = {"pb_l2_reads": 0, "pb_l2_writes": 0}
+    label = "tcor" if l2_enhancements else "tcor_no_l2"
+    result = SystemResult(label=label, alias=workload.spec.alias)
+    pl_accesses = 0
+    pb_buffer_ops = 0
+    attr_entries_moved = 0
+
+    layout_cls = (InterleavedPBListsLayout if interleaved_lists
+                  else ContiguousPBListsLayout)
+
+    for trace in workload.traces:
+        pb = trace.pb
+        progress.reset()
+        layout = layout_cls(workload.screen.num_tiles, pb.pbuffer)
+        pl_cache = PrimitiveListCache(tcor.primitive_list_cache, layout,
+                                      pb.rank_of_tile)
+        attr_cache = AttributeCache(
+            tcor, pb.attributes,
+            inflight_window=gpu.tiling.output_queue_entries,
+        )
+        for event in trace.build_events:
+            if isinstance(event, PmdWrite):
+                _send(shared, pl_cache.write_pmd(event.tile_id,
+                                                 event.position), counters)
+            elif isinstance(event, AttributeWrite):
+                if include_background:
+                    _send_background(
+                        shared,
+                        workload.background.primitive_accesses(
+                            event.primitive_id),
+                    )
+                outcome = attr_cache.write(
+                    event.primitive_id, event.num_attributes,
+                    event.opt_number, event.last_use_rank,
+                )
+                pb_buffer_ops += 1
+                attr_entries_moved += event.num_attributes
+                _send(shared, outcome.l2_requests, counters)
+        for event in trace.fetch_events:
+            if isinstance(event, PmdRead):
+                _send(shared, pl_cache.read_pmd(event.tile_id,
+                                                event.position), counters)
+            elif isinstance(event, AttributeRead):
+                outcome = attr_cache.read(
+                    event.primitive_id, event.num_attributes,
+                    event.opt_number, event.last_use_rank,
+                )
+                result.attr_reads += 1
+                if outcome.hit:
+                    result.attr_read_hits += 1
+                pb_buffer_ops += 1
+                attr_entries_moved += 2 * event.num_attributes
+                _send(shared, outcome.l2_requests, counters)
+            elif isinstance(event, TileDone):
+                progress.tile_done(event.tile_rank)
+                if include_background:
+                    _send_background(
+                        shared,
+                        workload.background.tile_accesses(event.tile_id),
+                    )
+                    # Transaction elimination (see the baseline path).
+                    if pb.list_length(event.tile_id):
+                        for _ in range(workload.background
+                                       .framebuffer_writes_per_tile()):
+                            shared.memory.record(is_write=True,
+                                                 region=Region.FRAMEBUFFER)
+        _send(shared, attr_cache.flush(), counters)
+        _send(shared, pl_cache.flush(), counters)
+        pl_accesses += pl_cache.stats.accesses
+        result.write_bypasses += attr_cache.stats.write_bypasses
+        _writeback_pb_lines(shared,
+                            progress if l2_enhancements else None)
+
+    result.structure_accesses = {
+        "primitive_list_cache": pl_accesses,
+        "primitive_buffer": pb_buffer_ops,
+        "attribute_buffer": attr_entries_moved,
+        "l2": shared.l2.stats.accesses,
+        "dram": shared.memory.accesses,
+    }
+    if include_background:
+        result.structure_accesses.update(
+            workload.background.l1_access_estimates(workload.num_primitives)
+        )
+    return _finalize(result, shared, counters)

@@ -1,0 +1,23 @@
+"""Texture subsystem: mipmapped textures, samplers and texel traffic.
+
+The GPU of Figure 5 keeps textures in main memory behind four texture
+L1s.  The main traffic model (`repro.workloads.background`) abstracts
+this to calibrated per-tile L2 pressure; this package builds the real
+thing — UV interpolation over rasterized fragments, mip selection,
+bilinear footprints, texel addressing — so the abstraction can be
+*validated* against ground truth (see
+``tests/test_textures.py::TestTrafficShape``), and so the rendering
+examples can actually texture their pixels.
+"""
+
+from repro.textures.texture import MipmappedTexture, TextureLayout
+from repro.textures.sampler import SampleFootprint, TextureSampler
+from repro.textures.traffic import texel_trace_for_tile
+
+__all__ = [
+    "MipmappedTexture",
+    "SampleFootprint",
+    "TextureLayout",
+    "TextureSampler",
+    "texel_trace_for_tile",
+]

@@ -1,0 +1,58 @@
+"""Texture sampling: UV -> mip level -> bilinear texel footprint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.textures.texture import MipmappedTexture
+
+
+@dataclass(frozen=True)
+class SampleFootprint:
+    """The block addresses one bilinear sample touches."""
+
+    level: int
+    addresses: tuple[int, ...]
+
+
+class TextureSampler:
+    """Bilinear, mipmapped sampler with wrap addressing.
+
+    ``texels_per_pixel`` (the UV derivative magnitude in level-0 texels)
+    selects the mip level, exactly how hardware LOD works; the quad
+    structure of the rasterizer exists to provide those derivatives.
+    """
+
+    def __init__(self, texture: MipmappedTexture) -> None:
+        self.texture = texture
+        self.samples = 0
+        self.blocks_touched = 0
+
+    def sample(self, u: float, v: float,
+               texels_per_pixel: float = 1.0) -> SampleFootprint:
+        """Footprint of one bilinear sample at (u, v) in [0, 1)^2."""
+        level_index = self.texture.level_for_footprint(texels_per_pixel)
+        level = self.texture.level(level_index)
+        # Wrap addressing.
+        u %= 1.0
+        v %= 1.0
+        x = u * level.width - 0.5
+        y = v * level.height - 0.5
+        x0 = int(x) % level.width
+        y0 = int(y) % level.height
+        x1 = (x0 + 1) % level.width
+        y1 = (y0 + 1) % level.height
+        addresses = {
+            level.texel_address(x0, y0),
+            level.texel_address(x1, y0),
+            level.texel_address(x0, y1),
+            level.texel_address(x1, y1),
+        }
+        self.samples += 1
+        self.blocks_touched += len(addresses)
+        return SampleFootprint(level=level_index,
+                               addresses=tuple(sorted(addresses)))
+
+    @property
+    def blocks_per_sample(self) -> float:
+        return self.blocks_touched / self.samples if self.samples else 0.0

@@ -1,0 +1,91 @@
+"""Mipmapped texture storage and addressing.
+
+A texture is a pyramid of power-of-two levels stored contiguously in
+texture memory, each level tiled into 64-byte blocks (4x4 texels at
+4 bytes/texel) — the block-linear arrangement GPUs use so that a
+bilinear footprint touches few cache lines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+BYTES_PER_TEXEL = 4
+BLOCK_BYTES = 64
+# 4x4 texels of 4 bytes fill one 64-byte block.
+BLOCK_SPAN = 4
+
+
+@dataclass(frozen=True)
+class TextureLayout:
+    """Address layout of one mip level (block-linear)."""
+
+    base: int
+    width: int
+    height: int
+
+    @property
+    def blocks_x(self) -> int:
+        return max(1, (self.width + BLOCK_SPAN - 1) // BLOCK_SPAN)
+
+    @property
+    def blocks_y(self) -> int:
+        return max(1, (self.height + BLOCK_SPAN - 1) // BLOCK_SPAN)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.blocks_x * self.blocks_y * BLOCK_BYTES
+
+    def texel_address(self, x: int, y: int) -> int:
+        """Block-aligned address of the block containing texel (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"texel ({x}, {y}) outside "
+                             f"{self.width}x{self.height}")
+        block = (y // BLOCK_SPAN) * self.blocks_x + (x // BLOCK_SPAN)
+        return self.base + block * BLOCK_BYTES
+
+
+class MipmappedTexture:
+    """A full mip pyramid with contiguous level storage."""
+
+    def __init__(self, base_address: int, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("texture dimensions must be positive")
+        if width & (width - 1) or height & (height - 1):
+            raise ValueError("texture dimensions must be powers of two")
+        self.width = width
+        self.height = height
+        self.levels: list[TextureLayout] = []
+        offset = base_address
+        w, h = width, height
+        while True:
+            level = TextureLayout(base=offset, width=w, height=h)
+            self.levels.append(level)
+            offset += level.size_bytes
+            if w == 1 and h == 1:
+                break
+            w = max(1, w // 2)
+            h = max(1, h // 2)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(level.size_bytes for level in self.levels)
+
+    def level_for_footprint(self, texels_per_pixel: float) -> int:
+        """Mip level whose texel density matches the screen footprint.
+
+        ``texels_per_pixel`` is the edge length of the pixel's footprint
+        in level-0 texels; LOD = log2 of that, clamped to the pyramid.
+        """
+        if texels_per_pixel <= 1.0:
+            return 0
+        lod = int(math.floor(math.log2(texels_per_pixel)))
+        return min(lod, self.num_levels - 1)
+
+    def level(self, index: int) -> TextureLayout:
+        return self.levels[index]

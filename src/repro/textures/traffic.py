@@ -1,0 +1,44 @@
+"""Ground-truth texel traffic from rasterized fragments.
+
+Rasterizes a tile's primitives, derives each fragment's UV (planar
+screen-space mapping per primitive, the common case for world-space
+surfaces) and its level-of-detail, samples the texture, and returns the
+block-address stream the four texture L1s would see.
+
+This is the validation path for the calibrated background model: the
+*shape* of real texel traffic — tile-local streaming plus cross-tile
+mip-tail reuse — is exactly what
+:class:`repro.workloads.background.BackgroundTrafficModel` postulates.
+"""
+
+from __future__ import annotations
+
+from repro.config import ScreenConfig
+from repro.geometry.scene import Scene
+from repro.raster.rasterizer import rasterize_in_tile
+from repro.textures.sampler import TextureSampler
+from repro.textures.texture import MipmappedTexture
+
+
+def texel_trace_for_tile(scene: Scene, tile_id: int,
+                         texture: MipmappedTexture,
+                         uv_scale: float = 1.0 / 512.0,
+                         texels_per_pixel: float = 1.0) -> list[int]:
+    """Block addresses touched while texturing one tile.
+
+    ``uv_scale`` maps screen pixels to UV space (a world-anchored planar
+    mapping shared by all primitives keeps adjacent tiles sampling
+    adjacent texture regions — the locality the L2 exploits).
+    """
+    sampler = TextureSampler(texture)
+    addresses: list[int] = []
+    for prim_id in scene.tile_lists()[tile_id]:
+        prim = scene.primitives[prim_id]
+        for quad in rasterize_in_tile(prim, scene.screen, tile_id):
+            for fragment in quad.fragments():
+                footprint = sampler.sample(
+                    fragment.x * uv_scale, fragment.y * uv_scale,
+                    texels_per_pixel=texels_per_pixel,
+                )
+                addresses.extend(footprint.addresses)
+    return addresses

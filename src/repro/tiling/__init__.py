@@ -1,0 +1,35 @@
+"""The Tiling Engine: Polygon List Builder and Tile Fetcher.
+
+This package turns a binned scene into the *logical* access stream the
+Tile Cache sees: PMD writes and attribute writes during binning, then
+PMD reads and primitive-granularity attribute reads tile by tile.  The
+baseline and TCOR systems lower the same logical stream to their own
+cache organizations, which is exactly the paper's experimental setup.
+"""
+
+from repro.tiling.events import (
+    AttributeRead,
+    AttributeWrite,
+    PmdRead,
+    PmdWrite,
+    TileDone,
+    TilingEvent,
+)
+from repro.tiling.queues import BoundedQueue
+from repro.tiling.polygon_list_builder import PolygonListBuilder
+from repro.tiling.tile_fetcher import TileFetcher
+from repro.tiling.engine import TilingEngine, TilingTrace
+
+__all__ = [
+    "AttributeRead",
+    "AttributeWrite",
+    "BoundedQueue",
+    "PmdRead",
+    "PmdWrite",
+    "PolygonListBuilder",
+    "TileDone",
+    "TileFetcher",
+    "TilingEngine",
+    "TilingEvent",
+    "TilingTrace",
+]

@@ -1,0 +1,68 @@
+"""Tiling Engine orchestration: one frame's full logical trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ParameterBufferConfig
+from repro.geometry.scene import Scene
+from repro.geometry.traversal import TraversalOrder
+from repro.pbuffer.builder import ParameterBuffer, build_parameter_buffer
+from repro.tiling.events import (
+    AttributeRead,
+    AttributeWrite,
+    PmdRead,
+    PmdWrite,
+    TilingEvent,
+)
+from repro.tiling.polygon_list_builder import PolygonListBuilder
+from repro.tiling.tile_fetcher import TileFetcher
+
+
+@dataclass
+class TilingTrace:
+    """The Parameter Buffer access stream of one frame.
+
+    ``build_events`` is the binning phase (Polygon List Builder),
+    ``fetch_events`` the tile-reading phase (Tile Fetcher, with
+    ``TileDone`` markers).  The phases never interleave: the PB is built
+    and used up in consecutive pipeline stages (paper Section I).
+    """
+
+    pb: ParameterBuffer
+    build_events: list[TilingEvent]
+    fetch_events: list[TilingEvent]
+
+    @property
+    def num_binned_primitives(self) -> int:
+        return sum(isinstance(e, AttributeWrite) for e in self.build_events)
+
+    @property
+    def num_primitive_reads(self) -> int:
+        return sum(isinstance(e, AttributeRead) for e in self.fetch_events)
+
+    @property
+    def num_pmd_writes(self) -> int:
+        return sum(isinstance(e, PmdWrite) for e in self.build_events)
+
+    @property
+    def num_pmd_reads(self) -> int:
+        return sum(isinstance(e, PmdRead) for e in self.fetch_events)
+
+
+class TilingEngine:
+    """Builds the Parameter Buffer and produces both phases' streams."""
+
+    def __init__(self, scene: Scene,
+                 order: TraversalOrder = TraversalOrder.Z_ORDER,
+                 pbuffer: ParameterBufferConfig | None = None) -> None:
+        self.scene = scene
+        self.order = order
+        self.pb = build_parameter_buffer(scene, order, pbuffer)
+
+    def trace(self) -> TilingTrace:
+        return TilingTrace(
+            pb=self.pb,
+            build_events=PolygonListBuilder(self.pb).event_list(),
+            fetch_events=TileFetcher(self.pb).event_list(),
+        )

@@ -1,0 +1,75 @@
+"""Logical Tiling Engine events.
+
+The Tiling Engine's two stages emit these; cache systems lower them to
+byte-addressed accesses.  Keeping the stream logical lets one trace
+drive both the baseline (block-granularity unified Tile Cache) and TCOR
+(split caches, primitive-granularity Attribute Cache) — and the timing
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.pbuffer.pmd import TcorPMD
+
+
+@dataclass(frozen=True, slots=True)
+class PmdWrite:
+    """Polygon List Builder appends a PMD to a tile's list."""
+
+    tile_id: int
+    position: int
+    pmd: TcorPMD
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeWrite:
+    """Polygon List Builder writes all attributes of one primitive.
+
+    ``opt_number`` is the traversal rank of the first tile that will read
+    the primitive (paper Section III-C.4); ``last_use_rank`` is the
+    dead-line tag stored in the attribute blocks' spare bytes.
+    """
+
+    primitive_id: int
+    num_attributes: int
+    opt_number: int
+    last_use_rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class PmdRead:
+    """Tile Fetcher reads one PMD from the current tile's list."""
+
+    tile_id: int
+    tile_rank: int
+    position: int
+    pmd: TcorPMD
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeRead:
+    """Tile Fetcher requests a primitive's attributes for the Rasterizer.
+
+    ``opt_number`` comes from the PMD just read: the rank of the *next*
+    tile that uses this primitive after the current one.
+    """
+
+    primitive_id: int
+    num_attributes: int
+    opt_number: int
+    tile_rank: int
+    last_use_rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class TileDone:
+    """Tile Fetcher finished a tile (the L2 tile-progress signal)."""
+
+    tile_id: int
+    tile_rank: int
+
+
+TilingEvent = Union[PmdWrite, AttributeWrite, PmdRead, AttributeRead, TileDone]

@@ -1,0 +1,38 @@
+"""Polygon List Builder event stream (binning phase).
+
+For each primitive in program order the builder emits the PMD write for
+every overlapped tile, then one logical attribute write covering all of
+the primitive's attributes (paper Section II-C).  Clipped primitives
+(overlapping no tile) are dropped before binning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.pbuffer.builder import ParameterBuffer
+from repro.tiling.events import AttributeWrite, PmdWrite, TilingEvent
+
+
+class PolygonListBuilder:
+    """Generates the binning-phase access stream from a built PB."""
+
+    def __init__(self, pb: ParameterBuffer) -> None:
+        self.pb = pb
+
+    def events(self) -> Iterator[TilingEvent]:
+        for record, slots in zip(self.pb.records, self.pb.slots_by_primitive):
+            if not slots:
+                continue  # clipped: overlaps no tile
+            for slot in slots:
+                yield PmdWrite(tile_id=slot.tile_id, position=slot.position,
+                               pmd=slot.pmd)
+            yield AttributeWrite(
+                primitive_id=record.primitive_id,
+                num_attributes=record.num_attributes,
+                opt_number=record.first_use_rank,
+                last_use_rank=record.last_use_rank,
+            )
+
+    def event_list(self) -> list[TilingEvent]:
+        return list(self.events())

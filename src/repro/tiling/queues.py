@@ -1,0 +1,57 @@
+"""Bounded FIFO queues with occupancy statistics.
+
+The Tiling Engine's stages communicate through FIFOs (paper Figure 2);
+the throughput experiment (Figures 23/24) resizes the Tile Fetcher's
+output queue to unlimited, which ``capacity=None`` models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with optional capacity and high-water tracking."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+        self.rejected_pushes = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: T) -> bool:
+        """Append; returns False (and counts a rejection) when full."""
+        if self.full:
+            self.rejected_pushes += 1
+            return False
+        self._items.append(item)
+        self.total_pushed += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+        return True
+
+    def pop(self) -> T:
+        if not self._items:
+            raise IndexError("pop from empty queue")
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        if not self._items:
+            raise IndexError("peek at empty queue")
+        return self._items[0]

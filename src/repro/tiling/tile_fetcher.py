@@ -1,0 +1,45 @@
+"""Tile Fetcher event stream (tile-reading phase).
+
+The fetcher walks tiles in the fixed traversal order.  For each tile it
+reads the tile's PMDs in list order; each PMD yields an attribute read
+request carrying the PMD's OPT Number (the rank of the next tile that
+will use the primitive).  A ``TileDone`` event closes every tile — the
+signal the TCOR L2 uses to advance its dead-line horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.geometry.traversal import tile_traversal
+from repro.pbuffer.builder import ParameterBuffer
+from repro.tiling.events import AttributeRead, PmdRead, TileDone, TilingEvent
+
+
+class TileFetcher:
+    """Generates the fetch-phase access stream from a built PB."""
+
+    def __init__(self, pb: ParameterBuffer) -> None:
+        self.pb = pb
+        self._traversal = tile_traversal(pb.scene.screen, pb.order)
+
+    def events(self) -> Iterator[TilingEvent]:
+        last_tile_of = {
+            record.primitive_id: record.last_use_rank
+            for record in self.pb.records
+        }
+        for rank, tile_id in enumerate(self._traversal):
+            for slot in self.pb.tile_lists[tile_id]:
+                yield PmdRead(tile_id=tile_id, tile_rank=rank,
+                              position=slot.position, pmd=slot.pmd)
+                yield AttributeRead(
+                    primitive_id=slot.pmd.primitive_id,
+                    num_attributes=slot.pmd.num_attributes,
+                    opt_number=slot.pmd.opt_number,
+                    tile_rank=rank,
+                    last_use_rank=last_tile_of[slot.pmd.primitive_id],
+                )
+            yield TileDone(tile_id=tile_id, tile_rank=rank)
+
+    def event_list(self) -> list[TilingEvent]:
+        return list(self.events())

@@ -1,0 +1,75 @@
+"""Parallel Renderers — the paper's future-work extension.
+
+The conclusion argues TCOR's faster Tiling Engine "opens the door to
+more aggressive Raster Pipeline implementations, including the use of
+Parallel Renderers".  This model quantifies the claim: N renderers
+consume tiles concurrently (TBR tiles are disjoint, the original
+motivation for the architecture), each demanding primitives at some
+rate; the Tiling Engine feeds them at its measured primitives-per-cycle.
+
+The question the model answers: *how many renderers can each Tiling
+Engine sustain before it becomes the bottleneck?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.tiling_timing import ThroughputResult
+
+# A renderer consumes primitives as fast as it shades their fragments;
+# with ~200 fragments/primitive and ~4 pixels/cycle of shading throughput
+# a single renderer draws roughly one primitive every 50 cycles.
+DEFAULT_RENDERER_DEMAND_PPC = 0.02
+
+
+@dataclass(frozen=True)
+class ParallelRenderingEstimate:
+    """Feeding N renderers from one Tiling Engine."""
+
+    tiling_ppc: float
+    renderer_demand_ppc: float
+    num_renderers: int
+
+    @property
+    def demand_ppc(self) -> float:
+        return self.renderer_demand_ppc * self.num_renderers
+
+    @property
+    def renderer_utilization(self) -> float:
+        """Fraction of renderer capacity the Tiling Engine can feed."""
+        if self.demand_ppc == 0:
+            return 1.0
+        return min(1.0, self.tiling_ppc / self.demand_ppc)
+
+    @property
+    def tiling_bound(self) -> bool:
+        return self.renderer_utilization < 1.0
+
+    @property
+    def frame_speedup_vs_one_renderer(self) -> float:
+        """Throughput gain over a single renderer, respecting the feed."""
+        effective = min(self.demand_ppc, self.tiling_ppc)
+        single = min(self.renderer_demand_ppc, self.tiling_ppc)
+        return effective / single if single else 0.0
+
+
+def sustainable_renderers(tiling: ThroughputResult,
+                          renderer_demand_ppc: float
+                          = DEFAULT_RENDERER_DEMAND_PPC) -> int:
+    """Largest N the measured Tiling Engine keeps fully busy."""
+    if renderer_demand_ppc <= 0:
+        raise ValueError("renderer demand must be positive")
+    return max(1, int(tiling.primitives_per_cycle / renderer_demand_ppc))
+
+
+def estimate(tiling: ThroughputResult, num_renderers: int,
+             renderer_demand_ppc: float = DEFAULT_RENDERER_DEMAND_PPC
+             ) -> ParallelRenderingEstimate:
+    if num_renderers <= 0:
+        raise ValueError("need at least one renderer")
+    return ParallelRenderingEstimate(
+        tiling_ppc=tiling.primitives_per_cycle,
+        renderer_demand_ppc=renderer_demand_ppc,
+        num_renderers=num_renderers,
+    )

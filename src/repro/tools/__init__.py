@@ -1,0 +1,11 @@
+"""Developer tooling: trace export/import and workload inspection."""
+
+from repro.tools.trace_io import (
+    dump_trace,
+    load_trace,
+    trace_to_records,
+)
+from repro.tools.inspect_workload import inspect as inspect_workload
+
+__all__ = ["dump_trace", "inspect_workload", "load_trace",
+           "trace_to_records"]

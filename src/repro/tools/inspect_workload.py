@@ -1,0 +1,92 @@
+"""Workload inspector CLI.
+
+Prints the characterization a GPU architect wants before simulating:
+footprints, densities, list-length and reuse histograms, and the OPT
+Number statistics that determine how much headroom the replacement
+policy has.
+
+Usage::
+
+    python -m repro.tools.inspect_workload --benchmark DDS --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from repro.workloads.suite import BENCHMARKS, build_workload
+
+MIB = 1024 * 1024
+
+
+def _histogram_line(counter: Counter, buckets: list[int]) -> str:
+    parts = []
+    previous = 0
+    for bucket in buckets:
+        count = sum(v for k, v in counter.items() if previous < k <= bucket)
+        parts.append(f"<={bucket}:{count}")
+        previous = bucket
+    overflow = sum(v for k, v in counter.items() if k > buckets[-1])
+    parts.append(f">{buckets[-1]}:{overflow}")
+    return "  ".join(parts)
+
+
+def inspect(alias: str, scale: float) -> str:
+    spec = BENCHMARKS[alias]
+    workload = build_workload(spec, scale=scale)
+    pb = workload.traces[0].pb
+    lines = [f"=== {spec.name} ({alias}) at scale {scale} ==="]
+    lines.append(f"genre: {spec.genre} ({'2D' if spec.is_2d else '3D'}), "
+                 f"{spec.installs_millions}M installs")
+    lines.append(f"primitives: {workload.num_primitives} "
+                 f"(paper-scale: {spec.num_primitives()})")
+    lines.append(f"PB footprint: {pb.footprint_bytes() / MIB:.3f} MiB "
+                 f"(paper: {spec.pb_footprint_mib} MiB at scale 1.0)")
+    lines.append(f"measured reuse: {workload.measured_reuse():.2f} "
+                 f"(paper: {spec.avg_reuse})")
+
+    list_lengths = Counter(len(lst) for lst in pb.tile_lists if lst)
+    occupied = sum(list_lengths.values())
+    total_pmds = pb.total_pmds()
+    lines.append(f"tiles occupied: {occupied}/{workload.screen.num_tiles} "
+                 f"({total_pmds / max(1, occupied):.1f} prims/occupied tile)")
+    lines.append("list lengths:  "
+                 + _histogram_line(list_lengths, [1, 2, 4, 8, 16, 32]))
+
+    reuse = Counter(len(record.use_ranks)
+                    for record in pb.binned_primitives())
+    lines.append("prim reuse:    " + _histogram_line(reuse, [1, 2, 4, 8, 16]))
+
+    # OPT Number headroom: distance (in tiles) to each PMD's next use.
+    distances = Counter()
+    for tile_list in pb.tile_lists:
+        for slot in tile_list:
+            if slot.pmd.opt_number == NO_NEXT_TILE:
+                distances[-1] += 1
+            else:
+                current = pb.rank_of_tile[slot.tile_id]
+                distances[slot.pmd.opt_number - current] += 1
+    last_uses = distances.pop(-1, 0)
+    lines.append("next-use dist: "
+                 + _histogram_line(distances, [1, 4, 16, 64, 256]))
+    lines.append(f"last uses (no next tile): {last_uses} "
+                 f"({100 * last_uses / max(1, total_pmds):.0f}% of PMDs — "
+                 "each is a line OPT can retire instantly)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Inspect a workload")
+    parser.add_argument("--benchmark", default="CCS",
+                        choices=sorted(BENCHMARKS))
+    parser.add_argument("--scale", type=float, default=0.2)
+    args = parser.parse_args(argv)
+    print(inspect(args.benchmark, args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

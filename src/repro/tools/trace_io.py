@@ -1,0 +1,150 @@
+"""Tiling Engine trace export/import (JSON Lines).
+
+Lets the Parameter Buffer access stream leave the library: dump a
+workload's logical trace to a ``.jsonl`` file for external tooling (or
+archival, so an experiment can be replayed without regenerating the
+scene), and load such a file back into event objects.
+
+CLI::
+
+    python -m repro.tools.trace_io dump --benchmark CCS --scale 0.1 \\
+        --out ccs_trace.jsonl
+    python -m repro.tools.trace_io stats ccs_trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, TextIO
+
+from repro.pbuffer.pmd import TcorPMD
+from repro.tiling.events import (
+    AttributeRead,
+    AttributeWrite,
+    PmdRead,
+    PmdWrite,
+    TileDone,
+    TilingEvent,
+)
+from repro.tiling.engine import TilingTrace
+
+
+def _event_record(phase: str, event: TilingEvent) -> dict:
+    if isinstance(event, PmdWrite):
+        return {"phase": phase, "kind": "pmd_write",
+                "tile": event.tile_id, "position": event.position,
+                "pmd": event.pmd.encode()}
+    if isinstance(event, AttributeWrite):
+        return {"phase": phase, "kind": "attr_write",
+                "primitive": event.primitive_id,
+                "attrs": event.num_attributes,
+                "opt": event.opt_number, "last": event.last_use_rank}
+    if isinstance(event, PmdRead):
+        return {"phase": phase, "kind": "pmd_read",
+                "tile": event.tile_id, "rank": event.tile_rank,
+                "position": event.position, "pmd": event.pmd.encode()}
+    if isinstance(event, AttributeRead):
+        return {"phase": phase, "kind": "attr_read",
+                "primitive": event.primitive_id,
+                "attrs": event.num_attributes, "opt": event.opt_number,
+                "rank": event.tile_rank, "last": event.last_use_rank}
+    if isinstance(event, TileDone):
+        return {"phase": phase, "kind": "tile_done",
+                "tile": event.tile_id, "rank": event.tile_rank}
+    raise TypeError(f"unknown event type: {type(event).__name__}")
+
+
+def _record_event(record: dict) -> TilingEvent:
+    kind = record["kind"]
+    if kind == "pmd_write":
+        from repro.pbuffer.pmd import decode_tcor_pmd
+        return PmdWrite(tile_id=record["tile"], position=record["position"],
+                        pmd=decode_tcor_pmd(record["pmd"]))
+    if kind == "attr_write":
+        return AttributeWrite(primitive_id=record["primitive"],
+                              num_attributes=record["attrs"],
+                              opt_number=record["opt"],
+                              last_use_rank=record["last"])
+    if kind == "pmd_read":
+        from repro.pbuffer.pmd import decode_tcor_pmd
+        return PmdRead(tile_id=record["tile"], tile_rank=record["rank"],
+                       position=record["position"],
+                       pmd=decode_tcor_pmd(record["pmd"]))
+    if kind == "attr_read":
+        return AttributeRead(primitive_id=record["primitive"],
+                             num_attributes=record["attrs"],
+                             opt_number=record["opt"],
+                             tile_rank=record["rank"],
+                             last_use_rank=record["last"])
+    if kind == "tile_done":
+        return TileDone(tile_id=record["tile"], tile_rank=record["rank"])
+    raise ValueError(f"unknown event kind: {kind!r}")
+
+
+def trace_to_records(trace: TilingTrace) -> Iterable[dict]:
+    for event in trace.build_events:
+        yield _event_record("build", event)
+    for event in trace.fetch_events:
+        yield _event_record("fetch", event)
+
+
+def dump_trace(trace: TilingTrace, stream: TextIO) -> int:
+    """Write a trace as JSON Lines; returns the record count."""
+    count = 0
+    for record in trace_to_records(trace):
+        stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def load_trace(stream: TextIO) -> tuple[list[TilingEvent], list[TilingEvent]]:
+    """Read a dumped trace; returns (build_events, fetch_events)."""
+    build: list[TilingEvent] = []
+    fetch: list[TilingEvent] = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        event = _record_event(record)
+        (build if record["phase"] == "build" else fetch).append(event)
+    return build, fetch
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Export/inspect Tiling Engine traces")
+    sub = parser.add_subparsers(dest="command", required=True)
+    dump = sub.add_parser("dump", help="generate and export a trace")
+    dump.add_argument("--benchmark", default="CCS")
+    dump.add_argument("--scale", type=float, default=0.1)
+    dump.add_argument("--out", required=True)
+    stats = sub.add_parser("stats", help="summarize a dumped trace")
+    stats.add_argument("path")
+    args = parser.parse_args(argv)
+
+    if args.command == "dump":
+        from repro.workloads.suite import BENCHMARKS, build_workload
+        workload = build_workload(BENCHMARKS[args.benchmark],
+                                  scale=args.scale)
+        with open(args.out, "w") as handle:
+            count = dump_trace(workload.traces[0], handle)
+        print(f"wrote {count} events to {args.out}")
+        return 0
+
+    with open(args.path) as handle:
+        build, fetch = load_trace(handle)
+    kinds: dict[str, int] = {}
+    for event in build + fetch:
+        name = type(event).__name__
+        kinds[name] = kinds.get(name, 0) + 1
+    print(f"{len(build)} build events, {len(fetch)} fetch events")
+    for name, count in sorted(kinds.items()):
+        print(f"  {name}: {count}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Library self-check: fast invariant validation in one command.
+
+``python -m repro.validate`` runs a battery of cross-module invariants
+on a small workload — the checks a release pipeline or a fresh install
+wants before trusting experiment output.  Each check prints PASS/FAIL;
+the exit code is the number of failures.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+from repro.analysis import attribute_access_trace, lower_bound_ratio, \
+    primitives_capacity, policy_miss_ratio
+from repro.caches.mattson import lru_miss_curve
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.timing import tile_fetcher_throughput
+from repro.workloads import BENCHMARKS, build_workload
+
+
+def _check_workload_calibration(workload) -> None:
+    spec = workload.spec
+    measured = workload.measured_reuse()
+    if abs(measured - spec.avg_reuse) / spec.avg_reuse > 0.25:
+        raise AssertionError(
+            f"reuse {measured:.2f} vs published {spec.avg_reuse}")
+
+
+def _check_opt_bounds(workload) -> None:
+    trace = attribute_access_trace(workload)
+    mean_attrs = workload.scenes[0].average_attributes()
+    capacity = primitives_capacity(8 * 1024, mean_attrs)
+    opt = policy_miss_ratio(trace, capacity, "belady")
+    lru = policy_miss_ratio(trace, capacity, "lru")
+    bound = lower_bound_ratio(len(set(trace)), capacity, len(trace))
+    if not (bound - 1e-9 <= opt <= lru + 1e-9):
+        raise AssertionError(f"bound {bound:.3f} <= opt {opt:.3f} "
+                             f"<= lru {lru:.3f} violated")
+
+
+def _check_mattson(workload) -> None:
+    trace = attribute_access_trace(workload)
+    curve = lru_miss_curve(trace, [4, 16, 64])
+    direct = {c: round(policy_miss_ratio(trace, c, "lru") * len(trace))
+              for c in (4, 16, 64)}
+    for capacity in (4, 16, 64):
+        if curve[capacity] != direct[capacity]:
+            raise AssertionError(
+                f"Mattson {curve[capacity]} != direct {direct[capacity]} "
+                f"at capacity {capacity}")
+
+
+def _check_system(workload) -> None:
+    base = simulate_baseline(workload)
+    tcor = simulate_tcor(workload)
+    if tcor.pb_l2_accesses >= base.pb_l2_accesses:
+        raise AssertionError("TCOR did not reduce PB L2 traffic")
+    if tcor.pb_mm_accesses > base.pb_mm_accesses * 0.5:
+        raise AssertionError("TCOR did not slash PB DRAM traffic")
+
+
+def _check_throughput(workload) -> None:
+    base = tile_fetcher_throughput(workload, "baseline")
+    tcor = tile_fetcher_throughput(workload, "tcor")
+    if tcor.primitives_per_cycle <= base.primitives_per_cycle:
+        raise AssertionError("TCOR did not speed up the Tiling Engine")
+
+
+def _check_rendering(workload) -> None:
+    import numpy as np
+
+    from repro.raster.pipeline import RasterPipeline
+    pipeline = RasterPipeline(workload.traces[0].pb)
+    image = pipeline.render()
+    if not np.any(image[:, :, 3] > 0):
+        raise AssertionError("renderer produced an empty frame")
+
+
+CHECKS: list[tuple[str, Callable]] = [
+    ("workload calibration (Table II)", _check_workload_calibration),
+    ("OPT between bound and LRU", _check_opt_bounds),
+    ("Mattson == direct LRU", _check_mattson),
+    ("system traffic ordering", _check_system),
+    ("Tiling Engine speedup", _check_throughput),
+    ("end-to-end rendering", _check_rendering),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    alias = argv[0] if argv else "GTr"
+    scale = float(argv[1]) if argv and len(argv) > 1 else 0.1
+    print(f"Self-check on {alias} at scale {scale}")
+    workload = build_workload(BENCHMARKS[alias], scale=scale)
+    failures = 0
+    for name, check in CHECKS:
+        started = time.time()
+        try:
+            check(workload)
+        except AssertionError as error:
+            failures += 1
+            print(f"  FAIL {name}: {error}")
+        else:
+            print(f"  PASS {name} ({time.time() - started:.1f}s)")
+    print("all checks passed" if not failures
+          else f"{failures} check(s) FAILED")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,159 @@
+"""Background (non-Parameter-Buffer) memory traffic.
+
+The L2 is shared by every L1 in the GPU (paper Figure 7): textures,
+vertex data and shader instructions all contend with the Parameter
+Buffer for L2 capacity, and the Color Buffer streams finished tiles
+straight to main memory.  The paper runs the full TEAPOT pipeline; we
+substitute a traffic model that reproduces the *pressure* each benchmark
+puts on the shared L2:
+
+- **Texture reads** (raster phase, per tile): the number of post-L1-miss
+  accesses scales with the benchmark's texture footprint; addresses mix
+  a tile-correlated streaming component (each screen region samples its
+  own part of texture space) with a hot mip/atlas working set shared
+  across tiles, which is what gives real texture streams their L2 reuse.
+- **Instruction reads** (raster phase): a small, heavily reused footprint
+  proportional to the shader length.
+- **Vertex reads** (geometry phase, per primitive): a streaming walk over
+  the vertex buffer with indexed-mesh reuse.
+- **Color Buffer writes** (per finished tile): one main-memory write per
+  line of the 32x32x4-byte tile, bypassing the L2.
+
+All magnitudes scale with the workload's geometry ``scale`` so reduced
+test runs keep every traffic ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ScreenConfig
+from repro.workloads.trace import Access, Op, Region
+
+MIB = 1024 * 1024
+
+TEXTURE_BASE = 0x4000_0000
+VERTEX_BASE = 0x5000_0000
+INSTRUCTION_BASE = 0x6000_0000
+FRAMEBUFFER_BASE = 0x7000_0000
+
+BLOCK = 64
+
+# Fraction of texture reads that hit the shared hot set (mip tails, UI
+# atlases) rather than the tile-local streaming region.
+_HOT_FRACTION = 0.15
+# Post-L1 texture accesses per frame per byte of texture footprint: a
+# streaming pass plus some revisits.
+_TEXTURE_STREAM_FACTOR = 2.5
+# Bytes per vertex (position + a couple of varyings).
+_VERTEX_BYTES = 32
+# Indexed meshes touch each vertex ~2x but the vertex L1 absorbs the
+# repeats; roughly one L2 access per primitive survives.
+_VERTEX_L2_PER_PRIMITIVE = 1.0
+# Lossless framebuffer compression (AFBC-style) shrinks Color Buffer
+# flushes; mobile GPUs ship this generation of techniques alongside TBR.
+_FRAMEBUFFER_COMPRESSION = 0.55
+
+
+class BackgroundTrafficModel:
+    """Per-benchmark generator of non-PB L2/main-memory accesses."""
+
+    def __init__(self, spec, screen: ScreenConfig, scale: float = 1.0,
+                 seed: int | None = None) -> None:
+        self.spec = spec
+        self.screen = screen
+        self.scale = scale
+        # Stateless generation: every tile/primitive derives its own RNG,
+        # so baseline and TCOR replay byte-identical background traffic
+        # and repeated simulations are deterministic.
+        self._seed = spec.seed if seed is None else seed
+        self.texture_bytes = max(BLOCK, int(spec.texture_mib * MIB * scale))
+        self.instruction_bytes = max(
+            BLOCK, spec.shader_insts_per_pixel * 64
+        )
+        total_texture_accesses = int(
+            self.texture_bytes / BLOCK * _TEXTURE_STREAM_FACTOR
+        )
+        self.texture_accesses_per_tile = max(
+            1, total_texture_accesses // screen.num_tiles
+        )
+        self.instruction_accesses_per_tile = max(
+            1, round(spec.shader_insts_per_pixel / 4 * scale)
+        )
+        # Hot set: a few percent of the texture footprint.
+        self.hot_bytes = max(BLOCK, self.texture_bytes // 16)
+
+    # ------------------------------------------------------------------
+    # Raster phase (per tile)
+    # ------------------------------------------------------------------
+    def tile_accesses(self, tile_id: int) -> list[Access]:
+        """Texture + instruction L2 reads for rasterizing one tile."""
+        rng = np.random.default_rng((self._seed, 1, tile_id))
+        accesses: list[Access] = []
+        tiles = self.screen.num_tiles
+        # Tile-correlated streaming window into texture space.
+        window_bytes = max(BLOCK, self.texture_bytes // tiles * 4)
+        window_base = TEXTURE_BASE + (
+            (tile_id * (self.texture_bytes // max(1, tiles)))
+            % max(BLOCK, self.texture_bytes - window_bytes + BLOCK)
+        )
+        for _ in range(self.texture_accesses_per_tile):
+            if rng.random() < _HOT_FRACTION:
+                offset = int(rng.integers(0, self.hot_bytes // BLOCK))
+                address = TEXTURE_BASE + offset * BLOCK
+            else:
+                offset = int(rng.integers(0, window_bytes // BLOCK))
+                address = window_base + offset * BLOCK
+            accesses.append(Access(Op.READ, Region.TEXTURE, address))
+        for slot in range(self.instruction_accesses_per_tile):
+            offset = (slot * BLOCK) % self.instruction_bytes
+            accesses.append(Access(Op.READ, Region.INSTRUCTION,
+                                   INSTRUCTION_BASE + offset))
+        return accesses
+
+    def framebuffer_writes_per_tile(self) -> int:
+        """Color Buffer lines flushed to main memory per finished tile.
+
+        Compressed (AFBC-style) and scaled with the workload so reduced
+        test runs keep the Parameter Buffer's share of total traffic.
+        Callers skip the flush entirely for tiles with no geometry
+        (transaction elimination: an unchanged tile is never written).
+        """
+        tile_pixels = self.screen.tile_size * self.screen.tile_size
+        return max(1, round(tile_pixels * 4 // BLOCK
+                            * _FRAMEBUFFER_COMPRESSION * self.scale))
+
+    # ------------------------------------------------------------------
+    # Geometry phase (per primitive)
+    # ------------------------------------------------------------------
+    def primitive_accesses(self, primitive_id: int) -> list[Access]:
+        """Vertex-fetch L2 reads while binning one primitive."""
+        rng = np.random.default_rng((self._seed, 2, primitive_id))
+        accesses: list[Access] = []
+        expected = _VERTEX_L2_PER_PRIMITIVE
+        count = int(expected) + (1 if rng.random() < expected % 1 else 0)
+        for i in range(count):
+            address = (VERTEX_BASE
+                       + ((primitive_id * 3 + i) * _VERTEX_BYTES) // BLOCK * BLOCK)
+            accesses.append(Access(Op.READ, Region.VERTEX, address))
+        return accesses
+
+    # ------------------------------------------------------------------
+    # L1-level access estimates (energy accounting only)
+    # ------------------------------------------------------------------
+    def l1_access_estimates(self, num_primitives: int) -> dict[str, int]:
+        """Accesses each non-Tile L1 absorbs per frame.
+
+        These are identical for baseline and TCOR; they only enter the
+        energy denominators.  Texture L1s see ~2 texel fetches per pixel;
+        instruction caches one fetch per shader instruction per pixel;
+        the vertex cache 3 vertices per primitive.
+        """
+        pixels = self.screen.width * self.screen.height
+        return {
+            "texture_l1": int(2 * pixels * self.scale),
+            "instruction_l1": int(
+                self.spec.shader_insts_per_pixel * pixels * self.scale
+            ),
+            "vertex_l1": 3 * num_primitives,
+        }

@@ -1,0 +1,45 @@
+"""Memory-access trace records.
+
+The memory hierarchy is exercised by flat byte-addressed accesses tagged
+with the memory region they belong to (Figure 5's memory organization).
+Region tags drive both the per-region accounting of Figures 14-17 and
+the TCOR L2 dead-line classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Region(enum.IntEnum):
+    """Memory regions of a graphics application (paper Figure 5)."""
+
+    PB_LISTS = 0
+    PB_ATTRIBUTES = 1
+    TEXTURE = 2
+    VERTEX = 3
+    INSTRUCTION = 4
+    FRAMEBUFFER = 5
+
+    @property
+    def is_parameter_buffer(self) -> bool:
+        return self in (Region.PB_LISTS, Region.PB_ATTRIBUTES)
+
+
+class Op(enum.IntEnum):
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One byte-addressed memory access."""
+
+    op: Op
+    region: Region
+    address: int
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is Op.WRITE

@@ -1,0 +1,90 @@
+"""Lower bound and miss-curve analysis."""
+
+import pytest
+
+from repro.analysis import (
+    attribute_access_trace,
+    lower_bound_misses,
+    lower_bound_ratio,
+    policy_miss_ratio,
+    primitives_capacity,
+    suite_miss_curve,
+)
+from repro.analysis.miss_curves import lru_fully_associative_curve
+
+
+class TestLowerBound:
+    def test_formula_small_cache(self):
+        # 1000 primitives, room for 128: LB = 1000 + 872 (paper's example).
+        assert lower_bound_misses(1000, 128) == 1872
+
+    def test_formula_large_cache(self):
+        assert lower_bound_misses(1000, 1000) == 1000
+        assert lower_bound_misses(1000, 5000) == 1000
+
+    def test_ratio(self):
+        assert lower_bound_ratio(10, 10, 100) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_misses(-1, 5)
+        with pytest.raises(ValueError):
+            lower_bound_ratio(5, 5, 0)
+
+    def test_primitives_capacity(self):
+        # 3 block-aligned attributes = 192 bytes per primitive.
+        assert primitives_capacity(192 * 10, 3.0) == 10
+        assert primitives_capacity(64, 3.0) == 1  # floor of one
+
+
+class TestTraceExtraction:
+    def test_writes_then_reads(self, tiny_workload):
+        trace = attribute_access_trace(tiny_workload)
+        tiling = tiny_workload.traces[0]
+        writes = tiling.num_binned_primitives
+        reads = tiling.num_primitive_reads
+        assert len(trace) == writes + reads
+        # The first `writes` entries are each primitive's single write.
+        assert len(set(trace[:writes])) == writes
+
+
+class TestCurves:
+    def test_opt_at_least_lower_bound(self, tiny_workload):
+        trace = attribute_access_trace(tiny_workload)
+        total_primitives = len(set(trace))
+        for capacity in (8, 32, 96):
+            ratio = policy_miss_ratio(trace, capacity, "belady")
+            bound = lower_bound_ratio(total_primitives, capacity, len(trace))
+            assert ratio >= bound - 1e-9
+
+    def test_opt_below_lru_everywhere(self, tiny_workload):
+        trace = attribute_access_trace(tiny_workload)
+        for capacity in (8, 32, 96):
+            opt = policy_miss_ratio(trace, capacity, "belady")
+            lru = policy_miss_ratio(trace, capacity, "lru")
+            assert opt <= lru + 1e-9
+
+    def test_mattson_shortcut_matches_direct_lru(self, tiny_workload):
+        trace = attribute_access_trace(tiny_workload)
+        capacities = [8, 32, 96]
+        fast = lru_fully_associative_curve(trace, capacities)
+        for capacity in capacities:
+            direct = policy_miss_ratio(trace, capacity, "lru")
+            assert fast[capacity] == pytest.approx(direct)
+
+    def test_suite_curve_structure(self, tiny_workload):
+        curve = suite_miss_curve([tiny_workload], [8, 16], "lru",
+                                 include_lower_bound=True)
+        assert curve["sizes_kib"] == [8, 16]
+        assert len(curve["miss_ratio"]) == 2
+        assert len(curve["lower_bound"]) == 2
+        assert curve["miss_ratio"][1] <= curve["miss_ratio"][0]
+
+    def test_set_associative_sweep(self, tiny_workload):
+        trace = attribute_access_trace(tiny_workload)
+        direct_mapped = policy_miss_ratio(trace, 64, "lru", associativity=1)
+        fully = policy_miss_ratio(trace, 64, "lru", associativity=None)
+        assert fully <= direct_mapped + 0.05
+
+    def test_empty_trace(self):
+        assert policy_miss_ratio([], 8, "lru") == 0.0

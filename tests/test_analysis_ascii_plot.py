@@ -1,0 +1,53 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ChartSeries, ascii_chart, chart_from_result
+from repro.experiments.common import ExperimentResult
+
+
+def test_basic_chart_contains_markers_and_legend():
+    chart = ascii_chart([1, 2, 3],
+                        [ChartSeries("up", [1.0, 2.0, 3.0]),
+                         ChartSeries("down", [3.0, 2.0, 1.0])],
+                        width=20, height=8)
+    assert "o up" in chart and "x down" in chart
+    assert "o" in chart.splitlines()[0] + chart.splitlines()[1]
+
+
+def test_y_axis_labels_span_data():
+    chart = ascii_chart([0, 1], [ChartSeries("s", [10.0, 20.0])],
+                        width=10, height=5)
+    top = chart.splitlines()[0]
+    bottom = chart.splitlines()[4]
+    assert float(top.split("|")[0]) > 20.0 * 0.99
+    assert float(bottom.split("|")[0]) < 10.0 * 1.01
+
+
+def test_flat_data_does_not_crash():
+    chart = ascii_chart([1, 2], [ChartSeries("flat", [5.0, 5.0])])
+    assert "flat" in chart
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([], [])
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], [ChartSeries("bad", [1.0])])
+
+
+def test_chart_from_result_skips_non_numeric_rows():
+    result = ExperimentResult(
+        exp_id="x", title="t",
+        headers=["size_kib", "a", "b"],
+        rows=[[1, 0.5, 0.4], [2, 0.4, 0.3], ["average", "", 0.35]],
+    )
+    chart = chart_from_result(result, "size_kib")
+    assert "o a" in chart and "x b" in chart
+
+
+def test_chart_from_result_requires_numeric_rows():
+    result = ExperimentResult("x", "t", ["size_kib", "a"],
+                              rows=[["avg", 1.0]])
+    with pytest.raises(ValueError):
+        chart_from_result(result, "size_kib")

@@ -1,0 +1,45 @@
+"""Set-indexing functions."""
+
+import pytest
+
+from repro.caches.indexing import ModuloIndexing, XorIndexing
+
+
+class TestModulo:
+    def test_basic(self):
+        indexing = ModuloIndexing(256)
+        assert indexing.set_of(0) == 0
+        assert indexing.set_of(257) == 1
+
+    def test_power_of_two_stride_pathology(self):
+        """The baseline PB-Lists problem: 64-line strides hit few sets."""
+        indexing = ModuloIndexing(256)
+        sets = {indexing.set_of(tile * 64) for tile in range(1000)}
+        assert len(sets) == 4  # 256 / gcd(64, 256) = 4 distinct sets
+
+    def test_needs_positive_sets(self):
+        with pytest.raises(ValueError):
+            ModuloIndexing(0)
+
+
+class TestXor:
+    def test_in_range(self):
+        indexing = XorIndexing(256)
+        for address in range(0, 1 << 16, 97):
+            assert 0 <= indexing.set_of(address) < 256
+
+    def test_spreads_power_of_two_strides(self):
+        """XOR folding breaks the stride pathology (paper Section III-C.2)."""
+        indexing = XorIndexing(256)
+        sets = {indexing.set_of(tile * 64) for tile in range(1000)}
+        assert len(sets) > 128
+
+    def test_non_power_of_two_sets(self):
+        indexing = XorIndexing(96)
+        seen = {indexing.set_of(address) for address in range(10000)}
+        assert max(seen) < 96
+        assert len(seen) == 96
+
+    def test_deterministic(self):
+        indexing = XorIndexing(128)
+        assert indexing.set_of(123456) == indexing.set_of(123456)

@@ -1,0 +1,69 @@
+"""Mattson stack-distance analysis vs direct LRU simulation."""
+
+import random
+
+import pytest
+
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.mattson import COMPULSORY, MattsonStack, lru_miss_curve
+from repro.caches.policies import make_policy
+
+
+class TestStackDistances:
+    def test_first_touches_are_compulsory(self):
+        stack = MattsonStack()
+        assert stack.record(1) == COMPULSORY
+        assert stack.record(2) == COMPULSORY
+
+    def test_immediate_rereference_distance_zero(self):
+        stack = MattsonStack()
+        stack.record(1)
+        assert stack.record(1) == 0
+
+    def test_distance_counts_distinct_intervening_lines(self):
+        stack = MattsonStack()
+        for line in (1, 2, 3, 2, 1):
+            last = stack.record(line)
+        assert last == 2  # {2, 3} touched since the previous access to 1
+
+    def test_repeats_do_not_inflate_distance(self):
+        stack = MattsonStack()
+        for line in (1, 2, 2, 2, 1):
+            last = stack.record(line)
+        assert last == 1
+
+    def test_capacity_growth(self):
+        stack = MattsonStack(trace_length_hint=2)
+        for line in range(100):
+            stack.record(line % 7)
+        assert stack.accesses == 100
+
+
+class TestMissCurve:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_direct_simulation(self, seed):
+        rng = random.Random(seed)
+        trace = [rng.randrange(40) for _ in range(2000)]
+        curve = lru_miss_curve(trace, [1, 2, 5, 13, 40])
+        for capacity, expected in curve.items():
+            cache = fully_associative_cache(capacity * 64, 64,
+                                            make_policy("lru"))
+            for line in trace:
+                cache.access(line * 64)
+            assert cache.stats.misses == expected, capacity
+
+    def test_monotone_in_capacity(self):
+        rng = random.Random(9)
+        trace = [rng.randrange(64) for _ in range(3000)]
+        capacities = [1, 2, 4, 8, 16, 32, 64, 128]
+        curve = lru_miss_curve(trace, capacities)
+        misses = [curve[c] for c in capacities]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_floor_is_compulsory_misses(self):
+        trace = [1, 2, 3, 1, 2, 3]
+        assert lru_miss_curve(trace, [100])[100] == 3
+
+    def test_zero_capacity_misses_everything(self):
+        trace = [1, 1, 1]
+        assert lru_miss_curve(trace, [0])[0] == 3

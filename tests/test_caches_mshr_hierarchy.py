@@ -1,0 +1,124 @@
+"""MSHR file and the generic two-level hierarchy."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy, MemoryCounters, SharedL2
+from repro.caches.line import LineMeta
+from repro.caches.mshr import MSHRFile
+from repro.caches.policies import make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+class TestMSHR:
+    def test_allocate_and_retire(self):
+        mshr = MSHRFile(entries=2)
+        mshr.allocate(10, ready_cycle=5)
+        mshr.allocate(11, ready_cycle=8)
+        assert mshr.full
+        assert mshr.earliest_ready() == 5
+        done = mshr.retire_ready(6)
+        assert [entry.line_address for entry in done] == [10]
+        assert not mshr.full
+
+    def test_secondary_miss_merges(self):
+        mshr = MSHRFile(entries=1)
+        first = mshr.allocate(10, ready_cycle=5)
+        second = mshr.allocate(10, ready_cycle=9)
+        assert first is second
+        assert second.merged_requests == 2
+        assert mshr.merges == 1
+
+    def test_overflow_raises(self):
+        mshr = MSHRFile(entries=1)
+        mshr.allocate(1, 5)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(2, 5)
+
+    def test_peak_tracking(self):
+        mshr = MSHRFile(entries=4)
+        for address in range(3):
+            mshr.allocate(address, 10)
+        assert mshr.peak_occupancy == 3
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(entries=0)
+
+
+def build_hierarchy(l1_sets=2, l1_ways=1, l2_sets=8, l2_ways=2):
+    l1 = SetAssociativeCache(l1_sets, l1_ways, 64, make_policy("lru"))
+    l2 = SetAssociativeCache(l2_sets, l2_ways, 64, make_policy("lru"))
+    return CacheHierarchy(l1, SharedL2(l2, MemoryCounters()))
+
+
+class TestHierarchy:
+    def test_l1_hit_touches_nothing_below(self):
+        hierarchy = build_hierarchy()
+        hierarchy.access(0)
+        outcome = hierarchy.access(0)
+        assert outcome.l1_hit
+        assert outcome.l2_reads == outcome.memory_reads == 0
+
+    def test_read_miss_fills_through_both_levels(self):
+        hierarchy = build_hierarchy()
+        outcome = hierarchy.access(0)
+        assert not outcome.l1_hit
+        assert outcome.l2_reads == 1
+        assert outcome.memory_reads == 1
+
+    def test_second_l1_miss_hits_l2(self):
+        hierarchy = build_hierarchy(l1_sets=1, l1_ways=1)
+        hierarchy.access(0)
+        hierarchy.access(64)   # evicts line 0 from L1; L2 still has it
+        outcome = hierarchy.access(0)
+        assert outcome.l2_reads == 1
+        assert outcome.memory_reads == 0
+
+    def test_dirty_l1_eviction_writes_into_l2(self):
+        hierarchy = build_hierarchy(l1_sets=1, l1_ways=1)
+        hierarchy.access(0, is_write=True)
+        outcome = hierarchy.access(64)
+        assert outcome.l2_writes == 1
+        # The L2 write-allocates without fetching: no memory read for it.
+        assert outcome.memory_reads == 1  # only the demand fill of line 1
+
+    def test_l1_write_miss_fetches_from_l2_but_not_memory(self):
+        # The generic hierarchy write-allocates at the L1 (the fill is an
+        # L2 read) while the L2 itself allocates write misses without a
+        # memory fetch — so the fill's L2 miss is the only memory read.
+        hierarchy = build_hierarchy()
+        outcome = hierarchy.access(0, is_write=True)
+        assert outcome.l2_reads == 1
+        assert outcome.memory_reads == 1
+        assert outcome.memory_writes == 0
+
+    def test_l2_dirty_eviction_reaches_memory(self):
+        # 1-set, 1-way L2: every new line evicts the previous one.
+        l1 = SetAssociativeCache(1, 1, 64, make_policy("lru"))
+        shared = SharedL2(SetAssociativeCache(1, 1, 64, make_policy("lru")),
+                          MemoryCounters())
+        hierarchy = CacheHierarchy(l1, shared)
+        hierarchy.access(0, is_write=True)
+        hierarchy.access(64)   # L1 evicts dirty 0 -> L2 write (allocates)
+        outcome = hierarchy.access(128)  # L1 evicts clean 64; no L2 write
+        assert shared.memory.writes >= 1
+
+    def test_flush_l1_pushes_dirty_lines_down(self):
+        hierarchy = build_hierarchy()
+        hierarchy.access(0, is_write=True,
+                         meta=LineMeta(region=1))
+        l2_writes, _reads, _writes = hierarchy.flush_l1()
+        assert l2_writes == 1
+
+    def test_shared_l2_flush_writes_back(self):
+        shared = SharedL2(SetAssociativeCache(4, 2, 64, make_policy("lru")),
+                          MemoryCounters())
+        shared.access(0, is_write=True)
+        assert shared.flush() == 1
+        assert shared.memory.writes == 1
+
+    def test_region_accounting(self):
+        hierarchy = build_hierarchy()
+        hierarchy.access(0, meta=LineMeta(region=3))
+        assert hierarchy.memory.region_reads(3) == 1
+        assert hierarchy.memory.region_accesses(3) == 1

@@ -1,0 +1,118 @@
+"""LRU, MRU, FIFO, Random and PLRU policies via a small cache."""
+
+import pytest
+
+from repro.caches.policies import make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+def small_cache(policy_name: str, ways: int = 4, **kwargs) -> SetAssociativeCache:
+    return SetAssociativeCache(num_sets=1, ways=ways, line_bytes=64,
+                               policy=make_policy(policy_name, **kwargs))
+
+
+def touch(cache: SetAssociativeCache, *lines: int):
+    for line in lines:
+        cache.access(line * 64)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = small_cache("lru")
+        touch(cache, 0, 1, 2, 3)
+        touch(cache, 0)          # refresh 0
+        result = cache.access(4 * 64)
+        assert result.evicted.tag == 1
+
+    def test_hit_does_not_evict(self):
+        cache = small_cache("lru")
+        touch(cache, 0, 1, 2, 3)
+        assert cache.access(2 * 64).hit
+
+    def test_sequence_miss_count(self):
+        cache = small_cache("lru", ways=2)
+        touch(cache, 0, 1, 0, 2, 0, 1)
+        # 0m 1m 0h 2m(evict 1) 0h 1m(evict 2)
+        assert cache.stats.misses == 4
+        assert cache.stats.hits == 2
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        cache = small_cache("mru")
+        touch(cache, 0, 1, 2, 3)
+        touch(cache, 1)
+        result = cache.access(4 * 64)
+        assert result.evicted.tag == 1
+
+    def test_mru_worse_than_lru_on_looping_stream(self):
+        # A cyclic stream longer than the cache: MRU famously beats LRU
+        # here, which is why the comparison needs the PB stream, not toys.
+        stream = list(range(6)) * 20
+        lru = small_cache("lru")
+        mru = small_cache("mru")
+        for line in stream:
+            lru.access(line * 64)
+            mru.access(line * 64)
+        assert mru.stats.misses < lru.stats.misses  # LRU thrashes loops
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        cache = small_cache("fifo", ways=2)
+        touch(cache, 0, 1)
+        touch(cache, 0)          # hit; still first in
+        result = cache.access(2 * 64)
+        assert result.evicted.tag == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = small_cache("random", seed=42)
+        b = small_cache("random", seed=42)
+        for line in range(32):
+            ra = a.access(line * 64)
+            rb = b.access(line * 64)
+            assert (ra.evicted and ra.evicted.tag) == \
+                (rb.evicted and rb.evicted.tag)
+
+    def test_victim_among_candidates(self):
+        cache = small_cache("random", seed=1)
+        touch(cache, 0, 1, 2, 3)
+        result = cache.access(9 * 64)
+        assert result.evicted.tag in (0, 1, 2, 3)
+
+
+class TestPLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            small_cache("plru", ways=3)
+
+    def test_fill_order_victim_is_lru(self):
+        # After a pure fill 0,1,2,3, tree-PLRU and true LRU agree: evict 0.
+        cache = small_cache("plru", ways=4)
+        touch(cache, 0, 1, 2, 3)
+        result = cache.access(4 * 64)
+        assert result.evicted.tag == 0
+
+    def test_tree_approximation_diverges_from_lru(self):
+        # The classic tree-PLRU imprecision: touching 0,1,2 after the fill
+        # leaves the root pointing at the *left* half (last touch was on
+        # the right), so the victim is 0 — not the true LRU line 3.
+        cache = small_cache("plru", ways=4)
+        touch(cache, 0, 1, 2, 3)
+        touch(cache, 0, 1, 2)
+        result = cache.access(4 * 64)
+        assert result.evicted.tag == 0
+
+    def test_behaves_sanely_on_mixed_stream(self):
+        import random
+        rng = random.Random(7)
+        plru = small_cache("plru", ways=8)
+        lru = small_cache("lru", ways=8)
+        stream = [rng.randrange(12) for _ in range(2000)]
+        for line in stream:
+            plru.access(line * 64)
+            lru.access(line * 64)
+        # PLRU approximates LRU within a modest margin.
+        assert plru.stats.misses <= lru.stats.misses * 1.3

@@ -1,0 +1,97 @@
+"""SRRIP / BRRIP / DRRIP."""
+
+import pytest
+
+from repro.caches.policies import make_policy
+from repro.caches.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+def cache_with(policy, num_sets=1, ways=4):
+    return SetAssociativeCache(num_sets=num_sets, ways=ways, line_bytes=64,
+                               policy=policy)
+
+
+class TestSRRIP:
+    def test_insertion_is_long_not_distant(self):
+        policy = SRRIPPolicy(m_bits=2)
+        assert policy.long_interval == 2
+        assert policy.distant == 3
+
+    def test_hit_promotes_to_zero(self):
+        policy = SRRIPPolicy()
+        cache = cache_with(policy)
+        cache.access(0)
+        cache.access(0)
+        assert policy._rrpv[0][cache.line_address(0)] == 0
+
+    def test_scan_resistance(self):
+        """A re-referenced line (RRPV 0) survives scans that evict it
+        under LRU.  The hot line needs one re-reference to earn its
+        near-immediate prediction — that is SRRIP's mechanism."""
+        srrip = cache_with(SRRIPPolicy(), ways=4)
+        lru = cache_with(make_policy("lru"), ways=4)
+        stream = []
+        for round_index in range(40):
+            stream.extend([0, 0])                 # hot line, re-referenced
+            stream.extend(100 + round_index * 5 + i for i in range(5))
+        hot_misses = {"srrip": 0, "lru": 0}
+        for name, cache in (("srrip", srrip), ("lru", lru)):
+            for line in stream:
+                result = cache.access(line * 64)
+                if line == 0 and not result.hit:
+                    hot_misses[name] += 1
+        assert hot_misses["srrip"] == 1      # compulsory only
+        assert hot_misses["lru"] == 40       # evicted by every scan
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SRRIPPolicy(m_bits=0)
+
+
+class TestBRRIP:
+    def test_mostly_distant_insertions(self):
+        policy = BRRIPPolicy(m_bits=2, long_every=32)
+        values = [policy._insertion_rrpv(0) for _ in range(64)]
+        assert values.count(policy.long_interval) == 2
+        assert values.count(policy.distant) == 62
+
+    def test_reset_restarts_counter(self):
+        policy = BRRIPPolicy(long_every=4)
+        for _ in range(3):
+            policy._insertion_rrpv(0)
+        policy.reset()
+        values = [policy._insertion_rrpv(0) for _ in range(4)]
+        assert values[-1] == policy.long_interval
+
+
+class TestDRRIP:
+    def test_leader_sets_assigned(self):
+        policy = DRRIPPolicy(dueling_period=32)
+        assert policy._leader_kind(0) == "srrip"
+        assert policy._leader_kind(16) == "brrip"
+        assert policy._leader_kind(5) is None
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = DRRIPPolicy()
+        start = policy._psel
+        policy._insertion_rrpv(0)      # srrip leader miss
+        assert policy._psel == start + 1
+        policy._insertion_rrpv(16)     # brrip leader miss
+        assert policy._psel == start
+
+    def test_followers_follow_the_winner(self):
+        policy = DRRIPPolicy()
+        policy._psel = 0               # SRRIP is winning
+        assert policy._insertion_rrpv(3) == policy.long_interval
+        policy._psel = policy._psel_max  # BRRIP is winning
+        assert policy._insertion_rrpv(3) == policy.distant
+
+    def test_runs_on_a_real_cache(self):
+        cache = cache_with(make_policy("drrip"), num_sets=64, ways=4)
+        import random
+        rng = random.Random(3)
+        for _ in range(5000):
+            cache.access(rng.randrange(2048) * 64)
+        assert cache.stats.accesses == 5000
+        assert 0 < cache.stats.misses <= 5000

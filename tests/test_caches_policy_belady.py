@@ -1,0 +1,74 @@
+"""Offline Belady OPT: optimality and bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.caches.mattson import lru_miss_curve
+from repro.caches.policies import BeladyOPT, make_policy
+from repro.caches.policies.belady import NEVER, next_use_table
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+class TestNextUseTable:
+    def test_simple(self):
+        assert next_use_table([1, 2, 1, 3, 2]) == [2, 4, NEVER, NEVER, NEVER]
+
+    def test_empty(self):
+        assert next_use_table([]) == []
+
+    def test_all_unique(self):
+        assert next_use_table([5, 6, 7]) == [NEVER] * 3
+
+
+class TestBeladyOptimality:
+    @pytest.mark.parametrize("capacity", [2, 4, 8, 16])
+    def test_never_worse_than_any_practical_policy(self, capacity):
+        rng = random.Random(11)
+        trace = [rng.randrange(24) for _ in range(3000)]
+        opt = fully_associative_cache(capacity * 64, 64,
+                                      BeladyOPT.from_trace(trace))
+        for line in trace:
+            opt.access(line * 64)
+        for name in ("lru", "mru", "fifo", "srrip"):
+            other = fully_associative_cache(capacity * 64, 64,
+                                            make_policy(name))
+            for line in trace:
+                other.access(line * 64)
+            assert opt.stats.misses <= other.stats.misses, name
+
+    def test_classic_belady_example(self):
+        # Belady's textbook sequence with capacity 3.
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        opt = fully_associative_cache(3 * 64, 64, BeladyOPT.from_trace(trace))
+        for line in trace:
+            opt.access(line * 64)
+        # Known OPT miss count for this sequence and capacity: 7.
+        assert opt.stats.misses == 7
+
+    def test_set_associative_opt_beats_lru_per_set(self):
+        rng = random.Random(5)
+        trace = [rng.randrange(64) for _ in range(4000)]
+        opt_cache = SetAssociativeCache(4, 4, 64, BeladyOPT.from_trace(trace))
+        lru_cache = SetAssociativeCache(4, 4, 64, make_policy("lru"))
+        for line in trace:
+            opt_cache.access(line * 64)
+            lru_cache.access(line * 64)
+        assert opt_cache.stats.misses <= lru_cache.stats.misses
+
+    def test_miss_count_matches_mattson_at_large_capacity(self):
+        # With capacity >= distinct lines, OPT misses == compulsory == LRU.
+        rng = random.Random(2)
+        trace = [rng.randrange(16) for _ in range(500)]
+        opt = fully_associative_cache(16 * 64, 64,
+                                      BeladyOPT.from_trace(trace))
+        for line in trace:
+            opt.access(line * 64)
+        assert opt.stats.misses == lru_miss_curve(trace, [16])[16] == 16
+
+    def test_overrunning_the_trace_raises(self):
+        opt = fully_associative_cache(2 * 64, 64, BeladyOPT.from_trace([1]))
+        opt.access(64)
+        with pytest.raises(IndexError):
+            opt.access(2 * 64)

@@ -1,0 +1,78 @@
+"""The online OPT-number policy (TCOR's replacement mechanism)."""
+
+from repro.caches.line import LineMeta
+from repro.caches.policies import OptNumberPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+def cache_with_policy(ways=4):
+    policy = OptNumberPolicy()
+    return SetAssociativeCache(num_sets=1, ways=ways, line_bytes=64,
+                               policy=policy), policy
+
+
+def access(cache, line, opt_number):
+    return cache.access(line * 64, meta=LineMeta(opt_number=opt_number))
+
+
+class TestVictimSelection:
+    def test_evicts_greatest_opt_number(self):
+        cache, _ = cache_with_policy()
+        access(cache, 0, 10)
+        access(cache, 1, 99)
+        access(cache, 2, 5)
+        access(cache, 3, 50)
+        result = access(cache, 4, 7)
+        assert result.evicted.tag == 1
+
+    def test_unknown_next_use_is_farthest(self):
+        cache, _ = cache_with_policy()
+        access(cache, 0, 10)
+        cache.access(1 * 64)        # no OPT number: treated as never-used
+        access(cache, 2, 9999)
+        access(cache, 3, 50)
+        result = access(cache, 4, 7)
+        assert result.evicted.tag == 1
+
+    def test_hit_updates_opt_number(self):
+        """Paper Section III-C.3: each read refreshes the line's OPT
+        Number with the next tile that will use the primitive."""
+        cache, _ = cache_with_policy(ways=2)
+        access(cache, 0, 100)
+        access(cache, 1, 50)
+        access(cache, 0, 5)         # hit: now 0's next use is very near
+        result = access(cache, 2, 7)
+        assert result.evicted.tag == 1
+
+    def test_tie_breaks_by_lru(self):
+        cache, _ = cache_with_policy(ways=2)
+        access(cache, 0, 40)
+        access(cache, 1, 40)
+        access(cache, 0, 40)        # 1 is now least recent
+        result = access(cache, 2, 7)
+        assert result.evicted.tag == 1
+
+
+class TestWriteBypassRule:
+    def test_bypass_when_all_lines_needed_sooner(self):
+        policy = OptNumberPolicy()
+        cache = SetAssociativeCache(1, 2, 64, policy)
+        access(cache, 0, 3)
+        access(cache, 1, 5)
+        candidates = [line for _, line in cache.iter_lines()]
+        # Incoming primitive first used at tile 9: everything resident is
+        # needed sooner -> bypass.
+        assert policy.should_bypass_write(candidates, 9)
+        # Incoming at tile 4: line with OPT 5 is farther -> evict it.
+        assert not policy.should_bypass_write(candidates, 4)
+
+    def test_equal_opt_numbers_bypass(self):
+        """Paper: equal OPT Numbers (same tile) still bypass."""
+        policy = OptNumberPolicy()
+        cache = SetAssociativeCache(1, 1, 64, policy)
+        access(cache, 0, 5)
+        candidates = [line for _, line in cache.iter_lines()]
+        assert policy.should_bypass_write(candidates, 5)
+
+    def test_empty_set_bypasses_nothing_to_compare(self):
+        assert OptNumberPolicy().should_bypass_write([], 5)

@@ -1,0 +1,95 @@
+"""SHiP and Hawkeye (the related-work predictive policies)."""
+
+import random
+
+import pytest
+
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.policies import BeladyOPT, make_policy
+from repro.caches.policies.hawkeye import HawkeyePolicy, OPTgen
+from repro.caches.policies.ship import SHiPPolicy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+def run(trace, policy, num_sets=8, ways=4):
+    cache = SetAssociativeCache(num_sets, ways, 64, policy)
+    for line in trace:
+        cache.access(line * 64)
+    return cache.stats.misses
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    """Hot lines from one region + a streaming scan from another."""
+    rng = random.Random(23)
+    trace = []
+    for step in range(1500):
+        trace.append(rng.randrange(24))          # hot region near 0
+        trace.append((1 << 16) + step)           # one-shot scan region
+    return trace
+
+
+class TestSHiP:
+    def test_learns_to_bypass_streaming_signature(self, mixed_trace):
+        ship = SHiPPolicy()
+        ship_misses = run(mixed_trace, ship)
+        lru_misses = run(mixed_trace, make_policy("lru"))
+        assert ship_misses < lru_misses
+
+    def test_counter_saturation(self):
+        policy = SHiPPolicy(counter_bits=2)
+        signature = policy._signature(0)
+        for _ in range(10):
+            policy._shct[signature] = min(policy.counter_max,
+                                          policy._counter(signature) + 1)
+        assert policy._counter(signature) == policy.counter_max
+
+    def test_reset(self, mixed_trace):
+        policy = SHiPPolicy()
+        run(mixed_trace[:500], policy)
+        policy.reset()
+        assert not policy._shct and not policy._line_signature
+
+
+class TestOPTgen:
+    def test_hit_within_capacity(self):
+        optgen = OPTgen(capacity=2, window=64)
+        optgen.access(1)
+        optgen.access(2)
+        assert optgen.access(1) is True    # interval fits in capacity 2
+
+    def test_miss_when_interval_overcommitted(self):
+        optgen = OPTgen(capacity=1, window=64)
+        optgen.access(1)
+        optgen.access(2)
+        assert optgen.access(2) is True     # [1,2] fits alone
+        assert optgen.access(1) is False    # overlaps 2's occupied step
+
+    def test_cold_access_is_none(self):
+        assert OPTgen(capacity=4).access(99) is None
+
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            OPTgen(capacity=0)
+
+
+class TestHawkeye:
+    def test_beats_lru_on_mixed_stream(self, mixed_trace):
+        hawkeye_misses = run(mixed_trace, HawkeyePolicy())
+        lru_misses = run(mixed_trace, make_policy("lru"))
+        assert hawkeye_misses < lru_misses
+
+    def test_never_beats_offline_belady(self, mixed_trace):
+        capacity = 32
+        belady = fully_associative_cache(capacity * 64, 64,
+                                         BeladyOPT.from_trace(mixed_trace))
+        for line in mixed_trace:
+            belady.access(line * 64)
+        hawkeye = fully_associative_cache(capacity * 64, 64, HawkeyePolicy())
+        for line in mixed_trace:
+            hawkeye.access(line * 64)
+        assert belady.stats.misses <= hawkeye.stats.misses
+
+    def test_factory_names(self):
+        assert make_policy("ship").name == "ship"
+        assert make_policy("hawkeye").name == "hawkeye"

@@ -1,0 +1,130 @@
+"""The set-associative cache simulator proper."""
+
+import pytest
+
+from repro.caches.line import LineMeta
+from repro.caches.policies import make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+
+
+def lru_cache(num_sets=4, ways=2, line_bytes=64):
+    return SetAssociativeCache(num_sets, ways, line_bytes,
+                               make_policy("lru"))
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = lru_cache(num_sets=8, ways=4)
+        assert cache.size_bytes == 8 * 4 * 64
+
+    def test_line_and_set_mapping(self):
+        cache = lru_cache(num_sets=4)
+        assert cache.line_address(0) == cache.line_address(63) == 0
+        assert cache.line_address(64) == 1
+        assert cache.set_of(64 * 4) == 0
+        assert cache.set_of(64 * 5) == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            lru_cache(num_sets=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, 2, 48, make_policy("lru"))
+
+    def test_same_line_offsets_hit(self):
+        cache = lru_cache()
+        cache.access(100)
+        assert cache.access(101).hit
+        assert cache.access(64).hit  # 100 and 64 share line 1
+
+
+class TestWriteBack:
+    def test_dirty_eviction_reports_writeback(self):
+        cache = lru_cache(num_sets=1, ways=1)
+        cache.access(0, is_write=True)
+        result = cache.access(64)
+        assert result.evicted.tag == 0
+        assert result.evicted.dirty
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_is_not_a_writeback(self):
+        cache = lru_cache(num_sets=1, ways=1)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.writebacks == 0
+        assert cache.stats.clean_evictions == 1
+
+    def test_write_hit_dirties_line(self):
+        cache = lru_cache(num_sets=1, ways=1)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        result = cache.access(64)
+        assert result.evicted.dirty
+
+    def test_write_no_allocate_mode(self):
+        cache = SetAssociativeCache(1, 1, 64, make_policy("lru"),
+                                    write_allocate=False)
+        result = cache.access(0, is_write=True)
+        assert result.bypassed
+        assert cache.occupancy() == 0
+
+
+class TestEvictableFilter:
+    def test_locked_lines_are_skipped(self):
+        cache = lru_cache(num_sets=1, ways=2)
+        cache.access(0)
+        cache.access(64)
+        result = cache.access(128, evictable=lambda line: line.tag != 0)
+        assert result.evicted.tag == 1  # LRU would pick 0, but it is locked
+
+    def test_all_locked_bypasses(self):
+        cache = lru_cache(num_sets=1, ways=1)
+        cache.access(0)
+        result = cache.access(64, evictable=lambda line: False)
+        assert result.bypassed
+        assert cache.probe(0) is not None
+        assert cache.stats.bypasses == 1
+
+
+class TestMeta:
+    def test_meta_merges_on_hit(self):
+        cache = lru_cache()
+        cache.access(0, meta=LineMeta(region=2, last_tile_rank=7))
+        cache.access(0, meta=LineMeta(opt_number=3))
+        line = cache.probe(0)
+        assert line.meta.region == 2
+        assert line.meta.last_tile_rank == 7
+        assert line.meta.opt_number == 3
+
+    def test_region_stats(self):
+        cache = lru_cache()
+        cache.access(0, meta=LineMeta(region=1))
+        cache.access(0, is_write=True, meta=LineMeta(region=1))
+        cache.access(640, meta=LineMeta(region=2))
+        assert cache.stats.region_accesses(1) == 2
+        assert cache.stats.region_misses(1) == 1
+        assert cache.stats.region_accesses(2) == 1
+
+
+class TestMaintenance:
+    def test_flush_returns_everything(self):
+        cache = lru_cache(num_sets=2, ways=2)
+        cache.access(0, is_write=True)
+        cache.access(64)
+        flushed = cache.flush()
+        assert len(flushed) == 2
+        assert sum(line.dirty for line in flushed) == 1
+        assert cache.occupancy() == 0
+
+    def test_reset_clears_stats_and_contents(self):
+        cache = lru_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.occupancy() == 0
+        assert not cache.access(0).hit
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = lru_cache(num_sets=2, ways=2)
+        for line in range(32):
+            cache.access(line * 64)
+        assert cache.occupancy() == 4

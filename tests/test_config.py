@@ -1,0 +1,127 @@
+"""Configuration objects: Table I values and validation."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    DEFAULT_GPU,
+    CacheConfig,
+    GPUConfig,
+    MemoryConfig,
+    ParameterBufferConfig,
+    ScreenConfig,
+    TCORConfig,
+)
+
+KIB = 1024
+
+
+class TestCacheConfig:
+    def test_table1_tile_cache(self):
+        cache = DEFAULT_GPU.tile_cache
+        assert cache.size_bytes == 64 * KIB
+        assert cache.line_bytes == 64
+        assert cache.associativity == 4
+        assert cache.latency_cycles == 1
+
+    def test_table1_l2(self):
+        l2 = DEFAULT_GPU.l2_cache
+        assert l2.size_bytes == 1024 * KIB
+        assert l2.associativity == 8
+        assert l2.latency_cycles == 12
+
+    def test_derived_geometry(self):
+        cache = CacheConfig("c", 64 * KIB)
+        assert cache.num_lines == 1024
+        assert cache.num_sets == 256
+
+    def test_fully_associative_variant(self):
+        cache = CacheConfig("c", 8 * KIB).fully_associative()
+        assert cache.num_sets == 1
+        assert cache.associativity == cache.num_lines
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=0),
+        dict(size_bytes=64 * KIB, line_bytes=48),
+        dict(size_bytes=100, line_bytes=64),
+        dict(size_bytes=64 * KIB, associativity=0),
+        dict(size_bytes=64 * KIB, associativity=3),
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", **kwargs)
+
+
+class TestScreenConfig:
+    def test_table1_screen(self):
+        screen = DEFAULT_GPU.screen
+        assert (screen.width, screen.height) == (1960, 768)
+        assert screen.tiles_x == math.ceil(1960 / 32) == 62
+        assert screen.tiles_y == 24
+        assert screen.num_tiles == 1488
+
+    def test_tile_ids_fit_the_pmd_field(self):
+        # TCOR reserves 12 bits for tile IDs / OPT Numbers.
+        assert DEFAULT_GPU.screen.num_tiles < (1 << 12)
+
+    def test_tile_of_pixel(self):
+        screen = ScreenConfig(64, 64, 32)
+        assert screen.tile_of_pixel(0, 0) == 0
+        assert screen.tile_of_pixel(33, 0) == 1
+        assert screen.tile_of_pixel(0, 33) == 2
+        assert screen.tile_of_pixel(63, 63) == 3
+
+    def test_out_of_range_pixel(self):
+        with pytest.raises(ValueError):
+            ScreenConfig(64, 64, 32).tile_of_pixel(64, 0)
+
+
+class TestMemoryConfig:
+    def test_average_latency(self):
+        assert MemoryConfig().avg_latency_cycles == 75
+
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(min_latency_cycles=10, max_latency_cycles=5)
+
+
+class TestParameterBufferConfig:
+    def test_pmds_per_block(self):
+        pbuffer = ParameterBufferConfig()
+        assert pbuffer.pmds_per_block == 16
+        assert pbuffer.blocks_per_tile_list == 64
+
+    def test_attribute_stride_is_block_aligned(self):
+        pbuffer = ParameterBufferConfig()
+        assert pbuffer.attribute_stride == 64
+        assert pbuffer.attribute_bytes == 48
+
+
+class TestTCORConfig:
+    def test_default_split_matches_paper_64k(self):
+        tcor = TCORConfig()
+        assert tcor.primitive_list_cache.size_bytes == 16 * KIB
+        assert tcor.attribute_buffer_bytes == 48 * KIB
+        assert tcor.attribute_buffer_entries == 1024  # 10-bit ABP
+
+    def test_for_total_size_128k(self):
+        tcor = TCORConfig.for_total_size(128 * KIB)
+        assert tcor.primitive_list_cache.size_bytes == 16 * KIB
+        assert tcor.attribute_buffer_bytes == 112 * KIB
+
+    def test_total_must_exceed_list_cache(self):
+        with pytest.raises(ValueError):
+            TCORConfig.for_total_size(16 * KIB)
+
+    def test_primitive_buffer_entries_divisible_by_ways(self):
+        tcor = TCORConfig()
+        assert tcor.primitive_buffer_entries % \
+            tcor.primitive_buffer_associativity == 0
+
+
+class TestGPUConfig:
+    def test_resize_tile_cache(self):
+        gpu = GPUConfig().with_tile_cache_size(128 * KIB)
+        assert gpu.tile_cache.size_bytes == 128 * KIB
+        assert gpu.l2_cache.size_bytes == 1024 * KIB  # untouched

@@ -1,0 +1,90 @@
+"""Energy model and accounting."""
+
+import pytest
+
+from repro.energy import EnergyModel, gpu_energy, memory_hierarchy_energy
+from repro.energy.model import StructureEnergy, sram_read_energy_nj
+from repro.tcor.system import SystemResult, simulate_baseline, simulate_tcor
+
+
+class TestSramModel:
+    def test_energy_grows_with_size(self):
+        assert sram_read_energy_nj(64 * 1024) > sram_read_energy_nj(16 * 1024)
+
+    def test_sqrt_scaling(self):
+        small = sram_read_energy_nj(32 * 1024)
+        large = sram_read_energy_nj(128 * 1024)
+        assert large == pytest.approx(2 * small, rel=0.01)
+
+    def test_associativity_penalty(self):
+        assert sram_read_energy_nj(64 * 1024, 8) > \
+            sram_read_energy_nj(64 * 1024, 4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            sram_read_energy_nj(0)
+
+    def test_writes_cost_more(self):
+        entry = StructureEnergy.for_sram("x", 32 * 1024)
+        assert entry.write_nj > entry.read_nj
+
+
+class TestModelDefaults:
+    def test_all_structure_keys_present(self):
+        model = EnergyModel.default()
+        for key in ("tile_cache", "primitive_list_cache", "primitive_buffer",
+                    "attribute_buffer", "texture_l1", "vertex_l1",
+                    "instruction_l1", "l2"):
+            assert key in model.structures
+
+    def test_dram_dwarfs_sram(self):
+        model = EnergyModel.default()
+        assert model.dram_access_nj > 10 * model.structures["l2"].access_nj
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(KeyError):
+            EnergyModel.default().access_energy_nj("warp_scheduler", 1)
+
+    def test_dram_energy_linear(self):
+        model = EnergyModel.default()
+        assert model.access_energy_nj("dram", 10) == \
+            pytest.approx(10 * model.dram_access_nj)
+
+
+class TestAccounting:
+    def test_memory_hierarchy_energy_sums_structures(self):
+        model = EnergyModel.default()
+        result = SystemResult(label="x", alias="y",
+                              structure_accesses={"l2": 100, "dram": 10})
+        expected = (model.access_energy_nj("l2", 100)
+                    + model.access_energy_nj("dram", 10))
+        assert memory_hierarchy_energy(result, model) == \
+            pytest.approx(expected)
+
+    def test_tcor_saves_memory_hierarchy_energy(self, tiny_workload):
+        base = memory_hierarchy_energy(simulate_baseline(tiny_workload))
+        tcor = memory_hierarchy_energy(simulate_tcor(tiny_workload))
+        assert tcor < base
+
+    def test_gpu_energy_dilutes_the_saving(self, tiny_workload):
+        base_result = simulate_baseline(tiny_workload)
+        tcor_result = simulate_tcor(tiny_workload)
+        base = gpu_energy(base_result, tiny_workload)
+        tcor = gpu_energy(tcor_result, tiny_workload)
+        mem_saving = 1 - (tcor.memory_hierarchy_nj / base.memory_hierarchy_nj)
+        gpu_saving = 1 - (tcor.total_gpu_nj / base.total_gpu_nj)
+        assert 0 < gpu_saving < mem_saving
+
+    def test_compute_energy_identical_across_systems(self, tiny_workload):
+        base = gpu_energy(simulate_baseline(tiny_workload), tiny_workload)
+        tcor = gpu_energy(simulate_tcor(tiny_workload), tiny_workload)
+        assert base.compute_nj == tcor.compute_nj
+
+    def test_memory_share_in_plausible_band(self, tiny_workload):
+        report = gpu_energy(simulate_baseline(tiny_workload), tiny_workload)
+        assert 0.1 < report.memory_share < 0.9
+
+    def test_breakdown_sums_to_total(self, tiny_workload):
+        report = gpu_energy(simulate_baseline(tiny_workload), tiny_workload)
+        assert sum(report.breakdown.values()) == \
+            pytest.approx(report.memory_hierarchy_nj)

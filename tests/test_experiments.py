@@ -1,0 +1,120 @@
+"""Experiment harness: every figure module runs and reports sane shapes.
+
+These run at a much-reduced scale with a 3-benchmark subset; the
+paper-scale numbers are produced by the benchmarks/ harness and the CLI.
+"""
+
+import pytest
+
+from repro.experiments import SimulationCache, format_table
+from repro.experiments import (
+    fig01_intro_gap,
+    fig11_lower_bound,
+    fig12_associativity,
+    fig13_policies,
+    fig14_15_l2_accesses,
+    fig16_17_mm_pb,
+    fig18_19_mm_total,
+    fig20_21_energy,
+    fig22_gpu_energy,
+    fig23_24_throughput,
+    tables,
+)
+from repro.experiments.runner import run_experiments
+
+SCALE = 0.1
+ALIASES = ("CCS", "SoD", "DDS")
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SimulationCache(scale=SCALE, aliases=ALIASES)
+
+
+class TestPolicyFigures:
+    def test_fig01_opt_below_lru(self, cache):
+        result = fig01_intro_gap.run(cache=cache, sizes_kib=[8, 32, 96])
+        for _size, lru, opt in result.rows:
+            assert opt <= lru + 1e-9
+
+    def test_fig11_opt_saturates_before_lru(self, cache):
+        result = fig11_lower_bound.run(cache=cache,
+                                       sizes_kib=[8, 16, 32, 64, 96])
+        for _size, bound, lru, opt in result.rows:
+            assert bound <= opt + 1e-9 <= lru + 2e-2
+        assert "OPT saturates" in result.notes or "did not reach" in result.notes
+
+    def test_fig12_associativity_ordering(self, cache):
+        result = fig12_associativity.run(cache=cache, sizes_kib=[16, 48],
+                                         associativities=[1, 4, None])
+        lru_direct = result.column("lru_1way")
+        lru_full = result.column("lru_full")
+        opt_full = result.column("belady_full")
+        for direct, full, opt in zip(lru_direct, lru_full, opt_full):
+            assert opt <= full + 1e-9
+            assert full <= direct + 0.05
+
+    def test_fig13_policy_ordering(self, cache):
+        result = fig13_policies.run(cache=cache, sizes_kib=[32, 96])
+        for row in result.rows:
+            _size, bound, mru, _drrip, lru, opt = row
+            assert bound <= opt + 1e-9
+            assert opt <= lru + 1e-9
+            assert lru <= mru + 0.05
+
+
+class TestSystemFigures:
+    def test_fig14_decrease_positive(self, cache):
+        result = fig14_15_l2_accesses.run_one("64KiB", cache=cache)
+        average = result.row_for("average")
+        assert average[5] > 0
+
+    def test_fig16_near_total_elimination(self, cache):
+        result = fig16_17_mm_pb.run_one("64KiB", cache=cache)
+        for alias in ("CCS", "SoD"):
+            assert result.row_for(alias)[5] > 80.0  # percent decrease
+
+    def test_fig18_total_mm_decrease(self, cache):
+        result = fig18_19_mm_total.run_one("64KiB", cache=cache)
+        assert result.row_for("average")[3] > 0
+
+    def test_fig20_energy_ordering(self, cache):
+        result = fig20_21_energy.run_one("64KiB", cache=cache)
+        for row in result.rows[:-1]:
+            _a, base, no_l2, tcor, _p, _f, _paper = row
+            assert tcor <= no_l2 <= base * 1.001
+
+    def test_fig22_gpu_energy_positive(self, cache):
+        result = fig22_gpu_energy.run(cache=cache)
+        assert result.row_for("average")[1] > 0
+
+    def test_fig23_speedup(self, cache):
+        result = fig23_24_throughput.run_one("64KiB", cache=cache)
+        assert result.row_for("average")[3] > 1.0
+
+
+class TestTables:
+    def test_table1_static(self):
+        result = tables.run_table1()
+        assert result.row_for("screen")[1] == "1960x768"
+
+    def test_table2_matches_published(self, cache):
+        result = tables.run_table2(cache=cache)
+        for row in result.rows:
+            published, measured = row[6], row[7]
+            assert measured == pytest.approx(published, rel=0.3)
+
+
+class TestRunner:
+    def test_run_experiments_aliases(self):
+        results = run_experiments(["table1"], scale=SCALE, aliases=ALIASES)
+        assert results[0].exp_id == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig99"], scale=SCALE)
+
+    def test_format_table_renders(self, cache):
+        result = tables.run_table1()
+        text = format_table(result)
+        assert "table1" in text and "1960x768" in text

@@ -1,0 +1,64 @@
+"""Shared experiment plumbing."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    SimulationCache,
+    format_table,
+    geometric_mean_ratio,
+)
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        exp_id="figX", title="demo",
+        headers=["bench", "value"],
+        rows=[["CCS", 1.5], ["DDS", 2.0]],
+        notes="a note",
+    )
+
+
+class TestExperimentResult:
+    def test_column(self, result):
+        assert result.column("value") == [1.5, 2.0]
+
+    def test_row_for(self, result):
+        assert result.row_for("DDS") == ["DDS", 2.0]
+        with pytest.raises(KeyError):
+            result.row_for("nope")
+
+    def test_format_table(self, result):
+        text = format_table(result)
+        assert "figX" in text
+        assert "1.500" in text
+        assert "a note" in text
+
+
+class TestSimulationCache:
+    def test_memoizes_workloads_and_systems(self):
+        cache = SimulationCache(scale=0.05, aliases=("GTr",))
+        first = cache.workload("GTr")
+        assert cache.workload("GTr") is first
+        base_a = cache.baseline("GTr", 64 * 1024)
+        base_b = cache.baseline("GTr", 64 * 1024)
+        assert base_a is base_b
+        # Different sizes and variants are distinct entries.
+        other = cache.baseline("GTr", 128 * 1024)
+        assert other is not base_a
+        tcor = cache.tcor("GTr", 64 * 1024)
+        tcor_no_l2 = cache.tcor("GTr", 64 * 1024, l2_enhancements=False)
+        assert tcor is not tcor_no_l2
+
+    def test_default_aliases_cover_the_suite(self):
+        cache = SimulationCache(scale=0.05)
+        assert len(cache.aliases) == 10
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean_ratio([4.0, 1.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean_ratio([]) == 0.0

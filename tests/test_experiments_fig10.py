@@ -1,0 +1,43 @@
+"""The Figure 10 state-table experiment matches the paper's narrative."""
+
+import pytest
+
+from repro.experiments import fig10_example
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10_example.run()
+
+
+def test_twelve_steps_plus_total(result):
+    assert len(result.rows) == 13
+    assert result.rows[-1][0] == "TOTAL"
+
+
+def test_opt_bypasses_third_write(result):
+    third_write = result.rows[2]
+    # LRU wrote back on eviction; OPT's state still holds blue+yellow.
+    assert "yellow" in third_write[1] and "pink" in third_write[1]
+    assert "blue" in third_write[3] and "yellow" in third_write[3]
+    assert third_write[2] == "0r/1w"
+    assert third_write[4] == "0r/1w"
+
+
+def test_opt_hits_yellow_at_tile_2_where_lru_misses(result):
+    tile2 = result.row_for("TF tile 2 (yellow)")
+    assert tile2[2].startswith("1r")   # LRU: L2 read
+    assert tile2[4] == "0r/0w"         # OPT: hit, nothing downstream
+
+
+def test_opt_keeps_blue_for_tile_4_where_lru_refetches(result):
+    tile4 = result.row_for("TF tile 4 (blue)")
+    assert tile4[2].startswith("1r")
+    assert tile4[4] == "0r/0w"
+
+
+def test_opt_strictly_fewer_l2_events(result):
+    total = result.rows[-1]
+    lru_reads = int(total[2].split("r")[0])
+    opt_reads = int(total[4].split("r")[0])
+    assert opt_reads < lru_reads

@@ -1,0 +1,92 @@
+"""Synthetic scene generation: calibration and statistics."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.generator import (
+    SceneGenerator,
+    SceneParameters,
+    calibrate_extent_for_reuse,
+)
+
+
+@pytest.fixture(scope="module")
+def screen() -> ScreenConfig:
+    return ScreenConfig()  # paper screen: enough tiles for calibration
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SceneParameters(num_primitives=0, target_reuse=2.0)
+        with pytest.raises(ValueError):
+            SceneParameters(num_primitives=10, target_reuse=0.5)
+        with pytest.raises(ValueError):
+            SceneParameters(num_primitives=10, target_reuse=2.0,
+                            mean_attributes=20)
+        with pytest.raises(ValueError):
+            SceneParameters(num_primitives=10, target_reuse=2.0,
+                            coverage_fraction=0.01)
+
+
+class TestCalibration:
+    def test_extent_monotonic_in_reuse(self, screen):
+        small = calibrate_extent_for_reuse(screen, 1.5, samples=80)
+        large = calibrate_extent_for_reuse(screen, 6.0, samples=80)
+        assert small < large
+
+    def test_rejects_sub_unit_reuse(self, screen):
+        with pytest.raises(ValueError):
+            calibrate_extent_for_reuse(screen, 0.9)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("target", [1.5, 3.6, 6.9])
+    def test_measured_reuse_near_target(self, screen, target):
+        params = SceneParameters(num_primitives=400, target_reuse=target,
+                                 seed=3)
+        scene = SceneGenerator(screen, params).generate()
+        assert scene.average_reuse() == pytest.approx(target, rel=0.15)
+
+    def test_primitive_count_and_ids(self, screen):
+        params = SceneParameters(num_primitives=100, target_reuse=2.0, seed=1)
+        scene = SceneGenerator(screen, params).generate()
+        assert len(scene) == 100
+        assert [p.primitive_id for p in scene.primitives] == list(range(100))
+
+    def test_deterministic_for_same_seed(self, screen):
+        params = SceneParameters(num_primitives=50, target_reuse=2.0, seed=9)
+        a = SceneGenerator(screen, params).generate()
+        b = SceneGenerator(screen, params).generate()
+        assert [p.v0 for p in a.primitives] == [p.v0 for p in b.primitives]
+
+    def test_frames_differ_but_share_statistics(self, screen):
+        params = SceneParameters(num_primitives=300, target_reuse=3.0, seed=5)
+        generator = SceneGenerator(screen, params)
+        frame0 = generator.generate(0)
+        frame1 = generator.generate(1)
+        assert [p.v0 for p in frame0.primitives] != \
+            [p.v0 for p in frame1.primitives]
+        assert frame0.average_reuse() == \
+            pytest.approx(frame1.average_reuse(), rel=0.25)
+
+    def test_mean_attributes_honored(self, screen):
+        params = SceneParameters(num_primitives=400, target_reuse=2.0,
+                                 mean_attributes=4.0, seed=2)
+        scene = SceneGenerator(screen, params).generate()
+        assert scene.average_attributes() == pytest.approx(4.0, abs=0.4)
+
+    def test_coverage_fraction_concentrates_geometry(self, screen):
+        def occupied_tiles(coverage):
+            params = SceneParameters(num_primitives=500, target_reuse=2.0,
+                                     coverage_fraction=coverage, seed=4)
+            scene = SceneGenerator(screen, params).generate()
+            return sum(1 for lst in scene.tile_lists() if lst)
+
+        assert occupied_tiles(0.3) < occupied_tiles(1.0)
+
+    def test_all_primitives_on_screen(self, screen):
+        params = SceneParameters(num_primitives=200, target_reuse=1.5, seed=7)
+        scene = SceneGenerator(screen, params).generate()
+        visible = sum(1 for tiles in scene.coverage() if tiles)
+        assert visible == len(scene)  # centers are clamped inside

@@ -1,0 +1,90 @@
+"""Exact tile-overlap (binning) tests."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.overlap import (
+    tile_rect,
+    tiles_overlapped_by,
+    triangle_overlaps_rect,
+)
+from repro.geometry.primitives import BoundingBox, Primitive, Vertex
+from tests.conftest import make_triangle
+
+
+@pytest.fixture
+def screen() -> ScreenConfig:
+    return ScreenConfig(128, 128, 32)  # 4x4 tiles
+
+
+class TestTileRect:
+    def test_interior_tile(self, screen):
+        rect = tile_rect(screen, 5)  # (x=1, y=1)
+        assert (rect.min_x, rect.min_y, rect.max_x, rect.max_y) == \
+            (32, 32, 64, 64)
+
+    def test_edge_tile_clipped_to_screen(self):
+        screen = ScreenConfig(100, 100, 32)  # 4x4 tiles, last column narrow
+        rect = tile_rect(screen, 3)
+        assert rect.max_x == 100
+
+    def test_out_of_range(self, screen):
+        with pytest.raises(ValueError):
+            tile_rect(screen, screen.num_tiles)
+
+
+class TestTriangleRectOverlap:
+    def test_triangle_inside_rect(self):
+        rect = BoundingBox(0, 0, 100, 100)
+        assert triangle_overlaps_rect(make_triangle(0, 10, 10, 5), rect)
+
+    def test_rect_inside_triangle(self):
+        big = Primitive(0, Vertex(-100, -100), Vertex(300, -100),
+                        Vertex(-100, 300))
+        assert triangle_overlaps_rect(big, BoundingBox(10, 10, 20, 20))
+
+    def test_edge_crossing_without_contained_points(self):
+        # A thin triangle slicing through a rect: no vertex of either
+        # shape is inside the other.
+        sliver = Primitive(0, Vertex(-10, 15), Vertex(50, 15),
+                           Vertex(-10, 16))
+        assert triangle_overlaps_rect(sliver, BoundingBox(0, 0, 32, 32))
+
+    def test_disjoint(self):
+        assert not triangle_overlaps_rect(
+            make_triangle(0, 200, 200, 10), BoundingBox(0, 0, 32, 32))
+
+    def test_touching_corner_counts(self):
+        # Triangle vertex exactly on the rect corner.
+        prim = Primitive(0, Vertex(32, 32), Vertex(40, 32), Vertex(32, 40))
+        assert triangle_overlaps_rect(prim, BoundingBox(0, 0, 32, 32))
+
+
+class TestTilesOverlappedBy:
+    def test_single_tile_triangle(self, screen):
+        assert tiles_overlapped_by(make_triangle(0, 4, 4, 8), screen) == [0]
+
+    def test_tile_straddling_triangle(self, screen):
+        tiles = tiles_overlapped_by(make_triangle(0, 28, 28, 8), screen)
+        assert tiles == [0, 1, 4, 5]
+
+    def test_bbox_overestimates_are_filtered(self, screen):
+        # A right triangle whose bbox spans 2x2 tiles but whose
+        # hypotenuse (x + y = 62) misses the diagonal tile at (32, 32).
+        prim = Primitive(0, Vertex(2, 2), Vertex(60, 2), Vertex(2, 60))
+        tiles = tiles_overlapped_by(prim, screen)
+        assert tiles == [0, 1, 4]  # bbox includes tile 5; the area does not
+
+    def test_offscreen_primitive_is_clipped(self, screen):
+        assert tiles_overlapped_by(make_triangle(0, 500, 500, 10), screen) == []
+        assert tiles_overlapped_by(make_triangle(0, -50, -50, 10), screen) == []
+
+    def test_full_screen_triangle_covers_everything(self, screen):
+        prim = Primitive(0, Vertex(-200, -200), Vertex(600, -200),
+                         Vertex(-200, 600))
+        assert tiles_overlapped_by(prim, screen) == \
+            list(range(screen.num_tiles))
+
+    def test_coverage_is_sorted_row_major(self, screen):
+        tiles = tiles_overlapped_by(make_triangle(0, 20, 20, 60), screen)
+        assert tiles == sorted(tiles)

@@ -1,0 +1,58 @@
+"""Primitives, vertices and bounding boxes."""
+
+import pytest
+
+from repro.geometry.primitives import Attribute, BoundingBox, Primitive, Vertex
+from tests.conftest import make_triangle
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(1, 2, 4, 8)
+        assert box.width == 3
+        assert box.height == 6
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 1, 1)
+
+    def test_intersection_cases(self):
+        a = BoundingBox(0, 0, 10, 10)
+        assert a.intersects(BoundingBox(5, 5, 15, 15))
+        assert a.intersects(BoundingBox(10, 10, 20, 20))  # touching corner
+        assert not a.intersects(BoundingBox(11, 0, 20, 10))
+        assert not a.intersects(BoundingBox(0, 11, 10, 20))
+
+
+class TestPrimitive:
+    def test_bounding_box(self):
+        prim = make_triangle(0, 10.0, 20.0, size=5.0)
+        box = prim.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (10, 20, 15, 25)
+
+    def test_signed_area_orientation(self):
+        ccw = Primitive(0, Vertex(0, 0), Vertex(10, 0), Vertex(0, 10))
+        cw = Primitive(1, Vertex(0, 0), Vertex(0, 10), Vertex(10, 0))
+        assert ccw.signed_area() > 0
+        assert cw.signed_area() < 0
+        assert abs(ccw.signed_area()) == abs(cw.signed_area()) == 100
+
+    def test_degenerate_detection(self):
+        line = Primitive(0, Vertex(0, 0), Vertex(5, 5), Vertex(10, 10))
+        assert line.is_degenerate()
+        assert not make_triangle(0, 0, 0).is_degenerate()
+
+    def test_attribute_count_must_fit_pmd_field(self):
+        with pytest.raises(ValueError):
+            make_triangle(0, 0, 0, num_attributes=16)
+        with pytest.raises(ValueError):
+            make_triangle(0, 0, 0, num_attributes=0)
+
+    def test_attributes_are_identified_by_slot(self):
+        prim = make_triangle(7, 0, 0, num_attributes=3)
+        assert prim.attributes == (
+            Attribute(7, 0), Attribute(7, 1), Attribute(7, 2))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Primitive(-1, Vertex(0, 0), Vertex(1, 0), Vertex(0, 1))

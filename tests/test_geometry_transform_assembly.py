@@ -1,0 +1,129 @@
+"""Vertex transform and primitive assembly (the Geometry Pipeline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.assembly import IndexedMesh, PrimitiveAssembly
+from repro.geometry.scene import Scene
+from repro.geometry.transform import (
+    VertexTransform,
+    identity,
+    look_at,
+    perspective,
+    rotation_y,
+    scaling,
+    translation,
+)
+
+SCREEN = ScreenConfig(256, 128, 32)
+
+
+def simple_camera(eye=(0.0, 0.0, 3.0)) -> VertexTransform:
+    mvp = perspective(math.radians(60), SCREEN.width / SCREEN.height,
+                      0.1, 100.0) @ look_at(eye, (0, 0, 0))
+    return VertexTransform(mvp, SCREEN)
+
+
+class TestMatrices:
+    def test_translation_moves_points(self):
+        point = translation(1, 2, 3) @ np.array([0, 0, 0, 1.0])
+        assert tuple(point[:3]) == (1, 2, 3)
+
+    def test_rotation_y_quarter_turn(self):
+        point = rotation_y(math.pi / 2) @ np.array([1, 0, 0, 1.0])
+        assert point[0] == pytest.approx(0, abs=1e-12)
+        assert point[2] == pytest.approx(-1)
+
+    def test_scaling(self):
+        point = scaling(2, 3, 4) @ np.array([1, 1, 1, 1.0])
+        assert tuple(point[:3]) == (2, 3, 4)
+
+    def test_perspective_validation(self):
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, near=0, far=10)
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, near=5, far=2)
+
+    def test_look_at_centers_the_target(self):
+        transform = VertexTransform(
+            perspective(math.radians(60), 2.0, 0.1, 100)
+            @ look_at((0, 0, 5), (0, 0, 0)), SCREEN)
+        center = transform.to_screen((0, 0, 0))
+        assert center.x == pytest.approx(SCREEN.width / 2)
+        assert center.y == pytest.approx(SCREEN.height / 2)
+
+
+class TestViewport:
+    def test_ndc_y_up_maps_to_pixel_y_down(self):
+        camera = simple_camera()
+        above = camera.to_screen((0, 0.5, 0))
+        below = camera.to_screen((0, -0.5, 0))
+        assert above.y < below.y
+
+    def test_behind_camera_rejected(self):
+        camera = simple_camera(eye=(0, 0, 3))
+        assert camera.to_screen((0, 0, 10)) is None  # behind the eye
+
+    def test_depth_increases_with_distance(self):
+        camera = simple_camera()
+        near = camera.to_screen((0, 0, 1.0))
+        far = camera.to_screen((0, 0, -5.0))
+        assert near.depth < far.depth
+
+    def test_mvp_shape_checked(self):
+        with pytest.raises(ValueError):
+            VertexTransform(np.eye(3), SCREEN)
+
+
+class TestMesh:
+    def test_cube_structure(self):
+        cube = IndexedMesh.cube()
+        assert len(cube.positions) == 8
+        assert cube.num_triangles == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IndexedMesh(positions=((0, 0, 0),), indices=(0, 0))
+        with pytest.raises(ValueError):
+            IndexedMesh(positions=((0, 0, 0),), indices=(0, 0, 1))
+
+
+class TestAssembly:
+    def test_cube_assembles_and_bins(self):
+        assembly = PrimitiveAssembly(simple_camera(),
+                                     backface_culling=False)
+        primitives = assembly.assemble(IndexedMesh.cube())
+        assert len(primitives) == 12
+        assert [p.primitive_id for p in primitives] == list(range(12))
+        scene = Scene(SCREEN, primitives)
+        assert scene.average_reuse() >= 1.0  # everything landed on screen
+
+    def test_backface_culling_halves_a_closed_cube(self):
+        assembly = PrimitiveAssembly(simple_camera(), backface_culling=True)
+        primitives = assembly.assemble(IndexedMesh.cube())
+        # A convex closed mesh shows at most half its faces (+ silhouette
+        # edge cases), and culling must drop a substantial share.
+        assert 0 < len(primitives) < 12
+        assert assembly.stats.culled_backface > 0
+
+    def test_near_plane_culling(self):
+        camera = simple_camera(eye=(0, 0, 0.2))  # inside the cube
+        assembly = PrimitiveAssembly(camera, backface_culling=False)
+        assembly.assemble(IndexedMesh.cube())
+        assert assembly.stats.culled_near_plane > 0
+
+    def test_vertex_cache_exploits_index_reuse(self):
+        assembly = PrimitiveAssembly(simple_camera(),
+                                     backface_culling=False)
+        assembly.assemble(IndexedMesh.cube())
+        # 36 indices over 8 vertices: a 16-entry FIFO catches the reuse.
+        assert assembly.stats.vertex_cache_hit_ratio > 0.5
+
+    def test_dense_ids_even_with_culling(self):
+        assembly = PrimitiveAssembly(simple_camera(), backface_culling=True)
+        primitives = assembly.assemble(IndexedMesh.cube())
+        assert [p.primitive_id for p in primitives] == \
+            list(range(len(primitives)))

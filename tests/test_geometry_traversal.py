@@ -1,0 +1,60 @@
+"""Tile traversal orders and ranks."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.traversal import (
+    TraversalOrder,
+    _interleave_bits,
+    tile_traversal,
+    traversal_rank,
+)
+
+
+@pytest.fixture
+def screen() -> ScreenConfig:
+    return ScreenConfig(128, 64, 32)  # 4x2 tiles
+
+
+class TestMorton:
+    @pytest.mark.parametrize("x,y,code", [
+        (0, 0, 0), (1, 0, 1), (0, 1, 2), (1, 1, 3),
+        (2, 0, 4), (3, 3, 15), (4, 0, 16),
+    ])
+    def test_interleave(self, x, y, code):
+        assert _interleave_bits(x, y) == code
+
+
+class TestTraversals:
+    @pytest.mark.parametrize("order", list(TraversalOrder))
+    def test_is_a_permutation(self, screen, order):
+        traversal = tile_traversal(screen, order)
+        assert sorted(traversal) == list(range(screen.num_tiles))
+
+    def test_scanline(self, screen):
+        assert tile_traversal(screen, TraversalOrder.SCANLINE) == \
+            tuple(range(8))
+
+    def test_serpentine_reverses_odd_rows(self, screen):
+        assert tile_traversal(screen, TraversalOrder.SERPENTINE) == \
+            (0, 1, 2, 3, 7, 6, 5, 4)
+
+    def test_zorder_quad_structure(self, screen):
+        traversal = tile_traversal(screen, TraversalOrder.Z_ORDER)
+        # The first Z quadrant on a 4x2 grid: (0,0) (1,0) (0,1) (1,1).
+        assert traversal[:4] == (0, 1, 4, 5)
+
+    def test_zorder_on_nonsquare_paper_grid(self, paper_screen):
+        traversal = tile_traversal(paper_screen, TraversalOrder.Z_ORDER)
+        assert sorted(traversal) == list(range(paper_screen.num_tiles))
+
+    @pytest.mark.parametrize("order", list(TraversalOrder))
+    def test_rank_inverts_traversal(self, screen, order):
+        traversal = tile_traversal(screen, order)
+        rank = traversal_rank(screen, order)
+        for position, tile_id in enumerate(traversal):
+            assert rank[tile_id] == position
+
+    def test_traversals_are_cached(self, screen):
+        assert tile_traversal(screen, TraversalOrder.Z_ORDER) is \
+            tile_traversal(screen, TraversalOrder.Z_ORDER)

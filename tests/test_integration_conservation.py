@@ -1,0 +1,88 @@
+"""Traffic conservation laws of the TCOR system.
+
+These invariants hold for *any* workload and pin down the accounting:
+
+1. Every binned primitive's attribute blocks reach the L2 as writes
+   exactly once (bypass or writeback — never zero, never twice).
+2. PB-Lists blocks are read from the L2 at most once per block per
+   consumer pass plus write-validate refetches — bounded by PMD counts.
+3. The L2's PB region accounting equals the request-side counters.
+"""
+
+import pytest
+
+from repro.tcor.system import simulate_tcor
+from repro.tiling.events import AttributeWrite
+from repro.workloads.suite import BENCHMARKS, build_workload
+from repro.workloads.trace import Region
+
+import repro.tcor.system as system_module
+from repro.caches.line import LineMeta
+
+
+@pytest.fixture(scope="module", params=["GTr", "DDS"])
+def traffic(request):
+    """Run TCOR with an instrumented request tap."""
+    workload = build_workload(BENCHMARKS[request.param], scale=0.06)
+    taps = {"attr_writes": 0, "attr_reads": 0,
+            "list_writes": 0, "list_reads": 0}
+    original = system_module._send
+
+    def tapped(shared, requests, counters):
+        for request_ in requests:
+            if request_.region == Region.PB_ATTRIBUTES:
+                taps["attr_writes" if request_.is_write
+                     else "attr_reads"] += 1
+            elif request_.region == Region.PB_LISTS:
+                taps["list_writes" if request_.is_write
+                     else "list_reads"] += 1
+        original(shared, requests, counters)
+
+    system_module._send = tapped
+    try:
+        result = simulate_tcor(workload)
+    finally:
+        system_module._send = original
+    return workload, result, taps
+
+
+def test_every_attribute_block_written_to_l2_exactly_once(traffic):
+    workload, _result, taps = traffic
+    expected = sum(
+        event.num_attributes
+        for event in workload.traces[0].build_events
+        if isinstance(event, AttributeWrite)
+    )
+    assert taps["attr_writes"] == expected
+
+
+def test_attr_reads_bounded_by_misses(traffic):
+    _workload, result, taps = traffic
+    misses = result.attr_reads - result.attr_read_hits
+    if misses == 0:
+        # Everything fit: no fill reads at all.
+        assert taps["attr_reads"] == 0
+    else:
+        # A read miss fetches each of the primitive's attributes once.
+        attrs_per_read = taps["attr_reads"] / misses
+        assert 1.0 <= attrs_per_read <= 15.0
+
+
+def test_request_taps_match_result_counters(traffic):
+    _workload, result, taps = traffic
+    assert result.pb_l2_writes == taps["attr_writes"] + taps["list_writes"]
+    assert result.pb_l2_reads == taps["attr_reads"] + taps["list_reads"]
+
+
+def test_list_reads_bounded_by_blocks_and_refetches(traffic):
+    workload, _result, taps = traffic
+    pb = workload.traces[0].pb
+    occupied_blocks = sum(
+        (len(tile_list) + pb.pbuffer.pmds_per_block - 1)
+        // pb.pbuffer.pmds_per_block
+        for tile_list in pb.tile_lists
+    )
+    # Blocks that never leave the Primitive List Cache are never fetched
+    # (zero is legal); the ceiling is one write-validate refetch per PMD
+    # append plus one Tile Fetcher fill per block.
+    assert 0 <= taps["list_reads"] <= pb.total_pmds() + occupied_blocks

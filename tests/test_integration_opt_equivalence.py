@@ -1,0 +1,69 @@
+"""The heart of TCOR: OPT Numbers emulate Belady on the PB stream.
+
+Offline Belady evicts the line whose next *access index* is farthest;
+TCOR's hardware evicts the line whose next *tile* (OPT Number) is
+farthest.  Because the Tile Fetcher reads in traversal order, the two
+orderings agree except for ties within a single tile — so an
+OPT-number-driven cache must match offline Belady's miss count almost
+exactly on the Parameter Buffer stream.
+"""
+
+import pytest
+
+from repro.caches.line import LineMeta
+from repro.caches.policies import BeladyOPT, OptNumberPolicy, make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from repro.tiling.events import AttributeRead, AttributeWrite
+
+
+def event_stream(workload):
+    """(primitive, opt_number) pairs: binning writes then tile reads."""
+    trace = workload.traces[0]
+    stream = []
+    for event in trace.build_events:
+        if isinstance(event, AttributeWrite):
+            stream.append((event.primitive_id, event.opt_number))
+    for event in trace.fetch_events:
+        if isinstance(event, AttributeRead):
+            stream.append((event.primitive_id, event.opt_number))
+    return stream
+
+
+def run_policy(stream, capacity, policy):
+    cache = SetAssociativeCache(1, capacity, 1, policy)
+    for primitive_id, opt_number in stream:
+        # NO_NEXT_TILE passes through as-is: it is the greatest possible
+        # OPT Number, so "never used again" lines are preferred victims.
+        cache.access(primitive_id, meta=LineMeta(opt_number=opt_number))
+    return cache.stats.misses
+
+
+@pytest.mark.parametrize("capacity", [16, 48, 128])
+def test_opt_number_matches_offline_belady(tiny_workload, capacity):
+    stream = event_stream(tiny_workload)
+    belady = run_policy(stream, capacity,
+                        BeladyOPT.from_trace([p for p, _ in stream]))
+    online = run_policy(stream, capacity, OptNumberPolicy())
+    # Ties within one tile may flip individual decisions; the totals must
+    # agree to within a small margin.
+    assert online == pytest.approx(belady, rel=0.02)
+
+
+@pytest.mark.parametrize("capacity", [16, 64])
+def test_opt_number_beats_lru_on_pb_stream(tiny_workload, capacity):
+    stream = event_stream(tiny_workload)
+    online = run_policy(stream, capacity, OptNumberPolicy())
+    lru = run_policy(stream, capacity, make_policy("lru"))
+    assert online <= lru
+
+
+def test_opt_number_never_below_belady(tiny_workload_low_reuse):
+    """Belady is provably optimal: the online policy can match it but
+    never beat it."""
+    stream = event_stream(tiny_workload_low_reuse)
+    for capacity in (32, 96):
+        belady = run_policy(stream, capacity,
+                            BeladyOPT.from_trace([p for p, _ in stream]))
+        online = run_policy(stream, capacity, OptNumberPolicy())
+        assert online >= belady

@@ -1,0 +1,90 @@
+"""End-to-end system simulation invariants (baseline vs TCOR)."""
+
+import pytest
+
+from repro.tcor.system import simulate_baseline, simulate_tcor
+
+
+@pytest.fixture(scope="module")
+def results(tiny_workload):
+    return {
+        "baseline": simulate_baseline(tiny_workload),
+        "tcor": simulate_tcor(tiny_workload),
+        "tcor_no_l2": simulate_tcor(tiny_workload, l2_enhancements=False),
+    }
+
+
+class TestHeadlineClaims:
+    def test_tcor_reduces_pb_l2_traffic(self, results):
+        assert results["tcor"].pb_l2_accesses < \
+            results["baseline"].pb_l2_accesses
+
+    def test_tcor_reduces_pb_mm_traffic_dramatically(self, results):
+        base = results["baseline"].pb_mm_accesses
+        tcor = results["tcor"].pb_mm_accesses
+        assert tcor <= base * 0.2  # the paper eliminates ~93% on average
+
+    def test_tcor_reduces_total_mm_traffic(self, results):
+        assert results["tcor"].mm_accesses < results["baseline"].mm_accesses
+
+    def test_l2_enhancements_needed_for_mm_elimination(self, results):
+        assert results["tcor"].pb_mm_accesses < \
+            results["tcor_no_l2"].pb_mm_accesses
+
+    def test_l1_reorganization_same_l2_traffic_either_way(self, results):
+        # The L2 policy does not change what the L1s send down.
+        assert results["tcor"].pb_l2_accesses == \
+            results["tcor_no_l2"].pb_l2_accesses
+
+    def test_dead_writebacks_only_with_enhancements(self, results):
+        assert results["tcor"].dead_writebacks_avoided > 0
+        assert results["tcor_no_l2"].dead_writebacks_avoided == 0
+
+
+class TestAccountingConsistency:
+    def test_attr_reads_match_trace(self, results, tiny_workload):
+        expected = tiny_workload.traces[0].num_primitive_reads
+        assert results["tcor"].attr_reads == expected
+        assert results["baseline"].attr_reads == expected
+
+    def test_mm_split_sums(self, results):
+        for result in results.values():
+            assert result.mm_accesses == result.mm_reads + result.mm_writes
+            assert result.pb_mm_accesses <= result.mm_accesses
+
+    def test_structure_access_keys(self, results):
+        assert "tile_cache" in results["baseline"].structure_accesses
+        assert "primitive_list_cache" in results["tcor"].structure_accesses
+        assert "attribute_buffer" in results["tcor"].structure_accesses
+        for result in results.values():
+            assert result.structure_accesses["dram"] == result.mm_accesses
+
+    def test_hit_ratio_bounds(self, results):
+        assert 0.0 <= results["tcor"].attr_read_hit_ratio <= 1.0
+
+
+class TestOptions:
+    def test_background_can_be_disabled(self, tiny_workload):
+        quiet = simulate_tcor(tiny_workload, include_background=False)
+        noisy = simulate_tcor(tiny_workload)
+        assert quiet.mm_accesses < noisy.mm_accesses
+        # PB L1-level behaviour is independent of background traffic.
+        assert quiet.attr_read_hits == noisy.attr_read_hits
+
+    def test_contiguous_layout_hurts_tcor(self, tiny_workload):
+        interleaved = simulate_tcor(tiny_workload)
+        contiguous = simulate_tcor(tiny_workload, interleaved_lists=False)
+        assert interleaved.pb_l2_accesses <= contiguous.pb_l2_accesses
+
+    def test_larger_tile_cache_helps_baseline(self, tiny_workload_low_reuse):
+        small = simulate_baseline(tiny_workload_low_reuse,
+                                  tile_cache_bytes=16 * 1024)
+        large = simulate_baseline(tiny_workload_low_reuse,
+                                  tile_cache_bytes=256 * 1024)
+        assert large.pb_l2_accesses < small.pb_l2_accesses
+
+    def test_deterministic(self, tiny_workload):
+        first = simulate_tcor(tiny_workload)
+        second = simulate_tcor(tiny_workload)
+        assert first.pb_l2_accesses == second.pb_l2_accesses
+        assert first.mm_accesses == second.mm_accesses

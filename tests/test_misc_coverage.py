@@ -1,0 +1,99 @@
+"""Edge cases across small modules: stats, trace records, fragments,
+requests, blend validation, sensitivity experiments."""
+
+import pytest
+
+from repro.caches.stats import CacheStats
+from repro.experiments.common import SimulationCache
+from repro.experiments.sensitivity import (
+    run_hierarchical_lists,
+    run_tile_cache_split,
+    run_traversal_orders,
+)
+from repro.raster.blend import BlendMode, blend
+from repro.tcor.requests import L2Request
+from repro.workloads.trace import Access, Op, Region
+
+
+class TestCacheStats:
+    def test_empty_stats(self):
+        stats = CacheStats()
+        assert stats.miss_ratio == 0.0
+        assert stats.hits == 0
+        assert stats.region_accesses(0) == 0
+        assert stats.region_misses(0) == 0
+
+    def test_record_paths(self):
+        stats = CacheStats()
+        stats.record(is_write=False, hit=True, region=1)
+        stats.record(is_write=True, hit=False, region=1)
+        stats.record(is_write=False, hit=False, region=None)
+        assert stats.accesses == 3
+        assert stats.misses == 2
+        assert stats.region_accesses(1) == 2
+        assert stats.region_misses(1) == 1
+        assert stats.miss_ratio == pytest.approx(2 / 3)
+
+
+class TestTraceRecords:
+    def test_region_pb_classification(self):
+        assert Region.PB_LISTS.is_parameter_buffer
+        assert Region.PB_ATTRIBUTES.is_parameter_buffer
+        assert not Region.TEXTURE.is_parameter_buffer
+        assert not Region.FRAMEBUFFER.is_parameter_buffer
+
+    def test_access_is_write(self):
+        read = Access(Op.READ, Region.TEXTURE, 0x100)
+        write = Access(Op.WRITE, Region.FRAMEBUFFER, 0x200)
+        assert not read.is_write
+        assert write.is_write
+
+    def test_access_records_hashable_and_frozen(self):
+        access = Access(Op.READ, Region.VERTEX, 64)
+        assert access in {access}
+        with pytest.raises(AttributeError):
+            access.address = 0
+
+
+class TestL2Request:
+    def test_defaults(self):
+        request = L2Request(address=64, is_write=True,
+                            region=Region.PB_LISTS)
+        assert request.last_tile_rank is None
+
+    def test_frozen(self):
+        request = L2Request(64, False, Region.PB_ATTRIBUTES, 3)
+        with pytest.raises(AttributeError):
+            request.address = 0
+
+
+class TestBlendValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            blend((1, 1, 1, 1), (0, 0, 0, 0), "nearest")  # type: ignore
+
+    def test_alpha_accumulates(self):
+        out = blend((0, 0, 0, 0.5), (0, 0, 0, 0.5), BlendMode.ALPHA)
+        assert out[3] == pytest.approx(0.75)
+
+
+class TestSensitivityExperiments:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return SimulationCache(scale=0.06, aliases=("GTr", "Snp"))
+
+    def test_traversal_orders_cover_all_three(self, cache):
+        result = run_traversal_orders(alias="GTr", scale=0.06)
+        assert [row[0] for row in result.rows] == \
+            ["scanline", "serpentine", "z-order"]
+
+    def test_split_sweep_rows(self, cache):
+        result = run_tile_cache_split(alias="Snp", cache=cache)
+        assert [row[0] for row in result.rows] == \
+            ["8+56", "16+48", "24+40", "32+32"]
+
+    def test_hierarchical_savings_bounded(self, cache):
+        result = run_hierarchical_lists(cache=cache)
+        for row in result.rows:
+            assert 0.0 <= row[3] <= 100.0
+            assert row[2] <= row[1]  # hierarchical never stores more

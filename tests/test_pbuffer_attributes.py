@@ -1,0 +1,52 @@
+"""PB-Attributes address map."""
+
+import pytest
+
+from repro.pbuffer.attributes import PBAttributesMap
+
+
+class TestAddressing:
+    def test_sequential_block_aligned(self):
+        attrs = PBAttributesMap([2, 3, 1])
+        base = attrs.base
+        assert attrs.primitive_base(0) == base
+        assert attrs.primitive_base(1) == base + 2 * 64
+        assert attrs.primitive_base(2) == base + 5 * 64
+        assert attrs.total_bytes == 6 * 64
+
+    def test_attribute_addresses(self):
+        attrs = PBAttributesMap([3])
+        assert attrs.attribute_addresses(0) == [
+            attrs.base, attrs.base + 64, attrs.base + 128]
+
+    def test_slot_bounds(self):
+        attrs = PBAttributesMap([2])
+        with pytest.raises(ValueError):
+            attrs.attribute_address(0, 2)
+
+    def test_zero_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            PBAttributesMap([3, 0])
+
+    def test_contains(self):
+        attrs = PBAttributesMap([1, 1])
+        assert attrs.contains(attrs.base)
+        assert attrs.contains(attrs.base + 127)
+        assert not attrs.contains(attrs.base + 128)
+
+    def test_counts_exposed(self):
+        attrs = PBAttributesMap([4, 2])
+        assert attrs.num_primitives == 2
+        assert attrs.attribute_count(0) == 4
+
+
+class TestDeadLineTags:
+    def test_tag_and_lookup(self):
+        attrs = PBAttributesMap([2])
+        attrs.tag_last_tile(0, last_tile_rank=17)
+        for address in attrs.attribute_addresses(0):
+            assert attrs.last_tile_of_block(address) == 17
+
+    def test_untagged_blocks_unknown(self):
+        attrs = PBAttributesMap([1])
+        assert attrs.last_tile_of_block(attrs.base) is None

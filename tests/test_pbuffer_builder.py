@@ -1,0 +1,91 @@
+"""Parameter Buffer construction: OPT numbers, first/last use ranks."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.scene import Scene
+from repro.geometry.traversal import TraversalOrder, traversal_rank
+from repro.pbuffer.builder import build_parameter_buffer
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from tests.conftest import make_triangle
+
+
+@pytest.fixture
+def screen() -> ScreenConfig:
+    return ScreenConfig(128, 64, 32)  # 4x2 tiles
+
+
+def build(screen, prims, order=TraversalOrder.SCANLINE):
+    return build_parameter_buffer(Scene(screen, prims), order)
+
+
+class TestOptNumbers:
+    def test_single_tile_primitive_has_no_next_use(self, screen):
+        pb = build(screen, [make_triangle(0, 4, 4, 8)])
+        slot = pb.tile_lists[0][0]
+        assert slot.pmd.opt_number == NO_NEXT_TILE
+
+    def test_multi_tile_primitive_chains_next_uses(self, screen):
+        # Spans tiles 0 and 1 horizontally (scanline ranks 0 and 1).
+        pb = build(screen, [make_triangle(0, 28, 4, 10)])
+        by_tile = {slot.tile_id: slot.pmd.opt_number
+                   for slot in pb.slots_by_primitive[0]}
+        assert by_tile[0] == 1            # next use: tile 1 (rank 1)
+        assert by_tile[1] == NO_NEXT_TILE
+
+    def test_opt_numbers_follow_traversal_not_row_major(self, screen):
+        # Under Z-order, tile (0,1) has a different rank than row-major.
+        prim = make_triangle(0, 28, 28, 10)  # spans a 2x2 tile block
+        pb = build(screen, [prim], TraversalOrder.Z_ORDER)
+        rank = traversal_rank(screen, TraversalOrder.Z_ORDER)
+        ranks = sorted(rank[slot.tile_id]
+                       for slot in pb.slots_by_primitive[0])
+        for slot in pb.slots_by_primitive[0]:
+            current = rank[slot.tile_id]
+            following = [r for r in ranks if r > current]
+            expected = following[0] if following else NO_NEXT_TILE
+            assert slot.pmd.opt_number == expected
+
+    def test_first_and_last_use_ranks(self, screen):
+        pb = build(screen, [make_triangle(0, 28, 4, 10)])
+        record = pb.records[0]
+        assert record.first_use_rank == 0
+        assert record.last_use_rank == 1
+        assert record.use_ranks == (0, 1)
+
+
+class TestLists:
+    def test_positions_dense_in_binning_order(self, screen):
+        prims = [make_triangle(i, 4, 4, 5) for i in range(3)]
+        pb = build(screen, prims)
+        assert [slot.position for slot in pb.tile_lists[0]] == [0, 1, 2]
+        assert [slot.pmd.primitive_id for slot in pb.tile_lists[0]] == \
+            [0, 1, 2]
+
+    def test_clipped_primitives_not_binned(self, screen):
+        pb = build(screen, [make_triangle(0, 999, 999, 5),
+                            make_triangle(1, 4, 4, 5)])
+        assert pb.records[0].use_ranks == ()
+        assert len(pb.binned_primitives()) == 1
+        assert pb.total_pmds() == 1
+
+    def test_overflowing_tile_list_raises(self, screen):
+        prims = [make_triangle(i, 4, 4, 3) for i in range(1025)]
+        with pytest.raises(OverflowError):
+            build(screen, prims)
+
+    def test_footprint_counts_binned_only(self, screen):
+        pb = build(screen, [make_triangle(0, 4, 4, 5, num_attributes=2),
+                            make_triangle(1, 999, 999, 5)])
+        assert pb.footprint_bytes() == 2 * 64 + 4
+
+
+class TestAttributesIntegration:
+    def test_dead_line_tags_written(self, screen):
+        pb = build(screen, [make_triangle(0, 28, 4, 10)])
+        for address in pb.attributes.attribute_addresses(0):
+            assert pb.attributes.last_tile_of_block(address) == 1
+
+    def test_attribute_counts_match_scene(self, screen):
+        pb = build(screen, [make_triangle(0, 4, 4, 5, num_attributes=5)])
+        assert pb.attributes.attribute_count(0) == 5

@@ -1,0 +1,83 @@
+"""Hierarchical primitive lists (related-work comparison)."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.primitives import Primitive, Vertex
+from repro.geometry.scene import Scene
+from repro.pbuffer.hierarchical import HierarchicalLists
+from tests.conftest import make_triangle
+
+SCREEN = ScreenConfig(128, 128, 32)  # 4x4 tiles -> 2x2 groups
+
+
+def big_quad_triangle(prim_id: int) -> Primitive:
+    """Covers the whole upper-left 2x2 tile group (and then some)."""
+    return Primitive(prim_id, Vertex(-20, -20), Vertex(150, -20),
+                     Vertex(-20, 150))
+
+
+class TestPromotion:
+    def test_group_covering_primitive_promoted(self):
+        scene = Scene(SCREEN, [big_quad_triangle(0)])
+        lists = HierarchicalLists(scene)
+        assert 0 in lists.coarse_lists[0]
+        for tile_id in (0, 1, 4, 5):
+            assert 0 not in lists.fine_lists[tile_id]
+
+    def test_small_primitive_stays_fine(self):
+        scene = Scene(SCREEN, [make_triangle(0, 4, 4, 8)])
+        lists = HierarchicalLists(scene)
+        assert lists.fine_lists[0] == [0]
+        assert all(not lst for lst in lists.coarse_lists)
+
+    def test_partial_group_coverage_stays_fine(self):
+        # Covers tiles 0 and 1 but not 4 and 5: no promotion.
+        scene = Scene(SCREEN, [make_triangle(0, 20, 4, 30)])
+        lists = HierarchicalLists(scene)
+        assert all(not lst for lst in lists.coarse_lists)
+
+
+class TestFetchView:
+    def test_every_tile_still_sees_every_overlapping_primitive(self):
+        scene = Scene(SCREEN, [big_quad_triangle(0),
+                               make_triangle(1, 4, 4, 8)])
+        lists = HierarchicalLists(scene)
+        flat = scene.tile_lists()
+        for tile_id in range(SCREEN.num_tiles):
+            merged = [entry.primitive_id
+                      for entry in lists.entries_for_tile(tile_id)]
+            assert merged == flat[tile_id]
+
+    def test_merge_restores_program_order(self):
+        scene = Scene(SCREEN, [make_triangle(0, 4, 4, 8),
+                               big_quad_triangle(1),
+                               make_triangle(2, 10, 10, 8)])
+        lists = HierarchicalLists(scene)
+        merged = [entry.primitive_id for entry in lists.entries_for_tile(0)]
+        assert merged == [0, 1, 2]
+        kinds = {entry.primitive_id: entry.coarse
+                 for entry in lists.entries_for_tile(0)}
+        assert kinds[1] is True and kinds[0] is False
+
+
+class TestFootprint:
+    def test_savings_on_large_primitives(self):
+        scene = Scene(SCREEN, [big_quad_triangle(0)])
+        lists = HierarchicalLists(scene)
+        # Flat stores >= 9 PMDs (a 3x3+ tile footprint); hierarchical
+        # replaces each fully covered group's 4 with 1.
+        assert lists.total_pmds() < lists.flat_pmds()
+        assert lists.pmd_savings() > 0.3
+
+    def test_no_savings_on_small_primitives(self):
+        scene = Scene(SCREEN, [make_triangle(i, 4 + 8 * i, 4, 6)
+                               for i in range(3)])
+        lists = HierarchicalLists(scene)
+        assert lists.total_pmds() == lists.flat_pmds()
+        assert lists.pmd_savings() == 0.0
+
+    def test_empty_scene(self):
+        lists = HierarchicalLists(Scene(SCREEN, []))
+        assert lists.total_pmds() == 0
+        assert lists.pmd_savings() == 0.0

@@ -1,0 +1,100 @@
+"""PB-Lists layouts: baseline contiguous vs TCOR interleaved."""
+
+import pytest
+
+from repro.config import ParameterBufferConfig
+from repro.pbuffer.layout import (
+    ContiguousPBListsLayout,
+    InterleavedPBListsLayout,
+)
+
+NUM_TILES = 32
+
+
+@pytest.fixture
+def contiguous() -> ContiguousPBListsLayout:
+    return ContiguousPBListsLayout(NUM_TILES)
+
+
+@pytest.fixture
+def interleaved() -> InterleavedPBListsLayout:
+    return InterleavedPBListsLayout(NUM_TILES)
+
+
+class TestContiguous:
+    def test_consecutive_pmds_are_adjacent(self, contiguous):
+        assert contiguous.pmd_address(0, 1) - contiguous.pmd_address(0, 0) == 4
+
+    def test_tiles_are_a_large_power_of_two_apart(self, contiguous):
+        stride = contiguous.pmd_address(1, 0) - contiguous.pmd_address(0, 0)
+        assert stride == 1024 * 4  # 64 blocks: the conflict pathology
+
+    def test_tile_of_block(self, contiguous):
+        address = contiguous.pmd_address(5, 17)
+        assert contiguous.tile_of_block(address) == 5
+
+    def test_outside_region_is_unknown(self, contiguous):
+        assert contiguous.tile_of_block(0) is None
+
+
+class TestInterleaved:
+    def test_first_section_packs_tiles_densely(self, interleaved):
+        # One block per tile: consecutive tiles are 64 bytes apart.
+        stride = (interleaved.pmd_address(1, 0)
+                  - interleaved.pmd_address(0, 0))
+        assert stride == 64
+
+    def test_sections_stack_after_all_tiles(self, interleaved):
+        # PMD 16 of tile 0 lives one full section (num_tiles blocks) later.
+        stride = (interleaved.pmd_address(0, 16)
+                  - interleaved.pmd_address(0, 0))
+        assert stride == NUM_TILES * 64
+
+    def test_within_block_offsets(self, interleaved):
+        assert (interleaved.pmd_address(3, 1)
+                - interleaved.pmd_address(3, 0)) == 4
+
+    def test_tile_of_block_by_modulo(self, interleaved):
+        for tile in (0, 7, 31):
+            for position in (0, 15, 16, 40):
+                address = interleaved.pmd_address(tile, position)
+                assert interleaved.tile_of_block(address) == tile
+
+
+class TestCommon:
+    @pytest.mark.parametrize("layout_cls",
+                             [ContiguousPBListsLayout,
+                              InterleavedPBListsLayout])
+    def test_addresses_are_unique(self, layout_cls):
+        layout = layout_cls(8)
+        seen = set()
+        for tile in range(8):
+            for position in range(64):
+                address = layout.pmd_address(tile, position)
+                assert address not in seen
+                seen.add(address)
+
+    @pytest.mark.parametrize("layout_cls",
+                             [ContiguousPBListsLayout,
+                              InterleavedPBListsLayout])
+    def test_position_limit_enforced(self, layout_cls):
+        layout = layout_cls(8)
+        limit = ParameterBufferConfig().max_primitives_per_tile
+        with pytest.raises(ValueError):
+            layout.pmd_address(0, limit)
+        with pytest.raises(ValueError):
+            layout.pmd_address(8, 0)
+
+    @pytest.mark.parametrize("layout_cls",
+                             [ContiguousPBListsLayout,
+                              InterleavedPBListsLayout])
+    def test_contains(self, layout_cls):
+        layout = layout_cls(8)
+        assert layout.contains(layout.base)
+        assert layout.contains(layout.pmd_address(7, 1023))
+        assert not layout.contains(layout.base - 1)
+        assert not layout.contains(layout.base + layout.total_bytes)
+
+    def test_both_layouts_same_total_size(self):
+        assert ContiguousPBListsLayout(16).total_bytes == \
+            InterleavedPBListsLayout(16).total_bytes

@@ -1,0 +1,58 @@
+"""PMD bitfield encodings."""
+
+import pytest
+
+from repro.pbuffer.pmd import (
+    NO_NEXT_TILE,
+    BaselinePMD,
+    TcorPMD,
+    decode_baseline_pmd,
+    decode_tcor_pmd,
+)
+
+
+class TestBaselinePMD:
+    def test_roundtrip(self):
+        pmd = BaselinePMD(primitive_id=12345, num_attributes=7)
+        assert decode_baseline_pmd(pmd.encode()) == pmd
+
+    def test_word_fits_32_bits(self):
+        word = BaselinePMD((1 << 26) - 1, 15).encode()
+        assert 0 <= word < (1 << 32)
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            BaselinePMD(1 << 26, 3).encode()
+        with pytest.raises(ValueError):
+            BaselinePMD(1, 16).encode()
+        with pytest.raises(ValueError):
+            BaselinePMD(1, 0).encode()
+
+
+class TestTcorPMD:
+    def test_roundtrip(self):
+        pmd = TcorPMD(primitive_id=999, num_attributes=3, opt_number=1487)
+        assert decode_tcor_pmd(pmd.encode()) == pmd
+
+    def test_roundtrip_extremes(self):
+        for pmd in (TcorPMD(0, 1, 0),
+                    TcorPMD((1 << 16) - 1, 15, NO_NEXT_TILE)):
+            assert decode_tcor_pmd(pmd.encode()) == pmd
+
+    def test_sentinel_is_all_ones_12_bits(self):
+        assert NO_NEXT_TILE == 0xFFF
+        assert TcorPMD(1, 1, NO_NEXT_TILE).is_last_use
+        assert not TcorPMD(1, 1, 100).is_last_use
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            TcorPMD(1 << 16, 3, 0).encode()
+        with pytest.raises(ValueError):
+            TcorPMD(1, 3, 1 << 12).encode()
+
+    def test_distinct_words_for_distinct_pmds(self):
+        words = {
+            TcorPMD(p, a, o).encode()
+            for p in (0, 1, 500) for a in (1, 3) for o in (0, 7, NO_NEXT_TILE)
+        }
+        assert len(words) == 18

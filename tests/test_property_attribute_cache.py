@@ -1,0 +1,95 @@
+"""Property-based tests on the TCOR Attribute Cache.
+
+Random but *well-formed* PB access sequences (every primitive written
+once, then read in traversal order with correct OPT numbers) must never
+corrupt the Attribute Buffer's free list, leak entries, or disagree with
+the primitive-buffer occupancy.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import CacheConfig, TCORConfig
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from repro.tcor.attribute_cache import AttributeCache
+
+
+@st.composite
+def pb_workloads(draw):
+    """A miniature frame: primitive attribute counts plus per-tile reads."""
+    num_primitives = draw(st.integers(min_value=1, max_value=24))
+    attr_counts = [draw(st.integers(min_value=1, max_value=4))
+                   for _ in range(num_primitives)]
+    num_tiles = draw(st.integers(min_value=1, max_value=12))
+    uses = {}
+    for prim in range(num_primitives):
+        tiles = draw(st.sets(st.integers(0, num_tiles - 1),
+                             min_size=1, max_size=num_tiles))
+        uses[prim] = sorted(tiles)
+    return attr_counts, num_tiles, uses
+
+
+@given(workload=pb_workloads(),
+       entries=st.sampled_from([4, 8, 16]),
+       window=st.sampled_from([1, 4, 32]))
+@settings(max_examples=60, deadline=None)
+def test_attribute_cache_structural_invariants(workload, entries, window):
+    attr_counts, num_tiles, uses = workload
+    config = TCORConfig(
+        primitive_list_cache=CacheConfig("pl", 1024),
+        attribute_buffer_bytes=entries * 48,
+        primitive_buffer_associativity=2,
+        use_xor_indexing=False,
+    )
+    if max(attr_counts) > config.attribute_buffer_entries:
+        return  # a primitive that can never fit is rejected by design
+    cache = AttributeCache(config, PBAttributesMap(attr_counts),
+                           inflight_window=window)
+
+    # Binning phase: one write per primitive, first-use OPT number.
+    for prim, count in enumerate(attr_counts):
+        cache.write(prim, count, uses[prim][0], uses[prim][-1])
+        cache.buffer.check_invariants()
+
+    # Fetch phase: traversal-ordered reads with chained OPT numbers.
+    for tile in range(num_tiles):
+        for prim in range(len(attr_counts)):
+            ranks = uses[prim]
+            if tile not in ranks:
+                continue
+            future = [r for r in ranks if r > tile]
+            opt = future[0] if future else NO_NEXT_TILE
+            outcome = cache.read(prim, attr_counts[prim], opt, ranks[-1])
+            assert outcome.hit or outcome.l2_requests
+            cache.buffer.check_invariants()
+
+    # Teardown: everything drains; no entry leaks.
+    cache.flush()
+    cache.buffer.check_invariants()
+    assert cache.buffer.used_entries == 0
+    assert cache.resident_primitives() == 0
+
+
+@given(workload=pb_workloads())
+@settings(max_examples=40, deadline=None)
+def test_resident_attribute_count_matches_buffer_usage(workload):
+    attr_counts, _num_tiles, uses = workload
+    config = TCORConfig(
+        primitive_list_cache=CacheConfig("pl", 1024),
+        attribute_buffer_bytes=32 * 48,
+        primitive_buffer_associativity=4,
+        use_xor_indexing=True,
+    )
+    cache = AttributeCache(config, PBAttributesMap(attr_counts))
+    for prim, count in enumerate(attr_counts):
+        cache.write(prim, count, uses[prim][0], uses[prim][-1])
+    resident = [
+        line for lines in cache._sets for line in lines.values()
+    ]
+    assert cache.buffer.used_entries == \
+        sum(line.num_attributes for line in resident)
+    # Every resident line's chain belongs to the right primitive.
+    for line in resident:
+        assert cache.buffer.chain_primitive(line.abp) == line.primitive_id
+        assert len(cache.buffer.chain(line.abp)) == line.num_attributes

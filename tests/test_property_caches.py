@@ -1,0 +1,87 @@
+"""Property-based tests on the cache substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caches.fully_assoc import fully_associative_cache
+from repro.caches.mattson import lru_miss_curve
+from repro.caches.policies import BeladyOPT, make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+
+traces = st.lists(st.integers(min_value=0, max_value=31),
+                  min_size=1, max_size=400)
+capacities = st.integers(min_value=1, max_value=32)
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=60, deadline=None)
+def test_belady_is_optimal_against_lru_fifo_random(trace, capacity):
+    """OPT never misses more than any other policy (Mattson 1970)."""
+    opt = fully_associative_cache(capacity * 64, 64,
+                                  BeladyOPT.from_trace(trace))
+    for line in trace:
+        opt.access(line * 64)
+    for name in ("lru", "fifo", "random", "mru"):
+        other = fully_associative_cache(capacity * 64, 64, make_policy(name))
+        for line in trace:
+            other.access(line * 64)
+        assert opt.stats.misses <= other.stats.misses
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_mattson_curve_matches_direct_lru(trace):
+    curve = lru_miss_curve(trace, [1, 3, 8, 32])
+    for capacity, expected in curve.items():
+        cache = fully_associative_cache(capacity * 64, 64,
+                                        make_policy("lru"))
+        for line in trace:
+            cache.access(line * 64)
+        assert cache.stats.misses == expected
+
+
+@given(trace=traces)
+@settings(max_examples=40, deadline=None)
+def test_lru_inclusion_property(trace):
+    """Fully associative LRU misses are monotone non-increasing in size."""
+    curve = lru_miss_curve(trace, list(range(1, 33)))
+    misses = [curve[c] for c in range(1, 33)]
+    assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+@given(trace=traces, capacity=capacities)
+@settings(max_examples=60, deadline=None)
+def test_misses_at_least_compulsory(trace, capacity):
+    """No policy can miss fewer times than the number of distinct lines."""
+    for name in ("lru", "mru", "fifo", "srrip", "drrip", "random"):
+        cache = fully_associative_cache(capacity * 64, 64, make_policy(name))
+        for line in trace:
+            cache.access(line * 64)
+        assert cache.stats.misses >= len(set(trace))
+        assert cache.stats.accesses == len(trace)
+
+
+@given(trace=traces, ways=st.integers(min_value=1, max_value=8),
+       num_sets=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity(trace, ways, num_sets):
+    cache = SetAssociativeCache(num_sets, ways, 64, make_policy("lru"))
+    for line in trace:
+        cache.access(line * 64, is_write=line % 2 == 0)
+    assert cache.occupancy() <= num_sets * ways
+    # Every resident line maps to the set it is stored in.
+    for set_index, line in cache.iter_lines():
+        assert cache.indexing.set_of(line.tag) == set_index
+
+
+@given(trace=traces)
+@settings(max_examples=40, deadline=None)
+def test_flush_accounts_for_every_dirty_line(trace):
+    cache = SetAssociativeCache(4, 2, 64, make_policy("lru"))
+    dirty_written = set()
+    for index, line in enumerate(trace):
+        result = cache.access(line * 64, is_write=index % 3 == 0)
+    resident_dirty = sum(line.dirty for _s, line in cache.iter_lines())
+    flushed = cache.flush()
+    assert sum(evicted.dirty for evicted in flushed) == resident_dirty
+    assert cache.occupancy() == 0

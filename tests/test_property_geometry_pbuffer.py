@@ -1,0 +1,115 @@
+"""Property-based tests on geometry, layouts and the Parameter Buffer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import ScreenConfig
+from repro.geometry.overlap import tile_rect, tiles_overlapped_by
+from repro.geometry.primitives import Primitive, Vertex
+from repro.geometry.scene import Scene
+from repro.geometry.traversal import TraversalOrder, tile_traversal
+from repro.pbuffer.builder import build_parameter_buffer
+from repro.pbuffer.layout import (
+    ContiguousPBListsLayout,
+    InterleavedPBListsLayout,
+)
+from repro.pbuffer.pmd import NO_NEXT_TILE, TcorPMD, decode_tcor_pmd
+
+SCREEN = ScreenConfig(160, 96, 32)  # 5x3 tiles
+
+coords = st.floats(min_value=-50, max_value=210, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def triangles(draw, prim_id=0):
+    return Primitive(
+        prim_id,
+        Vertex(draw(coords), draw(coords)),
+        Vertex(draw(coords), draw(coords)),
+        Vertex(draw(coords), draw(coords)),
+        num_attributes=draw(st.integers(min_value=1, max_value=15)),
+    )
+
+
+@given(prim=triangles())
+@settings(max_examples=120, deadline=None)
+def test_coverage_subset_of_bbox_tiles(prim):
+    """Exact binning never includes a tile the bounding box excludes."""
+    covered = set(tiles_overlapped_by(prim, SCREEN))
+    bbox = prim.bounding_box()
+    for tile in covered:
+        rect = tile_rect(SCREEN, tile)
+        assert bbox.intersects(rect)
+
+
+@given(prim=triangles())
+@settings(max_examples=120, deadline=None)
+def test_vertex_tiles_always_covered(prim):
+    """A tile containing an on-screen vertex is always in the coverage."""
+    covered = set(tiles_overlapped_by(prim, SCREEN))
+    for vertex in prim.vertices:
+        if 0 <= vertex.x < SCREEN.width and 0 <= vertex.y < SCREEN.height:
+            assert SCREEN.tile_of_pixel(int(vertex.x), int(vertex.y)) \
+                in covered
+
+
+@st.composite
+def scenes(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    prims = [draw(triangles(prim_id=index)) for index in range(count)]
+    return Scene(SCREEN, prims)
+
+
+@given(scene=scenes(),
+       order=st.sampled_from(list(TraversalOrder)))
+@settings(max_examples=60, deadline=None)
+def test_parameter_buffer_invariants(scene, order):
+    pb = build_parameter_buffer(scene, order)
+    # 1. PMDs partition: one slot per (tile, primitive) coverage pair.
+    assert pb.total_pmds() == sum(len(t) for t in scene.coverage())
+    # 2. Per-tile positions are dense and in binning (program) order.
+    for tile_list in pb.tile_lists:
+        assert [slot.position for slot in tile_list] == \
+            list(range(len(tile_list)))
+        prims = [slot.pmd.primitive_id for slot in tile_list]
+        assert prims == sorted(prims)
+    # 3. OPT Numbers chain through each primitive's use ranks.
+    for record, slots in zip(pb.records, pb.slots_by_primitive):
+        ranks = sorted(pb.rank_of_tile[slot.tile_id] for slot in slots)
+        assert tuple(ranks) == record.use_ranks
+        for slot in slots:
+            current = pb.rank_of_tile[slot.tile_id]
+            future = [r for r in ranks if r > current]
+            expected = future[0] if future else NO_NEXT_TILE
+            assert slot.pmd.opt_number == expected
+    # 4. Every PMD encodes and decodes losslessly.
+    for tile_list in pb.tile_lists:
+        for slot in tile_list:
+            assert decode_tcor_pmd(slot.pmd.encode()) == slot.pmd
+
+
+@given(num_tiles=st.integers(min_value=1, max_value=64),
+       tile=st.integers(min_value=0, max_value=63),
+       position=st.integers(min_value=0, max_value=1023))
+@settings(max_examples=120, deadline=None)
+def test_layouts_agree_on_ownership(num_tiles, tile, position):
+    """Both layouts place each PMD in a block owned by its tile."""
+    if tile >= num_tiles:
+        tile %= num_tiles
+    for layout_cls in (ContiguousPBListsLayout, InterleavedPBListsLayout):
+        layout = layout_cls(num_tiles)
+        address = layout.pmd_address(tile, position)
+        assert layout.contains(address)
+        assert layout.tile_of_block(address) == tile
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_traversal_rank_round_trip(data):
+    width = data.draw(st.integers(min_value=32, max_value=320))
+    height = data.draw(st.integers(min_value=32, max_value=320))
+    order = data.draw(st.sampled_from(list(TraversalOrder)))
+    screen = ScreenConfig(width, height, 32)
+    traversal = tile_traversal(screen, order)
+    assert sorted(traversal) == list(range(screen.num_tiles))

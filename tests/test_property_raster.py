@@ -1,0 +1,90 @@
+"""Property-based tests on the rasterizer and raster pipeline."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import ScreenConfig
+from repro.geometry.overlap import tiles_overlapped_by
+from repro.geometry.primitives import Primitive, Vertex
+from repro.raster.rasterizer import rasterize_in_tile
+from repro.raster.zbuffer import TileZBuffer
+from repro.raster.fragments import Quad
+
+SCREEN = ScreenConfig(96, 96, 32)  # 3x3 tiles
+
+coords = st.floats(min_value=-20, max_value=116, allow_nan=False,
+                   allow_infinity=False)
+depths = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+
+
+@st.composite
+def triangles(draw):
+    return Primitive(
+        0,
+        Vertex(draw(coords), draw(coords), draw(depths)),
+        Vertex(draw(coords), draw(coords), draw(depths)),
+        Vertex(draw(coords), draw(coords), draw(depths)),
+    )
+
+
+@given(prim=triangles(), tile=st.integers(0, 8))
+@settings(max_examples=120, deadline=None)
+def test_fragments_stay_inside_their_tile(prim, tile):
+    rect_x = (tile % 3) * 32
+    rect_y = (tile // 3) * 32
+    for quad in rasterize_in_tile(prim, SCREEN, tile):
+        for fragment in quad.fragments():
+            assert rect_x <= fragment.x < rect_x + 32
+            assert rect_y <= fragment.y < rect_y + 32
+
+
+@given(prim=triangles(), tile=st.integers(0, 8))
+@settings(max_examples=120, deadline=None)
+def test_fragments_inside_the_triangle_bbox(prim, tile):
+    bbox = prim.bounding_box()
+    for quad in rasterize_in_tile(prim, SCREEN, tile):
+        for fragment in quad.fragments():
+            center_x = fragment.x + 0.5
+            center_y = fragment.y + 0.5
+            assert bbox.min_x - 1 <= center_x <= bbox.max_x + 1
+            assert bbox.min_y - 1 <= center_y <= bbox.max_y + 1
+
+
+@given(prim=triangles())
+@settings(max_examples=100, deadline=None)
+def test_rasterized_tiles_are_binned_tiles(prim):
+    """A tile producing fragments must be in the binner's coverage (the
+    binner is conservative; the rasterizer is exact)."""
+    binned = set(tiles_overlapped_by(prim, SCREEN))
+    for tile in range(SCREEN.num_tiles):
+        if rasterize_in_tile(prim, SCREEN, tile):
+            assert tile in binned
+
+
+@given(prim=triangles(), tile=st.integers(0, 8))
+@settings(max_examples=100, deadline=None)
+def test_depths_interpolate_within_vertex_range(prim, tile):
+    zs = [v.z for v in prim.vertices]
+    lo, hi = min(zs), max(zs)
+    for quad in rasterize_in_tile(prim, SCREEN, tile):
+        for fragment in quad.fragments():
+            assert lo - 1e-6 <= fragment.depth <= hi + 1e-6
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15),
+                          st.floats(0.01, 0.99, allow_nan=False)),
+                min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_zbuffer_is_a_running_minimum(writes):
+    zbuffer = TileZBuffer(32)
+    best: dict[tuple[int, int], float] = {}
+    for base_x, base_y, depth in writes:
+        quad = Quad(base_x * 2, base_y * 2, 0xF, (depth,) * 4,
+                    primitive_id=0)
+        zbuffer.test_and_update(quad, 0, 0)
+        for dx in (0, 1):
+            for dy in (0, 1):
+                key = (base_x * 2 + dx, base_y * 2 + dy)
+                best[key] = min(best.get(key, 1.0), depth)
+    for (x, y), expected in best.items():
+        assert zbuffer.depth_at(x, y) == expected

@@ -1,0 +1,52 @@
+"""Early vs Late vs disabled depth testing in the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.primitives import Primitive, Vertex
+from repro.geometry.scene import Scene
+from repro.pbuffer.builder import build_parameter_buffer
+from repro.raster.pipeline import RasterPipeline
+from repro.raster.zbuffer import DepthTest
+
+SCREEN = ScreenConfig(64, 64, 32)
+
+
+def occluded_scene() -> Scene:
+    """A near triangle drawn before a coplanar-overlapping far one."""
+    return Scene(SCREEN, [
+        Primitive(0, Vertex(4, 4, 0.2), Vertex(40, 4, 0.2),
+                  Vertex(4, 40, 0.2)),
+        Primitive(1, Vertex(4, 4, 0.8), Vertex(40, 4, 0.8),
+                  Vertex(4, 40, 0.8)),
+    ])
+
+
+def run(depth_test: DepthTest) -> RasterPipeline:
+    pipeline = RasterPipeline(build_parameter_buffer(occluded_scene()),
+                              depth_test=depth_test)
+    pipeline.render()
+    return pipeline
+
+
+def test_early_z_shades_fewer_fragments_than_late():
+    early = run(DepthTest.EARLY)
+    late = run(DepthTest.LATE)
+    assert early.stats.fragments_shaded < late.stats.fragments_shaded
+    # Late Z shades everything the rasterizer produced.
+    assert late.stats.fragments_shaded == pytest.approx(
+        2 * early.stats.fragments_shaded, rel=0.05)
+
+
+def test_early_and_late_produce_the_same_image():
+    assert np.array_equal(run(DepthTest.EARLY).framebuffer,
+                          run(DepthTest.LATE).framebuffer)
+
+
+def test_disabled_depth_is_painters_order():
+    disabled = run(DepthTest.DISABLED)
+    early = run(DepthTest.EARLY)
+    # With the test disabled, the later (far) triangle wins the pixels;
+    # with it enabled, the nearer (first) one does.
+    assert not np.array_equal(disabled.framebuffer, early.framebuffer)

@@ -1,0 +1,123 @@
+"""Edge-function rasterization: coverage, fill rule, depth."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.primitives import Primitive, Vertex
+from repro.raster.fragments import Fragment, Quad
+from repro.raster.rasterizer import rasterize_in_tile
+
+SCREEN = ScreenConfig(64, 64, 32)  # 2x2 tiles
+
+
+def covered_pixels(prim, tile_id=0):
+    pixels = set()
+    for quad in rasterize_in_tile(prim, SCREEN, tile_id):
+        for fragment in quad.fragments():
+            pixels.add((fragment.x, fragment.y))
+    return pixels
+
+
+class TestQuads:
+    def test_quad_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Quad(base_x=1, base_y=0, mask=1, depths=(0,) * 4, primitive_id=0)
+
+    def test_quad_mask_bounds(self):
+        with pytest.raises(ValueError):
+            Quad(base_x=0, base_y=0, mask=0, depths=(0,) * 4, primitive_id=0)
+
+    def test_fragments_follow_mask(self):
+        quad = Quad(0, 0, mask=0b1001, depths=(0.1, 0.0, 0.0, 0.4),
+                    primitive_id=7)
+        fragments = quad.fragments()
+        assert fragments == [Fragment(0, 0, 0.1, 7), Fragment(1, 1, 0.4, 7)]
+        assert quad.coverage == 2
+
+
+class TestCoverage:
+    def test_axis_aligned_square_half(self):
+        # Right triangle covering the lower-left half of an 8x8 square.
+        prim = Primitive(0, Vertex(0, 0), Vertex(8, 8), Vertex(0, 8))
+        pixels = covered_pixels(prim)
+        assert (0, 7) in pixels
+        assert (7, 7) in pixels or (6, 7) in pixels
+        assert (7, 0) not in pixels  # upper-right half is outside
+        # Half of an 8x8 block: about 32 pixels (exactly, with the
+        # diagonal split by the fill rule).
+        assert 24 <= len(pixels) <= 40
+
+    def test_tiny_triangle_still_hits_a_pixel_center_or_not(self):
+        # Smaller than a pixel, placed between centers: no coverage.
+        prim = Primitive(0, Vertex(2.1, 2.1), Vertex(2.3, 2.1),
+                         Vertex(2.1, 2.3))
+        assert covered_pixels(prim) == set()
+        # Enclosing a pixel center: exactly one fragment.  (The
+        # hypotenuse stays clear of the neighbouring center so the fill
+        # rule's edge convention is not in play.)
+        prim = Primitive(1, Vertex(2.2, 2.2), Vertex(3.6, 2.2),
+                         Vertex(2.2, 3.6))
+        assert covered_pixels(prim) == {(2, 2)}
+
+    def test_degenerate_triangle_rasterizes_nothing(self):
+        prim = Primitive(0, Vertex(0, 0), Vertex(5, 5), Vertex(10, 10))
+        assert rasterize_in_tile(prim, SCREEN, 0) == []
+
+    def test_winding_independent(self):
+        ccw = Primitive(0, Vertex(2, 2), Vertex(20, 2), Vertex(2, 20))
+        cw = Primitive(1, Vertex(2, 2), Vertex(2, 20), Vertex(20, 2))
+        assert covered_pixels(ccw) == covered_pixels(cw)
+
+    def test_clipped_to_tile(self):
+        # Spans both tiles of the top row; tile 0 only sees x < 32.
+        prim = Primitive(0, Vertex(0, 0), Vertex(64, 0), Vertex(0, 40))
+        for x, y in covered_pixels(prim, tile_id=0):
+            assert x < 32 and y < 32
+        right = covered_pixels(prim, tile_id=1)
+        assert right and all(x >= 32 for x, y in right)
+
+
+class TestFillRule:
+    def test_shared_edge_no_double_hit_no_gap(self):
+        """Two triangles forming a square: every interior pixel covered
+        exactly once (the top-left rule's whole point)."""
+        a = Primitive(0, Vertex(4, 4), Vertex(20, 4), Vertex(4, 20))
+        b = Primitive(1, Vertex(20, 4), Vertex(20, 20), Vertex(4, 20))
+        pixels_a = covered_pixels(a)
+        pixels_b = covered_pixels(b)
+        assert not pixels_a & pixels_b, "double-shaded pixels on shared edge"
+        union = pixels_a | pixels_b
+        for x in range(4, 20):
+            for y in range(4, 20):
+                assert (x, y) in union, f"gap at {(x, y)}"
+
+    def test_quad_of_four_triangles_partitions(self):
+        center = Vertex(12, 12)
+        corners = [Vertex(4, 4), Vertex(20, 4), Vertex(20, 20), Vertex(4, 20)]
+        triangles = [
+            Primitive(i, corners[i], corners[(i + 1) % 4], center)
+            for i in range(4)
+        ]
+        seen: dict[tuple, int] = {}
+        for triangle in triangles:
+            for pixel in covered_pixels(triangle):
+                seen[pixel] = seen.get(pixel, 0) + 1
+        assert all(count == 1 for count in seen.values())
+
+
+class TestDepthInterpolation:
+    def test_constant_depth(self):
+        prim = Primitive(0, Vertex(0, 0, 0.25), Vertex(16, 0, 0.25),
+                         Vertex(0, 16, 0.25))
+        for quad in rasterize_in_tile(prim, SCREEN, 0):
+            for fragment in quad.fragments():
+                assert fragment.depth == pytest.approx(0.25)
+
+    def test_linear_gradient(self):
+        # Depth = x / 32 across the triangle.
+        prim = Primitive(0, Vertex(0, 0, 0.0), Vertex(32, 0, 1.0),
+                         Vertex(0, 32, 0.0))
+        for quad in rasterize_in_tile(prim, SCREEN, 0):
+            for fragment in quad.fragments():
+                expected = (fragment.x + 0.5) / 32.0
+                assert fragment.depth == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,47 @@
+"""Markdown reporting and the self-check CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.reporting import report_to_markdown, result_to_markdown
+
+
+@pytest.fixture
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        exp_id="figX", title="demo figure",
+        headers=["bench", "value"],
+        rows=[["CCS", 1.2345], ["DDS", 7]],
+        notes="a caveat",
+    )
+
+
+class TestMarkdown:
+    def test_table_structure(self, result):
+        markdown = result_to_markdown(result)
+        lines = markdown.splitlines()
+        assert lines[0] == "## figX: demo figure"
+        assert lines[2] == "| bench | value |"
+        assert lines[3] == "|---|---|"
+        assert "| CCS | 1.234 |" in markdown  # trailing zeros trimmed
+        assert "| DDS | 7 |" in markdown
+        assert "*a caveat*" in markdown
+
+    def test_report_concatenates(self, result):
+        report = report_to_markdown([result, result], title="T")
+        assert report.startswith("# T")
+        assert report.count("## figX") == 2
+
+
+class TestValidateCLI:
+    def test_self_check_passes(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.validate", "GTr", "0.06"],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "all checks passed" in completed.stdout
+        assert completed.stdout.count("PASS") == 6

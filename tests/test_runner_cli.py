@@ -1,0 +1,39 @@
+"""The experiment CLI end to end (subprocess)."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+def test_table1_runs_fast():
+    result = run_cli("--experiment", "table1")
+    assert result.returncode == 0
+    assert "1960x768" in result.stdout
+
+
+def test_requires_a_selection():
+    result = run_cli()
+    assert result.returncode != 0
+    assert "--all or --experiment" in result.stderr
+
+
+def test_subset_with_benchmark_filter(tmp_path):
+    output = tmp_path / "report.txt"
+    result = run_cli("--experiment", "fig16", "--scale", "0.06",
+                     "--benchmarks", "GTr", "--output", str(output))
+    assert result.returncode == 0
+    assert "fig16" in result.stdout and "fig17" in result.stdout
+    assert output.read_text().startswith("== fig16")
+
+
+def test_unknown_experiment_fails_cleanly():
+    result = run_cli("--experiment", "fig99")
+    assert result.returncode != 0

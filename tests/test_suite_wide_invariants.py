@@ -1,0 +1,44 @@
+"""Suite-wide invariants: every Table II benchmark, one small pass.
+
+Parametrized over all ten games so a regression in any benchmark's
+calibration or in any system path shows up by name.
+"""
+
+import pytest
+
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS, build_workload
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {alias: build_workload(BENCHMARKS[alias], scale=SCALE)
+            for alias in BENCHMARK_ORDER}
+
+
+@pytest.mark.parametrize("alias", BENCHMARK_ORDER)
+def test_reuse_calibration(workloads, alias):
+    workload = workloads[alias]
+    published = BENCHMARKS[alias].avg_reuse
+    assert workload.measured_reuse() == pytest.approx(published, rel=0.35)
+
+
+@pytest.mark.parametrize("alias", BENCHMARK_ORDER)
+def test_traces_are_self_consistent(workloads, alias):
+    trace = workloads[alias].traces[0]
+    assert trace.num_pmd_writes == trace.num_pmd_reads
+    assert trace.num_pmd_reads == trace.num_primitive_reads
+    assert trace.num_binned_primitives <= workloads[alias].num_primitives
+
+
+@pytest.mark.parametrize("alias", BENCHMARK_ORDER)
+def test_tcor_never_loses(workloads, alias):
+    workload = workloads[alias]
+    base = simulate_baseline(workload)
+    tcor = simulate_tcor(workload)
+    assert tcor.pb_l2_accesses <= base.pb_l2_accesses
+    assert tcor.pb_mm_accesses <= base.pb_mm_accesses
+    assert tcor.mm_accesses <= base.mm_accesses
+    assert 0.0 <= tcor.attr_read_hit_ratio <= 1.0

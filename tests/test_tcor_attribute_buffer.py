@@ -1,0 +1,96 @@
+"""The Attribute Buffer: linked lists, free list, locks."""
+
+import pytest
+
+from repro.tcor.attribute_buffer import AttributeBuffer
+
+
+class TestAllocation:
+    def test_allocate_chains_in_order(self):
+        buffer = AttributeBuffer(8)
+        head = buffer.allocate(primitive_id=7, count=3)
+        chain = buffer.chain(head)
+        assert len(chain) == 3
+        assert buffer.chain_primitive(head) == 7
+        assert buffer.free_entries == 5
+
+    def test_free_returns_entries(self):
+        buffer = AttributeBuffer(8)
+        head = buffer.allocate(0, 5)
+        assert buffer.free(head) == 5
+        assert buffer.free_entries == 8
+        buffer.check_invariants()
+
+    def test_allocation_reuses_freed_entries(self):
+        buffer = AttributeBuffer(4)
+        first = buffer.allocate(0, 4)
+        buffer.free(first)
+        second = buffer.allocate(1, 4)
+        assert len(buffer.chain(second)) == 4
+
+    def test_cannot_overallocate(self):
+        buffer = AttributeBuffer(4)
+        buffer.allocate(0, 3)
+        assert not buffer.can_allocate(2)
+        with pytest.raises(RuntimeError):
+            buffer.allocate(1, 2)
+
+    def test_interleaved_alloc_free_fragments_but_chains_work(self):
+        buffer = AttributeBuffer(10)
+        heads = [buffer.allocate(i, 2) for i in range(5)]
+        for head in heads[::2]:
+            buffer.free(head)
+        replacement = buffer.allocate(9, 5)
+        assert len(buffer.chain(replacement)) == 5
+        buffer.check_invariants()
+
+    def test_peak_usage_tracked(self):
+        buffer = AttributeBuffer(8)
+        head = buffer.allocate(0, 6)
+        buffer.free(head)
+        buffer.allocate(1, 2)
+        assert buffer.peak_used == 6
+
+
+class TestLocks:
+    def test_lock_only_first_entry_suffices(self):
+        """Paper Section III-C.3: locking the first attribute pins the
+        whole chain, since the rest are only reachable through it."""
+        buffer = AttributeBuffer(4)
+        head = buffer.allocate(0, 3)
+        buffer.lock(head)
+        assert buffer.is_locked(head)
+        with pytest.raises(RuntimeError):
+            buffer.free(head)
+        buffer.unlock(head)
+        assert buffer.free(head) == 3
+
+    def test_invalid_head_rejected(self):
+        buffer = AttributeBuffer(4)
+        with pytest.raises(RuntimeError):
+            buffer.lock(0)  # nothing allocated there
+        with pytest.raises(IndexError):
+            buffer.lock(99)
+
+
+class TestInvariants:
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            AttributeBuffer(0)
+
+    def test_invariants_after_stress(self):
+        import random
+        rng = random.Random(0)
+        buffer = AttributeBuffer(64)
+        live = {}
+        for step in range(500):
+            if live and (rng.random() < 0.5 or buffer.free_entries < 8):
+                prim = rng.choice(list(live))
+                buffer.free(live.pop(prim))
+            else:
+                count = rng.randint(1, 6)
+                if buffer.can_allocate(count):
+                    live[step] = buffer.allocate(step, count)
+        buffer.check_invariants()
+        assert buffer.used_entries == sum(
+            len(buffer.chain(head)) for head in live.values())

@@ -1,0 +1,185 @@
+"""The TCOR Attribute Cache: OPT replacement, write bypass, locking."""
+
+import pytest
+
+from repro.config import CacheConfig, TCORConfig
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from repro.tcor.attribute_cache import AttributeCache
+from repro.workloads.trace import Region
+
+KIB = 1024
+
+
+def tiny_config(entries: int = 8, ways: int = 4,
+                write_bypass: bool = True) -> TCORConfig:
+    """An attribute buffer with ``entries`` 48-byte slots and a primitive
+    buffer of entries/2 lines."""
+    return TCORConfig(
+        primitive_list_cache=CacheConfig("pl", 1 * KIB),
+        attribute_buffer_bytes=entries * 48,
+        primitive_buffer_associativity=ways,
+        use_xor_indexing=False,
+        write_bypass=write_bypass,
+    )
+
+
+def make_cache(num_primitives: int = 16, attrs_per_prim: int = 1,
+               entries: int = 8, ways: int = 4, write_bypass: bool = True,
+               inflight_window: int = 32) -> AttributeCache:
+    attributes = PBAttributesMap([attrs_per_prim] * num_primitives)
+    return AttributeCache(tiny_config(entries, ways, write_bypass),
+                          attributes, inflight_window=inflight_window)
+
+
+class TestWrites:
+    def test_write_inserts_dirty_line(self):
+        cache = make_cache()
+        outcome = cache.write(0, 1, opt_number=5, last_use_rank=9)
+        assert not outcome.bypassed
+        assert outcome.l2_requests == ()
+        line = cache.probe(0)
+        assert line.dirty and line.opt_number == 5
+
+    def test_double_write_rejected(self):
+        cache = make_cache()
+        cache.write(0, 1, 5, 9)
+        with pytest.raises(RuntimeError):
+            cache.write(0, 1, 5, 9)
+
+    def test_write_bypasses_when_all_resident_needed_sooner(self):
+        cache = make_cache(entries=8, ways=4)  # 4 primitive lines, 1 set
+        for prim, opt in enumerate((2, 3, 4, 6)):
+            cache.write(prim, 1, opt_number=opt, last_use_rank=9)
+        # Set is full; incoming first use at tile 7 is later than
+        # everything resident -> bypass straight to the L2.
+        outcome = cache.write(4, 1, opt_number=7, last_use_rank=9)
+        assert outcome.bypassed
+        assert len(outcome.l2_requests) == 1
+        request = outcome.l2_requests[0]
+        assert request.is_write and request.region == Region.PB_ATTRIBUTES
+        assert cache.stats.write_bypasses == 1
+
+    def test_write_evicts_farther_line(self):
+        cache = make_cache(entries=8, ways=4)
+        for prim, opt in enumerate((9, 3, 2, 4)):
+            cache.write(prim, 1, opt_number=opt, last_use_rank=9)
+        outcome = cache.write(4, 1, opt_number=5, last_use_rank=9)
+        assert not outcome.bypassed
+        assert cache.probe(0) is None          # OPT 9 was the farthest
+        # The dirty victim wrote its attribute back to the L2.
+        assert [r.is_write for r in outcome.l2_requests] == [True]
+
+    def test_equal_opt_number_bypasses(self):
+        """Same tile (equal OPT Numbers) still bypasses per the paper."""
+        cache = make_cache(entries=8, ways=4)
+        for prim in range(4):
+            cache.write(prim, 1, opt_number=5, last_use_rank=9)
+        outcome = cache.write(4, 1, opt_number=5, last_use_rank=9)
+        assert outcome.bypassed
+
+    def test_without_bypass_always_evicts(self):
+        cache = make_cache(entries=8, ways=4, write_bypass=False)
+        for prim, opt in enumerate((2, 3, 4, 6)):
+            cache.write(prim, 1, opt_number=opt, last_use_rank=9)
+        outcome = cache.write(4, 1, opt_number=7, last_use_rank=9)
+        assert not outcome.bypassed
+        assert cache.probe(4) is not None
+
+
+class TestReads:
+    def test_read_hit_locks_and_updates_opt_number(self):
+        cache = make_cache()
+        cache.write(0, 1, opt_number=4, last_use_rank=9)
+        outcome = cache.read(0, 1, opt_number=8, last_use_rank=9)
+        assert outcome.hit
+        line = cache.probe(0)
+        assert line.opt_number == 8
+        assert line.locked
+        assert outcome.abp == line.abp
+
+    def test_read_miss_fetches_every_attribute(self):
+        cache = make_cache(attrs_per_prim=3, entries=8)
+        outcome = cache.read(0, 3, opt_number=5, last_use_rank=9)
+        assert not outcome.hit
+        fills = [r for r in outcome.l2_requests if not r.is_write]
+        assert len(fills) == 3
+        assert all(r.region == Region.PB_ATTRIBUTES for r in fills)
+        assert all(r.last_tile_rank == 9 for r in fills)
+
+    def test_read_miss_evicts_greatest_opt_number(self):
+        cache = make_cache(entries=8, ways=4)
+        for prim, opt in enumerate((9, 3, 2, 4)):
+            cache.write(prim, 1, opt_number=opt, last_use_rank=9)
+        cache.read(4, 1, opt_number=5, last_use_rank=9)
+        assert cache.probe(0) is None
+        assert cache.probe(1) is not None
+
+    def test_read_filled_line_is_clean(self):
+        cache = make_cache()
+        cache.read(0, 1, opt_number=5, last_use_rank=9)
+        assert not cache.probe(0).dirty
+
+    def test_inflight_window_unlocks_oldest(self):
+        cache = make_cache(num_primitives=8, entries=8, ways=4,
+                           inflight_window=2)
+        cache.read(0, 1, 5, 9)
+        cache.read(1, 1, 5, 9)
+        cache.read(2, 1, 5, 9)  # pushes primitive 0 out of the window
+        assert not cache.probe(0).locked
+        assert cache.probe(1).locked and cache.probe(2).locked
+
+    def test_locked_lines_never_evicted(self):
+        # 4 primitive-buffer lines, all locked by in-flight reads.  The
+        # next read must force rasterizer progress, not evict a lock.
+        cache = make_cache(num_primitives=8, entries=8, ways=4,
+                           inflight_window=32)
+        for prim in range(4):
+            cache.read(prim, 1, 5, 9)
+        outcome = cache.read(4, 1, 5, 9)
+        assert not outcome.hit
+        assert cache.stats.forced_unlocks > 0
+
+    def test_buffer_space_pressure_evicts_more_primitives(self):
+        """Paper: "in case of a dearth of space, more primitives are
+        evicted using OPT"."""
+        cache = make_cache(num_primitives=8, attrs_per_prim=2, entries=4,
+                           ways=4, inflight_window=1)
+        cache.write(0, 2, opt_number=3, last_use_rank=9)
+        cache.write(1, 2, opt_number=7, last_use_rank=9)
+        # Attribute Buffer full (4 slots) though the primitive buffer has
+        # room.  A read of primitive 2 needs 2 slots: evict the farthest
+        # (primitive 1).
+        cache.read(2, 2, opt_number=5, last_use_rank=9)
+        assert cache.probe(1) is None
+        assert cache.probe(0) is not None
+        assert cache.stats.space_evictions >= 1
+
+
+class TestFlush:
+    def test_flush_writes_dirty_lines_only(self):
+        cache = make_cache(attrs_per_prim=2, entries=8)
+        cache.write(0, 2, 3, 9)              # dirty
+        cache.read(1, 2, 4, 9)               # clean fill
+        requests = cache.flush()
+        writes = [r for r in requests if r.is_write]
+        assert len(writes) == 2              # primitive 0's two attributes
+        assert cache.resident_primitives() == 0
+        cache.buffer.check_invariants()
+
+    def test_flush_drains_locks_first(self):
+        cache = make_cache()
+        cache.read(0, 1, 5, 9)
+        cache.flush()  # must not raise on the locked chain
+        assert cache.resident_primitives() == 0
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        cache = make_cache()
+        cache.write(0, 1, NO_NEXT_TILE, 9)
+        cache.read(0, 1, 5, 9)
+        cache.read(1, 1, 5, 9)
+        assert cache.stats.reads == 2
+        assert cache.stats.read_hits == 1
+        assert cache.stats.read_hit_ratio == 0.5

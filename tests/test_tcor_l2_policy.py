@@ -1,0 +1,121 @@
+"""The dead-line-aware L2: priority replacement and writeback suppression."""
+
+import pytest
+
+from repro.caches.hierarchy import MemoryCounters
+from repro.caches.line import LineMeta
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.tcor.l2_policy import (
+    DeadLinePriorityPolicy,
+    TcorSharedL2,
+    TileProgress,
+    line_is_dead,
+)
+from repro.workloads.trace import Region
+
+
+def make_l2(ways=4, num_sets=1):
+    progress = TileProgress()
+    policy = DeadLinePriorityPolicy(progress)
+    shared = TcorSharedL2(
+        SetAssociativeCache(num_sets, ways, 64, policy),
+        progress, MemoryCounters())
+    return shared, progress
+
+
+def pb_meta(last_tile, region=Region.PB_ATTRIBUTES):
+    return LineMeta(region=region, last_tile_rank=last_tile)
+
+
+def texture_meta():
+    return LineMeta(region=Region.TEXTURE)
+
+
+class TestDeadness:
+    def test_progress_monotonic(self):
+        progress = TileProgress()
+        progress.tile_done(0)
+        progress.tile_done(3)
+        with pytest.raises(ValueError):
+            progress.tile_done(1)
+
+    def test_pb_line_dead_after_its_last_tile(self):
+        progress = TileProgress()
+        meta = pb_meta(last_tile=5)
+        assert not line_is_dead(meta, progress)
+        progress.tile_done(5)
+        assert line_is_dead(meta, progress)
+
+    def test_non_pb_lines_never_dead(self):
+        progress = TileProgress()
+        progress.tile_done(100)
+        assert not line_is_dead(texture_meta(), progress)
+
+    def test_untagged_pb_line_never_dead(self):
+        progress = TileProgress()
+        progress.tile_done(100)
+        assert not line_is_dead(LineMeta(region=Region.PB_LISTS), progress)
+
+
+class TestVictimPriority:
+    def test_dead_pb_evicted_first(self):
+        shared, progress = make_l2(ways=3)
+        shared.access(0, is_write=True, meta=pb_meta(last_tile=0))
+        shared.access(64, is_write=True, meta=pb_meta(last_tile=9))
+        shared.access(128, is_write=False, meta=texture_meta())
+        progress.tile_done(0)  # line 0 is now dead
+        shared.access(192, is_write=False, meta=texture_meta())
+        assert shared.l2.probe(0) is None
+        assert shared.l2.probe(64) is not None
+
+    def test_non_pb_evicted_before_live_pb(self):
+        shared, _ = make_l2(ways=2)
+        shared.access(0, is_write=True, meta=pb_meta(last_tile=9))
+        shared.access(64, is_write=False, meta=texture_meta())
+        shared.access(128, is_write=False, meta=texture_meta())
+        assert shared.l2.probe(0) is not None   # live PB protected
+        assert shared.l2.probe(64) is None      # texture evicted
+
+    def test_lru_within_class(self):
+        shared, _ = make_l2(ways=3)
+        shared.access(0, is_write=False, meta=texture_meta())
+        shared.access(64, is_write=False, meta=texture_meta())
+        shared.access(128, is_write=False, meta=texture_meta())
+        shared.access(0, is_write=False, meta=texture_meta())  # refresh
+        shared.access(192, is_write=False, meta=texture_meta())
+        assert shared.l2.probe(64) is None      # LRU texture evicted
+
+
+class TestWritebackSuppression:
+    def test_dead_dirty_line_not_written_back(self):
+        shared, progress = make_l2(ways=1)
+        shared.access(0, is_write=True, meta=pb_meta(last_tile=0))
+        progress.tile_done(0)
+        shared.access(64, is_write=False, meta=texture_meta())
+        assert shared.memory.writes == 0
+        assert shared.l2.stats.dead_writebacks_avoided == 1
+
+    def test_live_dirty_line_is_written_back(self):
+        shared, _ = make_l2(ways=1)
+        shared.access(0, is_write=True, meta=pb_meta(last_tile=9))
+        shared.access(64, is_write=False, meta=texture_meta())
+        assert shared.memory.writes == 1
+
+    def test_flush_suppresses_dead_writebacks(self):
+        shared, progress = make_l2(ways=4)
+        shared.access(0, is_write=True, meta=pb_meta(last_tile=0))
+        shared.access(64, is_write=True, meta=pb_meta(last_tile=9))
+        progress.tile_done(0)
+        writebacks = shared.flush()
+        assert writebacks == 1                  # only the live line
+        assert shared.l2.stats.dead_writebacks_avoided == 1
+
+    def test_write_miss_allocates_without_memory_fetch(self):
+        shared, _ = make_l2()
+        shared.access(0, is_write=True, meta=pb_meta(last_tile=3))
+        assert shared.memory.reads == 0
+
+    def test_read_miss_fetches(self):
+        shared, _ = make_l2()
+        shared.access(0, is_write=False, meta=texture_meta())
+        assert shared.memory.reads == 1

@@ -1,0 +1,128 @@
+"""The Primitive List Cache and the baseline unified Tile Cache."""
+
+import pytest
+
+from repro.config import CacheConfig, ScreenConfig
+from repro.geometry.scene import Scene
+from repro.geometry.traversal import TraversalOrder, traversal_rank
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.builder import build_parameter_buffer
+from repro.pbuffer.layout import (
+    ContiguousPBListsLayout,
+    InterleavedPBListsLayout,
+)
+from repro.tcor.baseline_tile_cache import BaselineTileCache
+from repro.tcor.primitive_list_cache import PrimitiveListCache
+from repro.workloads.trace import Region
+from tests.conftest import make_triangle
+
+KIB = 1024
+SCREEN = ScreenConfig(128, 64, 32)  # 4x2 tiles
+RANKS = traversal_rank(SCREEN, TraversalOrder.SCANLINE)
+
+
+def make_pl_cache(size=1 * KIB):
+    layout = InterleavedPBListsLayout(SCREEN.num_tiles)
+    return PrimitiveListCache(CacheConfig("pl", size), layout, RANKS), layout
+
+
+class TestPrimitiveListCache:
+    def test_first_write_allocates_without_fetch(self):
+        cache, _ = make_pl_cache()
+        assert cache.write_pmd(0, 0) == []
+
+    def test_appends_to_resident_block_hit(self):
+        cache, _ = make_pl_cache()
+        cache.write_pmd(0, 0)
+        assert cache.write_pmd(0, 1) == []
+        assert cache.stats.hits == 1
+
+    def test_rewrite_after_eviction_fetches_back(self):
+        # 1 KiB = 16 blocks, 4-way, 4 sets.  Fill tile 0's set with four
+        # other blocks (same tiles, later sections) to evict its block,
+        # then append to it again: write-validate must fetch it back.
+        cache, layout = make_pl_cache()
+        cache.write_pmd(0, 0)
+        set0 = cache.cache.set_of(layout.pmd_address(0, 0))
+        conflicting = [
+            (tile, position)
+            for position in (0, 16, 32, 48, 64)
+            for tile in range(SCREEN.num_tiles)
+            if (tile, position) != (0, 0)
+            and cache.cache.set_of(layout.pmd_address(tile, position)) == set0
+        ]
+        assert len(conflicting) >= 4
+        for tile, position in conflicting[:4]:
+            cache.write_pmd(tile, position)
+        requests = cache.write_pmd(0, 1)
+        fetches = [r for r in requests if not r.is_write]
+        assert len(fetches) == 1  # write-validate fetch of the old block
+
+    def test_read_miss_fetches_with_dead_tag(self):
+        cache, layout = make_pl_cache()
+        requests = cache.read_pmd(3, 0)
+        assert len(requests) == 1
+        request = requests[0]
+        assert not request.is_write
+        assert request.region == Region.PB_LISTS
+        assert request.last_tile_rank == RANKS[3]
+
+    def test_flush_writes_back_dirty_blocks(self):
+        cache, _ = make_pl_cache()
+        cache.write_pmd(0, 0)
+        cache.write_pmd(1, 0)
+        requests = cache.flush()
+        assert len(requests) == 2
+        assert all(r.is_write for r in requests)
+
+
+def build_baseline(prims, cache_kib=4):
+    pb = build_parameter_buffer(Scene(SCREEN, prims),
+                                TraversalOrder.SCANLINE)
+    layout = ContiguousPBListsLayout(SCREEN.num_tiles, pb.pbuffer)
+    cache = BaselineTileCache(CacheConfig("tile", cache_kib * KIB),
+                              layout, pb.attributes, pb.rank_of_tile)
+    return cache, pb
+
+
+class TestBaselineTileCache:
+    def test_regions_classified_by_address(self):
+        cache, pb = build_baseline([make_triangle(0, 4, 4, 8)])
+        list_requests = cache.read_pmd(0, 0)
+        attr_requests = cache.read_attributes(0)
+        assert list_requests[0].region == Region.PB_LISTS
+        assert all(r.region == Region.PB_ATTRIBUTES for r in attr_requests)
+
+    def test_attribute_reads_one_block_per_attribute(self):
+        cache, _ = build_baseline([make_triangle(0, 4, 4, 8,
+                                                 num_attributes=4)])
+        requests = cache.read_attributes(0)
+        assert len(requests) == 4
+        assert len({r.address for r in requests}) == 4
+
+    def test_attribute_rereads_hit(self):
+        cache, _ = build_baseline([make_triangle(0, 4, 4, 8)])
+        cache.read_attributes(0)
+        assert cache.read_attributes(0) == []
+
+    def test_attr_writes_never_fetch(self):
+        cache, _ = build_baseline([make_triangle(0, 4, 4, 8)])
+        assert cache.write_attributes(0) == []
+
+    def test_dead_tags_attached_to_attribute_requests(self):
+        cache, pb = build_baseline([make_triangle(0, 28, 4, 10)])
+        requests = cache.read_attributes(0)
+        assert all(r.last_tile_rank == pb.records[0].last_use_rank
+                   for r in requests)
+
+    def test_contiguous_layout_conflicts_in_few_sets(self):
+        """The paper's motivation for the new layout: tile lists map to a
+        handful of sets under modulo indexing."""
+        cache, pb = build_baseline(
+            [make_triangle(i, 10 + (i % 8) * 30, 10 + (i // 8) * 30, 8)
+             for i in range(16)])
+        sets = {
+            cache.cache.set_of(cache.lists_layout.pmd_address(t, 0))
+            for t in range(SCREEN.num_tiles)
+        }
+        assert len(sets) <= 4

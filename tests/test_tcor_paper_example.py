@@ -1,0 +1,154 @@
+"""The paper's worked example (Section III-C.7, Figures 9 and 10).
+
+Three primitives, nine tiles in scanline order, a cache with room for
+exactly two primitives.  Uses:
+
+- blue (prim 0):   tiles 0, 1, 4
+- yellow (prim 1): tile 2
+- pink (prim 2):   tiles 3, 5, 6, 7, 8
+
+The paper's narrative makes four claims we check directly:
+
+1. the third Polygon List Builder write *bypasses* under OPT (pink's
+   first use, tile 3, is farther than everything resident) while LRU
+   evicts and writes back;
+2. OPT retains yellow and *hits* at tile 2 where LRU misses;
+3. at tile 3 OPT evicts yellow — never used again — while LRU keeps it;
+4. consequently LRU misses blue at tile 4 where OPT hits.
+"""
+
+from repro.caches.policies import make_policy
+from repro.caches.set_assoc import SetAssociativeCache
+from repro.config import CacheConfig, TCORConfig
+from repro.pbuffer.attributes import PBAttributesMap
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from repro.tcor.attribute_cache import AttributeCache
+
+BLUE, YELLOW, PINK = 0, 1, 2
+
+WRITES = [
+    # (primitive, first-use tile, last-use tile)
+    (BLUE, 0, 4),
+    (YELLOW, 2, 2),
+    (PINK, 3, 8),
+]
+READS = [
+    # (tile, primitive, next-use tile after this one)
+    (0, BLUE, 1),
+    (1, BLUE, 4),
+    (2, YELLOW, NO_NEXT_TILE),
+    (3, PINK, 5),
+    (4, BLUE, NO_NEXT_TILE),
+    (5, PINK, 6),
+    (6, PINK, 7),
+    (7, PINK, 8),
+    (8, PINK, NO_NEXT_TILE),
+]
+
+
+def run_opt():
+    """The example on the real TCOR Attribute Cache (2-primitive room)."""
+    config = TCORConfig(
+        primitive_list_cache=CacheConfig("pl", 1024),
+        attribute_buffer_bytes=2 * 48,     # two 1-attribute primitives
+        primitive_buffer_associativity=2,  # one set of two lines
+        use_xor_indexing=False,
+    )
+    cache = AttributeCache(config, PBAttributesMap([1, 1, 1]),
+                           inflight_window=1)
+    events = []
+    for prim, first, last in WRITES:
+        outcome = cache.write(prim, 1, first, last)
+        events.append(("write", prim, outcome))
+    for tile, prim, next_use in READS:
+        outcome = cache.read(prim, 1, next_use,
+                             last_use_rank=dict(
+                                 (p, l) for p, f, l in WRITES)[prim])
+        # The example's Rasterizer consumes each primitive before the
+        # next tile is fetched, so no lock survives across reads.
+        cache.drain_inflight()
+        events.append(("read", tile, prim, outcome))
+    return cache, events
+
+
+def run_lru():
+    """The same access stream on a 2-line LRU cache (the figure's left)."""
+    cache = SetAssociativeCache(1, 2, 1, make_policy("lru"))
+    l2_reads = l2_writes = 0
+    outcomes = []
+    for prim, _first, _last in WRITES:
+        result = cache.access(prim, is_write=True)
+        if result.writeback:
+            l2_writes += 1
+        outcomes.append(result)
+    for _tile, prim, _next in READS:
+        result = cache.access(prim, is_write=False)
+        if not result.hit:
+            l2_reads += 1
+        if result.writeback:
+            l2_writes += 1
+        outcomes.append(result)
+    return cache, outcomes, l2_reads, l2_writes
+
+
+class TestOptSide:
+    def test_third_write_bypasses(self):
+        _cache, events = run_opt()
+        kind, prim, outcome = events[2]
+        assert (kind, prim) == ("write", PINK)
+        assert outcome.bypassed
+        assert all(not events[i][2].bypassed for i in (0, 1))
+
+    def test_yellow_hits_at_tile_2(self):
+        _cache, events = run_opt()
+        read_events = {tile: outcome
+                       for kind, tile, _prim, outcome in events[3:]
+                       if kind == "read"
+                       for kind2, tile2 in [(kind, tile)]}
+        _cache2, events2 = run_opt()
+        by_tile = {e[1]: e[3] for e in events2 if e[0] == "read"}
+        assert by_tile[2].hit
+
+    def test_yellow_evicted_at_tile_3_not_blue(self):
+        cache, events = run_opt()
+        by_tile = {e[1]: (e[2], e[3]) for e in events if e[0] == "read"}
+        prim, outcome = by_tile[3]
+        assert prim == PINK and not outcome.hit
+        # Yellow (no next use) was the victim; blue survives to tile 4.
+        assert by_tile[4][1].hit
+
+    def test_opt_l2_reads_only_for_pink_refetch(self):
+        _cache, events = run_opt()
+        reads = [e for e in events if e[0] == "read"]
+        misses = [tile for _k, tile, _p, outcome in reads if not outcome.hit]
+        assert misses == [3]  # pink was bypassed at write time
+
+
+class TestLruSide:
+    def test_third_write_evicts_and_writes_back(self):
+        _cache, outcomes, _r, _w = run_lru()
+        assert outcomes[2].writeback  # blue, dirty, written back
+
+    def test_yellow_misses_at_tile_2(self):
+        _cache, outcomes, _r, _w = run_lru()
+        by_tile = dict(zip([t for t, _p, _n in READS], outcomes[3:]))
+        assert not by_tile[2].hit
+
+    def test_blue_misses_at_tile_4(self):
+        _cache, outcomes, _r, _w = run_lru()
+        by_tile = dict(zip([t for t, _p, _n in READS], outcomes[3:]))
+        assert not by_tile[4].hit
+
+
+class TestComparison:
+    def test_opt_strictly_fewer_l2_events_than_lru(self):
+        _cache, events = run_opt()
+        opt_reads = sum(1 for e in events
+                        if e[0] == "read" and not e[3].hit)
+        opt_writes = sum(len([r for r in e[-1].l2_requests if r.is_write])
+                         for e in events)
+        _c, _o, lru_reads, lru_writes = run_lru()
+        # In the paper's walk-through OPT performs strictly fewer L2 reads
+        # (2 misses avoided) and no more writes.
+        assert opt_reads < lru_reads
+        assert opt_writes <= lru_writes + 1

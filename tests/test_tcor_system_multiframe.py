@@ -1,0 +1,38 @@
+"""Multi-frame simulation: the Parameter Buffer is rebuilt per frame."""
+
+import pytest
+
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.workloads.suite import BENCHMARKS, build_workload
+
+
+@pytest.fixture(scope="module")
+def two_frames():
+    return build_workload(BENCHMARKS["GTr"], scale=0.08, frames=2)
+
+
+def test_two_frames_roughly_double_pb_traffic(two_frames):
+    one = build_workload(BENCHMARKS["GTr"], scale=0.08, frames=1)
+    single = simulate_tcor(one)
+    double = simulate_tcor(two_frames)
+    assert double.pb_l2_accesses == pytest.approx(
+        2 * single.pb_l2_accesses, rel=0.25)
+
+
+def test_pb_never_survives_a_frame_boundary(two_frames):
+    """TCOR drops every PB line at frame end (all dead), so the second
+    frame starts cold: PB DRAM traffic stays zero-ish across frames."""
+    result = simulate_tcor(two_frames)
+    assert result.pb_mm_accesses <= result.pb_l2_accesses * 0.05
+
+
+def test_baseline_pays_per_frame_writebacks(two_frames):
+    base = simulate_baseline(two_frames)
+    tcor = simulate_tcor(two_frames)
+    assert base.pb_mm_writes > tcor.pb_mm_writes
+
+
+def test_tile_progress_resets_between_frames(two_frames):
+    # Would raise inside TileProgress.tile_done if ranks went backwards
+    # without the per-frame reset.
+    simulate_tcor(two_frames)

@@ -1,0 +1,129 @@
+"""Texture storage, sampling and traffic shape."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.primitives import Primitive, Vertex
+from repro.geometry.scene import Scene
+from repro.textures import (
+    MipmappedTexture,
+    TextureLayout,
+    TextureSampler,
+    texel_trace_for_tile,
+)
+from repro.textures.texture import BLOCK_BYTES
+
+
+class TestLayout:
+    def test_block_linear_addressing(self):
+        layout = TextureLayout(base=0x1000, width=16, height=16)
+        assert layout.blocks_x == 4
+        assert layout.texel_address(0, 0) == 0x1000
+        assert layout.texel_address(3, 3) == 0x1000        # same 4x4 block
+        assert layout.texel_address(4, 0) == 0x1000 + 64   # next block
+        assert layout.texel_address(0, 4) == 0x1000 + 4 * 64
+
+    def test_bounds(self):
+        layout = TextureLayout(base=0, width=8, height=8)
+        with pytest.raises(ValueError):
+            layout.texel_address(8, 0)
+
+
+class TestMipPyramid:
+    def test_levels_down_to_1x1(self):
+        texture = MipmappedTexture(0, 64, 32)
+        assert texture.num_levels == 7  # 64x32 ... 1x1
+        assert texture.levels[-1].width == texture.levels[-1].height == 1
+
+    def test_levels_are_contiguous_and_disjoint(self):
+        texture = MipmappedTexture(0x100, 32, 32)
+        for previous, current in zip(texture.levels, texture.levels[1:]):
+            assert current.base == previous.base + previous.size_bytes
+
+    def test_pyramid_size_about_4_thirds(self):
+        texture = MipmappedTexture(0, 256, 256)
+        base = texture.levels[0].size_bytes
+        assert base < texture.total_bytes < base * 1.4
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            MipmappedTexture(0, 100, 64)
+
+    def test_lod_selection(self):
+        texture = MipmappedTexture(0, 64, 64)
+        assert texture.level_for_footprint(1.0) == 0
+        assert texture.level_for_footprint(2.0) == 1
+        assert texture.level_for_footprint(4.9) == 2
+        assert texture.level_for_footprint(1e9) == texture.num_levels - 1
+
+
+class TestSampler:
+    def test_bilinear_footprint_small(self):
+        sampler = TextureSampler(MipmappedTexture(0, 64, 64))
+        footprint = sampler.sample(0.5, 0.5)
+        # Four taps land in at most 4 blocks, often fewer (block-linear).
+        assert 1 <= len(footprint.addresses) <= 4
+
+    def test_block_locality_of_block_linear(self):
+        """Most interior samples touch a single 4x4 block — the point of
+        the layout."""
+        sampler = TextureSampler(MipmappedTexture(0, 256, 256))
+        for i in range(200):
+            sampler.sample((i * 0.0037) % 1.0, (i * 0.0071) % 1.0)
+        assert sampler.blocks_per_sample < 2.5
+
+    def test_wrap_addressing(self):
+        sampler = TextureSampler(MipmappedTexture(0, 64, 64))
+        wrapped = sampler.sample(1.25, -0.75)
+        direct = sampler.sample(0.25, 0.25)
+        assert wrapped.addresses == direct.addresses
+
+    def test_lod_moves_to_smaller_level(self):
+        texture = MipmappedTexture(0, 64, 64)
+        sampler = TextureSampler(texture)
+        fine = sampler.sample(0.3, 0.3, texels_per_pixel=1.0)
+        coarse = sampler.sample(0.3, 0.3, texels_per_pixel=8.0)
+        assert coarse.level > fine.level
+        assert min(coarse.addresses) >= texture.level(coarse.level).base
+
+
+class TestTrafficShape:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        screen = ScreenConfig(128, 64, 32)
+        prims = [
+            Primitive(0, Vertex(2, 2), Vertex(126, 2), Vertex(2, 62)),
+            Primitive(1, Vertex(126, 62), Vertex(126, 2), Vertex(2, 62)),
+        ]
+        return Scene(screen, prims)
+
+    def test_adjacent_tiles_sample_adjacent_texture(self, scene):
+        """The background model's 'tile-correlated window' assumption:
+        neighbouring tiles share few blocks, but their address ranges
+        abut."""
+        texture = MipmappedTexture(0, 512, 512)
+        t0 = set(texel_trace_for_tile(scene, 0, texture))
+        t1 = set(texel_trace_for_tile(scene, 1, texture))
+        assert t0 and t1
+        overlap = len(t0 & t1) / min(len(t0), len(t1))
+        assert overlap < 0.5  # mostly disjoint streaming windows
+
+    def test_coarse_lod_collapses_to_hot_set(self, scene):
+        """The background model's 'hot mip tail' assumption: minified
+        sampling funnels every tile into a small shared set of blocks."""
+        texture = MipmappedTexture(0, 512, 512)
+        t0 = set(texel_trace_for_tile(scene, 0, texture,
+                                      texels_per_pixel=64.0))
+        t2 = set(texel_trace_for_tile(scene, 2, texture,
+                                      texels_per_pixel=64.0))
+        assert t0 and t2
+        overlap = len(t0 & t2) / min(len(t0), len(t2))
+        assert overlap > 0.5  # shared mip-tail working set
+
+    def test_traffic_volume_tracks_coverage(self, scene):
+        texture = MipmappedTexture(0, 512, 512)
+        trace = texel_trace_for_tile(scene, 0, texture)
+        # ~32x32 covered fragments; each bilinear sample touches 1-4
+        # distinct blocks (block-linear keeps most to 1-2).
+        fragments = 32 * 32
+        assert fragments * 0.8 <= len(trace) <= fragments * 4

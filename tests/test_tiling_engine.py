@@ -1,0 +1,96 @@
+"""Tiling Engine event streams: Polygon List Builder and Tile Fetcher."""
+
+import pytest
+
+from repro.config import ScreenConfig
+from repro.geometry.scene import Scene
+from repro.geometry.traversal import TraversalOrder
+from repro.pbuffer.pmd import NO_NEXT_TILE
+from repro.tiling import (
+    AttributeRead,
+    AttributeWrite,
+    PmdRead,
+    PmdWrite,
+    TileDone,
+    TilingEngine,
+)
+from tests.conftest import make_triangle
+
+
+@pytest.fixture
+def screen() -> ScreenConfig:
+    return ScreenConfig(128, 64, 32)  # 4x2 tiles
+
+
+def engine_for(screen, prims, order=TraversalOrder.SCANLINE) -> TilingEngine:
+    return TilingEngine(Scene(screen, prims), order)
+
+
+class TestBuildPhase:
+    def test_pmd_writes_precede_each_attribute_write(self, screen):
+        trace = engine_for(screen, [make_triangle(0, 28, 4, 10)]).trace()
+        kinds = [type(e).__name__ for e in trace.build_events]
+        assert kinds == ["PmdWrite", "PmdWrite", "AttributeWrite"]
+
+    def test_attribute_write_carries_first_use_and_dead_tag(self, screen):
+        trace = engine_for(screen, [make_triangle(0, 28, 4, 10)]).trace()
+        write = trace.build_events[-1]
+        assert isinstance(write, AttributeWrite)
+        assert write.opt_number == 0        # first tile to read it
+        assert write.last_use_rank == 1     # last tile to read it
+
+    def test_clipped_primitives_emit_nothing(self, screen):
+        trace = engine_for(screen, [make_triangle(0, 999, 999, 5)]).trace()
+        assert trace.build_events == []
+
+
+class TestFetchPhase:
+    def test_every_tile_emits_tile_done_in_order(self, screen):
+        trace = engine_for(screen, [make_triangle(0, 4, 4, 5)]).trace()
+        dones = [e for e in trace.fetch_events if isinstance(e, TileDone)]
+        assert len(dones) == screen.num_tiles
+        assert [d.tile_rank for d in dones] == list(range(screen.num_tiles))
+
+    def test_pmd_read_then_attribute_read_pairing(self, screen):
+        trace = engine_for(screen, [make_triangle(0, 4, 4, 5)]).trace()
+        events = [e for e in trace.fetch_events
+                  if not isinstance(e, TileDone)]
+        assert isinstance(events[0], PmdRead)
+        assert isinstance(events[1], AttributeRead)
+        assert events[1].primitive_id == events[0].pmd.primitive_id
+
+    def test_read_opt_number_is_next_use_after_current_tile(self, screen):
+        trace = engine_for(screen, [make_triangle(0, 28, 4, 10)]).trace()
+        reads = [e for e in trace.fetch_events
+                 if isinstance(e, AttributeRead)]
+        assert [r.tile_rank for r in reads] == [0, 1]
+        assert reads[0].opt_number == 1
+        assert reads[1].opt_number == NO_NEXT_TILE
+
+    def test_counts_are_consistent(self, screen):
+        prims = [make_triangle(i, 10 + 30 * i, 10, 12) for i in range(4)]
+        trace = engine_for(screen, prims).trace()
+        assert trace.num_pmd_writes == trace.num_pmd_reads
+        assert trace.num_pmd_reads == trace.num_primitive_reads
+        assert trace.num_binned_primitives == 4
+
+
+class TestTraversalOrders:
+    @pytest.mark.parametrize("order", list(TraversalOrder))
+    def test_reads_arrive_in_nondecreasing_rank(self, screen, order):
+        prims = [make_triangle(i, 10 + 17 * i, 10 + 5 * i, 25)
+                 for i in range(6)]
+        trace = engine_for(screen, prims, order).trace()
+        ranks = [e.tile_rank for e in trace.fetch_events
+                 if isinstance(e, AttributeRead)]
+        assert ranks == sorted(ranks)
+
+    @pytest.mark.parametrize("order", list(TraversalOrder))
+    def test_opt_number_is_strictly_future(self, screen, order):
+        prims = [make_triangle(i, 10 + 17 * i, 10 + 5 * i, 25)
+                 for i in range(6)]
+        trace = engine_for(screen, prims, order).trace()
+        for event in trace.fetch_events:
+            if isinstance(event, AttributeRead):
+                assert (event.opt_number == NO_NEXT_TILE
+                        or event.opt_number > event.tile_rank)

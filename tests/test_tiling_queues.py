@@ -1,0 +1,53 @@
+"""Bounded queues."""
+
+import pytest
+
+from repro.tiling.queues import BoundedQueue
+
+
+def test_fifo_ordering():
+    queue = BoundedQueue()
+    for item in (1, 2, 3):
+        assert queue.push(item)
+    assert queue.pop() == 1
+    assert queue.peek() == 2
+    assert len(queue) == 2
+
+
+def test_capacity_rejects_when_full():
+    queue = BoundedQueue(capacity=2)
+    assert queue.push("a") and queue.push("b")
+    assert queue.full
+    assert not queue.push("c")
+    assert queue.rejected_pushes == 1
+    assert queue.total_pushed == 2
+
+
+def test_unlimited_queue_never_full():
+    queue = BoundedQueue(capacity=None)
+    for item in range(10_000):
+        assert queue.push(item)
+    assert not queue.full
+    assert queue.peak_occupancy == 10_000
+
+
+def test_peak_occupancy_tracks_high_water():
+    queue = BoundedQueue()
+    queue.push(1)
+    queue.push(2)
+    queue.pop()
+    queue.push(3)
+    assert queue.peak_occupancy == 2
+
+
+def test_empty_errors():
+    queue = BoundedQueue()
+    with pytest.raises(IndexError):
+        queue.pop()
+    with pytest.raises(IndexError):
+        queue.peek()
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        BoundedQueue(capacity=0)

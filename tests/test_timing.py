@@ -1,0 +1,59 @@
+"""Tile Fetcher throughput model."""
+
+import pytest
+
+from repro.timing import tile_fetcher_throughput
+from repro.timing.tiling_timing import ThroughputResult
+
+
+@pytest.fixture(scope="module")
+def throughputs(tiny_workload):
+    return {
+        "baseline": tile_fetcher_throughput(tiny_workload, "baseline"),
+        "tcor": tile_fetcher_throughput(tiny_workload, "tcor"),
+    }
+
+
+class TestBasics:
+    def test_rejects_unknown_system(self, tiny_workload):
+        with pytest.raises(ValueError):
+            tile_fetcher_throughput(tiny_workload, "magic")
+
+    def test_all_primitive_reads_delivered(self, throughputs, tiny_workload):
+        expected = tiny_workload.traces[0].num_primitive_reads
+        for result in throughputs.values():
+            assert result.primitives_delivered == expected
+
+    def test_ppc_bounded_by_one(self, throughputs):
+        for result in throughputs.values():
+            assert 0 < result.primitives_per_cycle <= 1.0
+
+    def test_cycles_at_least_deliveries(self, throughputs):
+        for result in throughputs.values():
+            assert result.cycles >= result.primitives_delivered
+
+    def test_mshr_peak_within_file_size(self, throughputs):
+        from repro.config import DEFAULT_GPU
+        for result in throughputs.values():
+            assert result.mshr_peak <= DEFAULT_GPU.tiling.mshr_entries
+
+
+class TestPaperShape:
+    def test_tcor_faster_than_baseline(self, throughputs):
+        assert throughputs["tcor"].primitives_per_cycle > \
+            throughputs["baseline"].primitives_per_cycle
+
+    def test_speedup_single_digit_factor(self, throughputs):
+        speedup = (throughputs["tcor"].primitives_per_cycle
+                   / throughputs["baseline"].primitives_per_cycle)
+        assert 1.2 < speedup < 50
+
+    def test_deterministic(self, tiny_workload, throughputs):
+        again = tile_fetcher_throughput(tiny_workload, "tcor")
+        assert again.cycles == throughputs["tcor"].cycles
+
+
+class TestResultType:
+    def test_zero_cycles_guard(self):
+        result = ThroughputResult("x", "y", 0, 0, 0, 0)
+        assert result.primitives_per_cycle == 0.0

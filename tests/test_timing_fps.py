@@ -1,0 +1,37 @@
+"""FPS model (the abstract's 3.7% claim)."""
+
+import pytest
+
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.timing.fps import estimate_frame_time, fps_gain
+
+
+@pytest.fixture(scope="module")
+def pair(tiny_workload):
+    return (simulate_baseline(tiny_workload), simulate_tcor(tiny_workload),
+            tiny_workload)
+
+
+def test_tcor_frame_is_faster(pair):
+    baseline, tcor, workload = pair
+    base = estimate_frame_time(baseline, workload)
+    fast = estimate_frame_time(tcor, workload)
+    assert fast.total_cycles < base.total_cycles
+
+
+def test_compute_cycles_identical(pair):
+    baseline, tcor, workload = pair
+    assert estimate_frame_time(baseline, workload).compute_cycles == \
+        estimate_frame_time(tcor, workload).compute_cycles
+
+
+def test_fps_gain_small_positive_fraction(pair):
+    baseline, tcor, workload = pair
+    gain = fps_gain(baseline, tcor, workload)
+    assert 0.0 < gain < 0.5  # single-digit percent territory
+
+def test_fps_inverse_of_frame_time(pair):
+    baseline, _tcor, workload = pair
+    estimate = estimate_frame_time(baseline, workload)
+    assert estimate.fps() == pytest.approx(
+        600e6 / estimate.total_cycles)

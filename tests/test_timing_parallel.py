@@ -1,0 +1,56 @@
+"""Parallel-renderer feeding model (the conclusion's future work)."""
+
+import pytest
+
+from repro.timing import tile_fetcher_throughput
+from repro.timing.parallel_renderers import (
+    ParallelRenderingEstimate,
+    estimate,
+    sustainable_renderers,
+)
+from repro.timing.tiling_timing import ThroughputResult
+
+
+def fake_throughput(ppc: float) -> ThroughputResult:
+    return ThroughputResult("x", "y", primitives_delivered=int(ppc * 1000),
+                            cycles=1000, issue_stall_cycles=0, mshr_peak=0)
+
+
+class TestModel:
+    def test_utilization_saturates_at_one(self):
+        result = estimate(fake_throughput(0.5), num_renderers=2,
+                          renderer_demand_ppc=0.1)
+        assert result.renderer_utilization == 1.0
+        assert not result.tiling_bound
+
+    def test_tiling_bound_when_overcommitted(self):
+        result = estimate(fake_throughput(0.1), num_renderers=10,
+                          renderer_demand_ppc=0.05)
+        assert result.renderer_utilization == pytest.approx(0.2)
+        assert result.tiling_bound
+
+    def test_sustainable_count(self):
+        assert sustainable_renderers(fake_throughput(0.4),
+                                     renderer_demand_ppc=0.05) == 8
+        assert sustainable_renderers(fake_throughput(0.01),
+                                     renderer_demand_ppc=0.05) == 1
+
+    def test_speedup_caps_at_the_feed(self):
+        result = estimate(fake_throughput(0.1), num_renderers=4,
+                          renderer_demand_ppc=0.05)
+        assert result.frame_speedup_vs_one_renderer == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate(fake_throughput(0.1), num_renderers=0)
+        with pytest.raises(ValueError):
+            sustainable_renderers(fake_throughput(0.1), 0)
+
+
+class TestPaperClaim:
+    def test_tcor_sustains_more_renderers(self, tiny_workload):
+        """The conclusion's argument, end to end: the faster Tiling
+        Engine feeds more parallel renderers."""
+        base = tile_fetcher_throughput(tiny_workload, "baseline")
+        tcor = tile_fetcher_throughput(tiny_workload, "tcor")
+        assert sustainable_renderers(tcor) > sustainable_renderers(base)

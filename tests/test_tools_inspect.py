@@ -1,0 +1,24 @@
+"""Workload inspector."""
+
+import subprocess
+import sys
+
+from repro.tools.inspect_workload import inspect
+
+
+def test_inspect_reports_all_sections():
+    report = inspect("GTr", scale=0.06)
+    for expected in ("Gravitytetris", "PB footprint", "measured reuse",
+                     "tiles occupied", "list lengths", "prim reuse",
+                     "next-use dist", "last uses"):
+        assert expected in report
+
+
+def test_cli_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.tools.inspect_workload",
+         "--benchmark", "GTr", "--scale", "0.05"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0
+    assert "Gravitytetris" in completed.stdout

@@ -1,0 +1,52 @@
+"""Trace export/import round-trips."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.tools.trace_io import dump_trace, load_trace
+
+
+def test_roundtrip_preserves_every_event(tiny_workload):
+    trace = tiny_workload.traces[0]
+    buffer = io.StringIO()
+    count = dump_trace(trace, buffer)
+    assert count == len(trace.build_events) + len(trace.fetch_events)
+    buffer.seek(0)
+    build, fetch = load_trace(buffer)
+    assert build == trace.build_events
+    assert fetch == trace.fetch_events
+
+
+def test_pmds_survive_the_bitfield_encoding(tiny_workload):
+    trace = tiny_workload.traces[0]
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    buffer.seek(0)
+    build, _fetch = load_trace(buffer)
+    originals = [e for e in trace.build_events if hasattr(e, "pmd")]
+    restored = [e for e in build if hasattr(e, "pmd")]
+    assert [e.pmd for e in originals] == [e.pmd for e in restored]
+
+
+def test_blank_lines_tolerated():
+    build, fetch = load_trace(io.StringIO("\n\n"))
+    assert build == [] and fetch == []
+
+
+def test_cli_dump_and_stats(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    dump = subprocess.run(
+        [sys.executable, "-m", "repro.tools.trace_io", "dump",
+         "--benchmark", "GTr", "--scale", "0.05", "--out", str(out)],
+        capture_output=True, text=True, timeout=300)
+    assert dump.returncode == 0, dump.stderr
+    assert out.exists()
+    stats = subprocess.run(
+        [sys.executable, "-m", "repro.tools.trace_io", "stats", str(out)],
+        capture_output=True, text=True, timeout=120)
+    assert stats.returncode == 0
+    assert "AttributeRead" in stats.stdout
+    assert "TileDone" in stats.stdout

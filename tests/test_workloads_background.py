@@ -1,0 +1,72 @@
+"""Background traffic model."""
+
+from repro.config import ScreenConfig
+from repro.workloads.background import BackgroundTrafficModel
+from repro.workloads.suite import BENCHMARKS
+from repro.workloads.trace import Op, Region
+
+
+def model_for(alias="CCS", scale=0.25, screen=None) -> BackgroundTrafficModel:
+    return BackgroundTrafficModel(BENCHMARKS[alias],
+                                  screen or ScreenConfig(), scale=scale)
+
+
+class TestTileAccesses:
+    def test_deterministic_per_tile(self):
+        model = model_for()
+        assert model.tile_accesses(7) == model.tile_accesses(7)
+
+    def test_regions_and_ops(self):
+        accesses = model_for().tile_accesses(3)
+        assert all(a.op is Op.READ for a in accesses)
+        regions = {a.region for a in accesses}
+        assert regions <= {Region.TEXTURE, Region.INSTRUCTION}
+        assert Region.TEXTURE in regions
+
+    def test_texture_volume_scales_with_footprint(self):
+        rok = model_for("RoK", scale=1.0)   # 6.8 MiB textures
+        swa = model_for("SWa", scale=1.0)   # 0.4 MiB textures
+        assert rok.texture_accesses_per_tile > swa.texture_accesses_per_tile
+
+    def test_different_tiles_touch_different_windows(self):
+        model = model_for(scale=1.0)
+        a = {x.address for x in model.tile_accesses(0)
+             if x.region is Region.TEXTURE}
+        b = {x.address for x in model.tile_accesses(700)
+             if x.region is Region.TEXTURE}
+        assert a != b
+
+
+class TestPrimitiveAccesses:
+    def test_vertex_region_and_determinism(self):
+        model = model_for()
+        accesses = model.primitive_accesses(5)
+        assert all(a.region is Region.VERTEX for a in accesses)
+        assert accesses == model.primitive_accesses(5)
+
+    def test_addresses_walk_the_vertex_buffer(self):
+        model = model_for()
+        first = model.primitive_accesses(0)
+        later = model.primitive_accesses(100)
+        if first and later:
+            assert later[0].address > first[0].address
+
+
+class TestFramebuffer:
+    def test_writes_scale(self):
+        full = model_for(scale=1.0).framebuffer_writes_per_tile()
+        half = model_for(scale=0.5).framebuffer_writes_per_tile()
+        assert half < full
+
+    def test_compression_below_raw(self):
+        # Raw 32x32x4B tile is 64 lines; compression keeps it below that.
+        assert model_for(scale=1.0).framebuffer_writes_per_tile() < 64
+
+
+class TestL1Estimates:
+    def test_keys_and_magnitudes(self):
+        model = model_for(scale=1.0)
+        estimates = model.l1_access_estimates(num_primitives=1000)
+        assert estimates["vertex_l1"] == 3000
+        assert estimates["instruction_l1"] > estimates["texture_l1"] / 2
+        assert all(v >= 0 for v in estimates.values())

@@ -1,0 +1,79 @@
+"""The Table II benchmark suite and workload construction."""
+
+import pytest
+
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    BenchmarkSpec,
+    build_workload,
+)
+
+MIB = 1024 * 1024
+
+
+class TestSpecs:
+    def test_all_ten_games_present(self):
+        assert len(BENCHMARKS) == 10
+        assert BENCHMARK_ORDER == ("CCS", "SoD", "TRu", "SWa", "CRa",
+                                   "RoK", "DDS", "Snp", "Mze", "GTr")
+
+    def test_published_table2_values(self):
+        assert BENCHMARKS["CCS"].pb_footprint_mib == 0.17
+        assert BENCHMARKS["CCS"].avg_reuse == 5.9
+        assert BENCHMARKS["DDS"].pb_footprint_mib == 1.81
+        assert BENCHMARKS["DDS"].avg_reuse == 1.4
+        assert BENCHMARKS["Snp"].avg_reuse == 1.47
+
+    def test_published_text_values(self):
+        # Section IV-B quotes these two texture footprints and the two
+        # shader lengths explicitly.
+        assert BENCHMARKS["RoK"].texture_mib == 6.8
+        assert BENCHMARKS["SWa"].texture_mib == 0.4
+        assert BENCHMARKS["CCS"].shader_insts_per_pixel == 4
+        assert BENCHMARKS["DDS"].shader_insts_per_pixel == 20
+
+    def test_primitive_count_follows_footprint_model(self):
+        spec = BENCHMARKS["CCS"]
+        expected = round(0.17 * MIB / (3.0 * 64 + 5.9 * 4))
+        assert spec.num_primitives() == expected
+
+    def test_dds_is_the_largest(self):
+        counts = {alias: spec.num_primitives()
+                  for alias, spec in BENCHMARKS.items()}
+        assert max(counts, key=counts.get) == "DDS"
+
+
+class TestBuildWorkload:
+    def test_scale_shrinks_geometry(self):
+        small = build_workload(BENCHMARKS["GTr"], scale=0.1)
+        smaller = build_workload(BENCHMARKS["GTr"], scale=0.05)
+        assert smaller.num_primitives < small.num_primitives
+
+    def test_measured_statistics_close_to_published(self):
+        workload = build_workload(BENCHMARKS["SoD"], scale=0.5)
+        assert workload.measured_reuse() == pytest.approx(6.9, rel=0.2)
+        assert workload.measured_footprint_mib() / 0.5 == \
+            pytest.approx(0.14, rel=0.25)
+
+    def test_multiple_frames(self):
+        workload = build_workload(BENCHMARKS["GTr"], scale=0.05, frames=2)
+        assert len(workload.traces) == 2
+        assert workload.traces[0].num_binned_primitives > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            build_workload(BENCHMARKS["CCS"], scale=0)
+        with pytest.raises(ValueError):
+            build_workload(BENCHMARKS["CCS"], frames=0)
+
+
+class TestCustomSpec:
+    def test_roundtrip_through_builder(self):
+        spec = BenchmarkSpec("XX", "Custom", 1, "Test", False,
+                             pb_footprint_mib=0.05, avg_reuse=2.0,
+                             texture_mib=0.5, shader_insts_per_pixel=6,
+                             seed=42)
+        workload = build_workload(spec, scale=1.0)
+        assert workload.spec.alias == "XX"
+        assert workload.num_primitives == spec.num_primitives()
