@@ -20,8 +20,11 @@ from typing import Sequence
 
 from repro.caches.line import CacheLine
 from repro.caches.policies.base import AccessContext, ReplacementPolicy
+from repro.constants import NO_NEXT_USE_RANK
 
-NO_NEXT_USE = 1 << 30  # a 12-bit field in hardware; any rank beyond the frame
+# The OPT Number is a 12-bit field in hardware; any rank beyond the frame
+# compares as the shared "never used again" sentinel.
+NO_NEXT_USE = NO_NEXT_USE_RANK
 
 
 class OptNumberPolicy(ReplacementPolicy):

@@ -1,4 +1,11 @@
-"""Seeded random replacement (a cheap hardware baseline)."""
+"""Seeded random replacement (a cheap hardware baseline).
+
+The policy never touches the module-global ``random`` state: victims
+come from a private ``random.Random`` so back-to-back simulations (and
+anything else sharing the interpreter) stay bit-for-bit reproducible.
+An explicit generator can be injected for tests that want to share or
+pre-wind one.
+"""
 
 from __future__ import annotations
 
@@ -12,9 +19,10 @@ from repro.caches.policies.base import AccessContext, ReplacementPolicy
 class RandomPolicy(ReplacementPolicy):
     name = "random"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 rng: random.Random | None = None) -> None:
         self._seed = seed
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def on_insert(self, set_index: int, tag: int, ctx: AccessContext) -> None:
         pass

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -40,6 +41,16 @@ class CacheStats:
     @property
     def miss_ratio(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict:
+        """Every counter, flattened for reports (stats conservation:
+        a counter that is never surfaced cannot be checked)."""
+        summary = dataclasses.asdict(self)
+        summary["accesses"] = self.accesses
+        summary["misses"] = self.misses
+        summary["hits"] = self.hits
+        summary["miss_ratio"] = self.miss_ratio
+        return summary
 
     def record(self, is_write: bool, hit: bool, region: int | None) -> None:
         if is_write:

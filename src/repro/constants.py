@@ -1,0 +1,17 @@
+"""Shared simulator-wide constants.
+
+Sentinels that several subsystems must agree on live here so that a
+comparison in one module can never drift from the producer in another
+(the ``repro.lint`` SIM004 rule enforces that these values are imported
+rather than re-declared).
+"""
+
+from __future__ import annotations
+
+# "Never used again" comparison rank.  The hardware OPT Number is a
+# bounded field (12 bits in the PMD encoding); any software-side
+# comparison that needs an effectively-infinite next-use distance uses
+# this value.  It must compare greater than every real traversal rank.
+NO_NEXT_USE_RANK = 1 << 30
+
+__all__ = ["NO_NEXT_USE_RANK"]

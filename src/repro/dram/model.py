@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -61,6 +62,13 @@ class DRAMStats:
     @property
     def average_latency(self) -> float:
         return self.total_cycles / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict:
+        summary = dataclasses.asdict(self)
+        summary["accesses"] = self.accesses
+        summary["row_hit_ratio"] = self.row_hit_ratio
+        summary["average_latency"] = self.average_latency
+        return summary
 
 
 class DRAMModel:

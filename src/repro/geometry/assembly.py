@@ -15,6 +15,7 @@ model's vertex-fetch constants come from.
 from __future__ import annotations
 
 from collections import OrderedDict
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -76,6 +77,11 @@ class AssemblyStats:
         if not self.vertex_cache_lookups:
             return 0.0
         return self.vertex_cache_hits / self.vertex_cache_lookups
+
+    def as_dict(self) -> dict:
+        summary = dataclasses.asdict(self)
+        summary["vertex_cache_hit_ratio"] = self.vertex_cache_hit_ratio
+        return summary
 
 
 class PrimitiveAssembly:

@@ -1,0 +1,33 @@
+"""repro.lint — simulator-aware static analysis.
+
+An AST-based lint pass with rules specific to a cache-simulator oracle:
+determinism (no module-global RNG), stats conservation (every counter is
+incremented and surfaced), and configuration legality (cache geometries
+the indexing hardware can actually build).  See ``repro.lint.rules`` for
+the rule catalogue and ``python -m repro.lint --list-rules``.
+"""
+
+from repro.lint.core import (
+    FileContext,
+    FileRule,
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.lint.engine import LintResult, lint_paths
+
+__all__ = [
+    "FileContext",
+    "FileRule",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

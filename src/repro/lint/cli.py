@@ -1,0 +1,85 @@
+"""Command line: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status: 0 when clean, 1 when violations were found (unless
+``--no-fail-on-violation``), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.lint.core import all_rules
+from repro.lint.engine import lint_paths
+from repro.lint.reporters import REPORTERS, render_rule_list
+
+DEFAULT_PATHS = ["src", "benchmarks", "examples"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("Simulator-aware static analysis: determinism, "
+                     "stats-conservation and config-legality rules for "
+                     "the TCOR reproduction."),
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files or directories (default: "
+                             f"{' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=sorted(REPORTERS),
+                        default="text", help="report format")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write .lint-cache.json")
+    parser.add_argument("--cache-file", metavar="PATH",
+                        help="cache location (default: ./.lint-cache.json)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--fail-on-violation", dest="fail_on_violation",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help="exit 1 when violations are found (default)")
+    return parser
+
+
+def _parse_codes(raw: str | None) -> set[str] | None:
+    if not raw:
+        return None
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    known = {rule.code for rule in all_rules()}
+    unknown = ((select or set()) | (ignore or set())) - known
+    if unknown:
+        parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+                     "see --list-rules")
+
+    try:
+        result = lint_paths(
+            args.paths or DEFAULT_PATHS,
+            select=select,
+            ignore=ignore,
+            use_cache=not args.no_cache,
+            cache_file=args.cache_file,
+        )
+    except FileNotFoundError as error:
+        parser.error(str(error))
+    print(REPORTERS[args.format](result))
+    if result.violations and args.fail_on_violation:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

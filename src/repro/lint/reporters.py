@@ -1,0 +1,39 @@
+"""Violation reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import all_rules
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    lines = [violation.format() for violation in result.violations]
+    cached = (f", {result.files_from_cache} from cache"
+              if result.files_from_cache else "")
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    lines.append(f"{len(result.violations)} {noun} "
+                 f"({result.files_checked} files checked{cached})")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps({
+        "violations": [violation.as_dict()
+                       for violation in result.violations],
+        "files_checked": result.files_checked,
+        "files_from_cache": result.files_from_cache,
+        "ok": result.ok,
+    }, indent=2)
+
+
+def render_rule_list() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"        {rule.description}")
+    return "\n".join(lines)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

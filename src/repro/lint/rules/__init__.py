@@ -1,0 +1,12 @@
+"""Rule catalogue.  Importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effect)
+    config_legality,
+    determinism,
+    exceptions,
+    float_equality,
+    magic_literals,
+    mutable_defaults,
+    printing,
+    stats_conservation,
+)

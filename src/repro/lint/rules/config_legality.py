@@ -1,0 +1,137 @@
+"""SIM006 — statically illegal cache geometries.
+
+``CacheConfig.__post_init__`` raises at runtime, but a sweep script can
+burn an hour of simulation before it reaches the bad configuration.
+When a ``CacheConfig(...)`` call site is constant-foldable we replay the
+legality checks at lint time, plus the indexing-hardware constraint the
+runtime cannot know in isolation: the set count must be a power of two,
+because set indices are bit-sliced (modulo) or XOR-folded from the line
+address and every Table I geometry obeys it.
+
+``TCORConfig`` sites are checked for a power-of-two Primitive Buffer
+associativity and for ``for_total_size`` budgets that cannot cover the
+fixed 16 KiB Primitive List Cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (ConstFolder, FileContext, FileRule, Violation,
+                             dotted_name, module_int_env, register)
+
+_SEED_ENV = {"KIB": 1024, "MIB": 1024 * 1024,
+             "KB": 1000, "MB": 1000 * 1000}
+
+_CACHECONFIG_PARAMS = ("name", "size_bytes", "line_bytes", "associativity",
+                       "latency_cycles")
+_PL_CACHE_BYTES = 16 * 1024  # fixed split in TCORConfig.for_total_size
+
+
+def _power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _call_args(node: ast.Call, params: tuple[str, ...],
+               folder: ConstFolder) -> dict[str, int]:
+    """Constant-foldable arguments of a call, by parameter name."""
+    folded: dict[str, int] = {}
+    for position, arg in enumerate(node.args):
+        if position < len(params):
+            value = folder.fold(arg)
+            if value is not None:
+                folded[params[position]] = value
+    for keyword in node.keywords:
+        if keyword.arg is not None:
+            value = folder.fold(keyword.value)
+            if value is not None:
+                folded[keyword.arg] = value
+    return folded
+
+
+@register
+class ConfigLegalityRule(FileRule):
+    code = "SIM006"
+    name = "config-legality"
+    description = ("cache configuration whose literal geometry the "
+                   "indexing scheme cannot build")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        folder = ConstFolder(module_int_env(ctx.tree, _SEED_ENV))
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            if tail == "CacheConfig":
+                yield from self._check_cache_config(ctx, node, folder)
+            elif tail == "TCORConfig":
+                yield from self._check_tcor_config(ctx, node, folder)
+            elif name.endswith("for_total_size"):
+                yield from self._check_total_size(ctx, node, folder)
+
+    def _check_cache_config(self, ctx: FileContext, node: ast.Call,
+                            folder: ConstFolder) -> Iterable[Violation]:
+        args = _call_args(node, _CACHECONFIG_PARAMS, folder)
+        size = args.get("size_bytes")
+        line = args.get("line_bytes", 64)
+        ways = args.get("associativity", 4)
+        if line is not None and not _power_of_two(line):
+            yield self.violation(
+                ctx, node,
+                f"line size {line} is not a power of two; tag/index "
+                "bit-slicing requires it",
+            )
+            return
+        if size is None:
+            return  # not foldable at this site; runtime checks remain
+        if size <= 0 or size % line:
+            yield self.violation(
+                ctx, node,
+                f"size {size} is not a positive multiple of the "
+                f"{line}-byte line",
+            )
+            return
+        lines = size // line
+        if ways <= 0 or lines % ways:
+            yield self.violation(
+                ctx, node,
+                f"{lines} lines cannot be split into {ways} ways",
+            )
+            return
+        sets = lines // ways
+        if not _power_of_two(sets):
+            yield self.violation(
+                ctx, node,
+                f"{sets} sets is not a power of two; modulo/XOR set "
+                "indexing bit-slices the line address (every paper "
+                "Table I geometry is power-of-two)",
+            )
+
+    def _check_tcor_config(self, ctx: FileContext, node: ast.Call,
+                           folder: ConstFolder) -> Iterable[Violation]:
+        for keyword in node.keywords:
+            if keyword.arg != "primitive_buffer_associativity":
+                continue
+            ways = folder.fold(keyword.value)
+            if ways is not None and not _power_of_two(ways):
+                yield self.violation(
+                    ctx, node,
+                    f"Primitive Buffer associativity {ways} is not a "
+                    "power of two",
+                )
+
+    def _check_total_size(self, ctx: FileContext, node: ast.Call,
+                          folder: ConstFolder) -> Iterable[Violation]:
+        if not node.args:
+            return
+        total = folder.fold(node.args[0])
+        if total is not None and total <= _PL_CACHE_BYTES:
+            yield self.violation(
+                ctx, node,
+                f"total Tile Cache budget {total} B cannot exceed the "
+                f"fixed {_PL_CACHE_BYTES} B Primitive List Cache",
+            )

@@ -1,0 +1,94 @@
+"""SIM001 — module-global / unseeded RNG use.
+
+A simulator that claims to be an OPT oracle must replay bit-identically:
+``random.random()`` (the module-global Mersenne Twister) or
+``np.random.rand()`` (the legacy global NumPy state) make results depend
+on everything else that ran in the interpreter.  Entropy must flow
+through an injected ``random.Random(seed)`` or
+``np.random.default_rng(seed)``.
+
+Workload *generator* modules (``workloads/``, ``*generator*.py``) are
+the sanctioned entropy seams and are exempt — they still must seed, but
+their call sites are reviewed as a unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (FileContext, FileRule, Violation,
+                             import_aliases, register, resolve_call)
+
+_GLOBAL_RANDOM_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+_GLOBAL_NUMPY_FNS = {
+    "beta", "binomial", "choice", "exponential", "normal", "permutation",
+    "poisson", "rand", "randint", "randn", "random", "random_sample",
+    "seed", "shuffle", "standard_normal", "uniform",
+}
+
+_EXEMPT_PATH_PARTS = ("workloads/",)
+_EXEMPT_BASENAME_PART = "generator"
+
+
+def _is_exempt(path: str) -> bool:
+    if any(part in path for part in _EXEMPT_PATH_PARTS):
+        return True
+    basename = path.rsplit("/", 1)[-1]
+    return _EXEMPT_BASENAME_PART in basename
+
+
+@register
+class GlobalRandomRule(FileRule):
+    code = "SIM001"
+    name = "global-rng"
+    description = ("module-global or unseeded RNG use outside the "
+                   "workload-generator seams (determinism hazard)")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        exempt = _is_exempt(ctx.path)
+        aliases = import_aliases(ctx.tree)
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, aliases)
+            if target is None:
+                continue
+            # random.seed() reseeds shared global state: never OK, even
+            # in the exempt seams.
+            if target == "random.seed" or target == "numpy.random.seed":
+                yield self.violation(
+                    ctx, node,
+                    f"`{target}()` mutates interpreter-global RNG state; "
+                    "construct a local generator with an explicit seed",
+                )
+                continue
+            if exempt:
+                continue
+            head, _, fn = target.rpartition(".")
+            if head == "random" and fn in _GLOBAL_RANDOM_FNS:
+                yield self.violation(
+                    ctx, node,
+                    f"`random.{fn}()` uses the module-global RNG; inject "
+                    "a `random.Random(seed)` instance instead",
+                )
+            elif head == "numpy.random" and fn in _GLOBAL_NUMPY_FNS:
+                yield self.violation(
+                    ctx, node,
+                    f"`numpy.random.{fn}()` uses the legacy global NumPy "
+                    "RNG; use `numpy.random.default_rng(seed)`",
+                )
+            elif target in ("random.Random", "numpy.random.default_rng") \
+                    and not node.args and not node.keywords:
+                yield self.violation(
+                    ctx, node,
+                    f"`{target}()` without a seed draws OS entropy; pass "
+                    "an explicit seed so runs are reproducible",
+                )

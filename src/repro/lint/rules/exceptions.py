@@ -1,0 +1,56 @@
+"""SIM007 — swallowed exceptions in the simulation path.
+
+A bare ``except:`` (or an ``except Exception: pass``) in a simulator
+turns an invariant violation — the exact thing the oracle tests exist to
+surface — into a silently wrong figure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (FileContext, FileRule, Violation, dotted_name,
+                             register)
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _body_is_noop(body: list[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) \
+                and isinstance(statement.value, ast.Constant):
+            continue  # docstring / ellipsis
+        if isinstance(statement, ast.Continue):
+            continue
+        return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(FileRule):
+    code = "SIM007"
+    name = "swallowed-exception"
+    description = "bare except / broad exception handler that discards errors"
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and hides simulator invariant failures; catch the "
+                    "specific exception",
+                )
+                continue
+            type_name = dotted_name(node.type)
+            if type_name in _BROAD and _body_is_noop(node.body):
+                yield self.violation(
+                    ctx, node,
+                    f"`except {type_name}: pass` swallows invariant "
+                    "violations; handle or re-raise",
+                )

@@ -1,0 +1,54 @@
+"""SIM003 — float equality in timing/energy code.
+
+Cycle and nanojoule totals are accumulated floats; `x == 0.05` style
+comparisons flip with summation order and make figures non-portable
+across platforms.  Compare against tolerances (``math.isclose``) or
+keep the quantity integral (cycles).
+
+Scoped to ``timing/`` and ``energy/`` modules, where accumulated floats
+are the rule rather than the exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import FileContext, FileRule, Violation, register
+
+_SCOPED_DIRS = ("timing/", "energy/")
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_float_constant(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(FileRule):
+    code = "SIM003"
+    name = "float-equality"
+    description = ("exact float equality comparison in timing/energy "
+                   "code; use a tolerance (math.isclose)")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if not any(part in ctx.path for part in _SCOPED_DIRS):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(_is_float_constant(operand) for operand in operands):
+                    yield self.violation(
+                        ctx, node,
+                        "exact equality against a float constant; "
+                        "accumulated cycle/energy floats need "
+                        "`math.isclose` or an integer representation",
+                    )
+                    break

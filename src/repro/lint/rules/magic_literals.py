@@ -1,0 +1,58 @@
+"""SIM004 — re-declared sentinel / cache-geometry literals.
+
+``repro.constants`` is the single source of truth for cross-module
+sentinels (the ``NO_NEXT_USE_RANK = 1 << 30`` "never used again" rank).
+A second module writing its own ``1 << 30`` compiles fine and then
+drifts the first time someone widens the field — OPT comparisons
+silently stop agreeing with the Polygon List Builder.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (ConstFolder, FileContext, FileRule, Violation,
+                             register)
+
+# value -> (canonical name, home module)
+CANONICAL_SENTINELS = {
+    1 << 30: ("NO_NEXT_USE_RANK", "repro.constants"),  # lint: disable=SIM004
+}
+
+_HOME_MODULES = ("repro/constants.py",)
+
+
+def _is_hex_literal(ctx: FileContext, node: ast.Constant) -> bool:
+    """Hex/binary/octal literals are address-map constants, not ranks."""
+    segment = ast.get_source_segment(ctx.source, node)
+    return segment is not None and segment.lstrip("+-").lower().startswith(
+        ("0x", "0b", "0o"))
+
+
+@register
+class MagicSentinelRule(FileRule):
+    code = "SIM004"
+    name = "magic-sentinel"
+    description = ("magic sentinel literal duplicated instead of imported "
+                   "from repro.constants")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if any(ctx.path.endswith(home) for home in _HOME_MODULES):
+            return
+        folder = ConstFolder()
+        for node in ctx.walk():
+            value = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+                value = folder.fold(node)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                    and not isinstance(node.value, bool) \
+                    and not _is_hex_literal(ctx, node):
+                value = node.value
+            if value in CANONICAL_SENTINELS:
+                name, home = CANONICAL_SENTINELS[value]
+                yield self.violation(
+                    ctx, node,
+                    f"literal {value} duplicates the `{name}` sentinel; "
+                    f"import it from `{home}` so comparisons cannot drift",
+                )

@@ -1,0 +1,89 @@
+"""SIM002 — mutable defaults.
+
+A mutable default argument (or a bare mutable dataclass field default)
+is shared across every call/instance: one simulation run's stats leak
+into the next, which silently breaks back-to-back experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (FileContext, FileRule, Violation, dotted_name,
+                             register)
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque",
+                  "defaultdict", "OrderedDict", "Counter",
+                  "collections.deque", "collections.defaultdict",
+                  "collections.OrderedDict", "collections.Counter"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+@register
+class MutableDefaultRule(FileRule):
+    code = "SIM002"
+    name = "mutable-default"
+    description = ("mutable default argument or dataclass field default "
+                   "shared across calls/instances")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ctx.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+            elif isinstance(node, ast.ClassDef) and _dataclass_decorated(node):
+                yield from self._check_dataclass(ctx, node)
+
+    def _check_function(self, ctx: FileContext,
+                        node: ast.FunctionDef) -> Iterable[Violation]:
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield self.violation(
+                    ctx, default,
+                    f"mutable default in `{node.name}()` is evaluated "
+                    "once and shared by every call; default to None or "
+                    "copy inside the function",
+                )
+
+    def _check_dataclass(self, ctx: FileContext,
+                         node: ast.ClassDef) -> Iterable[Violation]:
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign) \
+                    or statement.value is None:
+                continue
+            value = statement.value
+            if isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                if name in ("field", "dataclasses.field"):
+                    continue  # field(default_factory=...) is the fix
+            if _is_mutable_literal(value):
+                target = getattr(statement.target, "id", "<field>")
+                yield self.violation(
+                    ctx, value,
+                    f"dataclass field `{target}` has a mutable default "
+                    "shared by every instance; use "
+                    "`field(default_factory=...)`",
+                )

@@ -1,0 +1,41 @@
+"""SIM008 — ``print()`` in library code.
+
+Simulator results must flow through the stats/reporting path so they
+are machine-checkable; stray prints in library modules corrupt piped
+reporter output and hide numbers from conservation checks.  CLI modules
+(anything with an ``if __name__ == "__main__"`` guard) and pytest files
+are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import FileContext, FileRule, Violation, register
+
+
+def _is_test_file(path: str) -> bool:
+    basename = path.rsplit("/", 1)[-1]
+    return basename.startswith("test_") or basename == "conftest.py"
+
+
+@register
+class LibraryPrintRule(FileRule):
+    code = "SIM008"
+    name = "library-print"
+    description = ("print() in library code; route output through the "
+                   "stats/reporting path")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if _is_test_file(ctx.path) or ctx.has_main_guard():
+            return
+        for node in ctx.walk():
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield self.violation(
+                    ctx, node,
+                    "print() in library code bypasses the reporting path; "
+                    "return data or use the experiment reporters",
+                )

@@ -1,0 +1,116 @@
+"""SIM005 — stats conservation (project-wide rule).
+
+Every counter field of a ``*Stats`` dataclass must be
+
+1. **fed** — stored or incremented somewhere in the tree (a counter
+   nothing writes reports a structural zero and silently breaks
+   conservation identities like ``evictions == writebacks +
+   clean_evictions``), and
+2. **surfaced** — readable from the outside: either the class exposes a
+   ``report()``/``as_dict()`` method (assumed to flatten every field),
+   or the field is attribute-read somewhere in the tree.
+
+The match is by attribute *name*, not by type — a deliberate
+over-approximation that keeps the rule single-pass without type
+inference.  Same-named counters on two Stats classes therefore vouch
+for each other; distinct names per concept keep the check sharp.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import (FileContext, ProjectRule, Violation,
+                             dotted_name, register)
+
+_REPORTER_METHODS = {"as_dict", "report", "as_row", "to_dict"}
+_COUNTER_ANNOTATIONS = {"int", "float"}
+
+
+def _dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if dotted_name(target) in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _counter_fields(node: ast.ClassDef) -> list[dict]:
+    fields = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = statement.annotation
+        if not (isinstance(annotation, ast.Name)
+                and annotation.id in _COUNTER_ANNOTATIONS):
+            continue
+        fields.append({"name": statement.target.id,
+                       "line": statement.lineno})
+    return fields
+
+
+@register
+class StatsConservationRule(ProjectRule):
+    code = "SIM005"
+    name = "stats-conservation"
+    description = ("Stats counter field never incremented, or never "
+                   "surfaced by a report()/as_dict() or external read")
+
+    # -- per-file fact collection (cached) -----------------------------
+    def collect(self, ctx: FileContext) -> dict:
+        classes = []
+        stored: set[str] = set()
+        loaded: set[str] = set()
+        for node in ctx.walk():
+            if isinstance(node, ast.ClassDef) \
+                    and node.name.endswith("Stats") \
+                    and _dataclass_decorated(node):
+                methods = {item.name for item in node.body
+                           if isinstance(item, ast.FunctionDef)}
+                classes.append({
+                    "name": node.name,
+                    "fields": _counter_fields(node),
+                    "has_reporter": bool(methods & _REPORTER_METHODS),
+                })
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.ctx, ast.Store):
+                    stored.add(node.attr)
+                elif isinstance(node.ctx, ast.Load):
+                    loaded.add(node.attr)
+        return {"classes": classes,
+                "stored": sorted(stored),
+                "loaded": sorted(loaded)}
+
+    # -- whole-project judgement ---------------------------------------
+    def finalize(self, facts: dict[str, dict]) -> Iterable[Violation]:
+        stored: set[str] = set()
+        loaded: set[str] = set()
+        for file_facts in facts.values():
+            stored.update(file_facts.get("stored", ()))
+            loaded.update(file_facts.get("loaded", ()))
+        for path, file_facts in sorted(facts.items()):
+            for cls in file_facts.get("classes", ()):
+                for field in cls["fields"]:
+                    name = field["name"]
+                    if name not in stored:
+                        yield Violation(
+                            path=path, line=field["line"], col=0,
+                            rule=self.code,
+                            message=(f"{cls['name']}.{name} is defined but "
+                                     "never incremented anywhere in the "
+                                     "tree; the counter reports a "
+                                     "structural zero"),
+                        )
+                    elif not cls["has_reporter"] and name not in loaded:
+                        yield Violation(
+                            path=path, line=field["line"], col=0,
+                            rule=self.code,
+                            message=(f"{cls['name']}.{name} is incremented "
+                                     "but never surfaced (no "
+                                     "report()/as_dict() on the class and "
+                                     "no external read)"),
+                        )

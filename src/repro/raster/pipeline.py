@@ -14,6 +14,7 @@ pixels out.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,6 +52,11 @@ class RasterStats:
         if not self.quads_rasterized:
             return 0.0
         return 1.0 - self.quads_after_z / self.quads_rasterized
+
+    def as_dict(self) -> dict:
+        summary = dataclasses.asdict(self)
+        summary["early_z_kill_ratio"] = self.early_z_kill_ratio
+        return summary
 
 
 class RasterPipeline:

@@ -18,17 +18,20 @@ output queue).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.caches.indexing import ModuloIndexing, SetIndexing, XorIndexing
 from repro.config import TCORConfig
+from repro.constants import NO_NEXT_USE_RANK
 from repro.pbuffer.attributes import PBAttributesMap
 from repro.tcor.attribute_buffer import AttributeBuffer
 from repro.tcor.requests import L2Request
 from repro.workloads.trace import Region
 
-NO_NEXT_USE_RANK = 1 << 30  # internal "never used again" comparison value
+__all__ = ["AttributeCache", "AttributeCacheResult", "AttributeCacheStats",
+           "NO_NEXT_USE_RANK", "PrimitiveLine"]
 
 
 @dataclass
@@ -66,6 +69,12 @@ class AttributeCacheStats:
     @property
     def read_hit_ratio(self) -> float:
         return self.read_hits / self.reads if self.reads else 0.0
+
+    def as_dict(self) -> dict:
+        summary = dataclasses.asdict(self)
+        summary["read_hits"] = self.read_hits
+        summary["read_hit_ratio"] = self.read_hit_ratio
+        return summary
 
 
 @dataclass(frozen=True)

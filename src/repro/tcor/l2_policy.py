@@ -137,20 +137,27 @@ class TcorSharedL2(SharedL2):
                 mem_writes += 1
             else:
                 mem_reads += 1
-        if result.evicted is not None and result.evicted.dirty:
-            if line_is_dead(result.evicted.meta, self.progress):
-                self.l2.stats.dead_writebacks_avoided += 1
-            else:
-                self.memory.record(is_write=True,
-                                   region=result.evicted.meta.region)
-                mem_writes += 1
+        if result.evicted is not None:
+            evicted_dead = line_is_dead(result.evicted.meta, self.progress)
+            if evicted_dead:
+                self.l2.stats.dead_evictions += 1
+            if result.evicted.dirty:
+                if evicted_dead:
+                    self.l2.stats.dead_writebacks_avoided += 1
+                else:
+                    self.memory.record(is_write=True,
+                                       region=result.evicted.meta.region)
+                    mem_writes += 1
         return mem_reads, mem_writes
 
     def flush(self) -> int:
         writebacks = 0
         for evicted in self.l2.flush():
+            evicted_dead = line_is_dead(evicted.meta, self.progress)
+            if evicted_dead:
+                self.l2.stats.dead_evictions += 1
             if evicted.dirty:
-                if line_is_dead(evicted.meta, self.progress):
+                if evicted_dead:
                     self.l2.stats.dead_writebacks_avoided += 1
                 else:
                     self.memory.record(is_write=True,

@@ -1,0 +1,38 @@
+"""Meta-test: the shipped tree passes its own static analysis.
+
+This is the machine-checked guardrail the lint subsystem exists for —
+any PR that reintroduces a global RNG, an orphaned stats counter, a
+duplicated sentinel or an illegal cache geometry fails here (and in the
+CI lint step) before a reviewer ever sees it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINTED_TREES = ("src", "benchmarks", "examples")
+
+
+def test_shipped_tree_is_lint_clean():
+    result = lint_paths(
+        [str(REPO_ROOT / tree) for tree in LINTED_TREES],
+        root=REPO_ROOT, use_cache=False,
+    )
+    assert result.files_checked > 100  # the pass really saw the tree
+    messages = [violation.format() for violation in result.violations]
+    assert messages == []
+
+
+def test_seeded_violation_is_caught(tmp_path):
+    """End-to-end guarantee: the same pass that blesses the tree still
+    fails when a violation is introduced next to it."""
+    bad = tmp_path / "regression.py"
+    bad.write_text("import random\nVICTIM = random.randint(0, 3)\n")
+    result = lint_paths(
+        [str(REPO_ROOT / "src"), str(tmp_path)],
+        root=REPO_ROOT, use_cache=False,
+    )
+    assert [violation.rule for violation in result.violations] == ["SIM001"]

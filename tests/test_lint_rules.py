@@ -1,0 +1,419 @@
+"""Per-rule tests: each rule fires on a seeded violation, stays silent
+on a clean equivalent, and honours suppression comments."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint import lint_paths
+
+
+def run_lint(tmp_path, files, **kwargs):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+    kwargs.setdefault("use_cache", False)
+    return lint_paths([str(tmp_path)], root=tmp_path, **kwargs)
+
+
+def codes(result):
+    return [violation.rule for violation in result.violations]
+
+
+class TestSIM001GlobalRandom:
+    def test_module_global_random_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            import random
+            def pick(items):
+                return random.choice(items)
+        """})
+        assert codes(result) == ["SIM001"]
+
+    def test_numpy_global_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            import numpy as np
+            def noise():
+                return np.random.rand(4)
+        """})
+        assert codes(result) == ["SIM001"]
+
+    def test_unseeded_generator_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            import numpy as np
+            rng = np.random.default_rng()
+        """})
+        assert codes(result) == ["SIM001"]
+
+    def test_seeded_instance_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            import random
+            import numpy as np
+            rng = random.Random(7)
+            npr = np.random.default_rng(7)
+            def pick(items):
+                return rng.choice(items)
+        """})
+        assert codes(result) == []
+
+    def test_workloads_seam_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"workloads/traffic.py": """
+            import random
+            def jitter():
+                return random.random()
+        """})
+        assert codes(result) == []
+
+    def test_reseeding_global_fires_even_in_seam(self, tmp_path):
+        result = run_lint(tmp_path, {"workloads/traffic.py": """
+            import random
+            random.seed(0)
+        """})
+        assert codes(result) == ["SIM001"]
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            import random
+            x = random.random()  # lint: disable=SIM001
+        """})
+        assert codes(result) == []
+
+
+class TestSIM002MutableDefaults:
+    def test_list_default_argument_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def accumulate(item, into=[]):
+                into.append(item)
+                return into
+        """})
+        assert codes(result) == ["SIM002"]
+
+    def test_kwonly_dict_default_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def configure(*, overrides={}):
+                return overrides
+        """})
+        assert codes(result) == ["SIM002"]
+
+    def test_dataclass_mutable_field_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            from dataclasses import dataclass
+            @dataclass
+            class Stats:
+                samples: list = []
+        """})
+        assert codes(result) == ["SIM002"]
+
+    def test_default_factory_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            from dataclasses import dataclass, field
+            @dataclass
+            class Holder:
+                samples: list = field(default_factory=list)
+            def accumulate(item, into=None):
+                into = [] if into is None else into
+                into.append(item)
+                return into
+        """})
+        assert codes(result) == []
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def accumulate(item, into=[]):  # lint: disable=SIM002
+                return into
+        """})
+        assert codes(result) == []
+
+
+class TestSIM003FloatEquality:
+    def test_float_equality_in_timing_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"timing/fps.py": """
+            def check(elapsed):
+                return elapsed == 16.6
+        """})
+        assert codes(result) == ["SIM003"]
+
+    def test_not_equal_in_energy_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"energy/model.py": """
+            def check(total_nj):
+                return total_nj != 0.0
+        """})
+        assert codes(result) == ["SIM003"]
+
+    def test_outside_scoped_dirs_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"geometry/mesh.py": """
+            def check(x):
+                return x == 16.6
+        """})
+        assert codes(result) == []
+
+    def test_ordering_comparison_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"timing/fps.py": """
+            def check(elapsed):
+                return elapsed < 16.6
+        """})
+        assert codes(result) == []
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"timing/fps.py": """
+            def check(elapsed):
+                return elapsed == 16.6  # lint: disable=SIM003
+        """})
+        assert codes(result) == []
+
+
+class TestSIM004MagicSentinel:
+    def test_shift_literal_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            NEVER = 1 << 30
+        """})
+        assert codes(result) == ["SIM004"]
+
+    def test_decimal_literal_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def effective(rank):
+                return 1073741824 if rank is None else rank
+        """})
+        assert codes(result) == ["SIM004"]
+
+    def test_hex_address_constant_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            TEXTURE_BASE = 0x4000_0000
+        """})
+        assert codes(result) == []
+
+    def test_import_from_constants_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            from repro.constants import NO_NEXT_USE_RANK
+            def effective(rank):
+                return NO_NEXT_USE_RANK if rank is None else rank
+        """})
+        assert codes(result) == []
+
+    def test_home_module_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"repro/constants.py": """
+            NO_NEXT_USE_RANK = 1 << 30
+        """})
+        assert codes(result) == []
+
+
+class TestSIM005StatsConservation:
+    def test_never_incremented_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"stats.py": """
+            from dataclasses import dataclass
+            @dataclass
+            class CacheStats:
+                hits_ever: int = 0
+                def as_dict(self):
+                    return {"hits_ever": self.hits_ever}
+        """})
+        assert codes(result) == ["SIM005"]
+        assert "never incremented" in result.violations[0].message
+
+    def test_never_surfaced_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"stats.py": """
+            from dataclasses import dataclass
+            @dataclass
+            class CacheStats:
+                hits_ever: int = 0
+        """, "cache.py": """
+            def touch(stats):
+                stats.hits_ever += 1
+        """})
+        assert codes(result) == ["SIM005"]
+        assert "never surfaced" in result.violations[0].message
+
+    def test_cross_file_increment_and_read_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"stats.py": """
+            from dataclasses import dataclass
+            @dataclass
+            class CacheStats:
+                hits_ever: int = 0
+        """, "cache.py": """
+            def touch(stats):
+                stats.hits_ever += 1
+        """, "report.py": """
+            def summarize(stats):
+                return {"hits": stats.hits_ever}
+        """})
+        assert codes(result) == []
+
+    def test_reporter_method_surfaces_everything(self, tmp_path):
+        result = run_lint(tmp_path, {"stats.py": """
+            import dataclasses
+            from dataclasses import dataclass
+            @dataclass
+            class CacheStats:
+                hits_ever: int = 0
+                def as_dict(self):
+                    return dataclasses.asdict(self)
+        """, "cache.py": """
+            def touch(stats):
+                stats.hits_ever += 1
+        """})
+        assert codes(result) == []
+
+    def test_non_stats_dataclass_ignored(self, tmp_path):
+        result = run_lint(tmp_path, {"model.py": """
+            from dataclasses import dataclass
+            @dataclass
+            class Line:
+                tag: int = 0
+        """})
+        assert codes(result) == []
+
+    def test_suppressed_at_field_line(self, tmp_path):
+        result = run_lint(tmp_path, {"stats.py": """
+            from dataclasses import dataclass
+            @dataclass
+            class CacheStats:
+                hits_ever: int = 0  # lint: disable=SIM005
+                def as_dict(self):
+                    return {"hits_ever": self.hits_ever}
+        """})
+        assert codes(result) == []
+
+
+class TestSIM006ConfigLegality:
+    def test_non_power_of_two_sets_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import CacheConfig
+            BAD = CacheConfig("tile", 48 * 1024)
+        """})
+        assert codes(result) == ["SIM006"]
+
+    def test_module_constant_folding(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import CacheConfig
+            KIB = 1024
+            BAD = CacheConfig("tile", 24 * KIB, line_bytes=64,
+                              associativity=4)
+        """})
+        assert codes(result) == ["SIM006"]
+
+    def test_indivisible_ways_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import CacheConfig
+            BAD = CacheConfig("tile", 64 * 1024, associativity=3)
+        """})
+        assert codes(result) == ["SIM006"]
+
+    def test_paper_geometry_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import CacheConfig
+            KIB = 1024
+            MIB = 1024 * 1024
+            TILE = CacheConfig("tile", 64 * KIB)
+            L2 = CacheConfig("l2", 1 * MIB, associativity=8,
+                             latency_cycles=12)
+        """})
+        assert codes(result) == []
+
+    def test_unfoldable_arguments_skipped(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import CacheConfig
+            def build(kib):
+                return CacheConfig("tile", kib * 1024)
+        """})
+        assert codes(result) == []
+
+    def test_total_size_below_list_cache_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import TCORConfig
+            BAD = TCORConfig.for_total_size(8 * 1024)
+        """})
+        assert codes(result) == ["SIM006"]
+
+    def test_odd_primitive_buffer_ways_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sweep.py": """
+            from repro.config import TCORConfig
+            BAD = TCORConfig(primitive_buffer_associativity=3)
+        """})
+        assert codes(result) == ["SIM006"]
+
+
+class TestSIM007SwallowedExceptions:
+    def test_bare_except_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def step(cache):
+                try:
+                    cache.access(0)
+                except:
+                    pass
+        """})
+        assert codes(result) == ["SIM007"]
+
+    def test_swallowed_broad_exception_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def step(cache):
+                try:
+                    cache.access(0)
+                except Exception:
+                    pass
+        """})
+        assert codes(result) == ["SIM007"]
+
+    def test_specific_handler_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def step(cache):
+                try:
+                    cache.access(0)
+                except KeyError:
+                    pass
+        """})
+        assert codes(result) == []
+
+    def test_broad_handler_that_handles_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def step(cache, log):
+                try:
+                    cache.access(0)
+                except Exception as error:
+                    log.append(error)
+                    raise
+        """})
+        assert codes(result) == []
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"sim.py": """
+            def step(cache):
+                try:
+                    cache.access(0)
+                except:  # lint: disable=SIM007
+                    pass
+        """})
+        assert codes(result) == []
+
+
+class TestSIM008LibraryPrint:
+    def test_print_in_library_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"caches/lru.py": """
+            def victim(candidates):
+                print("evicting", candidates[0])
+                return candidates[0]
+        """})
+        assert codes(result) == ["SIM008"]
+
+    def test_cli_module_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"tool.py": """
+            def main():
+                print("report")
+            if __name__ == "__main__":
+                main()
+        """})
+        assert codes(result) == []
+
+    def test_pytest_file_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"test_bench.py": """
+            def test_headline():
+                print("table row")
+        """})
+        assert codes(result) == []
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"caches/lru.py": """
+            def victim(candidates):
+                print("evicting")  # lint: disable=SIM008
+                return candidates[0]
+        """})
+        assert codes(result) == []
