@@ -8,6 +8,17 @@ times would measure nothing new).
 
 Scale: set ``REPRO_BENCH_SCALE=1.0`` for paper-scale runs; the default
 0.2 keeps the full harness in the minutes range.
+
+Knobs (environment):
+
+- ``REPRO_BENCH_SCALE`` — geometry scale (default 0.2);
+- ``REPRO_BENCH_JOBS``  — worker processes used to prefetch the whole
+  simulation matrix before any benchmark runs (default 1: lazy/serial);
+- ``REPRO_NO_DISK_CACHE=1`` — disable the persistent result store
+  (``$REPRO_CACHE_DIR`` or ``.repro-cache/``).  With the store warm, a
+  re-run times table construction only — by design: the cache is keyed
+  on the simulator-code signature, so timings re-measure simulation
+  exactly when the simulator changed.
 """
 
 from __future__ import annotations
@@ -17,13 +28,20 @@ import os
 import pytest
 
 from repro.experiments.common import SimulationCache
+from repro.parallel import DiskCache, ParallelSimulationCache
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
 def sim_cache() -> SimulationCache:
-    return SimulationCache(scale=BENCH_SCALE)
+    disk = None if os.environ.get("REPRO_NO_DISK_CACHE") else DiskCache()
+    cache = ParallelSimulationCache(scale=BENCH_SCALE, jobs=BENCH_JOBS,
+                                    disk=disk)
+    if BENCH_JOBS > 1:
+        cache.prefetch()
+    return cache
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -9,7 +9,7 @@ from typing import Sequence
 from repro.caches.line import CacheLine
 
 
-@dataclass(frozen=True)
+@dataclass
 class AccessContext:
     """Per-access information a policy may use.
 
@@ -18,6 +18,10 @@ class AccessContext:
     rank of the requester's next use (the OPT-number policy's input);
     ``is_write`` lets insertion-differentiating policies distinguish fill
     writes from reads.
+
+    The owning cache reuses ONE mutable instance across accesses (the
+    access path is the simulator's hottest loop); policies must copy the
+    scalar fields they need, never retain the object itself.
     """
 
     access_index: int = 0

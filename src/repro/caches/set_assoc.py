@@ -70,6 +70,9 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(num_sets)]
         self._access_index = 0
+        # Scratch context reused across accesses; policies copy fields
+        # out of it, never the object (see AccessContext's docstring).
+        self._ctx = AccessContext()
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -98,8 +101,10 @@ class SetAssociativeCache:
         """
         tag = self.line_address(address)
         set_index = self.indexing.set_of(tag)
-        ctx = AccessContext(access_index=self._access_index,
-                            opt_number=opt_number, is_write=is_write)
+        ctx = self._ctx
+        ctx.access_index = self._access_index
+        ctx.opt_number = opt_number
+        ctx.is_write = is_write
         self._access_index += 1
         lines = self._sets[set_index]
         region = meta.region if meta else None
@@ -120,10 +125,11 @@ class SetAssociativeCache:
 
         evicted = None
         if len(lines) >= self.ways:
-            candidates = [
-                resident for resident in lines.values()
-                if evictable is None or evictable(resident)
-            ]
+            if evictable is None:
+                candidates = list(lines.values())
+            else:
+                candidates = [resident for resident in lines.values()
+                              if evictable(resident)]
             if not candidates:
                 self.stats.bypasses += 1
                 return AccessResult(hit=False, bypassed=True)
@@ -160,6 +166,24 @@ class SetAssociativeCache:
         for set_index, lines in enumerate(self._sets):
             for line in lines.values():
                 yield set_index, line
+
+    def evict_matching(self,
+                       predicate: Callable[[CacheLine], bool]
+                       ) -> list[EvictedLine]:
+        """Evict every resident line satisfying ``predicate``.
+
+        The public seam for bulk teardown (e.g. the end-of-frame
+        Parameter Buffer writeback): callers receive the evicted lines —
+        in set order, insertion order within a set — and do their own
+        writeback accounting, instead of reaching into ``_evict``.
+        """
+        evicted: list[EvictedLine] = []
+        for set_index, lines in enumerate(self._sets):
+            matching = [line.tag for line in lines.values()
+                        if predicate(line)]
+            for tag in matching:
+                evicted.append(self._evict(set_index, tag))
+        return evicted
 
     def flush(self) -> list[EvictedLine]:
         """Evict everything (end of frame); dirty lines are returned in

@@ -68,12 +68,20 @@ def format_table(result: ExperimentResult) -> str:
 
 
 class SimulationCache:
-    """Memoizes workloads and system simulations across experiments."""
+    """Memoizes workloads and system simulations across experiments.
+
+    ``disk``, when given, is a persistent second level (duck-typed as
+    :class:`repro.parallel.store.DiskCache`): in-memory misses probe it
+    before simulating, and fresh results are written through, so
+    repeated runner/benchmark invocations skip re-simulation entirely.
+    """
 
     def __init__(self, scale: float = DEFAULT_SCALE,
-                 aliases: tuple[str, ...] | None = None) -> None:
+                 aliases: tuple[str, ...] | None = None,
+                 disk=None) -> None:
         self.scale = scale
         self.aliases = tuple(aliases) if aliases else BENCHMARK_ORDER
+        self.disk = disk
         self._workloads: dict[str, Workload] = {}
         self._systems: dict[tuple, SystemResult] = {}
 
@@ -86,22 +94,57 @@ class SimulationCache:
     def workloads(self) -> list[Workload]:
         return [self.workload(alias) for alias in self.aliases]
 
+    @staticmethod
+    def _baseline_key(alias: str, tile_cache_bytes: int) -> tuple:
+        return ("baseline", alias, tile_cache_bytes)
+
+    @staticmethod
+    def _tcor_key(alias: str, tile_cache_bytes: int, tcor: TCORConfig,
+                  l2_enhancements: bool) -> tuple:
+        # The derived partition is part of the key: two TCOR configs
+        # with the same total budget but a different split (future
+        # per-structure sweeps) must never alias to each other.
+        return ("tcor", alias, tile_cache_bytes,
+                tcor.primitive_list_cache.size_bytes,
+                tcor.attribute_buffer_bytes, l2_enhancements)
+
     def baseline(self, alias: str, tile_cache_bytes: int) -> SystemResult:
-        key = ("baseline", alias, tile_cache_bytes)
-        if key not in self._systems:
-            self._systems[key] = simulate_baseline(
-                self.workload(alias), tile_cache_bytes=tile_cache_bytes)
-        return self._systems[key]
+        key = self._baseline_key(alias, tile_cache_bytes)
+        result = self._systems.get(key)
+        if result is None and self.disk is not None:
+            result = self.disk.get_baseline(BENCHMARKS[alias], self.scale,
+                                            tile_cache_bytes)
+            if result is not None:
+                self._systems[key] = result
+        if result is None:
+            result = simulate_baseline(self.workload(alias),
+                                       tile_cache_bytes=tile_cache_bytes)
+            self._systems[key] = result
+            if self.disk is not None:
+                self.disk.put_baseline(BENCHMARKS[alias], self.scale,
+                                       tile_cache_bytes, result)
+        return result
 
     def tcor(self, alias: str, tile_cache_bytes: int,
-             l2_enhancements: bool = True) -> SystemResult:
-        key = ("tcor", alias, tile_cache_bytes, l2_enhancements)
-        if key not in self._systems:
-            tcor = TCORConfig.for_total_size(tile_cache_bytes)
-            self._systems[key] = simulate_tcor(
-                self.workload(alias), tcor=tcor,
-                l2_enhancements=l2_enhancements)
-        return self._systems[key]
+             l2_enhancements: bool = True,
+             tcor_config: TCORConfig | None = None) -> SystemResult:
+        tcor = (tcor_config if tcor_config is not None
+                else TCORConfig.for_total_size(tile_cache_bytes))
+        key = self._tcor_key(alias, tile_cache_bytes, tcor, l2_enhancements)
+        result = self._systems.get(key)
+        if result is None and self.disk is not None:
+            result = self.disk.get_tcor(BENCHMARKS[alias], self.scale, tcor,
+                                        l2_enhancements)
+            if result is not None:
+                self._systems[key] = result
+        if result is None:
+            result = simulate_tcor(self.workload(alias), tcor=tcor,
+                                   l2_enhancements=l2_enhancements)
+            self._systems[key] = result
+            if self.disk is not None:
+                self.disk.put_tcor(BENCHMARKS[alias], self.scale, tcor,
+                                   l2_enhancements, result)
+        return result
 
 
 def suite_workloads(scale: float = DEFAULT_SCALE,

@@ -5,7 +5,13 @@ Usage::
     tcor-experiments --all                    # everything, paper scale
     tcor-experiments --experiment fig14 fig16 # a subset
     tcor-experiments --all --scale 0.25       # fast reduced-scale pass
+    tcor-experiments --all --jobs 8           # parallel simulation fan-out
     tcor-experiments --all --output results.txt
+
+Simulation results persist in a content-addressed on-disk cache
+(``.repro-cache/`` or ``$REPRO_CACHE_DIR``; disable with
+``--no-disk-cache``), so repeat invocations skip re-simulation; any
+edit to the simulator sources invalidates the cache automatically.
 """
 
 from __future__ import annotations
@@ -58,27 +64,61 @@ _ALIASES = {"fig15": "fig14", "fig17": "fig16", "fig19": "fig18",
             "table2": "tables"}
 
 
-def run_experiments(names: list[str], scale: float,
-                    aliases: tuple[str, ...] | None = None) -> list[ExperimentResult]:
-    cache = SimulationCache(scale=scale, aliases=aliases)
-    results: list[ExperimentResult] = []
+def resolve_names(names: list[str]) -> list[str]:
+    """Canonical, deduplicated experiment keys (fig15 -> fig14, ...)."""
+    resolved: list[str] = []
     seen: set[str] = set()
     for name in names:
         key = _ALIASES.get(name, name)
         if key in seen:
             continue
-        seen.add(key)
-        module = _MODULES.get(key)
-        if module is None:
+        if key not in _MODULES:
             raise ValueError(
                 f"unknown experiment {name!r}; choose from "
                 f"{sorted(set(_MODULES) | set(_ALIASES))}"
             )
-        outcome = module.run(scale=scale, cache=cache)
-        if isinstance(outcome, ExperimentResult):
-            results.append(outcome)
-        else:
-            results.extend(outcome)
+        seen.add(key)
+        resolved.append(key)
+    return resolved
+
+
+def run_experiments(names: list[str], scale: float,
+                    aliases: tuple[str, ...] | None = None,
+                    jobs: int = 1, disk=None,
+                    cache: SimulationCache | None = None) -> list[ExperimentResult]:
+    """Run the named experiments, fanning simulations out over ``jobs``
+    worker processes (1 = fully serial) with ``disk`` as a persistent
+    result store (None = in-memory only).  Parallel runs produce the
+    same tables as serial ones: every simulation is an independent,
+    seeded job and results are merged under deterministic keys."""
+    resolved = resolve_names(names)
+    alias_key = tuple(aliases) if aliases else common.BENCHMARK_ORDER
+    cached_tables: dict[str, list[ExperimentResult]] = {}
+    if disk is not None:
+        for key in resolved:
+            hit = disk.get_tables(key, scale, alias_key)
+            if hit is not None:
+                cached_tables[key] = hit
+    pending = [key for key in resolved if key not in cached_tables]
+    if cache is None:
+        from repro.parallel import ParallelSimulationCache
+
+        parallel_cache = ParallelSimulationCache(scale=scale, aliases=aliases,
+                                                 jobs=jobs, disk=disk)
+        if pending:
+            parallel_cache.prefetch(pending)
+        cache = parallel_cache
+    results: list[ExperimentResult] = []
+    for key in resolved:
+        if key in cached_tables:
+            results.extend(cached_tables[key])
+            continue
+        outcome = _MODULES[key].run(scale=scale, cache=cache)
+        tables_out = ([outcome] if isinstance(outcome, ExperimentResult)
+                      else list(outcome))
+        if disk is not None:
+            disk.put_tables(key, scale, alias_key, tables_out)
+        results.extend(tables_out)
     return results
 
 
@@ -93,6 +133,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="geometry scale (1.0 = paper scale)")
     parser.add_argument("--benchmarks", nargs="+", default=None,
                         help="benchmark aliases to include (default: all 10)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation fan-out "
+                             "(1 = serial; results are identical either way)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="do not read or write the persistent "
+                             "simulation cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="simulation cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
     parser.add_argument("--output", default=None,
                         help="also write the report to this file")
     parser.add_argument("--plot", action="store_true",
@@ -106,8 +155,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("pass --all or --experiment ...")
     aliases = tuple(args.benchmarks) if args.benchmarks else None
 
+    disk = None
+    if not args.no_disk_cache:
+        from repro.parallel import DiskCache
+        disk = DiskCache(args.cache_dir)
+
     started = time.time()
-    results = run_experiments(names, scale=args.scale, aliases=aliases)
+    results = run_experiments(names, scale=args.scale, aliases=aliases,
+                              jobs=args.jobs, disk=disk)
     blocks = []
     for result in results:
         block = common.format_table(result)
@@ -121,8 +176,10 @@ def main(argv: list[str] | None = None) -> int:
                 pass
         blocks.append(block)
     report = "\n\n".join(blocks)
+    cache_note = disk.stats_line() if disk is not None else "disk cache: off"
     footer = (f"\n\n[{len(results)} experiment tables in "
-              f"{time.time() - started:.1f}s at scale {args.scale}]")
+              f"{time.time() - started:.1f}s at scale {args.scale}, "
+              f"jobs {args.jobs}; {cache_note}]")
     print(report + footer)
     if args.output:
         with open(args.output, "w") as handle:

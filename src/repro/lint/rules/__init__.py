@@ -8,5 +8,6 @@ from repro.lint.rules import (  # noqa: F401  (registration side effect)
     magic_literals,
     mutable_defaults,
     printing,
+    private_access,
     stats_conservation,
 )

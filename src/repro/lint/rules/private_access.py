@@ -1,0 +1,84 @@
+"""SIM009 — cross-module reach-through to private attributes.
+
+``l2._evict(...)`` from the system simulator was a latent bug factory:
+the callee's invariants (policy bookkeeping, stats accounting) live
+behind its public API, and a reach-through silently couples modules to
+internals that are free to change.  This rule flags any access to an
+underscore-prefixed attribute on an object other than ``self``/``cls``
+unless the attribute is defined somewhere in the *same file* (same-
+module collaboration between a class and its helpers is conventional
+Python).  Intentional exceptions — e.g. the preserved pre-tuning
+reference implementation — carry a ``# lint: disable=SIM009``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import FileContext, FileRule, Violation, register
+
+# Stdlib-sanctioned underscore names (namedtuple's public API, enum
+# internals) that are not reach-throughs.
+_EXEMPT = {"_replace", "_asdict", "_fields", "_field_defaults", "_make",
+           "_name_", "_value_"}
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _locally_defined_private(tree: ast.Module) -> set[str]:
+    """Private names this file itself defines: methods/functions, class
+    attributes, and ``self._x`` assignments anywhere in the file."""
+    defined: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if node.name.startswith("_"):
+                defined.add(node.name)
+        elif isinstance(node, ast.Attribute) \
+                and isinstance(node.ctx, ast.Store) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id in ("self", "cls"):
+            if node.attr.startswith("_"):
+                defined.add(node.attr)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id.startswith("_"):
+                    defined.add(target.id)
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id.startswith("_"):
+            defined.add(node.target.id)
+    return defined
+
+
+@register
+class PrivateReachThroughRule(FileRule):
+    code = "SIM009"
+    name = "private-reach-through"
+    description = ("access to another object's underscore-prefixed "
+                   "attribute; use (or add) a public API")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        defined = _locally_defined_private(ctx.tree)
+        for node in ctx.walk():
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or _is_dunder(attr) \
+                    or attr in _EXEMPT:
+                continue
+            receiver = node.value
+            if isinstance(receiver, ast.Name) \
+                    and receiver.id in ("self", "cls"):
+                continue
+            if attr in defined:
+                continue  # same-module collaboration
+            yield self.violation(
+                ctx, node,
+                f"reach-through to private attribute `{attr}`; expose a "
+                "public method on the owning class instead",
+            )

@@ -1,0 +1,191 @@
+"""Process-pool fan-out over the experiment job matrix.
+
+The paper's figure regeneration is embarrassingly parallel: every
+(benchmark, tile-cache size, organization) simulation is independent —
+the same disjoint-work structure TBR itself exploits across tiles.
+:class:`ParallelSimulationCache` enumerates the exact jobs the
+requested experiment modules will ask for, fans them out across a
+``ProcessPoolExecutor``, and memoizes the returned
+:class:`~repro.tcor.system.SystemResult` records under the same keys
+the serial cache uses — so figure modules are oblivious to how their
+inputs were produced, and parallel runs are byte-identical to serial
+ones (every workload is seeded, no state crosses workloads).
+
+Workload construction happens *inside* each worker (one build per
+benchmark, shared by all of that benchmark's variants), so nothing
+large is ever pickled into the pool; only compact ``SystemResult``
+counter records come back.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.config import TCORConfig
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    TILE_CACHE_SIZES,
+    SimulationCache,
+)
+from repro.tcor.system import SystemResult, simulate_baseline, simulate_tcor
+from repro.workloads.suite import BENCHMARKS, build_workload
+
+# Which cache-backed simulation variants each experiment module
+# consumes (modules that only need workloads build them in-process).
+EXPERIMENT_VARIANTS: dict[str, tuple[str, ...]] = {
+    "headline": ("baseline", "tcor"),
+    "fig14": ("baseline", "tcor"),
+    "fig16": ("baseline", "tcor"),
+    "fig18": ("baseline", "tcor"),
+    "fig20": ("baseline", "tcor", "tcor_no_l2"),
+    "fig22": ("baseline", "tcor"),
+}
+_ALL_KINDS = ("baseline", "tcor", "tcor_no_l2")
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One full-system simulation: a cell of the experiment matrix."""
+
+    kind: str             # "baseline" | "tcor" | "tcor_no_l2"
+    alias: str
+    tile_cache_bytes: int
+
+
+def enumerate_jobs(names, aliases) -> list[SimJob]:
+    """The job matrix the named experiments need, in deterministic
+    (benchmark-major) order."""
+    kinds: set[str] = set()
+    for name in names:
+        kinds.update(EXPERIMENT_VARIANTS.get(name, ()))
+    jobs = []
+    for alias in aliases:
+        for kind in _ALL_KINDS:
+            if kind in kinds:
+                for size in TILE_CACHE_SIZES.values():
+                    jobs.append(SimJob(kind, alias, size))
+    return jobs
+
+
+def simulate_job_batch(alias: str, scale: float,
+                       jobs: tuple[SimJob, ...]
+                       ) -> list[tuple[SimJob, SystemResult]]:
+    """Worker entry point: one workload build, then every variant.
+
+    Must stay a module-level function (pickled by name into the pool)
+    and must mirror :class:`SimulationCache`'s simulation calls exactly
+    so pooled and lazy results are interchangeable.
+    """
+    workload = build_workload(BENCHMARKS[alias], scale=scale)
+    results = []
+    for job in jobs:
+        if job.kind == "baseline":
+            result = simulate_baseline(
+                workload, tile_cache_bytes=job.tile_cache_bytes)
+        else:
+            result = simulate_tcor(
+                workload,
+                tcor=TCORConfig.for_total_size(job.tile_cache_bytes),
+                l2_enhancements=(job.kind == "tcor"),
+            )
+        results.append((job, result))
+    return results
+
+
+class ParallelSimulationCache(SimulationCache):
+    """A drop-in :class:`SimulationCache` with process-pool prefetch.
+
+    ``prefetch`` populates the memo table up front; everything not
+    prefetched (or requested later) falls back to the inherited lazy
+    path, so correctness never depends on the prefetch set being
+    complete.
+    """
+
+    def __init__(self, scale: float = DEFAULT_SCALE,
+                 aliases: tuple[str, ...] | None = None,
+                 jobs: int = 1, disk=None) -> None:
+        super().__init__(scale=scale, aliases=aliases, disk=disk)
+        self.jobs = max(1, int(jobs))
+
+    # -- keys and storage ----------------------------------------------
+    def _job_key(self, job: SimJob) -> tuple:
+        if job.kind == "baseline":
+            return self._baseline_key(job.alias, job.tile_cache_bytes)
+        tcor = TCORConfig.for_total_size(job.tile_cache_bytes)
+        return self._tcor_key(job.alias, job.tile_cache_bytes, tcor,
+                              l2_enhancements=(job.kind == "tcor"))
+
+    def _store_job(self, job: SimJob, result: SystemResult) -> None:
+        self._systems[self._job_key(job)] = result
+        if self.disk is not None:
+            spec = BENCHMARKS[job.alias]
+            if job.kind == "baseline":
+                self.disk.put_baseline(spec, self.scale,
+                                       job.tile_cache_bytes, result)
+            else:
+                self.disk.put_tcor(
+                    spec, self.scale,
+                    TCORConfig.for_total_size(job.tile_cache_bytes),
+                    l2_enhancements=(job.kind == "tcor"), result=result)
+
+    def _probe_disk(self, job: SimJob) -> SystemResult | None:
+        if self.disk is None:
+            return None
+        spec = BENCHMARKS[job.alias]
+        if job.kind == "baseline":
+            return self.disk.get_baseline(spec, self.scale,
+                                          job.tile_cache_bytes)
+        return self.disk.get_tcor(
+            spec, self.scale, TCORConfig.for_total_size(job.tile_cache_bytes),
+            l2_enhancements=(job.kind == "tcor"))
+
+    # -- fan-out -------------------------------------------------------
+    def prefetch(self, names=None) -> int:
+        """Simulate (in parallel) every job the named experiments need.
+
+        ``names`` are resolved experiment keys (``fig14`` etc.); with
+        ``None`` the full cache-backed matrix is assumed.  Jobs already
+        memoized or on disk are skipped.  Returns the number of jobs
+        actually simulated.
+        """
+        names = tuple(names) if names is not None else tuple(EXPERIMENT_VARIANTS)
+        pending = []
+        for job in enumerate_jobs(names, self.aliases):
+            key = self._job_key(job)
+            if key in self._systems:
+                continue
+            hit = self._probe_disk(job)
+            if hit is not None:
+                self._systems[key] = hit
+                continue
+            pending.append(job)
+        if not pending:
+            return 0
+
+        by_alias: dict[str, list[SimJob]] = {}
+        for job in pending:
+            by_alias.setdefault(job.alias, []).append(job)
+
+        if self.jobs == 1 or len(by_alias) == 1:
+            # Serial fallback: run in-process (and reuse this cache's
+            # workload memo instead of rebuilding in a worker).
+            for job in pending:
+                if job.kind == "baseline":
+                    self.baseline(job.alias, job.tile_cache_bytes)
+                else:
+                    self.tcor(job.alias, job.tile_cache_bytes,
+                              l2_enhancements=(job.kind == "tcor"))
+            return len(pending)
+
+        workers = min(self.jobs, len(by_alias))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(simulate_job_batch, alias, self.scale,
+                            tuple(batch))
+                for alias, batch in by_alias.items()
+            ]
+            for future in as_completed(futures):
+                for job, result in future.result():
+                    self._store_job(job, result)
+        return len(pending)

@@ -1,0 +1,262 @@
+"""Persistent, content-addressed store for simulation results.
+
+A full-system simulation is a pure function of (benchmark spec, machine
+configuration, geometry scale, simulator code).  The store keys each
+:class:`~repro.tcor.system.SystemResult` by a SHA-256 over exactly
+those inputs — the code contribution reuses the lint engine's
+package-signature idea: a hash of every simulator source file, so *any*
+edit to the simulator invalidates every cached record cleanly, while
+edits to experiment formatting, lint rules or this store leave warm
+caches warm.
+
+Records are one JSON file per key under ``.repro-cache/`` (override
+with ``REPRO_CACHE_DIR`` or a constructor argument); writes go through
+a temp file + ``os.replace`` so concurrent workers never publish a
+torn record, and unreadable records degrade to cache misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.config import DEFAULT_GPU, GPUConfig, TCORConfig
+from repro.tcor.system import SystemResult
+from repro.workloads.suite import BenchmarkSpec
+
+CACHE_VERSION = 2
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+# The simulator proper: everything a SystemResult's counters depend on.
+# Excludes experiments/analysis/lint/parallel/perf, whose edits cannot
+# change simulation outcomes.
+_SIMULATION_SOURCES = (
+    "config.py",
+    "constants.py",
+    "caches",
+    "dram",
+    "energy",
+    "geometry",
+    "pbuffer",
+    "raster",
+    "tcor",
+    "textures",
+    "tiling",
+    "workloads",
+)
+
+# Cached experiment *tables* additionally depend on the code that
+# sweeps, aggregates and formats: any edit here must invalidate table
+# records while leaving raw SystemResult records warm.
+_EXPERIMENT_SOURCES = _SIMULATION_SOURCES + ("analysis", "experiments",
+                                             "timing")
+
+
+def _tree_signature(root: Path, names: tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    for rel in names:
+        path = root / rel
+        if path.is_file():
+            digest.update(rel.encode())
+            digest.update(path.read_bytes())
+        elif path.is_dir():
+            for source in sorted(path.rglob("*.py")):
+                digest.update(source.relative_to(root).as_posix().encode())
+                digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def _package_root(package_root: str | os.PathLike | None) -> Path:
+    return (Path(package_root) if package_root is not None
+            else Path(__file__).resolve().parent.parent)
+
+
+def simulation_code_signature(package_root: str | os.PathLike | None = None
+                              ) -> str:
+    """Hash of the simulator's own sources (code-edit invalidation).
+
+    ``package_root`` defaults to the installed ``repro`` package; tests
+    point it at a scratch tree to exercise invalidation without
+    touching real sources.
+    """
+    return _tree_signature(_package_root(package_root), _SIMULATION_SOURCES)
+
+
+def experiment_code_signature(package_root: str | os.PathLike | None = None
+                              ) -> str:
+    """Hash of simulator + experiment/analysis sources, for table
+    records: coarser than :func:`simulation_code_signature` because a
+    formatting or sweep change alters the table without altering any
+    ``SystemResult``."""
+    return _tree_signature(_package_root(package_root), _EXPERIMENT_SOURCES)
+
+
+def _result_to_dict(result: SystemResult) -> dict:
+    return asdict(result)
+
+
+def _result_from_dict(data: dict) -> SystemResult:
+    names = {f.name for f in fields(SystemResult)}
+    return SystemResult(**{key: value for key, value in data.items()
+                           if key in names})
+
+
+class DiskCache:
+    """Content-addressed ``SystemResult`` records on disk.
+
+    ``get_*``/``put_*`` mirror the :class:`SimulationCache` entry
+    points; the in-memory cache consults this object purely through
+    them, so it stays duck-typed and import-cycle-free.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 signature: str | None = None,
+                 table_signature: str | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.directory = Path(directory)
+        self.signature = (signature if signature is not None
+                          else simulation_code_signature())
+        self.table_signature = (table_signature if table_signature is not None
+                                else experiment_code_signature())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------
+    def _key(self, payload: dict) -> str:
+        canonical = json.dumps(
+            {"version": CACHE_VERSION, "signature": self.signature,
+             "payload": payload},
+            sort_keys=True, separators=(",", ":"), default=str,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @staticmethod
+    def _baseline_payload(spec: BenchmarkSpec, scale: float,
+                          tile_cache_bytes: int,
+                          gpu: GPUConfig | None = None) -> dict:
+        gpu = (gpu or DEFAULT_GPU).with_tile_cache_size(tile_cache_bytes)
+        return {"kind": "baseline", "spec": asdict(spec), "scale": scale,
+                "gpu": asdict(gpu)}
+
+    @staticmethod
+    def _tcor_payload(spec: BenchmarkSpec, scale: float,
+                      tcor: TCORConfig, l2_enhancements: bool,
+                      gpu: GPUConfig | None = None) -> dict:
+        return {"kind": "tcor", "spec": asdict(spec), "scale": scale,
+                "gpu": asdict(gpu or DEFAULT_GPU), "tcor": asdict(tcor),
+                "l2_enhancements": l2_enhancements}
+
+    # -- record I/O ----------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def _load(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if record.get("version") != CACHE_VERSION or "data" not in record:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["data"]
+
+    def _read(self, key: str) -> SystemResult | None:
+        data = self._load(key)
+        return None if data is None else _result_from_dict(data)
+
+    def _write(self, key: str, meta: dict, data: dict | list) -> None:
+        record = {"version": CACHE_VERSION, "signature": self.signature,
+                  "meta": meta, "data": data}
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(record, sort_keys=True, default=str))
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            # Best-effort persistence: a full disk or read-only cache
+            # directory must never fail the simulation itself.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # -- SimulationCache-facing API ------------------------------------
+    def get_baseline(self, spec: BenchmarkSpec, scale: float,
+                     tile_cache_bytes: int) -> SystemResult | None:
+        return self._read(
+            self._key(self._baseline_payload(spec, scale, tile_cache_bytes)))
+
+    def put_baseline(self, spec: BenchmarkSpec, scale: float,
+                     tile_cache_bytes: int, result: SystemResult) -> None:
+        payload = self._baseline_payload(spec, scale, tile_cache_bytes)
+        meta = {"kind": "baseline", "alias": spec.alias, "scale": scale,
+                "tile_cache_bytes": tile_cache_bytes}
+        self._write(self._key(payload), meta, _result_to_dict(result))
+
+    def get_tcor(self, spec: BenchmarkSpec, scale: float, tcor: TCORConfig,
+                 l2_enhancements: bool) -> SystemResult | None:
+        return self._read(
+            self._key(self._tcor_payload(spec, scale, tcor,
+                                         l2_enhancements)))
+
+    def put_tcor(self, spec: BenchmarkSpec, scale: float, tcor: TCORConfig,
+                 l2_enhancements: bool, result: SystemResult) -> None:
+        payload = self._tcor_payload(spec, scale, tcor, l2_enhancements)
+        meta = {"kind": "tcor", "alias": spec.alias, "scale": scale,
+                "l2_enhancements": l2_enhancements}
+        self._write(self._key(payload), meta, _result_to_dict(result))
+
+    # -- runner-facing table records -----------------------------------
+    def _tables_payload(self, experiment: str, scale: float,
+                        aliases: tuple[str, ...]) -> dict:
+        # The experiment signature rides in the payload (the envelope
+        # signature covers only simulator sources), so sweep/formatting
+        # edits invalidate tables without touching SystemResult records.
+        return {"kind": "tables", "experiment": experiment, "scale": scale,
+                "aliases": list(aliases),
+                "table_signature": self.table_signature}
+
+    def get_tables(self, experiment: str, scale: float,
+                   aliases: tuple[str, ...]) -> list | None:
+        """Cached :class:`ExperimentResult` list for one experiment, or
+        ``None``.  A warm runner invocation skips the module entirely."""
+        data = self._load(
+            self._key(self._tables_payload(experiment, scale, aliases)))
+        if data is None:
+            return None
+        from repro.experiments.common import ExperimentResult
+        return [ExperimentResult(**entry) for entry in data]
+
+    def put_tables(self, experiment: str, scale: float,
+                   aliases: tuple[str, ...], results: list) -> None:
+        payload = self._tables_payload(experiment, scale, aliases)
+        meta = {"kind": "tables", "experiment": experiment, "scale": scale}
+        self._write(self._key(payload), meta,
+                    [asdict(result) for result in results])
+
+    # -- maintenance ---------------------------------------------------
+    def stats_line(self) -> str:
+        return (f"disk cache: {self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stores ({self.directory})")
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,6 @@
+"""``python -m repro.perf`` entry point."""
+
+from repro.perf.profile import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

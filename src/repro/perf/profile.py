@@ -1,0 +1,142 @@
+"""Per-phase timing of the simulator core.
+
+Usage::
+
+    python -m repro.perf --benchmarks GTr CCS --scale 0.1
+    python -m repro.perf --scale 0.2 --cprofile   # + top functions
+
+For every benchmark the harness times three phases — workload
+construction (geometry + tiling trace), the baseline replay, and the
+TCOR replay — and prints a fixed-width breakdown with totals.  The
+optional cProfile pass aggregates the simulation phases only (workload
+construction is dominated by numpy and not a tuning target) and prints
+the top functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.config import TCORConfig
+from repro.experiments.common import TILE_CACHE_SIZES
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS, build_workload
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def get(self, name: str) -> float:
+        return self.seconds.get(name, 0.0)
+
+
+def profile_suite(aliases: tuple[str, ...] | None = None,
+                  scale: float = 0.2,
+                  tile_cache_bytes: int = TILE_CACHE_SIZES["64KiB"],
+                  profiler: cProfile.Profile | None = None) -> list[dict]:
+    """Time build/baseline/tcor per benchmark; returns one row each.
+
+    ``profiler``, when given, is enabled around the simulation phases
+    only so its output is not swamped by workload construction.
+    """
+    rows = []
+    for alias in aliases or BENCHMARK_ORDER:
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            workload = build_workload(BENCHMARKS[alias], scale=scale)
+        if profiler is not None:
+            profiler.enable()
+        with timer.phase("baseline"):
+            simulate_baseline(workload, tile_cache_bytes=tile_cache_bytes)
+        with timer.phase("tcor"):
+            simulate_tcor(workload,
+                          tcor=TCORConfig.for_total_size(tile_cache_bytes))
+        if profiler is not None:
+            profiler.disable()
+        rows.append({
+            "alias": alias,
+            "build_s": timer.get("build"),
+            "baseline_s": timer.get("baseline"),
+            "tcor_s": timer.get("tcor"),
+        })
+    return rows
+
+
+def format_breakdown(rows: list[dict]) -> str:
+    """Fixed-width per-benchmark phase table with a totals row."""
+    headers = ["bench", "build_s", "baseline_s", "tcor_s", "total_s"]
+    table = [headers]
+    totals = {"build_s": 0.0, "baseline_s": 0.0, "tcor_s": 0.0}
+    for row in rows:
+        for key in totals:
+            totals[key] += row[key]
+        total = row["build_s"] + row["baseline_s"] + row["tcor_s"]
+        table.append([row["alias"], f"{row['build_s']:.2f}",
+                      f"{row['baseline_s']:.2f}", f"{row['tcor_s']:.2f}",
+                      f"{total:.2f}"])
+    table.append(["total", f"{totals['build_s']:.2f}",
+                  f"{totals['baseline_s']:.2f}", f"{totals['tcor_s']:.2f}",
+                  f"{sum(totals.values()):.2f}"])
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    lines = ["== simulator phase breakdown =="]
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _top_functions(profiler: cProfile.Profile, limit: int = 20) -> str:
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return stream.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Per-phase timing of the TCOR simulator core")
+    parser.add_argument("--benchmarks", nargs="+", default=None,
+                        help="benchmark aliases (default: all 10)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="geometry scale (1.0 = paper scale)")
+    parser.add_argument("--size", choices=sorted(TILE_CACHE_SIZES),
+                        default="64KiB", help="tile cache budget")
+    parser.add_argument("--cprofile", action="store_true",
+                        help="also cProfile the simulation phases")
+    args = parser.parse_args(argv)
+
+    aliases = tuple(args.benchmarks) if args.benchmarks else None
+    profiler = cProfile.Profile() if args.cprofile else None
+    rows = profile_suite(aliases=aliases, scale=args.scale,
+                         tile_cache_bytes=TILE_CACHE_SIZES[args.size],
+                         profiler=profiler)
+    print(format_breakdown(rows))
+    print(f"[scale {args.scale}, tile cache {args.size}]")
+    if profiler is not None:
+        print(_top_functions(profiler))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,22 +88,42 @@ def _l2_cache(config: CacheConfig, policy) -> SetAssociativeCache:
 
 def _send(shared: SharedL2, requests: list[L2Request] | tuple[L2Request, ...],
           counters: dict) -> None:
-    """Forward L1->L2 requests and count the PB ones (Figures 14/15)."""
+    """Forward L1->L2 requests and count the PB ones (Figures 14/15).
+
+    This is the simulator's hottest loop, so one scratch ``LineMeta`` is
+    reused across requests (``access`` copies its fields, never retains
+    the object) and the PB counters are accumulated locally and flushed
+    once per batch.
+    """
+    meta = LineMeta()
+    access = shared.access
+    pb_reads = pb_writes = 0
     for request in requests:
-        meta = LineMeta(region=request.region,
-                        last_tile_rank=request.last_tile_rank)
-        shared.access(request.address, is_write=request.is_write, meta=meta)
-        if request.region in _PB_REGIONS:
+        region = request.region
+        meta.region = region
+        meta.last_tile_rank = request.last_tile_rank
+        access(request.address, is_write=request.is_write, meta=meta)
+        if region in _PB_REGIONS:
             if request.is_write:
-                counters["pb_l2_writes"] += 1
+                pb_writes += 1
             else:
-                counters["pb_l2_reads"] += 1
+                pb_reads += 1
+    if pb_reads:
+        counters["pb_l2_reads"] += pb_reads
+    if pb_writes:
+        counters["pb_l2_writes"] += pb_writes
 
 
 def _send_background(shared: SharedL2, accesses) -> None:
+    meta = LineMeta()
+    send = shared.access
     for access in accesses:
-        shared.access(access.address, is_write=access.is_write,
-                      meta=LineMeta(region=access.region))
+        meta.region = access.region
+        send(access.address, is_write=access.is_write, meta=meta)
+
+
+def _is_pb_line(line) -> bool:
+    return line.meta.region in _PB_REGIONS
 
 
 def _writeback_pb_lines(shared: SharedL2, progress: TileProgress | None) -> None:
@@ -114,12 +134,7 @@ def _writeback_pb_lines(shared: SharedL2, progress: TileProgress | None) -> None
     line is dead, so TCOR writes none of them back.
     """
     l2 = shared.l2
-    pb_lines = [
-        (set_index, line) for set_index, line in l2.iter_lines()
-        if line.meta.region in _PB_REGIONS
-    ]
-    for set_index, line in pb_lines:
-        evicted = l2._evict(set_index, line.tag)
+    for evicted in l2.evict_matching(_is_pb_line):
         if not evicted.dirty:
             continue
         if progress is not None and line_is_dead(evicted.meta, progress):

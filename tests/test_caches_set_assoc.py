@@ -128,3 +128,47 @@ class TestMaintenance:
         for line in range(32):
             cache.access(line * 64)
         assert cache.occupancy() == 4
+
+
+class TestEvictMatching:
+    def test_evicts_only_matching_lines(self):
+        cache = lru_cache(num_sets=2, ways=2)
+        cache.access(0, meta=LineMeta(region=1))           # set 0
+        cache.access(64, meta=LineMeta(region=2))          # set 1
+        cache.access(128, meta=LineMeta(region=1))         # set 0
+        evicted = cache.evict_matching(lambda line: line.meta.region == 1)
+        assert len(evicted) == 2
+        assert cache.occupancy() == 1
+        assert cache.probe(64) is not None
+        assert cache.probe(0) is None and cache.probe(128) is None
+
+    def test_reports_dirty_state_and_meta(self):
+        cache = lru_cache(num_sets=1, ways=2)
+        cache.access(0, is_write=True, meta=LineMeta(region=3))
+        cache.access(64, meta=LineMeta(region=3))
+        evicted = cache.evict_matching(lambda line: True)
+        assert [line.dirty for line in evicted] == [True, False]
+        assert all(line.meta.region == 3 for line in evicted)
+
+    def test_counts_writebacks_like_any_eviction(self):
+        cache = lru_cache(num_sets=1, ways=2)
+        cache.access(0, is_write=True)
+        cache.access(64)
+        cache.evict_matching(lambda line: True)
+        assert cache.stats.writebacks == 1
+        assert cache.stats.clean_evictions == 1
+
+    def test_policy_forgets_evicted_lines(self):
+        cache = lru_cache(num_sets=1, ways=2)
+        cache.access(0)
+        cache.access(64)
+        cache.evict_matching(lambda line: line.tag == 0)
+        # Tag 0 must be re-insertable without tripping policy state.
+        assert not cache.access(0).hit
+        assert cache.occupancy() == 2
+
+    def test_no_match_is_a_no_op(self):
+        cache = lru_cache()
+        cache.access(0)
+        assert cache.evict_matching(lambda line: False) == []
+        assert cache.occupancy() == 1

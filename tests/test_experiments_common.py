@@ -62,3 +62,32 @@ class TestGeometricMean:
 
     def test_empty(self):
         assert geometric_mean_ratio([]) == 0.0
+
+
+class TestTcorKeyIncludesPartition:
+    """The memo key must carry the derived TCOR partition, not just the
+    total budget — per-structure sweeps must never alias (regression)."""
+
+    def test_key_contains_partition(self):
+        from repro.config import KIB
+
+        cache = SimulationCache(scale=0.05, aliases=("GTr",))
+        cache.tcor("GTr", 64 * KIB)
+        (key,) = cache._systems
+        assert key == ("tcor", "GTr", 64 * KIB, 16 * KIB, 48 * KIB, True)
+
+    def test_same_total_different_split_are_distinct(self):
+        from repro.config import CacheConfig, KIB, TCORConfig
+
+        cache = SimulationCache(scale=0.05, aliases=("GTr",))
+        default = cache.tcor("GTr", 64 * KIB)
+        resplit = TCORConfig(
+            primitive_list_cache=CacheConfig("primitive_list", 32 * KIB),
+            attribute_buffer_bytes=32 * KIB,
+        )
+        other = cache.tcor("GTr", 64 * KIB, tcor_config=resplit)
+        assert other is not default
+        assert len(cache._systems) == 2
+        # A repeat lookup of either split memoizes, not re-simulates.
+        assert cache.tcor("GTr", 64 * KIB) is default
+        assert cache.tcor("GTr", 64 * KIB, tcor_config=resplit) is other

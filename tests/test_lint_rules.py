@@ -417,3 +417,62 @@ class TestSIM008LibraryPrint:
                 return candidates[0]
         """})
         assert codes(result) == []
+
+
+class TestSIM009PrivateReachThrough:
+    def test_cross_object_private_access_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"system.py": """
+            def writeback(shared):
+                for set_index, line in shared.l2.iter_lines():
+                    shared.l2._evict(set_index, line.tag)
+        """})
+        assert codes(result) == ["SIM009"]
+
+    def test_self_and_cls_access_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"cache.py": """
+            class Cache:
+                def __init__(self):
+                    self._sets = []
+                def occupancy(self):
+                    return len(self._sets)
+                @classmethod
+                def make(cls):
+                    return cls._default()
+                @classmethod
+                def _default(cls):
+                    return Cache()
+        """})
+        assert codes(result) == []
+
+    def test_same_file_collaboration_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"cache.py": """
+            class Cache:
+                def _evict(self, tag):
+                    return tag
+            class Shim:
+                def drop(self, cache, tag):
+                    return cache._evict(tag)
+        """})
+        assert codes(result) == []
+
+    def test_nested_attribute_receiver_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"system.py": """
+            def peek(shared):
+                return shared.l2._access_index
+        """})
+        assert codes(result) == ["SIM009"]
+
+    def test_dunder_and_namedtuple_api_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"tools.py": """
+            def clone(config, point):
+                config.__dict__
+                return point._replace(x=1)
+        """})
+        assert codes(result) == []
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"reference.py": """
+            def writeback(l2, set_index, tag):
+                return l2._evict(set_index, tag)  # lint: disable=SIM009
+        """})
+        assert codes(result) == []

@@ -1,0 +1,245 @@
+"""The parallel experiment engine: fan-out, disk cache, invalidation.
+
+Covers the PR's contract points: a pool run produces byte-identical
+tables to a serial run, prefetch really populates the memo the figure
+modules read, a second invocation is served from disk without
+simulating, and any change to the simulator sources (or its recorded
+signature) invalidates the store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KIB, TCORConfig
+from repro.experiments import common
+from repro.experiments.common import SimulationCache, format_table
+from repro.experiments.runner import resolve_names, run_experiments
+from repro.parallel import (
+    DiskCache,
+    ParallelSimulationCache,
+    SimJob,
+    enumerate_jobs,
+    simulation_code_signature,
+)
+from repro.tcor.system import SystemResult
+from repro.workloads.suite import BENCHMARKS
+
+ALIASES = ("GTr", "CCS")
+SCALE = 0.05
+
+
+class TestEnumerateJobs:
+    def test_fig14_matrix(self):
+        jobs = enumerate_jobs(["fig14"], ALIASES)
+        assert len(jobs) == 8  # 2 aliases x 2 kinds x 2 sizes
+        kinds = {job.kind for job in jobs}
+        assert kinds == {"baseline", "tcor"}
+        assert {job.alias for job in jobs} == set(ALIASES)
+
+    def test_fig20_adds_no_l2_variant(self):
+        kinds = {job.kind for job in enumerate_jobs(["fig20"], ("GTr",))}
+        assert kinds == {"baseline", "tcor", "tcor_no_l2"}
+
+    def test_workload_only_experiments_need_no_jobs(self):
+        assert enumerate_jobs(["tables", "fig01", "fig11"], ALIASES) == []
+
+    def test_deterministic_order(self):
+        assert enumerate_jobs(["fig14"], ALIASES) == \
+            enumerate_jobs(["fig14"], ALIASES)
+
+
+class TestResolveNames:
+    def test_aliases_resolve_and_dedup(self):
+        assert resolve_names(["fig15", "fig14", "table1"]) == \
+            ["fig14", "tables"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="fig99"):
+            resolve_names(["fig99"])
+
+
+class TestParallelSerialEquivalence:
+    def test_pool_run_matches_serial_tables(self):
+        serial = run_experiments(["fig14"], scale=SCALE, aliases=ALIASES,
+                                 jobs=1)
+        pooled = run_experiments(["fig14"], scale=SCALE, aliases=ALIASES,
+                                 jobs=4)
+        serial_text = [format_table(result) for result in serial]
+        pooled_text = [format_table(result) for result in pooled]
+        assert serial_text == pooled_text
+
+    def test_prefetch_populates_the_memo(self, monkeypatch):
+        cache = ParallelSimulationCache(scale=SCALE, aliases=ALIASES, jobs=4)
+        simulated = cache.prefetch(["fig14"])
+        assert simulated == 8
+        assert len(cache._systems) == 8
+        # The figure module's lookups must now be pure memo reads.
+        def bomb(*args, **kwargs):
+            raise AssertionError("prefetched result was re-simulated")
+        monkeypatch.setattr(common, "simulate_baseline", bomb)
+        monkeypatch.setattr(common, "simulate_tcor", bomb)
+        cache.baseline("GTr", 64 * KIB)
+        cache.tcor("CCS", 128 * KIB)
+
+    def test_prefetch_skips_already_memoized(self):
+        cache = ParallelSimulationCache(scale=SCALE, aliases=("GTr",), jobs=2)
+        assert cache.prefetch(["fig14"]) == 4
+        assert cache.prefetch(["fig14"]) == 0
+
+
+def make_result(alias="GTr", label="baseline"):
+    return SystemResult(label=label, alias=alias, pb_l2_reads=11,
+                        pb_l2_writes=7, mm_reads=3, mm_writes=2,
+                        structure_accesses={"l2": 42, "dram": 5})
+
+
+class TestDiskCache:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        disk = DiskCache(tmp_path, signature="sig")
+        spec = BENCHMARKS["GTr"]
+        result = make_result()
+        disk.put_baseline(spec, SCALE, 64 * KIB, result)
+        loaded = disk.get_baseline(spec, SCALE, 64 * KIB)
+        assert loaded == result
+
+    def test_signature_change_invalidates(self, tmp_path):
+        spec = BENCHMARKS["GTr"]
+        DiskCache(tmp_path, signature="old").put_baseline(
+            spec, SCALE, 64 * KIB, make_result())
+        assert DiskCache(tmp_path, signature="new").get_baseline(
+            spec, SCALE, 64 * KIB) is None
+        assert DiskCache(tmp_path, signature="old").get_baseline(
+            spec, SCALE, 64 * KIB) is not None
+
+    def test_distinct_configs_do_not_alias(self, tmp_path):
+        disk = DiskCache(tmp_path, signature="sig")
+        spec = BENCHMARKS["GTr"]
+        disk.put_baseline(spec, SCALE, 64 * KIB, make_result())
+        assert disk.get_baseline(spec, SCALE, 128 * KIB) is None
+        assert disk.get_baseline(spec, 0.1, 64 * KIB) is None
+        assert disk.get_tcor(spec, SCALE, TCORConfig.for_total_size(64 * KIB),
+                             l2_enhancements=True) is None
+
+    def test_corrupt_record_degrades_to_miss(self, tmp_path):
+        disk = DiskCache(tmp_path, signature="sig")
+        spec = BENCHMARKS["GTr"]
+        disk.put_baseline(spec, SCALE, 64 * KIB, make_result())
+        for record in tmp_path.glob("*.json"):
+            record.write_text("{ not json")
+        assert disk.get_baseline(spec, SCALE, 64 * KIB) is None
+
+    def test_clear_removes_records(self, tmp_path):
+        disk = DiskCache(tmp_path, signature="sig")
+        disk.put_baseline(BENCHMARKS["GTr"], SCALE, 64 * KIB, make_result())
+        assert disk.clear() == 1
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestCodeSignature:
+    def test_stable_for_unchanged_tree(self, tmp_path):
+        (tmp_path / "tcor").mkdir()
+        (tmp_path / "tcor" / "system.py").write_text("COUNTER = 1\n")
+        assert simulation_code_signature(tmp_path) == \
+            simulation_code_signature(tmp_path)
+
+    def test_touching_a_simulator_source_invalidates(self, tmp_path):
+        source = tmp_path / "tcor" / "system.py"
+        source.parent.mkdir()
+        source.write_text("COUNTER = 1\n")
+        before = simulation_code_signature(tmp_path)
+        source.write_text("COUNTER = 2\n")
+        assert simulation_code_signature(tmp_path) != before
+
+    def test_non_simulator_files_do_not_matter(self, tmp_path):
+        (tmp_path / "tcor").mkdir()
+        (tmp_path / "tcor" / "system.py").write_text("COUNTER = 1\n")
+        before = simulation_code_signature(tmp_path)
+        (tmp_path / "experiments").mkdir()
+        (tmp_path / "experiments" / "fig99.py").write_text("ROWS = []\n")
+        assert simulation_code_signature(tmp_path) == before
+
+    def test_real_package_signature_is_stable(self):
+        assert simulation_code_signature() == simulation_code_signature()
+
+
+class TestDiskBackedSimulationCache:
+    def test_second_run_is_served_from_disk(self, tmp_path, monkeypatch):
+        disk = DiskCache(tmp_path, signature="sig")
+        warm = SimulationCache(scale=SCALE, aliases=("GTr",), disk=disk)
+        first = warm.baseline("GTr", 64 * KIB)
+        assert disk.stores == 1
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("disk-cached result was re-simulated")
+        monkeypatch.setattr(common, "simulate_baseline", bomb)
+        monkeypatch.setattr(common, "simulate_tcor", bomb)
+        cold = SimulationCache(scale=SCALE, aliases=("GTr",),
+                               disk=DiskCache(tmp_path, signature="sig"))
+        assert cold.baseline("GTr", 64 * KIB) == first
+
+    def test_changed_signature_re_simulates(self, tmp_path):
+        spec_disk = DiskCache(tmp_path, signature="sig-a")
+        warm = SimulationCache(scale=SCALE, aliases=("GTr",), disk=spec_disk)
+        warm.baseline("GTr", 64 * KIB)
+        edited = DiskCache(tmp_path, signature="sig-b")
+        rerun = SimulationCache(scale=SCALE, aliases=("GTr",), disk=edited)
+        rerun.baseline("GTr", 64 * KIB)
+        assert edited.misses == 1 and edited.stores == 1
+
+    def test_prefetch_writes_through_and_reloads(self, tmp_path):
+        disk = DiskCache(tmp_path, signature="sig")
+        cache = ParallelSimulationCache(scale=SCALE, aliases=ALIASES,
+                                        jobs=4, disk=disk)
+        assert cache.prefetch(["fig14"]) == 8
+        assert disk.stores == 8
+        reloaded = ParallelSimulationCache(
+            scale=SCALE, aliases=ALIASES, jobs=4,
+            disk=DiskCache(tmp_path, signature="sig"))
+        assert reloaded.prefetch(["fig14"]) == 0
+        assert len(reloaded._systems) == 8
+
+
+class TestTableCache:
+    def test_second_run_skips_experiment_modules(self, tmp_path, monkeypatch):
+        disk = DiskCache(tmp_path, signature="sig",
+                         table_signature="tables-sig")
+        first = run_experiments(["fig14"], scale=SCALE, aliases=ALIASES,
+                                disk=disk)
+
+        from repro.experiments import fig14_15_l2_accesses
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("table-cached experiment module re-ran")
+        monkeypatch.setattr(fig14_15_l2_accesses, "run", bomb)
+        second = run_experiments(
+            ["fig14"], scale=SCALE, aliases=ALIASES,
+            disk=DiskCache(tmp_path, signature="sig",
+                           table_signature="tables-sig"))
+        assert [format_table(result) for result in second] == \
+            [format_table(result) for result in first]
+
+    def test_table_signature_change_invalidates_tables_only(self, tmp_path):
+        warm = DiskCache(tmp_path, signature="sig", table_signature="old")
+        run_experiments(["fig14"], scale=SCALE, aliases=ALIASES, disk=warm)
+        edited = DiskCache(tmp_path, signature="sig", table_signature="new")
+        assert edited.get_tables("fig14", SCALE, ALIASES) is None
+        # SystemResult records key on the simulator signature alone, so
+        # a sweep/formatting edit leaves them warm.
+        assert edited.get_baseline(BENCHMARKS["GTr"], SCALE,
+                                   64 * KIB) is not None
+
+
+class TestJobBatchWorker:
+    def test_batch_matches_lazy_cache_results(self):
+        from repro.parallel import simulate_job_batch
+
+        jobs = (SimJob("baseline", "GTr", 64 * KIB),
+                SimJob("tcor", "GTr", 64 * KIB),
+                SimJob("tcor_no_l2", "GTr", 64 * KIB))
+        batch = dict(simulate_job_batch("GTr", SCALE, jobs))
+        lazy = SimulationCache(scale=SCALE, aliases=("GTr",))
+        assert batch[jobs[0]] == lazy.baseline("GTr", 64 * KIB)
+        assert batch[jobs[1]] == lazy.tcor("GTr", 64 * KIB)
+        assert batch[jobs[2]] == lazy.tcor("GTr", 64 * KIB,
+                                           l2_enhancements=False)

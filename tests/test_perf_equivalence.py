@@ -1,0 +1,55 @@
+"""Hot-path tuning gate: tuned and reference paths are bit-identical.
+
+The acceptance bar for any micro-optimization of the simulator core:
+with the pre-tuning reference implementations of ``_send`` /
+``_send_background`` / ``_writeback_pb_lines`` swapped in, every
+``SystemResult`` counter — top-level ints and the structure-access
+breakdown — must equal the tuned path exactly, for all ten Table II
+benchmarks at scale 0.2, on both memory organizations.  Equality is
+dataclass equality over integer counters, i.e. bit-identity, asserted
+rather than inspected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import KIB, TCORConfig
+from repro.perf import reference
+from repro.tcor import system
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS, build_workload
+
+EQUIVALENCE_SCALE = 0.2
+TILE_CACHE_BYTES = 64 * KIB
+
+
+def _swap(monkeypatch) -> None:
+    monkeypatch.setattr(system, "_send", reference.reference_send)
+    monkeypatch.setattr(system, "_send_background",
+                        reference.reference_send_background)
+    monkeypatch.setattr(system, "_writeback_pb_lines",
+                        reference.reference_writeback_pb_lines)
+
+
+@pytest.mark.parametrize("alias", BENCHMARK_ORDER)
+def test_counters_bit_identical_before_and_after_tuning(alias, monkeypatch):
+    workload = build_workload(BENCHMARKS[alias], scale=EQUIVALENCE_SCALE)
+    tcor_config = TCORConfig.for_total_size(TILE_CACHE_BYTES)
+
+    tuned_baseline = system.simulate_baseline(
+        workload, tile_cache_bytes=TILE_CACHE_BYTES)
+    tuned_tcor = system.simulate_tcor(workload, tcor=tcor_config)
+
+    _swap(monkeypatch)
+    ref_baseline = system.simulate_baseline(
+        workload, tile_cache_bytes=TILE_CACHE_BYTES)
+    ref_tcor = system.simulate_tcor(workload, tcor=tcor_config)
+
+    # Field-by-field so a regression names the exact counter.
+    for tuned, ref in ((tuned_baseline, ref_baseline),
+                       (tuned_tcor, ref_tcor)):
+        for field in dataclasses.fields(type(tuned)):
+            assert getattr(tuned, field.name) == getattr(ref, field.name), \
+                f"{alias}: {tuned.label}.{field.name} diverged"

@@ -37,3 +37,44 @@ def test_subset_with_benchmark_filter(tmp_path):
 def test_unknown_experiment_fails_cleanly():
     result = run_cli("--experiment", "fig99")
     assert result.returncode != 0
+
+
+def run_cli_env(*args: str, env: dict | None = None) -> subprocess.CompletedProcess:
+    import os
+
+    merged = dict(os.environ)
+    merged.update(env or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", *args],
+        capture_output=True, text=True, timeout=600, env=merged,
+    )
+
+
+def tables_only(stdout: str) -> str:
+    """The report minus the timing footer (which legitimately varies)."""
+    return stdout.rsplit("\n\n[", 1)[0]
+
+
+def test_jobs_flag_and_disk_cache_round_trip(tmp_path):
+    env = {"REPRO_CACHE_DIR": str(tmp_path / "cache")}
+    args = ("--experiment", "fig14", "--scale", "0.05",
+            "--benchmarks", "GTr", "--jobs", "2")
+    cold = run_cli_env(*args, env=env)
+    assert cold.returncode == 0
+    assert "0 hits" in cold.stdout
+    warm = run_cli_env(*args, env=env)
+    assert warm.returncode == 0
+    assert "0 misses" in warm.stdout
+    assert tables_only(cold.stdout) == tables_only(warm.stdout)
+    serial = run_cli_env("--experiment", "fig14", "--scale", "0.05",
+                         "--benchmarks", "GTr", "--jobs", "1",
+                         "--no-disk-cache")
+    assert tables_only(serial.stdout) == tables_only(cold.stdout)
+
+
+def test_no_disk_cache_writes_nothing(tmp_path):
+    env = {"REPRO_CACHE_DIR": str(tmp_path / "cache")}
+    result = run_cli_env("--experiment", "fig14", "--scale", "0.05",
+                         "--benchmarks", "GTr", "--no-disk-cache", env=env)
+    assert result.returncode == 0
+    assert not (tmp_path / "cache").exists()
