@@ -11,8 +11,8 @@ Run:
     python examples/custom_game_workload.py
 """
 
+from repro.api import SimulationConfig, simulate
 from repro.energy import gpu_energy
-from repro.tcor.system import simulate_baseline, simulate_tcor
 from repro.workloads import BenchmarkSpec, build_workload
 
 # An imaginary mid-weight 3D action game.
@@ -31,9 +31,10 @@ MY_GAME = BenchmarkSpec(
 )
 
 CONFIGS = [
-    ("baseline (unified 64 KiB LRU)", dict(kind="baseline")),
-    ("TCOR w/o L2 enhancements", dict(kind="tcor", l2_enhancements=False)),
-    ("TCOR (full)", dict(kind="tcor", l2_enhancements=True)),
+    ("baseline (unified 64 KiB LRU)", SimulationConfig(kind="baseline")),
+    ("TCOR w/o L2 enhancements",
+     SimulationConfig(kind="tcor", l2_enhancements=False)),
+    ("TCOR (full)", SimulationConfig(kind="tcor", l2_enhancements=True)),
 ]
 
 
@@ -45,11 +46,7 @@ def main() -> None:
 
     results = []
     for label, config in CONFIGS:
-        if config["kind"] == "baseline":
-            result = simulate_baseline(workload)
-        else:
-            result = simulate_tcor(
-                workload, l2_enhancements=config["l2_enhancements"])
+        result = simulate(workload, config).result
         energy = gpu_energy(result, workload)
         results.append((label, result, energy))
 

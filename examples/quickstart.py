@@ -13,8 +13,8 @@ Run:
 
 import sys
 
+from repro.api import SimulationConfig, simulate
 from repro.energy import gpu_energy
-from repro.tcor.system import simulate_baseline, simulate_tcor
 from repro.timing import tile_fetcher_throughput
 from repro.workloads import BENCHMARKS, build_workload
 
@@ -28,8 +28,10 @@ def main() -> None:
           f"measured reuse {workload.measured_reuse():.2f} "
           f"(published: {spec.avg_reuse})")
 
-    baseline = simulate_baseline(workload)
-    tcor = simulate_tcor(workload)
+    base_run = simulate(workload, SimulationConfig(kind="baseline"))
+    tcor_run = simulate(workload, SimulationConfig(kind="tcor"))
+    assert base_run.ok and tcor_run.ok, "conservation invariants violated"
+    baseline, tcor = base_run.result, tcor_run.result
 
     def decrease(before: float, after: float) -> str:
         return f"{100 * (1 - after / max(1, before)):5.1f}% lower"

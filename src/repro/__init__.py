@@ -6,17 +6,25 @@ simulator, the TCOR Attribute Cache with hardware OPT replacement, the
 dead-line-aware L2, and the energy/timing models behind every figure in
 the paper's evaluation.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the supported surface)::
 
+    import repro
     from repro.workloads import BENCHMARKS, build_workload
-    from repro.tcor.system import simulate_baseline, simulate_tcor
 
     workload = build_workload(BENCHMARKS["CCS"], scale=0.25)
-    base = simulate_baseline(workload)
-    tcor = simulate_tcor(workload)
-    print(tcor.pb_l2_accesses / base.pb_l2_accesses)
+    base = repro.simulate(workload, repro.SimulationConfig(kind="baseline"))
+    tcor = repro.simulate(workload)
+    print(tcor.result.pb_l2_accesses / base.result.pb_l2_accesses)
 """
 
+from repro.api import (
+    Report,
+    RunResult,
+    SimulationConfig,
+    run_experiment,
+    simulate,
+    simulation_cache,
+)
 from repro.config import (
     DEFAULT_GPU,
     DEFAULT_TCOR,
@@ -38,8 +46,14 @@ __all__ = [
     "GPUConfig",
     "MemoryConfig",
     "ParameterBufferConfig",
+    "Report",
+    "RunResult",
     "ScreenConfig",
+    "SimulationConfig",
     "TCORConfig",
     "TilingEngineConfig",
     "__version__",
+    "run_experiment",
+    "simulate",
+    "simulation_cache",
 ]

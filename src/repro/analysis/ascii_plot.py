@@ -79,6 +79,41 @@ def ascii_chart(x_values: list[float], series: list[ChartSeries],
     return "\n".join(lines)
 
 
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: dict, tiles_x: int, tiles_y: int,
+                  title: str = "") -> str:
+    """Render per-tile values on the screen's tile grid.
+
+    ``values`` maps tile IDs (row-major: ``tile_id = y * tiles_x + x``)
+    to numbers; missing tiles render as blank.  Intensity is scaled to
+    the data's max with a ten-step shade ramp, densest cell = ``@``.
+    """
+    if tiles_x <= 0 or tiles_y <= 0:
+        raise ValueError("need a positive tile grid")
+    numeric = {tile: value for tile, value in values.items()
+               if tile is not None and 0 <= tile < tiles_x * tiles_y}
+    peak = max(numeric.values(), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * tiles_x + "+")
+    for y in range(tiles_y):
+        cells = []
+        for x in range(tiles_x):
+            value = numeric.get(y * tiles_x + x)
+            if value is None or peak == 0:
+                cells.append(" ")
+            else:
+                step = int(value / peak * (len(_SHADES) - 1))
+                cells.append(_SHADES[max(0, min(step, len(_SHADES) - 1))])
+        lines.append("|" + "".join(cells) + "|")
+    lines.append("+" + "-" * tiles_x + "+")
+    lines.append(f"scale: blank=0 .. @={peak:g}")
+    return "\n".join(lines)
+
+
 def chart_from_result(result, x_column: str,
                       series_columns: list[str] | None = None,
                       **kwargs) -> str:

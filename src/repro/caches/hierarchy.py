@@ -8,10 +8,12 @@ memory accesses — the accounting behind Figures 14-19.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.caches.line import LineMeta
 from repro.caches.set_assoc import SetAssociativeCache
+from repro.obs import trace as obs_trace
 
 
 @dataclass
@@ -26,6 +28,15 @@ class MemoryCounters:
     def accesses(self) -> int:
         return self.reads + self.writes
 
+    def as_dict(self) -> dict:
+        summary = dataclasses.asdict(self)
+        summary["accesses"] = self.accesses
+        return summary
+
+    def register(self, registry, prefix: str) -> None:
+        """Attach this live object to a metrics registry (StatsLike)."""
+        registry.register(prefix, self)
+
     def record(self, is_write: bool, region: int | None) -> None:
         if is_write:
             self.writes += 1
@@ -34,6 +45,9 @@ class MemoryCounters:
         if region is not None:
             entry = self.by_region.setdefault(region, {"reads": 0, "writes": 0})
             entry["writes" if is_write else "reads"] += 1
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.memory_traffic(self, is_write=is_write, region=region)
 
     def region_reads(self, region: int) -> int:
         return self.by_region.get(region, {}).get("reads", 0)

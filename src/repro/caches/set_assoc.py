@@ -9,6 +9,7 @@ from repro.caches.indexing import ModuloIndexing, SetIndexing
 from repro.caches.line import CacheLine, LineMeta
 from repro.caches.policies.base import AccessContext, ReplacementPolicy
 from repro.caches.stats import CacheStats
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,8 @@ class SetAssociativeCache:
         lines = self._sets[set_index]
         region = meta.region if meta else None
 
+        tracer = obs_trace.ACTIVE
+
         line = lines.get(tag)
         if line is not None:
             self.stats.record(is_write, hit=True, region=region)
@@ -116,11 +119,21 @@ class SetAssociativeCache:
             if is_write:
                 line.dirty = True
             self.policy.on_hit(set_index, tag, ctx)
+            if tracer is not None:
+                tracer.cache_access(
+                    self.name, self.stats, is_write=is_write, hit=True,
+                    bypassed=False, tag=tag, set_index=set_index,
+                    region=region, opt_number=opt_number)
             return AccessResult(hit=True)
 
         self.stats.record(is_write, hit=False, region=region)
         if is_write and not self.write_allocate:
             self.stats.bypasses += 1
+            if tracer is not None:
+                tracer.cache_access(
+                    self.name, self.stats, is_write=True, hit=False,
+                    bypassed=True, tag=tag, set_index=set_index,
+                    region=region, opt_number=opt_number)
             return AccessResult(hit=False, bypassed=True)
 
         evicted = None
@@ -132,6 +145,11 @@ class SetAssociativeCache:
                               if evictable(resident)]
             if not candidates:
                 self.stats.bypasses += 1
+                if tracer is not None:
+                    tracer.cache_access(
+                        self.name, self.stats, is_write=is_write, hit=False,
+                        bypassed=True, tag=tag, set_index=set_index,
+                        region=region, opt_number=opt_number)
                 return AccessResult(hit=False, bypassed=True)
             victim_tag = self.policy.victim(set_index, candidates, ctx)
             evicted = self._evict(set_index, victim_tag)
@@ -140,6 +158,11 @@ class SetAssociativeCache:
         new_line.update_meta(meta)
         lines[tag] = new_line
         self.policy.on_insert(set_index, tag, ctx)
+        if tracer is not None:
+            tracer.cache_access(
+                self.name, self.stats, is_write=is_write, hit=False,
+                bypassed=False, tag=tag, set_index=set_index,
+                region=region, opt_number=opt_number)
         return AccessResult(hit=False, evicted=evicted)
 
     def _evict(self, set_index: int, tag: int) -> EvictedLine:
@@ -149,6 +172,11 @@ class SetAssociativeCache:
             self.stats.writebacks += 1
         else:
             self.stats.clean_evictions += 1
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.eviction(self.name, tag=tag, dirty=line.dirty,
+                            region=line.meta.region,
+                            last_tile_rank=line.meta.last_tile_rank)
         return EvictedLine(tag=tag, dirty=line.dirty, meta=line.meta)
 
     # ------------------------------------------------------------------

@@ -52,6 +52,18 @@ class CacheStats:
         summary["miss_ratio"] = self.miss_ratio
         return summary
 
+    def register(self, registry, prefix: str) -> None:
+        """Attach this live object to a metrics registry (StatsLike)."""
+        registry.register(prefix, self)
+
+    def note_dead_eviction(self) -> None:
+        """The owning L2 evicted a dead Parameter Buffer line."""
+        self.dead_evictions += 1
+
+    def note_dead_writeback_avoided(self) -> None:
+        """A dead dirty line was dropped without a memory writeback."""
+        self.dead_writebacks_avoided += 1
+
     def record(self, is_write: bool, hit: bool, region: int | None) -> None:
         if is_write:
             self.writes += 1

@@ -5,6 +5,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from repro.obs import trace as obs_trace
+
 
 @dataclass(frozen=True)
 class DRAMConfig:
@@ -70,6 +72,10 @@ class DRAMStats:
         summary["average_latency"] = self.average_latency
         return summary
 
+    def register(self, registry, prefix: str) -> None:
+        """Attach this live object to a metrics registry (StatsLike)."""
+        registry.register(prefix, self)
+
 
 class DRAMModel:
     """Per-bank open-row state machine (open-page policy)."""
@@ -97,16 +103,19 @@ class DRAMModel:
             latency = config.row_hit_cycles
             self.stats.row_hits += 1
             energy = 0.0
+            outcome = "hit"
         elif open_row is None:
             latency = config.row_empty_cycles
             self.stats.row_empties += 1
             self.stats.activations += 1
             energy = config.activate_nj
+            outcome = "empty"
         else:
             latency = config.row_conflict_cycles
             self.stats.row_conflicts += 1
             self.stats.activations += 1
             energy = config.activate_nj
+            outcome = "conflict"
         self._open_rows[bank] = row
 
         energy += config.write_nj if is_write else config.read_nj
@@ -116,6 +125,10 @@ class DRAMModel:
             self.stats.reads += 1
         self.stats.total_cycles += latency
         self.stats.energy_nj += energy
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.dram_access(self.stats, is_write=is_write, bank=bank,
+                               row=row, outcome=outcome)
         return latency
 
     def reset(self) -> None:

@@ -8,7 +8,8 @@ one runner invocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass, field
 
 from repro.config import TCORConfig
 from repro.tcor.system import SystemResult, simulate_baseline, simulate_tcor
@@ -67,7 +68,62 @@ def format_table(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
-class SimulationCache:
+class SimulationProvider(ABC):
+    """The interface experiment modules simulate through.
+
+    Both the serial :class:`SimulationCache` and
+    :class:`repro.parallel.ParallelSimulationCache` implement it, so the
+    experiment driver type-checks against one contract instead of
+    duck-typing two classes.  ``prefetch`` and ``export_metrics`` have
+    conservative defaults; providers with a fan-out engine or a memo
+    table override them.
+    """
+
+    scale: float
+    aliases: tuple[str, ...]
+
+    @abstractmethod
+    def workload(self, alias: str) -> Workload:
+        """The (memoized) workload for one benchmark alias."""
+
+    @abstractmethod
+    def baseline(self, alias: str, tile_cache_bytes: int) -> SystemResult:
+        """Baseline simulation at one Tile Cache budget."""
+
+    @abstractmethod
+    def tcor(self, alias: str, tile_cache_bytes: int,
+             l2_enhancements: bool = True,
+             tcor_config: TCORConfig | None = None) -> SystemResult:
+        """TCOR simulation at one total Tile Cache budget."""
+
+    def workloads(self) -> list[Workload]:
+        return [self.workload(alias) for alias in self.aliases]
+
+    def prefetch(self, names=None) -> int:
+        """Eagerly simulate what the named experiments will need.
+
+        Returns the number of simulations run; the default provider has
+        no fan-out engine and simulates lazily instead.
+        """
+        return 0
+
+    def export_metrics(self, registry) -> int:
+        """Export finished simulations as ``sim.*`` registry gauges.
+
+        Returns the number of metrics exported (0 when the provider
+        keeps no results to export).
+        """
+        return 0
+
+
+def _size_component(tag: str, size_bytes: int) -> str:
+    """``tc64`` for whole KiB budgets, ``tc80000b`` otherwise."""
+    if size_bytes % KIB == 0:
+        return f"{tag}{size_bytes // KIB}"
+    return f"{tag}{size_bytes}b"
+
+
+class SimulationCache(SimulationProvider):
     """Memoizes workloads and system simulations across experiments.
 
     ``disk``, when given, is a persistent second level (duck-typed as
@@ -145,6 +201,38 @@ class SimulationCache:
                 self.disk.put_tcor(BENCHMARKS[alias], self.scale, tcor,
                                    l2_enhancements, result)
         return result
+
+    @staticmethod
+    def _metric_prefix(key: tuple) -> str:
+        """Registry namespace for one memoized simulation.
+
+        ``sim.baseline.CCS.tc64`` or ``sim.tcor.CCS.tc64.pl16ab47``;
+        the same SystemResult lands under the same name whether it was
+        simulated serially, by a pool worker, or loaded from disk —
+        which is what makes parallel metrics aggregation exact.
+        """
+        if key[0] == "baseline":
+            _, alias, tile_cache_bytes = key
+            return f"sim.baseline.{alias}.{_size_component('tc', tile_cache_bytes)}"
+        _, alias, tile_cache_bytes, pl_bytes, ab_bytes, l2e = key
+        label = "tcor" if l2e else "tcor_no_l2"
+        return (f"sim.{label}.{alias}."
+                f"{_size_component('tc', tile_cache_bytes)}."
+                f"{_size_component('pl', pl_bytes)}"
+                f"{_size_component('ab', ab_bytes)}")
+
+    def export_metrics(self, registry) -> int:
+        """Every memoized SystemResult, flattened into ``sim.*`` gauges."""
+        from repro.obs.registry import flatten
+
+        exported = 0
+        for key in sorted(self._systems, key=str):
+            result = self._systems[key]
+            for name, value in flatten(asdict(result),
+                                       self._metric_prefix(key)).items():
+                registry.gauge(name, value)
+                exported += 1
+        return exported
 
 
 def suite_workloads(scale: float = DEFAULT_SCALE,

@@ -1,194 +1,38 @@
-"""Experiment CLI: regenerate every table and figure of the paper.
+"""Deprecated import location for the experiment CLI.
 
-Usage::
-
-    tcor-experiments --all                    # everything, paper scale
-    tcor-experiments --experiment fig14 fig16 # a subset
-    tcor-experiments --all --scale 0.25       # fast reduced-scale pass
-    tcor-experiments --all --jobs 8           # parallel simulation fan-out
-    tcor-experiments --all --output results.txt
-
-Simulation results persist in a content-addressed on-disk cache
-(``.repro-cache/`` or ``$REPRO_CACHE_DIR``; disable with
-``--no-disk-cache``), so repeat invocations skip re-simulation; any
-edit to the simulator sources invalidates the cache automatically.
+The implementation lives in :mod:`repro.experiments.driver`; the
+supported programmatic surface is :mod:`repro.api`
+(``run_experiment``/``simulate``).  This module remains only as the
+console-script entry point (``tcor-experiments``) and as a shim that
+keeps old ``from repro.experiments.runner import run_experiments``
+imports working — with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
+import warnings
 
-from repro.experiments import common
-from repro.experiments import (
-    fig01_intro_gap,
-    fig10_example,
-    headline,
-    fig11_lower_bound,
-    fig12_associativity,
-    fig13_policies,
-    fig14_15_l2_accesses,
-    fig16_17_mm_pb,
-    fig18_19_mm_total,
-    fig20_21_energy,
-    fig22_gpu_energy,
-    fig23_24_throughput,
-    lookahead_gap,
-    sensitivity,
-    tables,
-)
-from repro.experiments.common import ExperimentResult, SimulationCache
+from repro.experiments.driver import main
 
-_MODULES = {
-    "tables": tables,
-    "headline": headline,
-    "fig01": fig01_intro_gap,
-    "fig10": fig10_example,
-    "fig11": fig11_lower_bound,
-    "fig12": fig12_associativity,
-    "fig13": fig13_policies,
-    "fig14": fig14_15_l2_accesses,
-    "fig16": fig16_17_mm_pb,
-    "fig18": fig18_19_mm_total,
-    "fig20": fig20_21_energy,
-    "fig22": fig22_gpu_energy,
-    "fig23": fig23_24_throughput,
-    "sensitivity": sensitivity,
-    "lookahead": lookahead_gap,
-}
+__all__ = ["main"]
 
-# Paired figures resolve to the same module.
-_ALIASES = {"fig15": "fig14", "fig17": "fig16", "fig19": "fig18",
-            "fig21": "fig20", "fig24": "fig23", "table1": "tables",
-            "table2": "tables"}
+# Names that moved to repro.experiments.driver.  Resolved lazily via
+# PEP 562 so merely importing this module (the console script does)
+# stays warning-free; reaching for a moved name warns once per site.
+_MOVED = ("run_experiments", "resolve_names", "export_table_metrics")
 
 
-def resolve_names(names: list[str]) -> list[str]:
-    """Canonical, deduplicated experiment keys (fig15 -> fig14, ...)."""
-    resolved: list[str] = []
-    seen: set[str] = set()
-    for name in names:
-        key = _ALIASES.get(name, name)
-        if key in seen:
-            continue
-        if key not in _MODULES:
-            raise ValueError(
-                f"unknown experiment {name!r}; choose from "
-                f"{sorted(set(_MODULES) | set(_ALIASES))}"
-            )
-        seen.add(key)
-        resolved.append(key)
-    return resolved
-
-
-def run_experiments(names: list[str], scale: float,
-                    aliases: tuple[str, ...] | None = None,
-                    jobs: int = 1, disk=None,
-                    cache: SimulationCache | None = None) -> list[ExperimentResult]:
-    """Run the named experiments, fanning simulations out over ``jobs``
-    worker processes (1 = fully serial) with ``disk`` as a persistent
-    result store (None = in-memory only).  Parallel runs produce the
-    same tables as serial ones: every simulation is an independent,
-    seeded job and results are merged under deterministic keys."""
-    resolved = resolve_names(names)
-    alias_key = tuple(aliases) if aliases else common.BENCHMARK_ORDER
-    cached_tables: dict[str, list[ExperimentResult]] = {}
-    if disk is not None:
-        for key in resolved:
-            hit = disk.get_tables(key, scale, alias_key)
-            if hit is not None:
-                cached_tables[key] = hit
-    pending = [key for key in resolved if key not in cached_tables]
-    if cache is None:
-        from repro.parallel import ParallelSimulationCache
-
-        parallel_cache = ParallelSimulationCache(scale=scale, aliases=aliases,
-                                                 jobs=jobs, disk=disk)
-        if pending:
-            parallel_cache.prefetch(pending)
-        cache = parallel_cache
-    results: list[ExperimentResult] = []
-    for key in resolved:
-        if key in cached_tables:
-            results.extend(cached_tables[key])
-            continue
-        outcome = _MODULES[key].run(scale=scale, cache=cache)
-        tables_out = ([outcome] if isinstance(outcome, ExperimentResult)
-                      else list(outcome))
-        if disk is not None:
-            disk.put_tables(key, scale, alias_key, tables_out)
-        results.extend(tables_out)
-    return results
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Regenerate the TCOR paper's tables and figures")
-    parser.add_argument("--all", action="store_true",
-                        help="run every experiment")
-    parser.add_argument("--experiment", nargs="+", default=[],
-                        help="experiment ids (fig01, fig11, ..., tables)")
-    parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE,
-                        help="geometry scale (1.0 = paper scale)")
-    parser.add_argument("--benchmarks", nargs="+", default=None,
-                        help="benchmark aliases to include (default: all 10)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the simulation fan-out "
-                             "(1 = serial; results are identical either way)")
-    parser.add_argument("--no-disk-cache", action="store_true",
-                        help="do not read or write the persistent "
-                             "simulation cache")
-    parser.add_argument("--cache-dir", default=None,
-                        help="simulation cache directory (default: "
-                             "$REPRO_CACHE_DIR or .repro-cache)")
-    parser.add_argument("--output", default=None,
-                        help="also write the report to this file")
-    parser.add_argument("--plot", action="store_true",
-                        help="render curve figures as ASCII charts too")
-    parser.add_argument("--markdown", default=None,
-                        help="also write a markdown report to this file")
-    args = parser.parse_args(argv)
-
-    names = list(_MODULES) if args.all else args.experiment
-    if not names:
-        parser.error("pass --all or --experiment ...")
-    aliases = tuple(args.benchmarks) if args.benchmarks else None
-
-    disk = None
-    if not args.no_disk_cache:
-        from repro.parallel import DiskCache
-        disk = DiskCache(args.cache_dir)
-
-    started = time.time()
-    results = run_experiments(names, scale=args.scale, aliases=aliases,
-                              jobs=args.jobs, disk=disk)
-    blocks = []
-    for result in results:
-        block = common.format_table(result)
-        if args.plot and result.headers[0] == "size_kib":
-            from repro.analysis.ascii_plot import chart_from_result
-            try:
-                block += "\n" + chart_from_result(result, "size_kib",
-                                                   width=56, height=14,
-                                                   x_label="KiB")
-            except ValueError:
-                pass
-        blocks.append(block)
-    report = "\n\n".join(blocks)
-    cache_note = disk.stats_line() if disk is not None else "disk cache: off"
-    footer = (f"\n\n[{len(results)} experiment tables in "
-              f"{time.time() - started:.1f}s at scale {args.scale}, "
-              f"jobs {args.jobs}; {cache_note}]")
-    print(report + footer)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(report + footer + "\n")
-    if args.markdown:
-        from repro.experiments.reporting import report_to_markdown
-        with open(args.markdown, "w") as handle:
-            handle.write(report_to_markdown(results) + "\n")
-    return 0
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"importing {name!r} from repro.experiments.runner is "
+            "deprecated; use repro.api (run_experiment) or "
+            "repro.experiments.driver",
+            DeprecationWarning, stacklevel=2)
+        from repro.experiments import driver
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 if __name__ == "__main__":

@@ -10,4 +10,5 @@ from repro.lint.rules import (  # noqa: F401  (registration side effect)
     printing,
     private_access,
     stats_conservation,
+    stats_reach,
 )

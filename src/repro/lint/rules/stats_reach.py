@@ -1,0 +1,64 @@
+"""SIM010 — mutation of another object's stats counters.
+
+Every counter has exactly one owner: the ``*Stats`` object of the
+structure where the event happens.  Code that writes
+``l2.stats.dead_writebacks_avoided += 1`` from another module
+double-counts the moment the owner also learns to count that event,
+and it bypasses the owner's note-methods — which are where the
+tracer/registry hook points live, so reach-through writes silently
+drop observability events too.
+
+The rule flags any assignment or in-place update whose target is
+``<receiver>.stats.<counter>`` where the receiver is not
+``self``/``cls``.  Reading a foreign stats counter is fine (reports
+do it everywhere); mutating one is not — call a ``note_*`` method on
+the owning stats object instead.  Deliberate exceptions (the frozen
+pre-tuning reference simulator) carry ``# lint: disable=SIM010``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import FileContext, FileRule, Violation, register
+
+
+def _foreign_stats_target(node: ast.AST) -> ast.Attribute | None:
+    """The ``<recv>.stats.<attr>`` attribute node, if this is one and
+    ``recv`` is not ``self``/``cls``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    owner = node.value
+    if not (isinstance(owner, ast.Attribute) and owner.attr == "stats"):
+        return None
+    receiver = owner.value
+    if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+        return None
+    return node
+
+
+@register
+class StatsReachThroughRule(FileRule):
+    code = "SIM010"
+    name = "stats-reach-through"
+    description = ("write to another object's stats counter; call a "
+                   "note_* method on the owning stats object")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ctx.walk():
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                hit = _foreign_stats_target(target)
+                if hit is None:
+                    continue
+                yield self.violation(
+                    ctx, node,
+                    f"mutates `{ast.unparse(hit)}` from outside the "
+                    "owning structure; add/call a note_* method on the "
+                    "stats object (that is where trace hooks live)",
+                )

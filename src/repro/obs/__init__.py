@@ -1,0 +1,92 @@
+"""Observability layer: metrics registry, event tracing, exporters.
+
+The three pieces compose:
+
+- :class:`MetricsRegistry` — one hierarchical namespace the simulator's
+  ``*Stats`` objects register into (:class:`StatsLike`), with the
+  conservation invariants attached;
+- :class:`Tracer` + :func:`activation` — the optional structured event
+  trace (off by default; the simulator's hook points are no-ops while
+  ``repro.obs.trace.ACTIVE`` is ``None``);
+- exporters and :func:`diff_metrics` — JSON dumps, Prometheus text,
+  per-tile heatmaps, and the ``tcor-metrics diff`` regression gate.
+
+:class:`Observation` bundles a registry and tracer into the single
+handle ``simulate_baseline`` / ``simulate_tcor`` accept.
+"""
+
+from repro.obs.diff import DiffReport, Drift, diff_metrics
+from repro.obs.events import (
+    CacheAccess,
+    DeadLineDrop,
+    DramAccess,
+    Eviction,
+    MemoryTraffic,
+    OptDecision,
+    TileMark,
+    TraceEvent,
+    TraceHeader,
+    from_record,
+    to_record,
+)
+from repro.obs.exporters import (
+    load_metrics,
+    metrics_document,
+    parse_prometheus_text,
+    prometheus_text,
+    tile_heatmap,
+    write_metrics,
+)
+from repro.obs.registry import (
+    Histogram,
+    MetricsInvariantError,
+    MetricsRegistry,
+    Observation,
+    StatsLike,
+    flatten,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    Sink,
+    TileSummarySink,
+    Tracer,
+    activation,
+    read_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "CacheAccess",
+    "DeadLineDrop",
+    "DiffReport",
+    "DramAccess",
+    "Drift",
+    "Eviction",
+    "Histogram",
+    "JsonlSink",
+    "MemoryTraffic",
+    "MetricsInvariantError",
+    "MetricsRegistry",
+    "Observation",
+    "OptDecision",
+    "Sink",
+    "StatsLike",
+    "TileMark",
+    "TileSummarySink",
+    "TraceEvent",
+    "TraceHeader",
+    "Tracer",
+    "activation",
+    "diff_metrics",
+    "flatten",
+    "from_record",
+    "load_metrics",
+    "metrics_document",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_trace",
+    "summarize_trace",
+    "tile_heatmap",
+    "to_record",
+    "write_metrics",
+]

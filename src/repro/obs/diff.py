@@ -1,0 +1,102 @@
+"""Metrics drift detection (the ``tcor-metrics diff`` gate's core).
+
+Compares two flat metric snapshots and reports every counter whose
+value moved, plus names present on only one side.  Simulation counters
+are deterministic, so the default tolerance is exact; a relative
+tolerance admits timing-derived metrics (benchmark means) whose noise
+is expected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric whose value differs between baseline and current."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return math.inf if self.current else 0.0
+        return self.delta / self.baseline
+
+    def describe(self) -> str:
+        rel = self.relative
+        rel_text = "new" if math.isinf(rel) else f"{rel:+.4%}"
+        return (f"{self.name}: {self.baseline!r} -> {self.current!r} "
+                f"({rel_text})")
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Outcome of one snapshot comparison."""
+
+    drifts: tuple[Drift, ...]
+    missing: tuple[str, ...]   # in baseline, absent from current
+    added: tuple[str, ...]     # in current, absent from baseline
+    compared: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifts and not self.missing
+
+    def describe(self) -> str:
+        lines = []
+        for drift in self.drifts:
+            lines.append("drift    " + drift.describe())
+        for name in self.missing:
+            lines.append(f"missing  {name} (present in baseline only)")
+        for name in self.added:
+            lines.append(f"added    {name} (present in current only)")
+        verdict = "CLEAN" if self.clean else "DRIFT"
+        lines.append(f"{verdict}: {self.compared} metrics compared, "
+                     f"{len(self.drifts)} drifted, {len(self.missing)} "
+                     f"missing, {len(self.added)} added")
+        return "\n".join(lines)
+
+
+def _matches(baseline: float, current: float, rel_tol: float) -> bool:
+    # Integer counters are deterministic simulation facts: they compare
+    # exactly at ANY tolerance, so a --rel-tol meant for timing-derived
+    # floats can never mask a +-1 counter drift.
+    if isinstance(baseline, int) and isinstance(current, int):
+        return baseline == current
+    return math.isclose(baseline, current, rel_tol=rel_tol, abs_tol=0.0)
+
+
+def diff_metrics(baseline: dict, current: dict, rel_tol: float = 0.0,
+                 prefix: str = "") -> DiffReport:
+    """Compare ``current`` against ``baseline``.
+
+    ``prefix`` restricts the comparison to one namespace (e.g.
+    ``sim.``), which is how a simulation dump is gated against a
+    benchmark artifact that also carries timing metrics.  Added names
+    are reported but do not make the diff unclean: new counters are how
+    the codebase grows, vanished or moved counters are regressions.
+    """
+    if prefix:
+        baseline = {k: v for k, v in baseline.items()
+                    if k.startswith(prefix)}
+        current = {k: v for k, v in current.items() if k.startswith(prefix)}
+    drifts = []
+    compared = 0
+    for name in sorted(baseline.keys() & current.keys()):
+        compared += 1
+        if not _matches(baseline[name], current[name], rel_tol):
+            drifts.append(Drift(name=name, baseline=baseline[name],
+                                current=current[name]))
+    missing = tuple(sorted(baseline.keys() - current.keys()))
+    added = tuple(sorted(current.keys() - baseline.keys()))
+    return DiffReport(drifts=tuple(drifts), missing=missing, added=added,
+                      compared=compared)

@@ -1,0 +1,149 @@
+"""Typed trace events (the observability layer's wire schema).
+
+Every hook point in the simulator emits one of these records; sinks
+serialize them to JSONL (``{"type": ..., **fields}``) and the loader
+reconstructs the identical dataclass, so a trace replayed through
+:class:`~repro.obs.trace.TileSummarySink` reproduces the live summary
+exactly.
+
+This module must stay import-light: the hot-path modules
+(``repro.caches.set_assoc``, ``repro.caches.hierarchy``,
+``repro.dram.model``, ``repro.tcor.attribute_cache``) import it, so it
+may not import any simulator module back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+
+@dataclass(frozen=True, slots=True)
+class TraceHeader:
+    """Opens one simulation's event stream (workload + screen geometry).
+
+    ``tiles_x``/``tiles_y`` let the per-tile exporters fold tile IDs
+    back onto the screen grid for heatmaps.
+    """
+
+    label: str
+    alias: str
+    scale: float
+    tiles_x: int
+    tiles_y: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheAccess:
+    """One access to a set-associative cache (hit, miss or bypass)."""
+
+    cache: str
+    tile: int | None
+    is_write: bool
+    hit: bool
+    bypassed: bool
+    tag: int
+    set_index: int
+    region: int | None
+    opt_number: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class Eviction:
+    """A line displaced from a set-associative cache (or flushed)."""
+
+    cache: str
+    tile: int | None
+    tag: int
+    dirty: bool
+    region: int | None
+    last_tile_rank: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class OptDecision:
+    """One Attribute Cache decision (paper Sections III-C.3/III-C.4).
+
+    ``op`` is one of ``read_hit``, ``read_miss``, ``write_insert``,
+    ``write_bypass``, ``evict`` or ``forced_unlock``; ``opt_number`` is
+    the OPT Number the decision was made against (the victim's for
+    ``evict``, the request's otherwise).
+    """
+
+    cache: str
+    tile: int | None
+    op: str
+    primitive_id: int
+    opt_number: int | None
+    dirty: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLineDrop:
+    """The dead-line L2 dropped a dead Parameter Buffer line.
+
+    ``dirty`` lines are the interesting ones: their writeback to main
+    memory was suppressed (paper Section III-D.2).
+    """
+
+    cache: str
+    tile: int | None
+    tag: int
+    dirty: bool
+    region: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class TileMark:
+    """The Tile Fetcher finished a tile (the L2 tile-progress signal)."""
+
+    tile_id: int
+    rank: int
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryTraffic:
+    """One main-memory access recorded by the shared-L2 accounting."""
+
+    tile: int | None
+    is_write: bool
+    region: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class DramAccess:
+    """One DRAM command through the row-buffer model.
+
+    ``outcome`` is ``hit``, ``empty`` or ``conflict``.
+    """
+
+    tile: int | None
+    is_write: bool
+    bank: int
+    row: int
+    outcome: str
+
+
+TraceEvent = (TraceHeader | CacheAccess | Eviction | OptDecision
+              | DeadLineDrop | TileMark | MemoryTraffic | DramAccess)
+
+_EVENT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (TraceHeader, CacheAccess, Eviction, OptDecision,
+                DeadLineDrop, TileMark, MemoryTraffic, DramAccess)
+}
+
+
+def to_record(event: TraceEvent) -> dict:
+    """JSON-serializable dict with a ``type`` discriminator."""
+    record = asdict(event)
+    record["type"] = type(event).__name__
+    return record
+
+
+def from_record(record: dict) -> TraceEvent:
+    """Inverse of :func:`to_record`; unknown keys are dropped so old
+    traces stay loadable when an event type grows a field."""
+    cls = _EVENT_TYPES[record["type"]]
+    names = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in record.items()
+                  if key in names})

@@ -1,0 +1,139 @@
+"""Metrics exporters: JSON dumps, Prometheus-style text, tile heatmaps.
+
+Three output shapes for one snapshot:
+
+- :func:`write_metrics` / :func:`load_metrics` — the canonical JSON
+  dump (``{"format": "tcor-metrics", "metrics": {...}}``) that the
+  ``tcor-metrics diff`` regression gate consumes.  The loader also
+  understands pytest-benchmark JSON (``BENCH_*.json``), flattening its
+  per-benchmark stats to ``bench.<name>.<stat>`` so a dump can be
+  diffed against a committed benchmark artifact.
+- :func:`prometheus_text` / :func:`parse_prometheus_text` — exposition
+  format, one ``tcor_metric{name="..."} value`` sample per counter.
+  The dotted name travels in a label so the round-trip is exact.
+- :func:`tile_heatmap` — per-tile counters from a
+  :class:`~repro.obs.trace.TileSummarySink` folded onto the screen's
+  tile grid via :func:`repro.analysis.ascii_plot.ascii_heatmap`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+METRICS_FORMAT = "tcor-metrics"
+METRICS_VERSION = 1
+
+
+def metrics_document(metrics: dict, meta: dict | None = None) -> dict:
+    return {
+        "format": METRICS_FORMAT,
+        "version": METRICS_VERSION,
+        "meta": dict(meta or {}),
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+    }
+
+
+def write_metrics(path: str, metrics: dict,
+                  meta: dict | None = None) -> None:
+    """Write one snapshot as the canonical sorted JSON dump."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_document(metrics, meta), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def _flatten_benchmark_json(document: dict) -> dict:
+    """pytest-benchmark JSON -> ``bench.<name>.<stat>`` leaves."""
+    flat: dict = {}
+    for bench in document.get("benchmarks", []):
+        name = bench.get("name", "unnamed")
+        for stat, value in bench.get("stats", {}).items():
+            if isinstance(value, (int, float)):
+                flat[f"bench.{name}.{stat}"] = value
+    return flat
+
+
+def load_metrics(path: str) -> dict:
+    """Flat ``{name: number}`` from any supported dump format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a metrics document")
+    if document.get("format") == METRICS_FORMAT:
+        return dict(document["metrics"])
+    if "benchmarks" in document:
+        return _flatten_benchmark_json(document)
+    # Bare flat dict (hand-written baselines).
+    flat = {name: value for name, value in document.items()
+            if isinstance(value, (int, float))}
+    if not flat:
+        raise ValueError(f"{path}: no numeric metrics found")
+    return flat
+
+
+_SAMPLE_RE = re.compile(
+    r'^tcor_metric\{name="(?P<name>[^"]+)"\} (?P<value>\S+)$')
+
+
+def prometheus_text(metrics: dict) -> str:
+    """Prometheus exposition text, one sample per counter.
+
+    The dotted metric name is carried in the ``name`` label (labels
+    admit the full character set, metric names do not), which keeps
+    :func:`parse_prometheus_text` an exact inverse.
+    """
+    lines = [
+        "# HELP tcor_metric TCOR simulator counter",
+        "# TYPE tcor_metric untyped",
+    ]
+    for name in sorted(metrics):
+        value = metrics[name]
+        rendered = repr(value) if isinstance(value, float) else str(value)
+        lines.append(f'tcor_metric{{name="{name}"}} {rendered}')
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Inverse of :func:`prometheus_text`."""
+    metrics: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        raw = match.group("value")
+        value = float(raw)
+        if value.is_integer() and "." not in raw and "e" not in raw.lower():
+            value = int(raw)
+        metrics[match.group("name")] = value
+    return metrics
+
+
+def tile_heatmap(summary_sink, cache: str, counter: str = "accesses",
+                 tiles_x: int | None = None,
+                 tiles_y: int | None = None) -> str:
+    """ASCII heatmap of one cache's per-tile counter on the tile grid.
+
+    Grid geometry comes from the trace header when present; pass
+    ``tiles_x``/``tiles_y`` for headerless traces.
+    """
+    header = summary_sink.header
+    if header is not None:
+        tiles_x = tiles_x or header.tiles_x
+        tiles_y = tiles_y or header.tiles_y
+    if not tiles_x or not tiles_y:
+        raise ValueError("trace has no header; pass tiles_x/tiles_y")
+    from repro.analysis.ascii_plot import ascii_heatmap
+
+    values = {
+        tile: cell[counter]
+        for tile, cell in summary_sink.summary().get(cache, {}).items()
+        if tile is not None
+    }
+    title = f"{cache}.{counter} per tile"
+    if header is not None:
+        title += f" [{header.alias} @ scale {header.scale:g}]"
+    return ascii_heatmap(values, tiles_x, tiles_y, title=title)

@@ -1,0 +1,312 @@
+"""Structured event tracing: the tracer, the ring buffer and the sinks.
+
+The simulator's hook points consult the module-global :data:`ACTIVE`
+tracer.  It is ``None`` by default, so the disabled path costs one
+attribute load and a ``None`` check per hook — the
+``tests/test_perf_equivalence.py`` gate holds bit-identical counters
+either way.  Activation is scoped::
+
+    tracer = Tracer(sinks=[JsonlSink(path)], registry=registry)
+    with activation(tracer):
+        simulate_tcor(workload)
+    tracer.close()
+
+Every event the tracer emits lands in a bounded ring buffer (recent
+history for debugging) and in each attached sink.  Sinks are small
+objects with ``emit(event)``/``close()``:
+
+- :class:`JsonlSink` streams events as JSON lines;
+- :class:`TileSummarySink` folds events into per-(cache, tile) counters
+  — and :func:`summarize_trace` rebuilds the identical summary from a
+  JSONL file, which is the exporter round-trip the tests pin down.
+
+The tracer also carries the *tile context*: the system simulator marks
+the tile currently being built/fetched, and every event emitted by the
+caches underneath is tagged with it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import IO, Iterable, Iterator, Protocol
+
+from repro.obs.events import (
+    CacheAccess,
+    DeadLineDrop,
+    DramAccess,
+    Eviction,
+    MemoryTraffic,
+    OptDecision,
+    TileMark,
+    TraceEvent,
+    TraceHeader,
+    from_record,
+    to_record,
+)
+
+# The one global hook target.  Reads must stay this cheap: the cache
+# access path executes `trace.ACTIVE is None` hundreds of millions of
+# times per full-scale run.
+ACTIVE: "Tracer | None" = None
+
+DEFAULT_RING_ENTRIES = 4096
+
+
+class Sink(Protocol):
+    """Anything that consumes a stream of trace events."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class JsonlSink:
+    """Streams events to a JSONL file (one ``{"type": ...}`` per line)."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(to_record(event), sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+
+# Counter names of one per-(cache, tile) summary cell, in report order.
+SUMMARY_COUNTERS = ("accesses", "reads", "writes", "hits", "misses",
+                    "bypasses", "evictions", "dirty_evictions",
+                    "opt_evictions", "opt_bypasses", "dead_drops",
+                    "dead_writebacks_avoided")
+
+
+def _new_cell() -> dict:
+    return dict.fromkeys(SUMMARY_COUNTERS, 0)
+
+
+class TileSummarySink:
+    """Folds the event stream into per-(cache, tile) counters.
+
+    The summary is a plain nested dict ``{cache: {tile: {counter: n}}}``
+    (``tile`` is ``None`` for events outside any tile context, e.g. the
+    end-of-frame flush or a bare cache driven outside the system
+    simulator).  Summing a cache's cells across tiles reproduces that
+    cache's registry counters exactly — the conservation bridge between
+    the trace and the metrics registry.
+    """
+
+    def __init__(self) -> None:
+        self.header: TraceHeader | None = None
+        self.tiles_done = 0
+        self._cells: dict[str, dict[int | None, dict]] = {}
+
+    def _cell(self, cache: str, tile: int | None) -> dict:
+        tiles = self._cells.setdefault(cache, {})
+        cell = tiles.get(tile)
+        if cell is None:
+            cell = tiles[tile] = _new_cell()
+        return cell
+
+    def emit(self, event: TraceEvent) -> None:
+        if isinstance(event, CacheAccess):
+            cell = self._cell(event.cache, event.tile)
+            cell["accesses"] += 1
+            cell["writes" if event.is_write else "reads"] += 1
+            if event.bypassed:
+                cell["bypasses"] += 1
+            cell["hits" if event.hit else "misses"] += 1
+        elif isinstance(event, Eviction):
+            cell = self._cell(event.cache, event.tile)
+            cell["evictions"] += 1
+            if event.dirty:
+                cell["dirty_evictions"] += 1
+        elif isinstance(event, OptDecision):
+            cell = self._cell(event.cache, event.tile)
+            if event.op in ("read_hit", "read_miss"):
+                cell["accesses"] += 1
+                cell["reads"] += 1
+                cell["hits" if event.op == "read_hit" else "misses"] += 1
+            elif event.op in ("write_insert", "write_bypass"):
+                cell["accesses"] += 1
+                cell["writes"] += 1
+                if event.op == "write_bypass":
+                    cell["opt_bypasses"] += 1
+            elif event.op == "evict":
+                cell["opt_evictions"] += 1
+                if event.dirty:
+                    cell["dirty_evictions"] += 1
+        elif isinstance(event, DeadLineDrop):
+            cell = self._cell(event.cache, event.tile)
+            cell["dead_drops"] += 1
+            if event.dirty:
+                cell["dead_writebacks_avoided"] += 1
+        elif isinstance(event, TileMark):
+            self.tiles_done += 1
+        elif isinstance(event, TraceHeader):
+            self.header = event
+        # MemoryTraffic / DramAccess are carried by the JSONL stream but
+        # have no per-tile cell; the registry owns their totals.
+
+    def close(self) -> None:
+        return None
+
+    def summary(self) -> dict:
+        """Deep copy of the per-(cache, tile) counters."""
+        return {
+            cache: {tile: dict(cell) for tile, cell in tiles.items()}
+            for cache, tiles in self._cells.items()
+        }
+
+    def cache_totals(self, cache: str) -> dict:
+        """One cache's counters summed over every tile."""
+        totals = _new_cell()
+        for cell in self._cells.get(cache, {}).values():
+            for counter, value in cell.items():
+                totals[counter] += value
+        return totals
+
+
+class Tracer:
+    """Receives hook calls, tags them with the tile context, fans out.
+
+    ``registry`` (optional) is a
+    :class:`~repro.obs.registry.MetricsRegistry`; when set, every cache
+    that emits an event self-registers its stats object under
+    ``live.<cache-name>`` — so a traced run always has registry
+    counters to check the trace against, even for caches driven outside
+    the full-system simulator (e.g. the fig10 worked example).
+    """
+
+    def __init__(self, sinks: Iterable[Sink] = (),
+                 ring_entries: int = DEFAULT_RING_ENTRIES,
+                 registry=None) -> None:
+        self.sinks: list[Sink] = list(sinks)
+        self.ring: deque[TraceEvent] = deque(maxlen=ring_entries)
+        self.registry = registry
+        self.current_tile: int | None = None
+        self.current_rank: int | None = None
+        self.events_emitted = 0
+
+    # -- plumbing ------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        self.ring.append(event)
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def _register(self, name: str, stats) -> None:
+        if self.registry is not None:
+            self.registry.register(f"live.{name}", stats)
+
+    # -- tile context (system simulator) -------------------------------
+    def set_tile(self, tile_id: int | None,
+                 rank: int | None = None) -> None:
+        self.current_tile = tile_id
+        self.current_rank = rank
+
+    def tile_done(self, tile_id: int, rank: int) -> None:
+        self.emit(TileMark(tile_id=tile_id, rank=rank))
+        self.set_tile(None)
+
+    def header(self, label: str, alias: str, scale: float,
+               tiles_x: int, tiles_y: int) -> None:
+        self.emit(TraceHeader(label=label, alias=alias, scale=scale,
+                              tiles_x=tiles_x, tiles_y=tiles_y))
+
+    # -- hook points (called from the simulator) -----------------------
+    def cache_access(self, name: str, stats, *, is_write: bool, hit: bool,
+                     bypassed: bool, tag: int, set_index: int,
+                     region: int | None,
+                     opt_number: int | None) -> None:
+        self._register(name, stats)
+        self.emit(CacheAccess(cache=name, tile=self.current_tile,
+                              is_write=is_write, hit=hit, bypassed=bypassed,
+                              tag=tag, set_index=set_index, region=region,
+                              opt_number=opt_number))
+
+    def eviction(self, name: str, *, tag: int, dirty: bool,
+                 region: int | None,
+                 last_tile_rank: int | None) -> None:
+        self.emit(Eviction(cache=name, tile=self.current_tile, tag=tag,
+                           dirty=dirty, region=region,
+                           last_tile_rank=last_tile_rank))
+
+    def opt_decision(self, name: str, stats, *, op: str, primitive_id: int,
+                     opt_number: int | None, dirty: bool = False) -> None:
+        self._register(name, stats)
+        self.emit(OptDecision(cache=name, tile=self.current_tile, op=op,
+                              primitive_id=primitive_id,
+                              opt_number=opt_number, dirty=dirty))
+
+    def dead_line_drop(self, name: str, *, tag: int, dirty: bool,
+                       region: int | None) -> None:
+        self.emit(DeadLineDrop(cache=name, tile=self.current_tile, tag=tag,
+                               dirty=dirty, region=region))
+
+    def memory_traffic(self, stats, *, is_write: bool,
+                       region: int | None) -> None:
+        self._register("dram", stats)
+        self.emit(MemoryTraffic(tile=self.current_tile, is_write=is_write,
+                                region=region))
+
+    def dram_access(self, stats, *, is_write: bool, bank: int, row: int,
+                    outcome: str) -> None:
+        self._register("dram_model", stats)
+        self.emit(DramAccess(tile=self.current_tile, is_write=is_write,
+                             bank=bank, row=row, outcome=outcome))
+
+
+@contextmanager
+def activation(tracer: Tracer | None) -> Iterator[Tracer | None]:
+    """Install ``tracer`` as the global hook target for the scope.
+
+    Nests: the previous tracer (usually ``None``) is restored on exit.
+    Passing ``None`` is a no-op scope, which lets call sites write one
+    ``with activation(obs and obs.tracer):`` unconditionally.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        ACTIVE = previous
+
+
+def read_trace(path: str) -> Iterator[TraceEvent]:
+    """Stream a JSONL trace back as typed events."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield from_record(json.loads(line))
+
+
+def summarize_trace(path: str) -> TileSummarySink:
+    """Rebuild the per-tile summary from a JSONL trace file.
+
+    Feeding the reloaded events through a fresh
+    :class:`TileSummarySink` guarantees the offline summary is
+    byte-identical to a live one attached during the run.
+    """
+    sink = TileSummarySink()
+    for event in read_trace(path):
+        sink.emit(event)
+    return sink

@@ -61,6 +61,6 @@ def reference_writeback_pb_lines(shared: SharedL2,
         if not evicted.dirty:
             continue
         if progress is not None and line_is_dead(evicted.meta, progress):
-            l2.stats.dead_writebacks_avoided += 1
+            l2.stats.dead_writebacks_avoided += 1  # lint: disable=SIM010
         else:
             shared.memory.record(is_write=True, region=evicted.meta.region)

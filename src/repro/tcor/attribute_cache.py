@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.caches.indexing import ModuloIndexing, SetIndexing, XorIndexing
 from repro.config import TCORConfig
 from repro.constants import NO_NEXT_USE_RANK
+from repro.obs import trace as obs_trace
 from repro.pbuffer.attributes import PBAttributesMap
 from repro.tcor.attribute_buffer import AttributeBuffer
 from repro.tcor.requests import L2Request
@@ -76,6 +77,10 @@ class AttributeCacheStats:
         summary["read_hit_ratio"] = self.read_hit_ratio
         return summary
 
+    def register(self, registry, prefix: str) -> None:
+        """Attach this live object to a metrics registry (StatsLike)."""
+        registry.register(prefix, self)
+
 
 @dataclass(frozen=True)
 class AttributeCacheResult:
@@ -89,6 +94,8 @@ class AttributeCacheResult:
 
 class AttributeCache:
     """Primitive Buffer + Attribute Buffer with OPT replacement."""
+
+    name = "attribute_cache"
 
     def __init__(self, config: TCORConfig, attributes: PBAttributesMap,
                  inflight_window: int = 32) -> None:
@@ -160,6 +167,13 @@ class AttributeCache:
         while self._inflight:
             self._consume_oldest()
 
+    def _note_forced_unlock(self) -> None:
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            oldest = self._inflight[0] if self._inflight else -1
+            tracer.opt_decision(self.name, self.stats, op="forced_unlock",
+                                primitive_id=oldest, opt_number=None)
+
     # ------------------------------------------------------------------
     # Eviction machinery
     # ------------------------------------------------------------------
@@ -175,6 +189,12 @@ class AttributeCache:
         del self._sets[self.set_of(line.primitive_id)][line.primitive_id]
         self.buffer.free(line.abp)
         self.stats.evictions += 1
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.opt_decision(self.name, self.stats, op="evict",
+                                primitive_id=line.primitive_id,
+                                opt_number=self._effective_opt(line),
+                                dirty=line.dirty)
         if line.dirty:
             self.stats.dirty_evictions += 1
             return self._attribute_writes(line)
@@ -209,6 +229,7 @@ class AttributeCache:
             if victim is None:
                 # Everything is locked: the Rasterizer must make progress.
                 self.stats.forced_unlocks += 1
+                self._note_forced_unlock()
                 self._consume_oldest()
                 continue
             self.stats.space_evictions += 1
@@ -232,15 +253,24 @@ class AttributeCache:
         self.stats.reads += 1
         set_index = self.set_of(primitive_id)
         line = self._sets[set_index].get(primitive_id)
+        tracer = obs_trace.ACTIVE
         if line is not None:
             # Hit: lock, refresh the OPT Number from the request, hand the
             # ABP to the Rasterizer.
             line.opt_number = opt_number
             self._lock(line)
+            if tracer is not None:
+                tracer.opt_decision(self.name, self.stats, op="read_hit",
+                                    primitive_id=primitive_id,
+                                    opt_number=opt_number)
             return AttributeCacheResult(hit=True, bypassed=False,
                                         l2_requests=(), abp=line.abp)
 
         self.stats.read_misses += 1
+        if tracer is not None:
+            tracer.opt_decision(self.name, self.stats, op="read_miss",
+                                primitive_id=primitive_id,
+                                opt_number=opt_number)
         requests: list[L2Request] = []
 
         # A line must be freed in this set.
@@ -248,6 +278,7 @@ class AttributeCache:
             victim = self._victim_in_set(set_index)
             if victim is None:
                 self.stats.forced_unlocks += 1
+                self._note_forced_unlock()
                 self._consume_oldest()
                 continue
             requests.extend(self._evict(victim))
@@ -287,6 +318,11 @@ class AttributeCache:
 
         def bypass() -> AttributeCacheResult:
             self.stats.write_bypasses += 1
+            tracer = obs_trace.ACTIVE
+            if tracer is not None:
+                tracer.opt_decision(self.name, self.stats, op="write_bypass",
+                                    primitive_id=primitive_id,
+                                    opt_number=opt_number)
             writes = tuple(
                 L2Request(address=address, is_write=True,
                           region=Region.PB_ATTRIBUTES,
@@ -343,6 +379,11 @@ class AttributeCache:
             abp=abp, opt_number=opt_number, last_use_rank=last_use_rank,
             dirty=True,
         )
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.opt_decision(self.name, self.stats, op="write_insert",
+                                primitive_id=primitive_id,
+                                opt_number=opt_number)
         return AttributeCacheResult(hit=False, bypassed=False,
                                     l2_requests=tuple(requests), abp=abp)
 

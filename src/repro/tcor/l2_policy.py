@@ -25,6 +25,7 @@ from repro.caches.hierarchy import MemoryCounters, SharedL2
 from repro.caches.line import CacheLine, LineMeta
 from repro.caches.policies.base import AccessContext, ReplacementPolicy
 from repro.caches.set_assoc import SetAssociativeCache
+from repro.obs import trace as obs_trace
 from repro.workloads.trace import Region
 
 
@@ -140,25 +141,34 @@ class TcorSharedL2(SharedL2):
         if result.evicted is not None:
             evicted_dead = line_is_dead(result.evicted.meta, self.progress)
             if evicted_dead:
-                self.l2.stats.dead_evictions += 1
+                self._note_dead_line(result.evicted)
             if result.evicted.dirty:
                 if evicted_dead:
-                    self.l2.stats.dead_writebacks_avoided += 1
+                    self.l2.stats.note_dead_writeback_avoided()
                 else:
                     self.memory.record(is_write=True,
                                        region=result.evicted.meta.region)
                     mem_writes += 1
         return mem_reads, mem_writes
 
+    def _note_dead_line(self, evicted) -> None:
+        """Account (and trace) one dead PB line leaving the L2."""
+        self.l2.stats.note_dead_eviction()
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.dead_line_drop(self.l2.name, tag=evicted.tag,
+                                  dirty=evicted.dirty,
+                                  region=evicted.meta.region)
+
     def flush(self) -> int:
         writebacks = 0
         for evicted in self.l2.flush():
             evicted_dead = line_is_dead(evicted.meta, self.progress)
             if evicted_dead:
-                self.l2.stats.dead_evictions += 1
+                self._note_dead_line(evicted)
             if evicted.dirty:
                 if evicted_dead:
-                    self.l2.stats.dead_writebacks_avoided += 1
+                    self.l2.stats.note_dead_writeback_avoided()
                 else:
                     self.memory.record(is_write=True,
                                        region=evicted.meta.region)

@@ -8,6 +8,7 @@ counts the energy model consumes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.caches.hierarchy import MemoryCounters, SharedL2
@@ -15,6 +16,8 @@ from repro.caches.line import LineMeta
 from repro.caches.policies.lru import LRUPolicy
 from repro.caches.set_assoc import SetAssociativeCache
 from repro.config import DEFAULT_GPU, CacheConfig, GPUConfig, TCORConfig
+from repro.obs import trace as obs_trace
+from repro.obs.registry import Observation
 from repro.pbuffer.layout import (
     ContiguousPBListsLayout,
     InterleavedPBListsLayout,
@@ -35,6 +38,7 @@ from repro.tiling.events import (
     PmdRead,
     PmdWrite,
     TileDone,
+    tile_context,
 )
 from repro.workloads.suite import Workload
 from repro.workloads.trace import Region
@@ -134,11 +138,15 @@ def _writeback_pb_lines(shared: SharedL2, progress: TileProgress | None) -> None
     line is dead, so TCOR writes none of them back.
     """
     l2 = shared.l2
+    tracer = obs_trace.ACTIVE
     for evicted in l2.evict_matching(_is_pb_line):
         if not evicted.dirty:
             continue
         if progress is not None and line_is_dead(evicted.meta, progress):
-            l2.stats.dead_writebacks_avoided += 1
+            l2.stats.note_dead_writeback_avoided()
+            if tracer is not None:
+                tracer.dead_line_drop(l2.name, tag=evicted.tag, dirty=True,
+                                      region=evicted.meta.region)
         else:
             shared.memory.record(is_write=True, region=evicted.meta.region)
 
@@ -158,12 +166,64 @@ def _finalize(result: SystemResult, shared: SharedL2,
     return result
 
 
+# The cross-structure conservation rule every simulation attaches to its
+# registry: the pb_l2_* request counters must equal the L2's by-region
+# accounting of Parameter Buffer traffic (one counter owner, two views).
+_PB_ACCOUNTING_RULE = (
+    "L2 PB accounting: by-region PB reads+writes == pb_l2 counters",
+    ("live.l2.by_region.pb_lists.reads",
+     "live.l2.by_region.pb_lists.writes",
+     "live.l2.by_region.pb_attributes.reads",
+     "live.l2.by_region.pb_attributes.writes"),
+    ("live.system.pb_l2_reads", "live.system.pb_l2_writes"),
+)
+
+
+def _observe_shared(obs: Observation, shared: SharedL2) -> None:
+    """Register the run-long structures (L2, main memory)."""
+    shared.l2.stats.register(obs.registry, f"live.{shared.l2.name}")
+    shared.memory.register(obs.registry, "live.dram")
+
+
+def _observe_counters(obs: Observation, counters: dict) -> None:
+    """Export the PB request counters and attach the conservation rule."""
+    obs.registry.count("live.system.pb_l2_reads", counters["pb_l2_reads"])
+    obs.registry.count("live.system.pb_l2_writes", counters["pb_l2_writes"])
+    obs.expect_sum(*_PB_ACCOUNTING_RULE)
+
+
+def _trace_scope(obs: Observation | None):
+    """Activate the observation's tracer for the simulation's duration.
+
+    Without a tracer this is a no-op scope — crucially it must NOT
+    disturb a tracer some caller already activated globally.
+    """
+    if obs is not None and obs.tracer is not None:
+        return obs_trace.activation(obs.tracer)
+    return nullcontext()
+
+
+def _emit_header(label: str, workload: Workload) -> None:
+    tracer = obs_trace.ACTIVE
+    if tracer is not None:
+        tracer.header(label=label, alias=workload.spec.alias,
+                      scale=workload.scale,
+                      tiles_x=workload.screen.tiles_x,
+                      tiles_y=workload.screen.tiles_y)
+
+
 def simulate_baseline(workload: Workload,
                       gpu: GPUConfig | None = None,
                       tile_cache_bytes: int | None = None,
-                      include_background: bool = True) -> SystemResult:
+                      include_background: bool = True,
+                      obs: Observation | None = None) -> SystemResult:
     """The paper's baseline: unified LRU Tile Cache, contiguous PB-Lists
-    layout, LRU L2 with no dead-line awareness."""
+    layout, LRU L2 with no dead-line awareness.
+
+    ``obs`` threads an :class:`~repro.obs.registry.Observation` through
+    the run: live stats register into its metrics registry, and its
+    tracer (if any) is activated for the simulation's duration.
+    """
     gpu = gpu or DEFAULT_GPU
     if tile_cache_bytes is not None:
         gpu = gpu.with_tile_cache_size(tile_cache_bytes)
@@ -171,51 +231,74 @@ def simulate_baseline(workload: Workload,
     counters = {"pb_l2_reads": 0, "pb_l2_writes": 0}
     result = SystemResult(label="baseline", alias=workload.spec.alias)
     tile_cache_accesses = 0
+    if obs is not None:
+        _observe_shared(obs, shared)
 
-    for trace in workload.traces:
-        pb = trace.pb
-        layout = ContiguousPBListsLayout(workload.screen.num_tiles, pb.pbuffer)
-        tile_cache = BaselineTileCache(gpu.tile_cache, layout, pb.attributes,
-                                       pb.rank_of_tile)
-        for event in trace.build_events:
-            if isinstance(event, PmdWrite):
-                _send(shared, tile_cache.write_pmd(event.tile_id,
-                                                   event.position),
-                      counters)
-            elif isinstance(event, AttributeWrite):
-                if include_background:
-                    _send_background(
-                        shared,
-                        workload.background.primitive_accesses(
-                            event.primitive_id),
-                    )
-                _send(shared, tile_cache.write_attributes(event.primitive_id),
-                      counters)
-        for event in trace.fetch_events:
-            if isinstance(event, PmdRead):
-                _send(shared, tile_cache.read_pmd(event.tile_id,
-                                                  event.position),
-                      counters)
-            elif isinstance(event, AttributeRead):
-                result.attr_reads += 1
-                _send(shared, tile_cache.read_attributes(event.primitive_id),
-                      counters)
-            elif isinstance(event, TileDone):
-                if include_background:
-                    _send_background(
-                        shared,
-                        workload.background.tile_accesses(event.tile_id),
-                    )
-                    # Transaction elimination: tiles with no geometry are
-                    # unchanged and never flushed to the Frame Buffer.
-                    if pb.list_length(event.tile_id):
-                        for _ in range(workload.background
-                                       .framebuffer_writes_per_tile()):
-                            shared.memory.record(is_write=True,
-                                                 region=Region.FRAMEBUFFER)
-        _send(shared, tile_cache.flush(), counters)
-        tile_cache_accesses += tile_cache.stats.accesses
-        _writeback_pb_lines(shared, progress=None)
+    with _trace_scope(obs):
+        _emit_header("baseline", workload)
+        tracer = obs_trace.ACTIVE
+        for trace in workload.traces:
+            pb = trace.pb
+            layout = ContiguousPBListsLayout(workload.screen.num_tiles,
+                                             pb.pbuffer)
+            tile_cache = BaselineTileCache(gpu.tile_cache, layout,
+                                           pb.attributes, pb.rank_of_tile)
+            if obs is not None:
+                tile_cache.stats.register(obs.registry, "live.tile")
+            for event in trace.build_events:
+                if tracer is not None:
+                    mark = tile_context(event)
+                    if mark is not None:
+                        tracer.set_tile(*mark)
+                if isinstance(event, PmdWrite):
+                    _send(shared, tile_cache.write_pmd(event.tile_id,
+                                                       event.position),
+                          counters)
+                elif isinstance(event, AttributeWrite):
+                    if include_background:
+                        _send_background(
+                            shared,
+                            workload.background.primitive_accesses(
+                                event.primitive_id),
+                        )
+                    _send(shared,
+                          tile_cache.write_attributes(event.primitive_id),
+                          counters)
+            for event in trace.fetch_events:
+                if tracer is not None:
+                    mark = tile_context(event)
+                    if mark is not None:
+                        tracer.set_tile(*mark)
+                if isinstance(event, PmdRead):
+                    _send(shared, tile_cache.read_pmd(event.tile_id,
+                                                      event.position),
+                          counters)
+                elif isinstance(event, AttributeRead):
+                    result.attr_reads += 1
+                    _send(shared,
+                          tile_cache.read_attributes(event.primitive_id),
+                          counters)
+                elif isinstance(event, TileDone):
+                    if include_background:
+                        _send_background(
+                            shared,
+                            workload.background.tile_accesses(event.tile_id),
+                        )
+                        # Transaction elimination: tiles with no geometry
+                        # are unchanged and never flushed to the Frame
+                        # Buffer.
+                        if pb.list_length(event.tile_id):
+                            for _ in range(workload.background
+                                           .framebuffer_writes_per_tile()):
+                                shared.memory.record(is_write=True,
+                                                     region=Region.FRAMEBUFFER)
+                    if tracer is not None:
+                        tracer.tile_done(event.tile_id, event.tile_rank)
+            if tracer is not None:
+                tracer.set_tile(None)
+            _send(shared, tile_cache.flush(), counters)
+            tile_cache_accesses += tile_cache.stats.accesses
+            _writeback_pb_lines(shared, progress=None)
 
     result.structure_accesses = {
         "tile_cache": tile_cache_accesses,
@@ -226,6 +309,8 @@ def simulate_baseline(workload: Workload,
         result.structure_accesses.update(
             workload.background.l1_access_estimates(workload.num_primitives)
         )
+    if obs is not None:
+        _observe_counters(obs, counters)
     return _finalize(result, shared, counters)
 
 
@@ -235,9 +320,14 @@ def simulate_tcor(workload: Workload,
                   total_tile_cache_bytes: int | None = None,
                   l2_enhancements: bool = True,
                   interleaved_lists: bool = True,
-                  include_background: bool = True) -> SystemResult:
+                  include_background: bool = True,
+                  obs: Observation | None = None) -> SystemResult:
     """TCOR: split Tile Cache (LRU Primitive List Cache + OPT Attribute
-    Cache), interleaved PB-Lists, and optionally the dead-line L2."""
+    Cache), interleaved PB-Lists, and optionally the dead-line L2.
+
+    ``obs`` threads an :class:`~repro.obs.registry.Observation` through
+    the run exactly as in :func:`simulate_baseline`.
+    """
     gpu = gpu or DEFAULT_GPU
     if tcor is None:
         tcor = (TCORConfig.for_total_size(total_tile_cache_bytes)
@@ -259,69 +349,92 @@ def simulate_tcor(workload: Workload,
 
     layout_cls = (InterleavedPBListsLayout if interleaved_lists
                   else ContiguousPBListsLayout)
+    if obs is not None:
+        _observe_shared(obs, shared)
 
-    for trace in workload.traces:
-        pb = trace.pb
-        progress.reset()
-        layout = layout_cls(workload.screen.num_tiles, pb.pbuffer)
-        pl_cache = PrimitiveListCache(tcor.primitive_list_cache, layout,
-                                      pb.rank_of_tile)
-        attr_cache = AttributeCache(
-            tcor, pb.attributes,
-            inflight_window=gpu.tiling.output_queue_entries,
-        )
-        for event in trace.build_events:
-            if isinstance(event, PmdWrite):
-                _send(shared, pl_cache.write_pmd(event.tile_id,
-                                                 event.position), counters)
-            elif isinstance(event, AttributeWrite):
-                if include_background:
-                    _send_background(
-                        shared,
-                        workload.background.primitive_accesses(
-                            event.primitive_id),
+    with _trace_scope(obs):
+        _emit_header(label, workload)
+        tracer = obs_trace.ACTIVE
+        for trace in workload.traces:
+            pb = trace.pb
+            progress.reset()
+            layout = layout_cls(workload.screen.num_tiles, pb.pbuffer)
+            pl_cache = PrimitiveListCache(tcor.primitive_list_cache, layout,
+                                          pb.rank_of_tile)
+            attr_cache = AttributeCache(
+                tcor, pb.attributes,
+                inflight_window=gpu.tiling.output_queue_entries,
+            )
+            if obs is not None:
+                pl_cache.stats.register(obs.registry, "live.primitive_list")
+                attr_cache.stats.register(obs.registry,
+                                          "live.attribute_cache")
+            for event in trace.build_events:
+                if tracer is not None:
+                    mark = tile_context(event)
+                    if mark is not None:
+                        tracer.set_tile(*mark)
+                if isinstance(event, PmdWrite):
+                    _send(shared, pl_cache.write_pmd(event.tile_id,
+                                                     event.position),
+                          counters)
+                elif isinstance(event, AttributeWrite):
+                    if include_background:
+                        _send_background(
+                            shared,
+                            workload.background.primitive_accesses(
+                                event.primitive_id),
+                        )
+                    outcome = attr_cache.write(
+                        event.primitive_id, event.num_attributes,
+                        event.opt_number, event.last_use_rank,
                     )
-                outcome = attr_cache.write(
-                    event.primitive_id, event.num_attributes,
-                    event.opt_number, event.last_use_rank,
-                )
-                pb_buffer_ops += 1
-                attr_entries_moved += event.num_attributes
-                _send(shared, outcome.l2_requests, counters)
-        for event in trace.fetch_events:
-            if isinstance(event, PmdRead):
-                _send(shared, pl_cache.read_pmd(event.tile_id,
-                                                event.position), counters)
-            elif isinstance(event, AttributeRead):
-                outcome = attr_cache.read(
-                    event.primitive_id, event.num_attributes,
-                    event.opt_number, event.last_use_rank,
-                )
-                result.attr_reads += 1
-                if outcome.hit:
-                    result.attr_read_hits += 1
-                pb_buffer_ops += 1
-                attr_entries_moved += 2 * event.num_attributes
-                _send(shared, outcome.l2_requests, counters)
-            elif isinstance(event, TileDone):
-                progress.tile_done(event.tile_rank)
-                if include_background:
-                    _send_background(
-                        shared,
-                        workload.background.tile_accesses(event.tile_id),
+                    pb_buffer_ops += 1
+                    attr_entries_moved += event.num_attributes
+                    _send(shared, outcome.l2_requests, counters)
+            for event in trace.fetch_events:
+                if tracer is not None:
+                    mark = tile_context(event)
+                    if mark is not None:
+                        tracer.set_tile(*mark)
+                if isinstance(event, PmdRead):
+                    _send(shared, pl_cache.read_pmd(event.tile_id,
+                                                    event.position),
+                          counters)
+                elif isinstance(event, AttributeRead):
+                    outcome = attr_cache.read(
+                        event.primitive_id, event.num_attributes,
+                        event.opt_number, event.last_use_rank,
                     )
-                    # Transaction elimination (see the baseline path).
-                    if pb.list_length(event.tile_id):
-                        for _ in range(workload.background
-                                       .framebuffer_writes_per_tile()):
-                            shared.memory.record(is_write=True,
-                                                 region=Region.FRAMEBUFFER)
-        _send(shared, attr_cache.flush(), counters)
-        _send(shared, pl_cache.flush(), counters)
-        pl_accesses += pl_cache.stats.accesses
-        result.write_bypasses += attr_cache.stats.write_bypasses
-        _writeback_pb_lines(shared,
-                            progress if l2_enhancements else None)
+                    result.attr_reads += 1
+                    if outcome.hit:
+                        result.attr_read_hits += 1
+                    pb_buffer_ops += 1
+                    attr_entries_moved += 2 * event.num_attributes
+                    _send(shared, outcome.l2_requests, counters)
+                elif isinstance(event, TileDone):
+                    progress.tile_done(event.tile_rank)
+                    if include_background:
+                        _send_background(
+                            shared,
+                            workload.background.tile_accesses(event.tile_id),
+                        )
+                        # Transaction elimination (see the baseline path).
+                        if pb.list_length(event.tile_id):
+                            for _ in range(workload.background
+                                           .framebuffer_writes_per_tile()):
+                                shared.memory.record(is_write=True,
+                                                     region=Region.FRAMEBUFFER)
+                    if tracer is not None:
+                        tracer.tile_done(event.tile_id, event.tile_rank)
+            if tracer is not None:
+                tracer.set_tile(None)
+            _send(shared, attr_cache.flush(), counters)
+            _send(shared, pl_cache.flush(), counters)
+            pl_accesses += pl_cache.stats.accesses
+            result.write_bypasses += attr_cache.stats.write_bypasses
+            _writeback_pb_lines(shared,
+                                progress if l2_enhancements else None)
 
     result.structure_accesses = {
         "primitive_list_cache": pl_accesses,
@@ -334,4 +447,6 @@ def simulate_tcor(workload: Workload,
         result.structure_accesses.update(
             workload.background.l1_access_estimates(workload.num_primitives)
         )
+    if obs is not None:
+        _observe_counters(obs, counters)
     return _finalize(result, shared, counters)

@@ -73,3 +73,22 @@ class TileDone:
 
 
 TilingEvent = Union[PmdWrite, AttributeWrite, PmdRead, AttributeRead, TileDone]
+
+
+def tile_context(event: TilingEvent) -> tuple[int | None, int | None] | None:
+    """The (tile_id, tile_rank) an event anchors the trace's tile
+    context to, or ``None`` when it leaves the context unchanged.
+
+    The observability tracer tags every cache event with the tile being
+    built or fetched: PMD traffic and the ``TileDone`` signal pin the
+    context to their tile, a Polygon List Builder attribute write is
+    tile-independent and clears it, and an ``AttributeRead`` happens
+    inside the current tile's fetch so the context carries over.
+    """
+    if isinstance(event, (PmdRead, TileDone)):
+        return event.tile_id, event.tile_rank
+    if isinstance(event, PmdWrite):
+        return event.tile_id, None
+    if isinstance(event, AttributeWrite):
+        return None, None
+    return None

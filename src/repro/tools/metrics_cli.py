@@ -1,0 +1,102 @@
+"""``tcor-metrics``: inspect and diff metrics dumps.
+
+The regression gate CI runs::
+
+    tcor-metrics diff BASELINE_METRICS.json current_metrics.json
+
+exits 0 when every shared metric matches (newly *added* metrics are
+fine — the surface may grow) and 1 on any drifted or missing metric,
+printing one line per drift.  Baselines may be ``tcor-metrics`` dumps
+(``--metrics-out``), pytest-benchmark ``BENCH_*.json`` exports, or
+bare ``{name: value}`` dicts — :func:`repro.obs.load_metrics` detects
+the format.
+
+Other subcommands::
+
+    tcor-metrics show metrics.json --prefix sim.tcor.CCS
+    tcor-metrics summarize metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_metrics, load_metrics
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    report = diff_metrics(baseline, current, rel_tol=args.rel_tol,
+                          prefix=args.prefix)
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.obs import load_metrics
+
+    metrics = load_metrics(args.dump)
+    shown = 0
+    for name in sorted(metrics):
+        if args.prefix and not name.startswith(args.prefix):
+            continue
+        print(f"{name} = {metrics[name]}")
+        shown += 1
+    if not shown:
+        print(f"(no metrics match prefix {args.prefix!r})")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_metrics
+
+    metrics = load_metrics(args.dump)
+    top: Counter = Counter()
+    for name in metrics:
+        top[".".join(name.split(".")[:args.depth])] += 1
+    print(f"{len(metrics)} metrics in {args.dump}")
+    for prefix, count in sorted(top.items()):
+        print(f"  {prefix:<40} {count:6d}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tcor-metrics",
+        description="Inspect and diff tcor-metrics dumps")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff = sub.add_parser(
+        "diff", help="compare two dumps; exit 1 on drift or loss")
+    diff.add_argument("baseline", help="baseline dump (tcor-metrics, "
+                                       "pytest-benchmark, or flat JSON)")
+    diff.add_argument("current", help="current dump to gate")
+    diff.add_argument("--rel-tol", type=float, default=0.0,
+                      help="relative tolerance for float metrics "
+                           "(integer counters always compare exactly; "
+                           "default: everything exact)")
+    diff.add_argument("--prefix", default="",
+                      help="only compare metrics under this dotted prefix")
+    diff.set_defaults(func=_cmd_diff)
+
+    show = sub.add_parser("show", help="print metrics, sorted by name")
+    show.add_argument("dump")
+    show.add_argument("--prefix", default="")
+    show.set_defaults(func=_cmd_show)
+
+    summarize = sub.add_parser(
+        "summarize", help="count metrics per namespace")
+    summarize.add_argument("dump")
+    summarize.add_argument("--depth", type=int, default=2,
+                           help="namespace depth to group by (default 2)")
+    summarize.set_defaults(func=_cmd_summarize)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

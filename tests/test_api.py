@@ -1,0 +1,120 @@
+"""The repro.api facade and the deprecated runner import shim."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Report, RunResult, SimulationConfig, simulate
+from repro.workloads.suite import BENCHMARKS, build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(BENCHMARKS["CCS"], scale=0.06)
+
+
+class TestSimulationConfig:
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.kind = "baseline"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SimulationConfig(kind="lru")
+
+    def test_hashable_and_reusable(self):
+        assert SimulationConfig() == SimulationConfig(kind="tcor")
+        assert hash(SimulationConfig()) == hash(SimulationConfig())
+
+
+class TestSimulate:
+    def test_matches_direct_simulator_calls(self, workload):
+        from repro.tcor.system import simulate_baseline, simulate_tcor
+
+        base = simulate(workload, SimulationConfig(kind="baseline"))
+        tcor = simulate(workload)
+        assert base.result == simulate_baseline(workload)
+        assert tcor.result == simulate_tcor(workload)
+
+    def test_run_result_carries_metrics_and_invariants(self, workload):
+        run = simulate(workload)
+        assert isinstance(run, RunResult)
+        assert run.ok and run.invariant_failures == ()
+        assert run.metrics["live.system.pb_l2_reads"] \
+            == run.result.pb_l2_reads
+        assert run.config.kind == "tcor"
+
+    def test_config_knobs_reach_simulator(self, workload):
+        full = simulate(workload).result
+        ablated = simulate(
+            workload, SimulationConfig(l2_enhancements=False)).result
+        assert ablated.dead_writebacks_avoided == 0
+        assert full.mm_accesses <= ablated.mm_accesses
+
+    def test_shared_observation_accumulates(self, workload):
+        from repro.obs import Observation
+
+        obs = repro.simulate(workload).metrics
+        shared = Observation()
+        simulate(workload, obs=shared)
+        simulate(workload, obs=shared)
+        assert shared.snapshot()["live.l2.accesses"] \
+            == 2 * obs["live.l2.accesses"]
+
+    def test_facade_exported_from_package_root(self):
+        assert repro.simulate is simulate
+        assert repro.SimulationConfig is SimulationConfig
+        for name in ("Report", "RunResult", "run_experiment",
+                     "simulation_cache"):
+            assert name in repro.__all__
+
+
+class TestRunExperiment:
+    def test_fig10_report(self):
+        report = repro.run_experiment("fig10", scale=0.2)
+        assert isinstance(report, Report)
+        assert report.table("fig10").rows
+        assert "fig10" in str(report)
+        with pytest.raises(KeyError):
+            report.table("fig99")
+
+    def test_alias_resolves_and_metrics_populate(self):
+        report = repro.run_experiment("fig15", scale=0.05,
+                                      benchmarks=("CCS",))
+        assert report.tables[0].exp_id.startswith("fig")
+        assert any(name.startswith("sim.") for name in report.metrics)
+        assert any(name.startswith("table.") for name in report.metrics)
+
+
+class TestDeprecatedRunnerShim:
+    def test_moved_names_warn_and_delegate(self):
+        import repro.experiments.driver as driver
+        import repro.experiments.runner as runner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            func = runner.run_experiments
+        assert func is driver.run_experiments
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_entry_point_import_does_not_warn(self):
+        import importlib
+
+        import repro.experiments.runner as runner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.reload(runner)
+            _ = module.main
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.experiments.runner as runner
+
+        with pytest.raises(AttributeError):
+            _ = runner.does_not_exist

@@ -20,7 +20,7 @@ from repro.experiments import (
     fig23_24_throughput,
     tables,
 )
-from repro.experiments.runner import run_experiments
+from repro.experiments.driver import run_experiments
 
 SCALE = 0.1
 ALIASES = ("CCS", "SoD", "DDS")

@@ -7,10 +7,18 @@ These invariants hold for *any* workload and pin down the accounting:
 2. PB-Lists blocks are read from the L2 at most once per block per
    consumer pass plus write-validate refetches — bounded by PMD counts.
 3. The L2's PB region accounting equals the request-side counters.
+
+The run threads an :class:`repro.obs.Observation` through the
+simulation, so laws that used to be hand-rolled over result fields are
+now registry-level assertions: the structural per-source rules
+(``accesses == reads + writes`` ...) and the cross-structure PB
+accounting rule attach to the registry itself, and the instrumented
+request tap is checked against the registry snapshot.
 """
 
 import pytest
 
+from repro.obs import Observation
 from repro.tcor.system import simulate_tcor
 from repro.tiling.events import AttributeWrite
 from repro.workloads.suite import BENCHMARKS, build_workload
@@ -39,15 +47,16 @@ def traffic(request):
         original(shared, requests, counters)
 
     system_module._send = tapped
+    obs = Observation()
     try:
-        result = simulate_tcor(workload)
+        result = simulate_tcor(workload, obs=obs)
     finally:
         system_module._send = original
-    return workload, result, taps
+    return workload, result, taps, obs
 
 
 def test_every_attribute_block_written_to_l2_exactly_once(traffic):
-    workload, _result, taps = traffic
+    workload, _result, taps, _obs = traffic
     expected = sum(
         event.num_attributes
         for event in workload.traces[0].build_events
@@ -57,7 +66,7 @@ def test_every_attribute_block_written_to_l2_exactly_once(traffic):
 
 
 def test_attr_reads_bounded_by_misses(traffic):
-    _workload, result, taps = traffic
+    _workload, result, taps, _obs = traffic
     misses = result.attr_reads - result.attr_read_hits
     if misses == 0:
         # Everything fit: no fill reads at all.
@@ -69,13 +78,13 @@ def test_attr_reads_bounded_by_misses(traffic):
 
 
 def test_request_taps_match_result_counters(traffic):
-    _workload, result, taps = traffic
+    _workload, result, taps, _obs = traffic
     assert result.pb_l2_writes == taps["attr_writes"] + taps["list_writes"]
     assert result.pb_l2_reads == taps["attr_reads"] + taps["list_reads"]
 
 
 def test_list_reads_bounded_by_blocks_and_refetches(traffic):
-    workload, _result, taps = traffic
+    workload, _result, taps, _obs = traffic
     pb = workload.traces[0].pb
     occupied_blocks = sum(
         (len(tile_list) + pb.pbuffer.pmds_per_block - 1)
@@ -86,3 +95,37 @@ def test_list_reads_bounded_by_blocks_and_refetches(traffic):
     # (zero is legal); the ceiling is one write-validate refetch per PMD
     # append plus one Tile Fetcher fill per block.
     assert 0 <= taps["list_reads"] <= pb.total_pmds() + occupied_blocks
+
+
+def test_registry_invariants_hold(traffic):
+    """Structural rules + the PB accounting sum rule, over live stats."""
+    *_, obs = traffic
+    assert obs.registry.check_invariants() == []
+
+
+def test_registry_snapshot_matches_request_taps(traffic):
+    """The tap (ground truth at the request boundary) agrees with the
+    registry's explicit counters AND with the L2's by-region split —
+    three independent accountings of the same traffic."""
+    _workload, result, taps, obs = traffic
+    snap = obs.snapshot()
+    tap_reads = taps["attr_reads"] + taps["list_reads"]
+    tap_writes = taps["attr_writes"] + taps["list_writes"]
+    assert snap["live.system.pb_l2_reads"] == tap_reads == result.pb_l2_reads
+    assert snap["live.system.pb_l2_writes"] == tap_writes \
+        == result.pb_l2_writes
+    by_region = (snap["live.l2.by_region.pb_lists.reads"]
+                 + snap["live.l2.by_region.pb_lists.writes"]
+                 + snap["live.l2.by_region.pb_attributes.reads"]
+                 + snap["live.l2.by_region.pb_attributes.writes"])
+    assert by_region == tap_reads + tap_writes
+
+
+def test_registry_result_counters_agree(traffic):
+    """SystemResult fields are derived from the same live stats the
+    registry reads — the two views must agree exactly."""
+    _workload, result, taps, obs = traffic
+    snap = obs.snapshot()
+    assert snap["live.attribute_cache.reads"] == result.attr_reads
+    assert snap["live.attribute_cache.read_hits"] == result.attr_read_hits
+    assert snap["live.dram.accesses"] == result.mm_accesses

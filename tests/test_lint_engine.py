@@ -255,6 +255,6 @@ class TestViolation:
         assert Violation(**violation.as_dict()) == violation
 
 
-def test_registry_has_the_nine_sim_rules():
+def test_registry_has_the_ten_sim_rules():
     registered = {rule.code for rule in all_rules()}
-    assert registered == {f"SIM00{i}" for i in range(1, 10)}
+    assert registered == {f"SIM{i:03d}" for i in range(1, 11)}

@@ -476,3 +476,41 @@ class TestSIM009PrivateReachThrough:
                 return l2._evict(set_index, tag)  # lint: disable=SIM009
         """})
         assert codes(result) == []
+
+
+class TestSIM010StatsReachThrough:
+    def test_foreign_stats_write_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"policy.py": """
+            def drop_dead_line(l2):
+                l2.stats.dead_writebacks_avoided += 1
+        """})
+        assert codes(result) == ["SIM010"]
+
+    def test_plain_assignment_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"policy.py": """
+            def reset(cache):
+                cache.stats.bypasses = 0
+        """})
+        assert codes(result) == ["SIM010"]
+
+    def test_own_stats_write_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"cache.py": """
+            class Cache:
+                def bypass(self):
+                    self.stats.bypasses += 1
+        """})
+        assert codes(result) == []
+
+    def test_reading_foreign_stats_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"report.py": """
+            def miss_count(l2):
+                return l2.stats.read_misses + l2.stats.write_misses
+        """})
+        assert codes(result) == []
+
+    def test_suppressed(self, tmp_path):
+        result = run_lint(tmp_path, {"reference.py": """
+            def reference_drop(l2):
+                l2.stats.dead_writebacks_avoided += 1  # lint: disable=SIM010
+        """})
+        assert codes(result) == []

@@ -1,0 +1,89 @@
+"""End-to-end acceptance: ``tcor-experiments --trace`` on fig10.
+
+The issue's bar: a traced fig10 run must produce a JSONL stream whose
+per-tile aggregate exactly reproduces the registry counters, and the
+registry's conservation invariants must hold over the dump.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.driver import main
+from repro.obs import load_metrics, read_trace, summarize_trace
+from repro.obs.events import CacheAccess, OptDecision
+from repro.obs.trace import SUMMARY_COUNTERS
+
+# Trace counter -> registry counter under the same live.<cache> prefix.
+_EQUIVALENT = {
+    "l2": {"accesses": "accesses", "misses": "misses"},
+    "attribute_cache": {"reads": "reads", "misses": "read_misses",
+                        "writes": "writes", "opt_bypasses": "write_bypasses",
+                        "opt_evictions": "evictions"},
+    "primitive_list": {"accesses": "accesses", "misses": "misses"},
+    "tile": {"accesses": "accesses", "misses": "misses"},
+}
+
+
+@pytest.fixture(scope="module")
+def traced_fig10(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fig10")
+    trace_path = str(tmp / "fig10.jsonl")
+    metrics_path = str(tmp / "fig10_metrics.json")
+    code = main(["--experiment", "fig10", "--scale", "0.2",
+                 "--trace", trace_path, "--metrics-out", metrics_path])
+    assert code == 0
+    return trace_path, metrics_path
+
+
+def test_trace_file_is_valid_jsonl(traced_fig10):
+    trace_path, _ = traced_fig10
+    with open(trace_path) as handle:
+        records = [json.loads(line) for line in handle]
+    assert records and all("type" in record for record in records)
+    events = list(read_trace(trace_path))
+    assert len(events) == len(records)
+    # fig10 is the paper's OPT worked example: the stream must carry
+    # both plain cache accesses (LRU side) and OPT decisions (TCOR side).
+    assert any(isinstance(event, CacheAccess) for event in events)
+    assert any(isinstance(event, OptDecision) for event in events)
+
+
+def test_per_tile_aggregate_reproduces_registry(traced_fig10):
+    trace_path, metrics_path = traced_fig10
+    summary = summarize_trace(trace_path)
+    metrics = load_metrics(metrics_path)
+    checked = 0
+    for cache in summary.summary():
+        totals = summary.cache_totals(cache)
+        for trace_counter, registry_counter in \
+                _EQUIVALENT.get(cache, {}).items():
+            name = f"live.{cache}.{registry_counter}"
+            if name not in metrics:
+                continue
+            assert totals[trace_counter] == metrics[name], name
+            checked += 1
+    assert checked > 0, "no trace counter had a registry counterpart"
+
+
+def test_metrics_dump_passes_conservation(traced_fig10):
+    _, metrics_path = traced_fig10
+    metrics = load_metrics(metrics_path)
+    for prefix in {name.rsplit(".", 1)[0] for name in metrics
+                   if name.startswith("live.")}:
+        cell = {name.rsplit(".", 1)[1]: value
+                for name, value in metrics.items()
+                if name.rsplit(".", 1)[0] == prefix}
+        if {"accesses", "reads", "writes"} <= cell.keys():
+            assert cell["accesses"] == cell["reads"] + cell["writes"], prefix
+        if {"misses", "read_misses", "write_misses"} <= cell.keys():
+            assert cell["misses"] \
+                == cell["read_misses"] + cell["write_misses"], prefix
+
+
+def test_summary_counters_cover_sink_cells(traced_fig10):
+    trace_path, _ = traced_fig10
+    summary = summarize_trace(trace_path)
+    for cache, cells in summary.summary().items():
+        for cell in cells.values():
+            assert set(cell) <= set(SUMMARY_COUNTERS), cache

@@ -1,0 +1,164 @@
+"""Exporters: metrics dumps, Prometheus text, heatmaps, and the diff gate."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    Observation,
+    TileSummarySink,
+    Tracer,
+    diff_metrics,
+    load_metrics,
+    parse_prometheus_text,
+    prometheus_text,
+    tile_heatmap,
+    write_metrics,
+)
+
+METRICS = {"live.l2.accesses": 6565, "sim.tcor.CCS.tc64.mm_accesses": 2653,
+           "table.fig14.r00.CCS": 0.644, "live.dram.energy_nj": 1234.5}
+
+
+class TestMetricsDump:
+    def test_write_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, METRICS, meta={"scale": 0.2})
+        assert load_metrics(path) == METRICS
+
+    def test_dump_is_deterministic(self, tmp_path):
+        one, two = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        write_metrics(one, dict(METRICS), meta={"scale": 0.2})
+        write_metrics(two, dict(reversed(METRICS.items())),
+                      meta={"scale": 0.2})
+        assert open(one).read() == open(two).read()
+
+    def test_load_pytest_benchmark_export(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"benchmarks": [
+            {"name": "test_fig14", "stats": {"mean": 1.5, "rounds": 1}},
+        ]}))
+        metrics = load_metrics(str(path))
+        assert metrics["bench.test_fig14.mean"] == 1.5
+
+    def test_load_bare_flat_dict(self, tmp_path):
+        path = tmp_path / "flat.json"
+        path.write_text(json.dumps({"a.b": 1}))
+        assert load_metrics(str(path)) == {"a.b": 1}
+
+
+class TestPrometheus:
+    def test_exact_round_trip(self):
+        text = prometheus_text(METRICS)
+        assert parse_prometheus_text(text) == METRICS
+
+    def test_int_float_types_survive(self):
+        parsed = parse_prometheus_text(prometheus_text(METRICS))
+        assert isinstance(parsed["live.l2.accesses"], int)
+        assert isinstance(parsed["table.fig14.r00.CCS"], float)
+
+
+class TestDiffGate:
+    def test_identical_is_clean(self):
+        report = diff_metrics(METRICS, dict(METRICS))
+        assert report.clean
+        assert report.describe().startswith("CLEAN")
+
+    def test_plus_one_drift_detected(self):
+        current = dict(METRICS)
+        current["live.l2.accesses"] += 1
+        report = diff_metrics(METRICS, current)
+        assert not report.clean
+        assert any(d.name == "live.l2.accesses" for d in report.drifts)
+
+    def test_minus_one_drift_detected(self):
+        current = dict(METRICS)
+        current["live.l2.accesses"] -= 1
+        assert not diff_metrics(METRICS, current).clean
+
+    def test_missing_metric_fails_added_passes(self):
+        grown = dict(METRICS, new_metric=1)
+        assert diff_metrics(METRICS, grown).clean
+        shrunk = dict(METRICS)
+        del shrunk["live.l2.accesses"]
+        report = diff_metrics(METRICS, shrunk)
+        assert not report.clean and report.missing == ("live.l2.accesses",)
+
+    def test_rel_tol_spares_floats_not_ints(self):
+        current = dict(METRICS)
+        current["live.dram.energy_nj"] *= 1.0005
+        current["live.l2.accesses"] += 1
+        report = diff_metrics(METRICS, current, rel_tol=0.01)
+        names = [d.name for d in report.drifts]
+        assert "live.dram.energy_nj" not in names
+        assert "live.l2.accesses" in names
+
+    def test_prefix_scopes_comparison(self):
+        current = dict(METRICS)
+        current["live.l2.accesses"] += 1
+        assert diff_metrics(METRICS, current, prefix="sim.").clean
+        assert not diff_metrics(METRICS, current, prefix="live.").clean
+
+
+class TestHeatmap:
+    def test_traced_run_renders_heatmap(self, tmp_path):
+        from repro.tcor.system import simulate_tcor
+        from repro.workloads.suite import BENCHMARKS, build_workload
+
+        workload = build_workload(BENCHMARKS["CCS"], scale=0.05)
+        summary = TileSummarySink()
+        tracer = Tracer(sinks=[summary])
+        simulate_tcor(workload, obs=Observation(tracer=tracer))
+        tracer.close()
+        art = tile_heatmap(summary, "attribute_cache")
+        assert "attribute_cache" in art
+        assert len(art.splitlines()) > 3
+
+    def test_unknown_cache_raises(self):
+        with pytest.raises(ValueError):
+            tile_heatmap(TileSummarySink(), "nope")
+
+
+class TestMetricsCli:
+    def _dump(self, tmp_path, name, metrics):
+        path = str(tmp_path / name)
+        write_metrics(path, metrics)
+        return path
+
+    def test_diff_clean_exit_zero(self, tmp_path, capsys):
+        from repro.tools.metrics_cli import main
+
+        base = self._dump(tmp_path, "base.json", METRICS)
+        assert main(["diff", base, base]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_diff_drift_exit_one(self, tmp_path, capsys):
+        from repro.tools.metrics_cli import main
+
+        base = self._dump(tmp_path, "base.json", METRICS)
+        drifted = self._dump(tmp_path, "cur.json",
+                             dict(METRICS, **{"live.l2.accesses": 6566}))
+        assert main(["diff", base, drifted]) == 1
+        out = capsys.readouterr().out
+        assert "live.l2.accesses" in out and "DRIFT" in out
+
+    def test_diff_against_benchmark_export(self, tmp_path):
+        from repro.tools.metrics_cli import main
+
+        bench = tmp_path / "BENCH_demo.json"
+        bench.write_text(json.dumps({"benchmarks": [
+            {"name": "t", "stats": {"mean": 2.0}}]}))
+        same = self._dump(tmp_path, "cur.json", {"bench.t.mean": 2.0})
+        assert main(["diff", str(bench), same]) == 0
+
+    def test_show_and_summarize(self, tmp_path, capsys):
+        from repro.tools.metrics_cli import main
+
+        dump = self._dump(tmp_path, "m.json", METRICS)
+        assert main(["show", dump, "--prefix", "live."]) == 0
+        out = capsys.readouterr().out
+        assert "live.l2.accesses = 6565" in out
+        assert "sim.tcor" not in out
+        assert main(["summarize", dump]) == 0
+        assert "4 metrics" in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""MetricsRegistry: registration, snapshots, invariants, histograms."""
+
+import pytest
+
+from repro.caches.stats import CacheStats
+from repro.obs import (
+    MetricsInvariantError,
+    MetricsRegistry,
+    Observation,
+    StatsLike,
+    flatten,
+)
+
+
+def _cache_stats(reads=10, read_misses=4, writes=6, write_misses=2):
+    stats = CacheStats()
+    for _ in range(reads - read_misses):
+        stats.record(is_write=False, hit=True, region=None)
+    for _ in range(read_misses):
+        stats.record(is_write=False, hit=False, region=None)
+    for _ in range(writes - write_misses):
+        stats.record(is_write=True, hit=True, region=None)
+    for _ in range(write_misses):
+        stats.record(is_write=True, hit=False, region=None)
+    return stats
+
+
+class _RawStats:
+    """Counters stored flat (not derived), so corruption is expressible."""
+
+    def __init__(self):
+        self.counters = {"accesses": 16, "reads": 10, "writes": 6,
+                         "misses": 6, "read_misses": 4, "write_misses": 2,
+                         "hits": 10}
+
+    def as_dict(self) -> dict:
+        return dict(self.counters)
+
+    def register(self, registry, prefix: str) -> None:
+        registry.register(prefix, self)
+
+
+class TestFlatten:
+    def test_nested_dicts_become_dotted_names(self):
+        flat = flatten({"a": {"b": 1, "c": {"d": 2.5}}, "e": 3}, "p")
+        assert flat == {"p.a.b": 1, "p.a.c.d": 2.5, "p.e": 3}
+
+    def test_non_numeric_leaves_dropped(self):
+        flat = flatten({"label": "CCS", "n": 1})
+        assert flat == {"n": 1}
+
+    def test_enum_like_keys_render_by_name(self):
+        from repro.workloads.trace import Region
+
+        flat = flatten({Region.PB_LISTS: {"reads": 7}}, "x")
+        assert flat == {"x.pb_lists.reads": 7}
+
+
+class TestRegistry:
+    def test_every_stats_class_satisfies_statslike(self):
+        from repro.caches.hierarchy import MemoryCounters
+        from repro.dram.model import DRAMStats
+        from repro.tcor.attribute_cache import AttributeCacheStats
+
+        for source in (CacheStats(), AttributeCacheStats(), MemoryCounters(),
+                       DRAMStats()):
+            assert isinstance(source, StatsLike)
+
+    def test_snapshot_reads_live_objects(self):
+        registry = MetricsRegistry()
+        stats = CacheStats()
+        stats.register(registry, "live.l2")
+        stats.record(is_write=False, hit=True, region=None)
+        assert registry.snapshot()["live.l2.reads"] == 1
+        stats.record(is_write=False, hit=True, region=None)
+        assert registry.snapshot()["live.l2.reads"] == 2
+
+    def test_same_object_same_prefix_registers_once(self):
+        registry = MetricsRegistry()
+        stats = _cache_stats()
+        stats.register(registry, "live.l2")
+        stats.register(registry, "live.l2")
+        assert registry.snapshot()["live.l2.reads"] == stats.reads
+
+    def test_distinct_objects_same_prefix_sum(self):
+        registry = MetricsRegistry()
+        _cache_stats(reads=3, read_misses=0).register(registry, "live.tile")
+        _cache_stats(reads=5, read_misses=0).register(registry, "live.tile")
+        assert registry.snapshot()["live.tile.reads"] == 8
+
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.count("sim.runs")
+        registry.count("sim.runs", 2)
+        registry.gauge("sim.scale", 0.25)
+        registry.gauge("sim.scale", 0.5)
+        snap = registry.snapshot()
+        assert snap["sim.runs"] == 3
+        assert snap["sim.scale"] == 0.5
+
+    def test_structural_invariants_detect_corruption(self):
+        registry = MetricsRegistry()
+        stats = _RawStats()
+        stats.register(registry, "live.l2")
+        assert registry.check_invariants() == []
+        stats.counters["reads"] += 1  # accesses no longer reads + writes
+        failures = registry.check_invariants()
+        assert failures and "live.l2" in failures[0]
+        with pytest.raises(MetricsInvariantError):
+            registry.assert_invariants()
+
+    def test_live_cache_stats_pass_structural_rules(self):
+        registry = MetricsRegistry()
+        _cache_stats().register(registry, "live.l2")
+        assert registry.check_invariants() == []
+
+    def test_expect_sum_rule(self):
+        registry = MetricsRegistry()
+        registry.count("a.x", 3)
+        registry.count("a.y", 4)
+        registry.count("b.total", 7)
+        registry.expect_sum("a == b", ("a.x", "a.y"), ("b.total",))
+        registry.expect_sum("a == b", ("a.x", "a.y"), ("b.total",))  # no-op
+        assert registry.check_invariants() == []
+        registry.count("a.x")
+        assert any("a == b" in failure
+                   for failure in registry.check_invariants())
+
+    def test_expect_sum_missing_counter_reported(self):
+        registry = MetricsRegistry()
+        registry.expect_sum("ghost", ("nope",), ("also.nope",))
+        failures = registry.check_invariants()
+        assert failures and "missing" in failures[0]
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1, 10, 100))
+        for value in (0, 1, 5, 50, 500):
+            hist.observe(value)
+        assert registry.histogram("lat", bounds=(1, 10, 100)) is hist
+        snap = registry.snapshot()
+        assert snap["lat.count"] == 5
+        assert snap["lat.sum"] == 556
+        assert snap["lat.bucket.le_1"] == 2
+        assert snap["lat.bucket.le_10"] == 3
+        assert snap["lat.bucket.le_100"] == 4
+        assert snap["lat.bucket.le_inf"] == 5
+
+
+class TestObservation:
+    def test_fresh_registry_by_default(self):
+        obs = Observation()
+        assert isinstance(obs.registry, MetricsRegistry)
+        assert obs.snapshot() == {}
+
+    def test_simulation_registers_and_passes_invariants(self):
+        from repro.tcor.system import simulate_tcor
+        from repro.workloads.suite import BENCHMARKS, build_workload
+
+        workload = build_workload(BENCHMARKS["CCS"], scale=0.05)
+        obs = Observation()
+        result = simulate_tcor(workload, obs=obs)
+        snap = obs.snapshot()
+        assert snap["live.system.pb_l2_reads"] == result.pb_l2_reads
+        assert snap["live.l2.accesses"] > 0
+        assert obs.registry.check_invariants() == []

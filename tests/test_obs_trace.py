@@ -1,0 +1,148 @@
+"""Event tracing: hooks, sinks, round-trips, trace<->stats conservation."""
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    Observation,
+    TileSummarySink,
+    Tracer,
+    activation,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs import trace as trace_module
+from repro.obs.events import CacheAccess, TraceHeader, from_record, to_record
+from repro.tcor.system import simulate_baseline, simulate_tcor
+from repro.workloads.suite import BENCHMARKS, build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(BENCHMARKS["CCS"], scale=0.06)
+
+
+def _traced_tcor(workload, tmp_path, **kwargs):
+    path = str(tmp_path / "trace.jsonl")
+    summary = TileSummarySink()
+    tracer = Tracer(sinks=[JsonlSink(path), summary])
+    obs = Observation(tracer=tracer)
+    result = simulate_tcor(workload, obs=obs, **kwargs)
+    tracer.close()
+    return path, summary, obs, result
+
+
+class TestEventCodec:
+    def test_record_round_trip(self):
+        event = CacheAccess(cache="l2", tile=7, is_write=True, hit=False,
+                            bypassed=False, tag=0x42, set_index=3,
+                            region="pb_lists", opt_number=9)
+        assert from_record(to_record(event)) == event
+
+    def test_unknown_keys_tolerated(self):
+        record = to_record(TraceHeader(label="tcor", alias="CCS", scale=0.1,
+                                       tiles_x=4, tiles_y=2))
+        record["added_in_a_future_version"] = 1
+        assert isinstance(from_record(record), TraceHeader)
+
+
+class TestTracerLifecycle:
+    def test_disabled_by_default(self):
+        assert trace_module.ACTIVE is None
+
+    def test_activation_restores_previous(self):
+        tracer = Tracer()
+        with activation(tracer):
+            assert trace_module.ACTIVE is tracer
+            inner = Tracer()
+            with activation(inner):
+                assert trace_module.ACTIVE is inner
+            assert trace_module.ACTIVE is tracer
+        assert trace_module.ACTIVE is None
+
+    def test_simulation_leaves_tracer_deactivated(self, workload, tmp_path):
+        _traced_tcor(workload, tmp_path)
+        assert trace_module.ACTIVE is None
+
+    def test_ring_buffer_keeps_tail(self):
+        tracer = Tracer(ring_entries=4)
+        for tag in range(10):
+            tracer.eviction("l2", tag=tag, dirty=False, region=None,
+                            last_tile_rank=None)
+        assert len(tracer.ring) == 4
+        assert [event.tag for event in tracer.ring] == [6, 7, 8, 9]
+
+
+class TestJsonlRoundTrip:
+    def test_reload_reproduces_per_tile_summary(self, workload, tmp_path):
+        path, summary, _obs, _result = _traced_tcor(workload, tmp_path)
+        events = list(read_trace(path))
+        assert events, "traced run produced no events"
+        assert isinstance(events[0], TraceHeader)
+        reloaded = summarize_trace(path)
+        assert reloaded.summary() == summary.summary()
+
+    def test_header_carries_run_geometry(self, workload, tmp_path):
+        path, _summary, _obs, _result = _traced_tcor(workload, tmp_path)
+        header = next(iter(read_trace(path)))
+        assert (header.label, header.alias) == ("tcor", "CCS")
+        assert header.tiles_x > 0 and header.tiles_y > 0
+
+
+class TestTraceStatsConservation:
+    """The per-tile aggregate of the event stream must reproduce the
+    registry's counters exactly — every hook emits if and only if the
+    owning stats object counts."""
+
+    def test_tcor_trace_matches_registry(self, workload, tmp_path):
+        _path, summary, obs, result = _traced_tcor(workload, tmp_path)
+        snap = obs.snapshot()
+        assert obs.registry.check_invariants() == []
+
+        l2 = summary.cache_totals("l2")
+        assert l2["accesses"] == snap["live.l2.accesses"]
+        assert l2["misses"] == snap["live.l2.misses"]
+
+        attr = summary.cache_totals("attribute_cache")
+        assert attr["reads"] == snap["live.attribute_cache.reads"]
+        assert attr["misses"] == snap["live.attribute_cache.read_misses"]
+        assert attr["writes"] == snap["live.attribute_cache.writes"]
+        assert attr["opt_evictions"] == snap["live.attribute_cache.evictions"]
+        assert attr["opt_bypasses"] \
+            == snap["live.attribute_cache.write_bypasses"]
+
+        pl = summary.cache_totals("primitive_list")
+        assert pl["accesses"] == snap["live.primitive_list.accesses"]
+
+        # Dirty dead-line drops each avoided one writeback.
+        assert l2["dead_writebacks_avoided"] \
+            == snap["live.l2.dead_writebacks_avoided"] \
+            == result.dead_writebacks_avoided
+
+    def test_baseline_trace_matches_registry(self, workload, tmp_path):
+        path = str(tmp_path / "base.jsonl")
+        summary = TileSummarySink()
+        tracer = Tracer(sinks=[JsonlSink(path), summary])
+        obs = Observation(tracer=tracer)
+        simulate_baseline(workload, obs=obs)
+        tracer.close()
+        snap = obs.snapshot()
+        assert obs.registry.check_invariants() == []
+        l2 = summary.cache_totals("l2")
+        assert l2["accesses"] == snap["live.l2.accesses"]
+        tile = summary.cache_totals("tile")
+        assert tile["accesses"] == snap["live.tile.accesses"]
+
+    def test_events_are_tile_attributed(self, workload, tmp_path):
+        _path, summary, _obs, _result = _traced_tcor(workload, tmp_path)
+        cells = summary.summary()["attribute_cache"]
+        tiles = [tile for tile in cells if tile is not None]
+        assert len(tiles) > 1, "events never attributed to tiles"
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_untraced_run_bit_identical(self, workload):
+        assert trace_module.ACTIVE is None
+        plain = simulate_tcor(workload)
+        observed = simulate_tcor(workload, obs=Observation())
+        assert plain == observed

@@ -14,7 +14,7 @@ import pytest
 from repro.config import KIB, TCORConfig
 from repro.experiments import common
 from repro.experiments.common import SimulationCache, format_table
-from repro.experiments.runner import resolve_names, run_experiments
+from repro.experiments.driver import resolve_names, run_experiments
 from repro.parallel import (
     DiskCache,
     ParallelSimulationCache,
