@@ -2,6 +2,11 @@
 
 Exit status: 0 when clean, 1 when violations were found (unless
 ``--no-fail-on-violation``), 2 on usage errors.
+
+``--semantic`` layers the whole-program SIM1xx pass (call graph, CFG
+dataflow) on top of the per-file rules.  ``--baseline PATH`` compares
+against a recorded baseline and fails only on *new* findings;
+``--update-baseline`` records the current findings as accepted.
 """
 
 from __future__ import annotations
@@ -9,10 +14,12 @@ from __future__ import annotations
 import argparse
 
 from repro.lint.core import all_rules
-from repro.lint.engine import lint_paths
+from repro.lint.engine import (apply_baseline, lint_paths, load_baseline,
+                               write_baseline)
 from repro.lint.reporters import REPORTERS, render_rule_list
 
 DEFAULT_PATHS = ["src", "benchmarks", "examples"]
+DEFAULT_BASELINE = ".lint-baseline.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,10 +38,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule codes to run exclusively")
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
+    parser.add_argument("--semantic", action="store_true",
+                        help="also run the whole-program SIM1xx rules "
+                             "(call graph + CFG dataflow)")
     parser.add_argument("--no-cache", action="store_true",
-                        help="ignore and do not write .lint-cache.json")
+                        help="ignore and do not write the lint caches")
     parser.add_argument("--cache-file", metavar="PATH",
                         help="cache location (default: ./.lint-cache.json)")
+    parser.add_argument("--semantic-cache-file", metavar="PATH",
+                        help="semantic fact/finding cache location "
+                             "(default: ./.lint-semantic-cache.json)")
+    parser.add_argument("--baseline", metavar="PATH", nargs="?",
+                        const=DEFAULT_BASELINE, default=None,
+                        help="fail only on findings absent from this "
+                             f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--update-baseline", metavar="PATH", nargs="?",
+                        const=DEFAULT_BASELINE, default=None,
+                        help="record current findings as the accepted "
+                             "baseline and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--fail-on-violation", dest="fail_on_violation",
@@ -59,7 +80,9 @@ def main(argv: list[str] | None = None) -> int:
 
     select = _parse_codes(args.select)
     ignore = _parse_codes(args.ignore)
+    from repro.lint.semantic.rules import semantic_rules
     known = {rule.code for rule in all_rules()}
+    known |= {rule.code for rule in semantic_rules()}
     unknown = ((select or set()) | (ignore or set())) - known
     if unknown:
         parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}; "
@@ -72,9 +95,31 @@ def main(argv: list[str] | None = None) -> int:
             ignore=ignore,
             use_cache=not args.no_cache,
             cache_file=args.cache_file,
+            semantic=args.semantic,
+            semantic_cache_file=args.semantic_cache_file,
         )
     except FileNotFoundError as error:
         parser.error(str(error))
+
+    if args.update_baseline is not None:
+        count = write_baseline(result, args.update_baseline)
+        noun = "finding" if count == 1 else "findings"
+        print(f"baseline: recorded {count} {noun} in "
+              f"{args.update_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        new, matched = apply_baseline(result, baseline)
+        result.violations = new
+        print(REPORTERS[args.format](result))
+        if matched:
+            print(f"baseline: suppressed {matched} known "
+                  f"finding{'s' if matched != 1 else ''}")
+        if new and args.fail_on_violation:
+            return 1
+        return 0
+
     print(REPORTERS[args.format](result))
     if result.violations and args.fail_on_violation:
         return 1

@@ -65,9 +65,33 @@ def parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
     return per_line, whole_file
 
 
+def _spread_decorator_suppressions(tree: ast.Module,
+                                   per_line: dict[int, set[str]]) -> None:
+    """Suppressions anywhere on a decorated statement cover all of it.
+
+    A decorator list and its ``def``/``class`` line are one statement;
+    a ``# lint: disable=...`` on a decorator line must also silence
+    findings reported at the definition line (and vice versa), or the
+    comment placement silently decides whether the suppression works.
+    """
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        span_start = min(decorator.lineno for decorator in decorators)
+        span_end = node.lineno  # findings on the def anchor here
+        codes: set[str] = set()
+        for line in range(span_start, span_end + 1):
+            codes |= per_line.get(line, set())
+        if not codes:
+            continue
+        for line in range(span_start, span_end + 1):
+            per_line.setdefault(line, set()).update(codes)
+
+
 @dataclass
 class FileContext:
-    """Everything a rule may inspect about one file."""
+    """One parsed file plus its suppression tables."""
 
     path: str                        # repo-relative posix path
     source: str
@@ -79,6 +103,7 @@ class FileContext:
     def parse(cls, path: str, source: str) -> "FileContext":
         tree = ast.parse(source, filename=path)
         per_line, whole_file = parse_suppressions(source)
+        _spread_decorator_suppressions(tree, per_line)
         return cls(path=path, source=source, tree=tree,
                    line_suppressions=per_line, file_suppressions=whole_file)
 

@@ -28,6 +28,13 @@ class LintResult:
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     files_from_cache: int = 0
+    # Semantic pass bookkeeping (zeros unless semantic=True).
+    semantic_enabled: bool = False
+    semantic_modules: int = 0
+    semantic_facts_from_cache: int = 0
+    semantic_facts_computed: int = 0
+    semantic_findings_from_cache: int = 0
+    semantic_findings_computed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -113,8 +120,16 @@ def lint_paths(paths: list[str], *, root: str | os.PathLike | None = None,
                select: set[str] | None = None,
                ignore: set[str] | None = None,
                use_cache: bool = True,
-               cache_file: str | os.PathLike | None = None) -> LintResult:
-    """Run every registered rule over the Python files under ``paths``."""
+               cache_file: str | os.PathLike | None = None,
+               semantic: bool = False,
+               semantic_cache_file: str | os.PathLike | None = None
+               ) -> LintResult:
+    """Run every registered rule over the Python files under ``paths``.
+
+    With ``semantic=True`` the whole-program pass (SIM101–SIM105) runs
+    on top; its facts/findings cache in ``semantic_cache_file``
+    (default ``<root>/.lint-semantic-cache.json``).
+    """
     root_path = Path(root) if root is not None else Path.cwd()
     rules = all_rules()
     if select:
@@ -133,12 +148,14 @@ def lint_paths(paths: list[str], *, root: str | os.PathLike | None = None,
     result = LintResult()
     facts: dict[str, dict[str, object]] = {r.code: {} for r in project_rules}
     suppressions: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    sources: dict[str, str] = {}
 
     for path in discover_files(paths):
         rel = _relpath(path, root_path)
         source = path.read_text(encoding="utf-8", errors="replace")
         sha = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
         result.files_checked += 1
+        sources[rel] = source
 
         cached = cache.get(rel, sha)
         if cached is not None:
@@ -192,21 +209,102 @@ def lint_paths(paths: list[str], *, root: str | os.PathLike | None = None,
 
     for rule in project_rules:
         for violation in rule.finalize(facts[rule.code]):
-            per_line, whole_file = suppressions.get(violation.path,
-                                                    ({}, set()))
-            if violation.rule in whole_file or "ALL" in whole_file:
-                continue
-            codes = per_line.get(violation.line, set())
-            if violation.rule in codes or "ALL" in codes:
+            if _suppressed(suppressions, violation):
                 continue
             result.violations.append(violation)
+
+    if semantic:
+        from repro.lint.semantic.engine import (SemanticCache,
+                                                semantic_pass)
+        semantic_path = Path(semantic_cache_file) \
+            if semantic_cache_file is not None \
+            else root_path / ".lint-semantic-cache.json"
+        semantic_cache = SemanticCache(
+            semantic_path if use_cache else None, rules_signature())
+        semantic_result = semantic_pass(sources, cache=semantic_cache,
+                                        select=select, ignore=ignore)
+        result.semantic_enabled = True
+        result.semantic_modules = semantic_result.modules_analyzed
+        result.semantic_facts_from_cache = semantic_result.facts_from_cache
+        result.semantic_facts_computed = semantic_result.facts_computed
+        result.semantic_findings_from_cache = \
+            semantic_result.findings_from_cache
+        result.semantic_findings_computed = \
+            semantic_result.findings_computed
+        for violation in semantic_result.violations:
+            if not _suppressed(suppressions, violation):
+                result.violations.append(violation)
 
     cache.save()
     result.violations.sort()
     return result
 
 
+def _suppressed(suppressions: dict[str, tuple[dict[int, set[str]],
+                                              set[str]]],
+                violation: Violation) -> bool:
+    per_line, whole_file = suppressions.get(violation.path, ({}, set()))
+    if violation.rule in whole_file or "ALL" in whole_file:
+        return True
+    codes = per_line.get(violation.line, set())
+    return violation.rule in codes or "ALL" in codes
+
+
 def _decode_suppressions(entry: dict) -> tuple[dict[int, set[str]], set[str]]:
     per_line = {int(line): set(codes)
                 for line, codes in entry.get("line_suppress", {}).items()}
     return per_line, set(entry.get("file_suppress", ()))
+
+
+# ----------------------------------------------------------------------
+# Baselines: land strict rules without blocking unrelated work
+# ----------------------------------------------------------------------
+BASELINE_VERSION = 1
+
+
+def _baseline_key(violation: Violation) -> tuple[str, str, str]:
+    # Line numbers drift with unrelated edits; identity is
+    # (file, rule, message).  Multiplicity is honoured via counting.
+    return (violation.path, violation.rule, violation.message)
+
+
+def write_baseline(result: LintResult,
+                   path: str | os.PathLike) -> int:
+    """Record the run's findings as the accepted baseline."""
+    findings = [{"path": v.path, "rule": v.rule, "line": v.line,
+                 "message": v.message} for v in result.violations]
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(findings)
+
+
+def load_baseline(path: str | os.PathLike) -> dict[tuple, int]:
+    """Accepted finding keys with multiplicities; {} for a missing or
+    unreadable file (every finding then counts as new)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return {}
+    counts: dict[tuple, int] = {}
+    for finding in payload.get("findings", ()):
+        key = (finding.get("path", ""), finding.get("rule", ""),
+               finding.get("message", ""))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def apply_baseline(result: LintResult,
+                   baseline: dict[tuple, int]
+                   ) -> tuple[list[Violation], int]:
+    """(new violations, number suppressed as already-baselined)."""
+    remaining = dict(baseline)
+    new: list[Violation] = []
+    matched = 0
+    for violation in result.violations:
+        key = _baseline_key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(violation)
+    return new, matched

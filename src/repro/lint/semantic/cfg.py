@@ -1,0 +1,228 @@
+"""Per-function control-flow graphs.
+
+A :class:`CFG` is a set of basic blocks over a function body's
+*statements* (expressions never split a block).  The builder covers the
+full statement grammar the simulator uses: ``if``/``elif``,
+``while``/``else`` and ``for``/``else`` with ``break``/``continue``,
+``try``/``except``/``else``/``finally``, ``with``, ``match``, and
+early ``return``/``raise`` exits.  Comprehensions are expressions and
+stay inside their statement's block — their binding behaviour is the
+dataflow pass's concern, not the CFG's.
+
+Exception edges use the standard conservative approximation: every
+block inside a ``try`` body gets an edge to every handler's entry, so a
+definition made before the raise point correctly reaches the handler
+while one made after it does not necessarily.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """One basic block: a maximal straight-line statement run."""
+
+    bid: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+
+    def __repr__(self) -> str:  # compact, test-friendly
+        kinds = ",".join(type(s).__name__ for s in self.stmts)
+        return f"Block({self.bid}:[{kinds}]->{sorted(self.succs)})"
+
+
+class CFG:
+    """Blocks, entry/exit ids, and a statement -> block index."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, Block] = {}
+        self.entry: int = self._new_block().bid
+        self.exit: int = self._new_block().bid
+        self.block_of_stmt: dict[int, int] = {}  # id(stmt) -> bid
+
+    def _new_block(self) -> Block:
+        block = Block(bid=len(self.blocks))
+        self.blocks[block.bid] = block
+        return block
+
+    def preds(self, bid: int) -> list[int]:
+        return [b.bid for b in self.blocks.values() if bid in b.succs]
+
+    def reachable(self) -> set[int]:
+        seen: set[int] = set()
+        frontier = [self.entry]
+        while frontier:
+            bid = frontier.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            frontier.extend(self.blocks[bid].succs)
+        return seen
+
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class _Builder:
+    """Recursive-descent CFG construction with loop/finally frames."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # (break target bid, continue target bid) per enclosing loop.
+        self.loops: list[tuple[int, int]] = []
+        # Entry bids of handlers of every enclosing try (exception edges).
+        self.handler_entries: list[list[int]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _block(self) -> Block:
+        return self.cfg._new_block()
+
+    def _link(self, src: int, dst: int) -> None:
+        self.cfg.blocks[src].succs.add(dst)
+
+    def _place(self, stmt: ast.stmt, bid: int) -> None:
+        self.cfg.blocks[bid].stmts.append(stmt)
+        self.cfg.block_of_stmt[id(stmt)] = bid
+        # A raise anywhere inside a try body may transfer to a handler.
+        for entries in self.handler_entries:
+            for handler_bid in entries:
+                self._link(bid, handler_bid)
+
+    # -- statement sequences -------------------------------------------
+    def seq(self, stmts: list[ast.stmt], current: int) -> int:
+        """Emit a statement list starting in block ``current``; returns
+        the block control falls out of (a fresh dead block after a
+        terminator)."""
+        for stmt in stmts:
+            current = self.stmt(stmt, current)
+        return current
+
+    def stmt(self, stmt: ast.stmt, current: int) -> int:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._place(stmt, current)
+            return self.seq(stmt.body, current)
+
+        self._place(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._link(current, self.cfg.exit)
+            return self._block().bid  # unreachable continuation
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self._link(current, self.loops[-1][0])
+            return self._block().bid
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self._link(current, self.loops[-1][1])
+            return self._block().bid
+        return current
+
+    # -- control statements --------------------------------------------
+    def _if(self, stmt: ast.If, current: int) -> int:
+        self._place(stmt, current)  # the test evaluates in `current`
+        join = self._block().bid
+        then_entry = self._block().bid
+        self._link(current, then_entry)
+        self._link(self.seq(stmt.body, then_entry), join)
+        if stmt.orelse:
+            else_entry = self._block().bid
+            self._link(current, else_entry)
+            self._link(self.seq(stmt.orelse, else_entry), join)
+        else:
+            self._link(current, join)
+        return join
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor,
+              current: int) -> int:
+        header = self._block().bid
+        self._link(current, header)
+        self._place(stmt, header)  # test / iter evaluates in the header
+        after = self._block().bid
+        body_entry = self._block().bid
+        self._link(header, body_entry)
+        self.loops.append((after, header))
+        body_exit = self.seq(stmt.body, body_entry)
+        self.loops.pop()
+        self._link(body_exit, header)  # back edge
+        if stmt.orelse:
+            # `else` runs on normal loop exhaustion; `break` skips it.
+            else_entry = self._block().bid
+            self._link(header, else_entry)
+            self._link(self.seq(stmt.orelse, else_entry), after)
+        else:
+            self._link(header, after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> int:
+        after = self._block().bid
+        handler_entries = [self._block().bid for _ in stmt.handlers]
+        self.handler_entries.append(handler_entries)
+        body_exit = self.seq(stmt.body, current)
+        self.handler_entries.pop()
+        # The try statement itself anchors to its first body block.
+        self.cfg.block_of_stmt.setdefault(id(stmt), current)
+
+        exits = []
+        if stmt.orelse:
+            else_entry = self._block().bid
+            self._link(body_exit, else_entry)
+            exits.append(self.seq(stmt.orelse, else_entry))
+        else:
+            exits.append(body_exit)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self._place(handler, entry)  # `except E as e:` binds here
+            exits.append(self.seq(handler.body, entry))
+
+        if stmt.finalbody:
+            final_entry = self._block().bid
+            for exit_bid in exits:
+                self._link(exit_bid, final_entry)
+            # An unhandled exception also reaches finally, then leaves.
+            self._link(body_exit, final_entry)
+            final_exit = self.seq(stmt.finalbody, final_entry)
+            self._link(final_exit, self.cfg.exit)
+            self._link(final_exit, after)
+            return after
+        for exit_bid in exits:
+            self._link(exit_bid, after)
+        return after
+
+    def _match(self, stmt: ast.Match, current: int) -> int:
+        self._place(stmt, current)  # the subject evaluates in `current`
+        after = self._block().bid
+        fallthrough = True
+        for case in stmt.cases:
+            case_entry = self._block().bid
+            self._link(current, case_entry)
+            self._link(self.seq(case.body, case_entry), after)
+            if _is_irrefutable(case.pattern) and case.guard is None:
+                fallthrough = False
+                break
+        if fallthrough:  # no case may match at all
+            self._link(current, after)
+        return after
+
+
+def _is_irrefutable(pattern: ast.pattern) -> bool:
+    return isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The CFG of one function body (nested defs are single statements
+    in the enclosing graph — each gets its own CFG when analysed)."""
+    builder = _Builder()
+    body_entry = builder._block().bid
+    builder._link(builder.cfg.entry, body_entry)
+    final = builder.seq(func.body, body_entry)
+    builder._link(final, builder.cfg.exit)
+    return builder.cfg

@@ -1,0 +1,869 @@
+"""Project model: per-module facts, symbol table, call graph.
+
+Extraction (:func:`extract_module_facts`) is purely intraprocedural —
+one file in, one JSON-serializable fact dict out — which is what makes
+facts cacheable by file content hash.  Everything cross-module (name
+resolution, the call graph, reverse reachability) lives in
+:class:`Program`, rebuilt from facts on every pass; rules never touch
+an AST directly.
+
+Dependency signatures (:func:`dependency_signatures`) digest a module's
+transitive project imports, so cached per-module *findings* invalidate
+exactly when the module or something it (transitively) imports changed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+
+from repro.lint.core import FileContext, dotted_name, import_aliases
+from repro.lint.semantic.dataflow import FunctionDataflow
+
+FACTS_VERSION = 4
+
+# Method leaves that count as an obs.trace hook carrier (the Tracer's
+# simulator-facing surface) plus the ACTIVE global itself.
+TRACE_HOOK_METHODS = frozenset({
+    "cache_access", "eviction", "opt_decision", "dead_line_drop",
+    "memory_traffic", "dram_access", "tile_done", "set_tile",
+})
+_POOL_ORIGINS = ("call:concurrent.futures.ProcessPoolExecutor",
+                 "call:ProcessPoolExecutor")
+_REPORTER_METHODS = {"as_dict", "report", "as_row", "to_dict"}
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative posix path."""
+    name = rel_path[:-3] if rel_path.endswith(".py") else rel_path
+    for prefix in ("src/",):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+    parts = [part for part in name.split("/") if part]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or rel_path
+
+
+def _is_config_class(name: str | None) -> bool:
+    return bool(name) and name.endswith("Config")
+
+
+def _config_like_origin(origin: str,
+                        attr_types: dict[str, str],
+                        param_annotations: dict[str, str]) -> str | None:
+    """The config class name an origin descriptor points at, if any."""
+    kind, _, payload = origin.partition(":")
+    leaf = payload.split(".")[-1] if payload else ""
+    if kind == "call":
+        for part in payload.split("."):
+            if _is_config_class(part):
+                return part
+    elif kind == "param":
+        annotation = param_annotations.get(payload, "")
+        if _is_config_class(annotation.split(".")[-1]):
+            return annotation.split(".")[-1]
+    elif kind == "attr":
+        typed = attr_types.get(payload, "")
+        if _is_config_class(typed):
+            return typed
+    elif kind in ("const", "free") and _is_config_class(leaf):
+        return leaf
+    return None
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.BinOp):  # "TCORConfig | None"
+        left = _annotation_name(node.left)
+        return left or _annotation_name(node.right)
+    if isinstance(node, ast.Subscript):  # Optional[TCORConfig]
+        return _annotation_name(node.slice)
+    return dotted_name(node)
+
+
+def _literal_strings(node: ast.expr) -> list[str]:
+    """String literals in a (possibly nested) literal container."""
+    found: list[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            found.append(child.value)
+    return found
+
+
+class _FunctionExtractor:
+    """Summarizes one function body with its dataflow solution."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 qual: str, cls: dict | None, aliases: dict[str, str],
+                 module_function_names: set[str], nested: bool) -> None:
+        self.func = func
+        self.qual = qual
+        self.cls = cls
+        self.aliases = aliases
+        self.module_function_names = module_function_names
+        self.nested = nested
+        self.flow = FunctionDataflow(func, aliases)
+
+    # -- helpers -------------------------------------------------------
+    def _own_nodes(self):
+        """Nodes of this function's body, nested defs excluded."""
+        stack = list(self.func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                stack.append(child)
+
+    def _enclosing_stmt(self, node: ast.AST) -> ast.stmt | None:
+        # Origins only need *a* statement in the right block; the CFG
+        # indexes statements by identity, so walk the block map.
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return None
+        best = None
+        for block in self.flow.cfg.blocks.values():
+            for stmt in block.stmts:
+                if getattr(stmt, "lineno", -1) <= lineno \
+                        <= getattr(stmt, "end_lineno", -1):
+                    best = stmt
+        return best
+
+    def _origins(self, expr: ast.expr, near: ast.AST) -> set[str]:
+        return self.flow.origin_of_expr(expr, self._enclosing_stmt(near))
+
+    # -- the summary ---------------------------------------------------
+    def summarize(self) -> dict:
+        func = self.func
+        param_annotations = {}
+        for arg in (list(func.args.posonlyargs) + list(func.args.args)
+                    + list(func.args.kwonlyargs)):
+            annotation = _annotation_name(arg.annotation)
+            if annotation:
+                param_annotations[arg.arg] = annotation
+
+        calls: list[dict] = []
+        global_writes: list[dict] = []
+        module_attr_writes: list[dict] = []
+        submits: list[dict] = []
+        attr_write_sites: list[dict] = []
+        stats_mutations: list[dict] = []
+        metric_strings: list[dict] = []
+        trace_hook = False
+        declared_globals = {
+            name for node in self._own_nodes()
+            if isinstance(node, ast.Global) for name in node.names}
+
+        cls_name = self.cls["name"] if self.cls else None
+        attr_types = self.cls["attr_types"] if self.cls else {}
+        in_stats_class = bool(cls_name) and cls_name.endswith("Stats")
+        init_like = func.name in ("__init__", "__post_init__")
+        local_sym = self._local_symbolic_bindings()
+
+        for node in self._own_nodes():
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.attr == "ACTIVE":
+                trace_hook = True
+
+            if isinstance(node, ast.Call):
+                raw = dotted_name(node.func)
+                if raw is not None:
+                    head, _, tail = raw.partition(".")
+                    recorded = raw
+                    if head in local_sym:
+                        # l2 = shared.l2; l2.stats.m() records as
+                        # shared.l2.stats.m so chains resolve.
+                        recorded = f"{local_sym[head]}.{tail}" if tail \
+                            else local_sym[head]
+                    entry: dict = {"name": recorded, "lineno": node.lineno,
+                                   "col": node.col_offset}
+                    if node.args:
+                        entry["pos"] = [
+                            "|".join(sorted(self._origins(arg, node)))
+                            for arg in node.args[:8]]
+                    if node.keywords:
+                        entry["kw"] = {
+                            kw.arg: "|".join(sorted(self._origins(kw.value,
+                                                                  node)))
+                            for kw in node.keywords if kw.arg}
+                    calls.append(entry)
+                    leaf = raw.split(".")[-1]
+                    if leaf in TRACE_HOOK_METHODS:
+                        trace_hook = True
+                    if leaf in ("submit", "map") and "." in raw:
+                        self._maybe_submit(node, raw, submits)
+                    if leaf == "expect_sum":
+                        for arg in node.args[1:3]:
+                            for name in _literal_strings(arg):
+                                metric_strings.append(
+                                    {"name": name, "lineno": node.lineno,
+                                     "role": "expect"})
+                    if leaf in ("count", "gauge", "histogram") \
+                            and node.args \
+                            and isinstance(node.args[0], ast.Constant) \
+                            and isinstance(node.args[0].value, str):
+                        metric_strings.append(
+                            {"name": node.args[0].value,
+                             "lineno": node.lineno, "role": "own"})
+                    if leaf == "setattr" and raw == "setattr" \
+                            and len(node.args) >= 2:
+                        attr_write_sites.append(self._attr_site(
+                            node.args[0], "<setattr>", node, "setattr",
+                            init_like, cls_name))
+                    if raw == "object.__setattr__" and len(node.args) >= 2:
+                        site = self._attr_site(
+                            node.args[0], "<object.__setattr__>", node,
+                            "object_setattr", init_like, cls_name)
+                        attr_write_sites.append(site)
+
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                self._classify_store(node, target, declared_globals,
+                                     global_writes, module_attr_writes,
+                                     attr_write_sites, stats_mutations,
+                                     in_stats_class, init_like, cls_name,
+                                     attr_types)
+
+        return {
+            "qual": self.qual,
+            "name": func.name,
+            "lineno": func.lineno,
+            "cls": cls_name,
+            "nested": self.nested,
+            "params": self.flow.params,
+            "param_annotations": param_annotations,
+            "decorators": [dotted_name(d.func if isinstance(d, ast.Call)
+                                       else d) or "?"
+                           for d in func.decorator_list],
+            "calls": calls,
+            "global_writes": global_writes,
+            "module_attr_writes": module_attr_writes,
+            "submits": submits,
+            "attr_write_sites": attr_write_sites,
+            "stats_mutations": stats_mutations,
+            "metric_strings": metric_strings,
+            "trace_hook": trace_hook,
+        }
+
+    def _local_symbolic_bindings(self) -> dict[str, str]:
+        """Single-assignment locals bound to a self/param attribute chain
+        (``l2 = shared.l2``), as dotted chains for call resolution."""
+        roots = set(self.flow.params) | {"self", "cls"}
+        store_counts: dict[str, int] = {}
+        candidates: dict[str, str] = {}
+        for node in self._own_nodes():
+            if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                         ast.Store):
+                store_counts[node.id] = store_counts.get(node.id, 0) + 1
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Attribute):
+                dotted = dotted_name(node.value)
+                if dotted and dotted.split(".")[0] in roots:
+                    candidates[node.targets[0].id] = dotted
+        return {name: chain for name, chain in candidates.items()
+                if store_counts.get(name) == 1 and name not in roots}
+
+    def _maybe_submit(self, node: ast.Call, raw: str,
+                      submits: list[dict]) -> None:
+        receiver = raw.rsplit(".", 1)[0]
+        origins = self.flow.origins_of_name(receiver.split(".")[0],
+                                            self._enclosing_stmt(node))
+        if not any(origin in _POOL_ORIGINS for origin in origins):
+            return
+        if not node.args:
+            return
+        fn = node.args[0]
+        entry = {"lineno": node.lineno, "col": node.col_offset,
+                 "method": raw.split(".")[-1], "target": None,
+                 "kind": "other"}
+        if isinstance(fn, ast.Lambda):
+            entry["kind"] = "lambda"
+        elif isinstance(fn, ast.Name):
+            entry["target"] = fn.id
+            fn_origins = self.flow.origins_of_name(
+                fn.id, self._enclosing_stmt(node))
+            if any(origin == "bind:def" for origin in fn_origins):
+                entry["kind"] = "nested"
+            else:
+                entry["kind"] = "name"
+        elif isinstance(fn, ast.Attribute):
+            entry["kind"] = "attr"
+            entry["target"] = dotted_name(fn)
+        submits.append(entry)
+
+    def _attr_site(self, receiver: ast.expr, field: str, node: ast.AST,
+                   via: str, init_like: bool, cls_name: str | None) -> dict:
+        origins = sorted(self._origins(receiver, node))
+        is_self = isinstance(receiver, ast.Name) and receiver.id == "self"
+        return {"field": field, "lineno": node.lineno,
+                "col": getattr(node, "col_offset", 0), "via": via,
+                "recv_origins": origins,
+                "recv": dotted_name(receiver) or "?",
+                "self_ctx": bool(is_self and init_like),
+                "cls": cls_name}
+
+    def _classify_store(self, stmt: ast.AST, target: ast.expr,
+                        declared_globals: set[str],
+                        global_writes: list[dict],
+                        module_attr_writes: list[dict],
+                        attr_write_sites: list[dict],
+                        stats_mutations: list[dict],
+                        in_stats_class: bool, init_like: bool,
+                        cls_name: str | None,
+                        attr_types: dict[str, str]) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in declared_globals:
+                global_writes.append({"name": target.id,
+                                      "lineno": stmt.lineno})
+            return
+        if isinstance(target, ast.Subscript):
+            # x.__dict__["f"] = v  /  vars(x)["f"] = v
+            base = target.value
+            if isinstance(base, ast.Attribute) and base.attr == "__dict__":
+                attr_write_sites.append(self._attr_site(
+                    base.value, "<__dict__>", stmt, "dict",
+                    init_like, cls_name))
+            elif isinstance(base, ast.Call) \
+                    and dotted_name(base.func) == "vars" and base.args:
+                attr_write_sites.append(self._attr_site(
+                    base.args[0], "<vars()>", stmt, "dict",
+                    init_like, cls_name))
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+
+        dotted = dotted_name(target)
+        if dotted:
+            head = dotted.split(".")[0]
+            canonical = self.aliases.get(head)
+            if canonical and len(dotted.split(".")) == 2:
+                module_attr_writes.append(
+                    {"target": f"{canonical}.{target.attr}",
+                     "lineno": stmt.lineno})
+
+        attr_write_sites.append(self._attr_site(
+            target.value, target.attr, stmt, "store", init_like, cls_name))
+
+        # Stats counter mutations, three shapes:
+        #   self.<f>            (inside a *Stats class method)
+        #   <recv>.stats.<f>    (through the owning structure)
+        #   self.<attr>.<f>     (attr whose __init__-assigned type is *Stats)
+        receiver = target.value
+        if in_stats_class and isinstance(receiver, ast.Name) \
+                and receiver.id == "self":
+            stats_mutations.append({"field": target.attr,
+                                    "lineno": stmt.lineno,
+                                    "stats_cls": cls_name})
+        elif isinstance(receiver, ast.Attribute):
+            if receiver.attr == "stats":
+                stats_mutations.append({"field": target.attr,
+                                        "lineno": stmt.lineno,
+                                        "stats_cls":
+                                            attr_types.get("stats")})
+            elif attr_types.get(receiver.attr, "").endswith("Stats"):
+                stats_mutations.append({"field": target.attr,
+                                        "lineno": stmt.lineno,
+                                        "stats_cls":
+                                            attr_types[receiver.attr]})
+
+
+def _class_facts(node: ast.ClassDef) -> dict:
+    methods: list[str] = []
+    properties: list[str] = []
+    counter_fields: dict[str, int] = {}
+    attr_types: dict[str, str] = {}
+    is_dataclass = False
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if dotted_name(target) in ("dataclass", "dataclasses.dataclass"):
+            is_dataclass = True
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = {dotted_name(d) for d in item.decorator_list}
+            if "property" in decorators or "cached_property" in decorators:
+                properties.append(item.name)
+            else:
+                methods.append(item.name)
+            if item.name in ("__init__", "__post_init__"):
+                init_params = {}
+                for arg in (list(item.args.posonlyargs)
+                            + list(item.args.args)
+                            + list(item.args.kwonlyargs)):
+                    annotation = _annotation_name(arg.annotation)
+                    if annotation:
+                        init_params[arg.arg] = annotation.split(".")[-1]
+                for sub in ast.walk(item):
+                    if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        targets = sub.targets \
+                            if isinstance(sub, ast.Assign) else [sub.target]
+                        value = sub.value
+                        typed = None
+                        if isinstance(value, ast.Call):
+                            called = dotted_name(value.func)
+                            if called:
+                                typed = called.split(".")[-1]
+                        elif isinstance(value, ast.Name):
+                            # self.l2 = l2   (annotated constructor param)
+                            typed = init_params.get(value.id)
+                        if typed is None:
+                            continue
+                        for tgt in targets:
+                            if isinstance(tgt, ast.Attribute) \
+                                    and isinstance(tgt.value, ast.Name) \
+                                    and tgt.value.id == "self":
+                                attr_types[tgt.attr] = typed
+        elif isinstance(item, ast.AnnAssign) \
+                and isinstance(item.target, ast.Name):
+            annotation = _annotation_name(item.annotation)
+            if annotation in ("int", "float"):
+                counter_fields[item.target.id] = item.lineno
+            elif annotation:
+                attr_types[item.target.id] = annotation.split(".")[-1]
+    return {
+        "name": node.name,
+        "lineno": node.lineno,
+        "bases": [dotted_name(base) or "?" for base in node.bases],
+        "is_dataclass": is_dataclass,
+        "methods": methods,
+        "properties": properties,
+        "counter_fields": counter_fields,
+        "attr_types": attr_types,
+        "has_reporter": bool(set(methods) & _REPORTER_METHODS),
+    }
+
+
+def extract_module_facts(ctx: FileContext) -> dict:
+    """One file's semantic facts (JSON-serializable, sha-cacheable)."""
+    tree = ctx.tree
+    aliases = import_aliases(tree)
+    module = module_name_for(ctx.path)
+
+    relative_imports: list[str] = []
+    package = module.rsplit(".", 1)[0] if "." in module else ""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level:
+            base = package
+            for _ in range(node.level - 1):
+                base = base.rsplit(".", 1)[0] if "." in base else ""
+            stem = f"{base}.{node.module}" if node.module else base
+            for item in node.names:
+                relative_imports.append(f"{stem}.{item.name}")
+
+    module_globals: dict[str, int] = {}
+    module_aliases: dict[str, str] = {}
+    module_global_types: dict[str, str] = {}
+    for node in tree.body:
+        targets = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            module_globals[target.id] = node.lineno
+            if isinstance(value, ast.Name):
+                module_aliases[target.id] = value.id
+            elif isinstance(value, ast.Call):
+                called = dotted_name(value.func)
+                if called:
+                    module_global_types[target.id] = called.split(".")[-1]
+
+    classes: dict[str, dict] = {}
+    functions: dict[str, dict] = {}
+    module_function_names = {
+        node.name for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+    attr_loads: set[str] = set()
+    attr_stores: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Load):
+                attr_loads.add(node.attr)
+            elif isinstance(node.ctx, ast.Store):
+                attr_stores.add(node.attr)
+
+    def visit_function(func, cls: dict | None, prefix: str,
+                       nested: bool) -> None:
+        qual = f"{prefix}{func.name}"
+        extractor = _FunctionExtractor(func, qual, cls, aliases,
+                                       module_function_names, nested)
+        functions[qual] = extractor.summarize()
+        for child in ast.walk(func):
+            if child is func:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner_qual = f"{qual}.<locals>.{child.name}"
+                if inner_qual not in functions:
+                    inner = _FunctionExtractor(
+                        child, inner_qual, cls, aliases,
+                        module_function_names, True)
+                    functions[inner_qual] = inner.summarize()
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit_function(node, None, "", False)
+        elif isinstance(node, ast.ClassDef):
+            cls = _class_facts(node)
+            classes[node.name] = cls
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit_function(item, cls, f"{node.name}.", False)
+
+    return {
+        "version": FACTS_VERSION,
+        "module": module,
+        "path": ctx.path,
+        "imports": aliases,
+        "relative_imports": relative_imports,
+        "module_globals": module_globals,
+        "module_aliases": module_aliases,
+        "module_global_types": module_global_types,
+        "classes": classes,
+        "functions": functions,
+        "attr_loads": sorted(attr_loads),
+        "attr_stores": sorted(attr_stores),
+    }
+
+
+# ----------------------------------------------------------------------
+# Whole-program model
+# ----------------------------------------------------------------------
+class Program:
+    """Facts of every scanned module, indexed, with a call graph."""
+
+    def __init__(self, facts_by_path: dict[str, dict]) -> None:
+        self.facts_by_path = facts_by_path
+        self.modules: dict[str, dict] = {
+            facts["module"]: facts for facts in facts_by_path.values()}
+        self.path_of_module: dict[str, str] = {
+            facts["module"]: path
+            for path, facts in facts_by_path.items()}
+        self._class_index: dict[str, list[tuple[str, dict]]] = {}
+        for name, facts in self.modules.items():
+            for cls_name, cls in facts["classes"].items():
+                self._class_index.setdefault(cls_name, []).append(
+                    (name, cls))
+        self._edges: dict[str, set[str]] | None = None
+        self._reverse: dict[str, set[str]] | None = None
+
+    # -- lookups -------------------------------------------------------
+    def function(self, fq: str) -> dict | None:
+        module, _, qual = fq.partition(":")
+        facts = self.modules.get(module)
+        return facts["functions"].get(qual) if facts else None
+
+    def functions(self):
+        for module, facts in self.modules.items():
+            for qual, func in facts["functions"].items():
+                yield f"{module}:{qual}", func
+
+    def module_of_target(self, canonical: str) -> str | None:
+        """Longest scanned module that prefixes a canonical dotted name."""
+        best = None
+        for module in self.modules:
+            if canonical == module or canonical.startswith(module + "."):
+                if best is None or len(module) > len(best):
+                    best = module
+        return best
+
+    def classes_named(self, name: str) -> list[tuple[str, dict]]:
+        return self._class_index.get(name, [])
+
+    # -- call resolution -----------------------------------------------
+    def _resolve_method(self, module: str, cls_name: str,
+                        method: str, seen: set[str] | None = None) -> str | None:
+        seen = seen or set()
+        key = f"{module}.{cls_name}"
+        if key in seen:
+            return None
+        seen.add(key)
+        facts = self.modules.get(module)
+        if facts is None:
+            return None
+        cls = facts["classes"].get(cls_name)
+        if cls is None:
+            return None
+        if method in cls["methods"] or method in cls["properties"]:
+            return f"{module}:{cls_name}.{method}"
+        for base in cls["bases"]:
+            base_leaf = base.split(".")[-1]
+            canonical = self._canonical_in(facts, base)
+            base_module = self.module_of_target(canonical) if canonical \
+                else None
+            if base_module and base_leaf in \
+                    self.modules[base_module]["classes"]:
+                found = self._resolve_method(base_module, base_leaf,
+                                             method, seen)
+                if found:
+                    return found
+            else:
+                for cand_module, _cls in self.classes_named(base_leaf):
+                    found = self._resolve_method(cand_module, base_leaf,
+                                                 method, seen)
+                    if found:
+                        return found
+        return None
+
+    def _class_candidates(self, module: str,
+                          cls_name: str) -> list[tuple[str, dict]]:
+        """(module, class facts) pairs, the caller's module first."""
+        out: list[tuple[str, dict]] = []
+        facts = self.modules.get(module)
+        if facts and cls_name in facts["classes"]:
+            out.append((module, facts["classes"][cls_name]))
+        for candidate in self.classes_named(cls_name):
+            if candidate not in out:
+                out.append(candidate)
+        return out
+
+    def _attr_type_of(self, module: str, cls_name: str, attr: str,
+                      seen: set | None = None) -> str | None:
+        """Class name of ``cls_name.<attr>``, searching base classes."""
+        seen = seen if seen is not None else set()
+        if (module, cls_name) in seen:
+            return None
+        seen.add((module, cls_name))
+        candidates = self._class_candidates(module, cls_name)
+        for cand_module, cls in candidates:
+            typed = cls["attr_types"].get(attr)
+            if typed:
+                return typed
+        for cand_module, cls in candidates:
+            for base in cls["bases"]:
+                typed = self._attr_type_of(cand_module,
+                                           base.split(".")[-1], attr, seen)
+                if typed:
+                    return typed
+        return None
+
+    def _walk_attr_chain(self, module: str, cls_name: str,
+                         attrs: list[str], method: str) -> str | None:
+        """Resolve ``<cls>.attr...attr.method`` through attr_types."""
+        cur_module, cur_cls = module, cls_name
+        for attr in attrs:
+            typed = self._attr_type_of(cur_module, cur_cls, attr)
+            if typed is None:
+                return None
+            homes = self.classes_named(typed)
+            cur_module = homes[0][0] if homes else cur_module
+            cur_cls = typed
+        return self._resolve_method_anywhere(cur_module, cur_cls, method)
+
+    def _resolve_method_anywhere(self, home_module: str, cls_name: str,
+                                 method: str) -> str | None:
+        """Resolve ``cls_name.method`` preferring the caller's module,
+        else any scanned module defining a class of that name."""
+        found = self._resolve_method(home_module, cls_name, method)
+        if found:
+            return found
+        for cand_module, _cls in self.classes_named(cls_name):
+            found = self._resolve_method(cand_module, cls_name, method)
+            if found:
+                return found
+        return None
+
+    @staticmethod
+    def _canonical_in(facts: dict, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        canonical = facts["imports"].get(head)
+        if canonical is None:
+            return None
+        return f"{canonical}.{rest}" if rest else canonical
+
+    def resolve_call(self, module: str, caller_qual: str,
+                     raw: str) -> str | None:
+        """Fully-qualified callee of a raw dotted call target, if it
+        resolves to a scanned project function/method."""
+        facts = self.modules.get(module)
+        if facts is None:
+            return None
+        head, _, rest = raw.partition(".")
+
+        func = facts["functions"].get(caller_qual)
+
+        if head in ("self", "cls") and rest:
+            cls_name = func.get("cls") if func else None
+            if cls_name is None:
+                return None
+            parts = rest.split(".")
+            if len(parts) == 1:
+                return self._resolve_method(module, cls_name, parts[0])
+            # self.<attr>...<method>() — type each hop through the
+            # classes' attr_types (self.stats = CacheStats(); self.l2
+            # from an annotated constructor param).
+            return self._walk_attr_chain(module, cls_name, parts[:-1],
+                                         parts[-1])
+
+        # Annotated-parameter receivers: shared.l2.stats.m() where
+        # ``shared: SharedL2``.  A parameter shadows any module alias.
+        if func and rest and head in func.get("param_annotations", {}):
+            root_cls = func["param_annotations"][head].split(".")[-1]
+            parts = rest.split(".")
+            if len(parts) == 1:
+                return self._resolve_method_anywhere(module, root_cls,
+                                                     parts[0])
+            return self._walk_attr_chain(module, root_cls, parts[:-1],
+                                         parts[-1])
+
+        # Module-level alias chains: runner = main; runner()
+        alias_target = facts["module_aliases"].get(head)
+        hops = 0
+        while alias_target and hops < 5:
+            raw = f"{alias_target}.{rest}" if rest else alias_target
+            head, _, rest = raw.partition(".")
+            alias_target = facts["module_aliases"].get(head)
+            hops += 1
+
+        if not rest:
+            if head in facts["functions"]:
+                return f"{module}:{head}"
+            if head in facts["classes"]:
+                init = self._resolve_method(module, head, "__init__")
+                return init or f"{module}:{head}"
+            canonical = facts["imports"].get(head)
+            if canonical:
+                return self._resolve_canonical(canonical)
+            return None
+
+        canonical = self._canonical_in(facts, raw)
+        if canonical:
+            return self._resolve_canonical(canonical)
+        if head in facts["classes"]:  # ClassName.method(...)
+            return self._resolve_method(module, head, rest.split(".")[0])
+        return None
+
+    def _resolve_canonical(self, canonical: str) -> str | None:
+        target_module = self.module_of_target(canonical)
+        if target_module is None:
+            return None
+        remainder = canonical[len(target_module):].lstrip(".")
+        target_facts = self.modules[target_module]
+        if not remainder:
+            return None
+        parts = remainder.split(".")
+        if parts[0] in target_facts["functions"]:
+            return f"{target_module}:{parts[0]}"
+        if parts[0] in target_facts["classes"]:
+            if len(parts) > 1:
+                return self._resolve_method(target_module, parts[0],
+                                            parts[1])
+            init = self._resolve_method(target_module, parts[0], "__init__")
+            return init or f"{target_module}:{parts[0]}"
+        alias = target_facts["module_aliases"].get(parts[0])
+        if alias and alias in target_facts["functions"]:
+            return f"{target_module}:{alias}"
+        return None
+
+    # -- call graph ----------------------------------------------------
+    def _build_edges(self) -> None:
+        self._edges = {}
+        self._reverse = {}
+        for fq, func in self.functions():
+            module, _, qual = fq.partition(":")
+            targets = set()
+            for call in func["calls"]:
+                resolved = self.resolve_call(module, qual, call["name"])
+                if resolved:
+                    targets.add(resolved)
+            self._edges[fq] = targets
+            for target in targets:
+                self._reverse.setdefault(target, set()).add(fq)
+
+    @property
+    def call_edges(self) -> dict[str, set[str]]:
+        if self._edges is None:
+            self._build_edges()
+        return self._edges
+
+    @property
+    def reverse_edges(self) -> dict[str, set[str]]:
+        if self._reverse is None:
+            self._build_edges()
+        return self._reverse
+
+    def reachable_from(self, fq: str) -> set[str]:
+        """Transitive closure over call edges, ``fq`` included."""
+        seen: set[str] = set()
+        frontier = [fq]
+        edges = self.call_edges
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(edges.get(current, ()))
+        return seen
+
+    def callers_of(self, fq: str) -> set[str]:
+        """Transitive closure over *reverse* call edges, ``fq`` included."""
+        seen: set[str] = set()
+        frontier = [fq]
+        reverse = self.reverse_edges
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(reverse.get(current, ()))
+        return seen
+
+
+def project_imports(facts: dict, known_modules: set[str]) -> set[str]:
+    """Scanned modules this module's imports point into."""
+    deps: set[str] = set()
+    candidates = list(facts["imports"].values()) \
+        + list(facts.get("relative_imports", ()))
+    for canonical in candidates:
+        best = None
+        for module in known_modules:
+            if canonical == module or canonical.startswith(module + "."):
+                if best is None or len(module) > len(best):
+                    best = module
+        if best and best != facts["module"]:
+            deps.add(best)
+    return deps
+
+
+def dependency_signatures(shas: dict[str, str],
+                          deps: dict[str, set[str]]) -> dict[str, str]:
+    """Per-module digest over (module, transitive deps) content hashes.
+
+    ``shas`` maps module name -> content sha; ``deps`` maps module name
+    -> direct project dependencies.  Cycles are handled by the closure
+    construction (a cycle's members simply share their closure).
+    """
+    closures: dict[str, set[str]] = {}
+    for module in shas:
+        closure: set[str] = set()
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            frontier.extend(deps.get(current, ()))
+        closures[module] = closure
+    signatures: dict[str, str] = {}
+    for module, closure in closures.items():
+        digest = hashlib.sha256()
+        payload = sorted((name, shas.get(name, "")) for name in closure)
+        digest.update(json.dumps(payload).encode())
+        signatures[module] = digest.hexdigest()
+    return signatures

@@ -1,0 +1,64 @@
+"""Semantic rule catalogue (SIM101–SIM105).
+
+Semantic rules live in their own registry — they need a
+:class:`~repro.lint.semantic.model.Program`, not a single file's AST,
+so they cannot implement the FileRule/ProjectRule protocols.  Two
+scopes exist:
+
+- ``scope = "module"`` — findings for a module depend only on the
+  module and its (transitive) imports, so they are cached per module
+  keyed by its dependency signature;
+- ``scope = "program"`` — findings depend on the *whole* file set
+  (reverse reachability, global cross-checks) and are recomputed every
+  pass from cached facts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+
+
+class SemanticRule:
+    """Base: code/name/description plus a scope marker."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    scope: str = "module"  # "module" | "program"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def check_program(self, program) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, path: str, line: int, col: int,
+                  message: str) -> Violation:
+        return Violation(path=path, line=line, col=col, rule=self.code,
+                         message=message)
+
+
+_SEMANTIC_REGISTRY: dict[str, SemanticRule] = {}
+
+
+def register_semantic(rule_cls: type) -> type:
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"{rule_cls.__name__} has no code")
+    if rule.code in _SEMANTIC_REGISTRY:
+        raise ValueError(f"duplicate semantic rule code {rule.code}")
+    _SEMANTIC_REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def semantic_rules() -> list[SemanticRule]:
+    from repro.lint.semantic.rules import (  # noqa: F401
+        config_freeze,
+        dead_counters,
+        fork_safety,
+        opt_provenance,
+        trace_coverage,
+    )
+    return [_SEMANTIC_REGISTRY[code] for code in sorted(_SEMANTIC_REGISTRY)]

@@ -1,0 +1,94 @@
+"""SIM103 — configuration freeze (taint on config-typed values).
+
+``GPUConfig``/``TCORConfig``/every ``*Config`` dataclass is frozen by
+contract: simulators read machine parameters, they never tune them
+mid-run (a mutated config silently desynchronizes the memo-table keys
+the result caches are addressed by).  The frozen dataclass raises at
+runtime for plain attribute assignment — but ``setattr``,
+``object.__setattr__`` and ``__dict__``/``vars()`` writes slip past,
+and so does every path the tests never execute.  This rule proves the
+absence statically: reaching definitions give each store's receiver an
+origin set, and any origin that resolves to a config class — a direct
+constructor call, a ``*Config``-annotated parameter, an attribute whose
+``__init__`` assigns a config, or an imported module-level config
+instance — flags the store.
+
+Construction itself is exempt: ``self.field = ...`` /
+``object.__setattr__(self, ...)`` inside the config class's own
+``__init__``/``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.model import _is_config_class
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class ConfigFreezeRule(SemanticRule):
+    code = "SIM103"
+    name = "config-freeze"
+    description = ("write to a *Config field after construction "
+                   "(including setattr/__dict__/object.__setattr__)")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            cls = facts["classes"].get(func["cls"] or "")
+            attr_types = cls["attr_types"] if cls else {}
+            for site in func["attr_write_sites"]:
+                config_cls = self._config_receiver(
+                    program, site, func["param_annotations"], attr_types)
+                if config_cls is None:
+                    continue
+                if site["self_ctx"] and _is_config_class(site["cls"] or ""):
+                    continue  # the class's own construction
+                via = {"store": "assignment", "setattr": "setattr()",
+                       "dict": "__dict__ write",
+                       "object_setattr": "object.__setattr__"}[site["via"]]
+                field = site["field"]
+                shown = "" if field.startswith("<") else f".{field}"
+                yield self.violation(
+                    path, site["lineno"], site["col"],
+                    f"{via} mutates `{site['recv']}{shown}` "
+                    f"({config_cls} is frozen by contract); build a new "
+                    "config with dataclasses.replace() instead")
+
+    @staticmethod
+    def _config_receiver(program, site: dict,
+                         param_annotations: dict[str, str],
+                         attr_types: dict[str, str]) -> str | None:
+        for origin in site["recv_origins"]:
+            kind, _, payload = origin.partition(":")
+            leaf = payload.split(".")[-1] if payload else ""
+            if kind == "call":
+                for part in payload.split("."):
+                    if _is_config_class(part):
+                        return part
+            elif kind == "param":
+                annotation = param_annotations.get(payload, "")
+                if _is_config_class(annotation.split(".")[-1]):
+                    return annotation.split(".")[-1]
+            elif kind == "attr":
+                typed = attr_types.get(payload, "")
+                if _is_config_class(typed):
+                    return typed
+            elif kind in ("const", "free"):
+                if _is_config_class(leaf):
+                    return leaf
+                # Imported module-level instance: resolve its
+                # constructor type in the defining module.
+                owner = program.module_of_target(payload) \
+                    if "." in payload else None
+                if owner:
+                    name = payload[len(owner):].lstrip(".")
+                    typed = program.modules[owner][
+                        "module_global_types"].get(name, "")
+                    if _is_config_class(typed):
+                        return typed
+        return None

@@ -1,0 +1,118 @@
+"""SIM104 — dead counters and dead invariant reads.
+
+Two blind spots of the name-based SIM005 pass, both requiring the
+whole-program symbol table:
+
+1. **Dead reads** — a conservation invariant
+   (``registry.expect_sum(...)``) names its counters as dotted strings.
+   Nothing ties those strings to live counters at runtime until the
+   invariant fails with "missing"; statically, every referenced leaf
+   must resolve to a counter field, a ``*Stats`` property, or a
+   registry-owned ``count()``/``gauge()``/``histogram()`` name.
+
+2. **Dead counters, class-scoped** — SIM005 matches increments to
+   fields *by attribute name*, so a counter on one Stats class is
+   vouched for by a same-named counter on another.  With receiver
+   types resolved (``self.stats = FooStats()`` in ``__init__``), an
+   increment attributes to a specific class; a field no resolved store
+   ever feeds — while a same-named store elsewhere masks it from
+   SIM005 — reports a structural zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+# Snapshot machinery adds these derived keys to flattened stats dicts.
+_DERIVED_KEYS = {"accesses", "misses", "hits", "miss_ratio", "count",
+                 "sum", "bucket", "reads", "writes"}
+
+
+@register_semantic
+class DeadCountersRule(SemanticRule):
+    code = "SIM104"
+    name = "dead-counters"
+    description = ("invariant references a counter nothing owns, or a "
+                   "Stats field no resolved store feeds (class-scoped)")
+    scope = "program"
+
+    def check_program(self, program) -> Iterable[Violation]:
+        stats_classes: dict[str, tuple[str, dict]] = {}
+        known_leaves: set[str] = set(_DERIVED_KEYS)
+        for module, facts in program.modules.items():
+            for cls_name, cls in facts["classes"].items():
+                if not cls_name.endswith("Stats"):
+                    continue
+                stats_classes[cls_name] = (module, cls)
+                known_leaves.update(cls["counter_fields"])
+                known_leaves.update(cls["properties"])
+
+        fed: dict[tuple[str, str], bool] = {}
+        name_stored: set[str] = set()
+        own_metric_names: set[str] = set()
+        expect_refs: list[tuple[str, dict]] = []
+        for module, facts in program.modules.items():
+            name_stored.update(facts["attr_stores"])
+            for func in facts["functions"].values():
+                for mutation in func["stats_mutations"]:
+                    cls = mutation.get("stats_cls")
+                    if cls:
+                        fed[(cls, mutation["field"])] = True
+                for metric in func["metric_strings"]:
+                    if metric["role"] == "own":
+                        own_metric_names.add(metric["name"])
+                    else:
+                        expect_refs.append((facts["path"], metric))
+
+        own_leaves = {name.split(".")[-1] for name in own_metric_names}
+
+        # (1) dead reads: invariant strings naming unknown counters.
+        for path, metric in expect_refs:
+            name = metric["name"]
+            leaf = name.split(".")[-1]
+            if leaf in known_leaves or leaf in own_leaves \
+                    or name in own_metric_names:
+                continue
+            yield self.violation(
+                path, metric["lineno"], 0,
+                f"invariant references `{name}` but no Stats counter, "
+                f"property, or registry-owned metric supplies `{leaf}`; "
+                "the conservation check can only ever fail as 'missing'")
+
+        # (2) class-scoped dead counters (masked from SIM005 by a
+        # same-named store against a different class).
+        for cls_name, (module, cls) in sorted(stats_classes.items()):
+            path = program.modules[module]["path"]
+            for field, lineno in sorted(cls["counter_fields"].items()):
+                if fed.get((cls_name, field)):
+                    continue
+                if field not in name_stored:
+                    continue  # nothing stores it at all: SIM005's case
+                if self._ambiguously_fed(program, field):
+                    continue
+                yield self.violation(
+                    path, lineno, 0,
+                    f"{cls_name}.{field} has no resolved store feeding "
+                    "it — the same-named counter stored elsewhere "
+                    "belongs to a different Stats class, so this one "
+                    "reports a structural zero")
+
+    @staticmethod
+    def _ambiguously_fed(program, field: str) -> bool:
+        """True when some store of ``field`` has an *unresolved*
+        receiver type — it might feed any same-named counter, so the
+        conservative answer is "fed"."""
+        for _fq, func in program.functions():
+            for site in func["attr_write_sites"]:
+                if site["field"] != field or site["via"] != "store":
+                    continue
+                mutations = func["stats_mutations"]
+                resolved_here = any(
+                    mutation["field"] == field and mutation.get("stats_cls")
+                    for mutation in mutations)
+                if not resolved_here:
+                    return True
+        return False

@@ -1,0 +1,83 @@
+"""SIM101 — fork safety of process-pool workers.
+
+A callable handed to ``ProcessPoolExecutor.submit``/``.map`` runs in a
+child process.  Two whole-program properties make that safe here:
+
+1. the callable must be picklable *by name* — a lambda or a function
+   nested inside another function is not; and
+2. nothing the callable (transitively) calls may write module globals —
+   the write lands in the child's copy of the module, silently diverges
+   from the parent, and breaks the "parallel runs are byte-identical to
+   serial ones" contract of ``repro.parallel``.
+
+The second check is why this is a semantic rule: the global write is
+usually several call-graph hops below the submit site (the summary
+chain is printed in the message).  Deliberate worker-local globals
+carry a ``# lint: disable=SIM101`` with a justification at the submit
+site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class ForkSafetyRule(SemanticRule):
+    code = "SIM101"
+    name = "fork-safety"
+    description = ("callable submitted to a process pool is unpicklable "
+                   "or transitively writes module globals")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            for submit in func["submits"]:
+                kind = submit["kind"]
+                if kind == "lambda":
+                    yield self.violation(
+                        path, submit["lineno"], submit["col"],
+                        "lambda submitted to a process pool; workers are "
+                        "pickled by name — use a module-level function")
+                    continue
+                if kind == "nested":
+                    yield self.violation(
+                        path, submit["lineno"], submit["col"],
+                        f"nested function `{submit['target']}` submitted "
+                        "to a process pool; it cannot be pickled by name "
+                        "— hoist it to module level")
+                    continue
+                target = submit.get("target")
+                if not target:
+                    continue
+                resolved = program.resolve_call(module, qual, target)
+                if resolved is None:
+                    continue
+                yield from self._global_writes(program, path, submit,
+                                               target, resolved)
+
+    def _global_writes(self, program, path: str, submit: dict,
+                       target: str, entry: str) -> Iterable[Violation]:
+        for fq in sorted(program.reachable_from(entry)):
+            func = program.function(fq)
+            if func is None:
+                continue
+            offences = [f"`{write['name']}`"
+                        for write in func["global_writes"]]
+            offences += [f"`{write['target']}`"
+                         for write in func["module_attr_writes"]]
+            if not offences:
+                continue
+            where = fq.replace(":", ".")
+            hop = "" if fq == entry else " (reached through the call graph)"
+            yield self.violation(
+                path, submit["lineno"], submit["col"],
+                f"worker `{target}` transitively writes module "
+                f"global(s) {', '.join(sorted(set(offences)))} in "
+                f"{where}{hop}; pool workers must not mutate module "
+                "state")

@@ -1,0 +1,92 @@
+"""SIM105 — OPT-number provenance in tcor call chains.
+
+TCOR's replacement decisions are only optimal because every OPT number
+flowing into the Attribute Cache / replacement policies originates from
+the Polygon List Builder's PMDs (``pmd.opt_number``, propagated through
+tile-fetch events) or the ``NO_NEXT_USE_RANK`` sentinel.  A fresh
+integer literal handed to an ``opt_number`` parameter forges a next-use
+distance the builder never computed — simulations keep running and
+quietly stop being OPT.
+
+The rule resolves every call through the project call graph; when the
+callee is a ``tcor``/``caches`` function with an OPT-named parameter,
+the argument's reaching-definition origin set must be literal-free
+(attribute loads, parameters, sentinel constants and computed
+expressions all pass — ``lit:int``/``lit:float`` does not).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+_MODULE_PARTS = {"tcor", "caches"}
+_BAD_ORIGINS = {"lit:int", "lit:float"}
+
+
+def _is_opt_param(name: str | None) -> bool:
+    return bool(name) and ("opt_number" in name or name == "opt")
+
+
+@register_semantic
+class OptProvenanceRule(SemanticRule):
+    code = "SIM105"
+    name = "opt-provenance"
+    description = ("integer literal passed as an OPT number into a "
+                   "tcor/caches call chain (must come from PMD fields "
+                   "or NO_NEXT_USE_RANK)")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            for call in func["calls"]:
+                if "pos" not in call and "kw" not in call:
+                    continue
+                resolved = program.resolve_call(module, qual, call["name"])
+                if resolved is None:
+                    continue
+                callee_module, _, callee_qual = resolved.partition(":")
+                if not _MODULE_PARTS & set(callee_module.split(".")):
+                    continue
+                callee = program.function(resolved)
+                if callee is None:
+                    continue
+                yield from self._check_call(path, call, callee,
+                                            callee_qual)
+
+    def _check_call(self, path: str, call: dict, callee: dict,
+                    callee_qual: str) -> Iterable[Violation]:
+        params = callee["params"]
+        # Bound calls (self.m(...), obj.m(...), ClassName(...)) skip the
+        # self/cls slot; explicit unbound calls (ClassName.m(obj, ...))
+        # bind it positionally.
+        parts = call["name"].split(".")
+        unbound = len(parts) >= 2 and parts[-2] == callee.get("cls") \
+            and parts[-1] != "__init__" and callee["name"] != "__init__"
+        offset = 1 if params and params[0] in ("self", "cls") \
+            and not unbound else 0
+        for index, origin in enumerate(call.get("pos", ())):
+            slot = index + offset
+            if slot < len(params) and _is_opt_param(params[slot]):
+                yield from self._judge(path, call, callee_qual,
+                                       params[slot], origin)
+        for kw_name, origin in call.get("kw", {}).items():
+            if _is_opt_param(kw_name):
+                yield from self._judge(path, call, callee_qual, kw_name,
+                                       origin)
+
+    def _judge(self, path: str, call: dict, callee_qual: str,
+               param: str, origin: str) -> Iterable[Violation]:
+        origins = set(origin.split("|"))
+        bad = origins & _BAD_ORIGINS
+        if not bad:
+            return
+        yield self.violation(
+            path, call["lineno"], call["col"],
+            f"`{param}` of `{callee_qual}` receives a fresh numeric "
+            f"literal (origins: {origin}); OPT numbers must flow from "
+            "PMD fields or NO_NEXT_USE_RANK")

@@ -1,0 +1,60 @@
+"""SIM102 — trace-hook coverage of stats counter mutations.
+
+Every ``*Stats`` counter mutation must be observable: some function on
+a caller chain above the mutating statement has to carry an
+``obs.trace`` hook (a load of ``trace.ACTIVE`` or a call to one of the
+Tracer's hook methods), otherwise the counter moves while the event
+stream stays silent and the trace-vs-registry conservation bridge
+(``TileSummarySink``) under-counts.
+
+This is reverse reachability over the whole-program call graph —
+single-file rules (SIM010 polices *who* mutates, not *whether anyone
+watching can see it*) cannot express it.  Counters that are deliberate
+non-events (pure accounting roll-ups never crossed with a trace) carry
+a ``# lint: disable=SIM102`` with a justification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class TraceCoverageRule(SemanticRule):
+    code = "SIM102"
+    name = "trace-hook-coverage"
+    description = ("stats counter mutated on a path no obs.trace hook "
+                   "can observe (no trace-carrying caller chain)")
+    scope = "program"
+
+    def check_program(self, program) -> Iterable[Violation]:
+        # A function is trace-covered when itself or any transitive
+        # caller carries a hook.  Compute coverage once by flooding
+        # forward from every hook carrier along call edges.
+        covered: set[str] = set()
+        frontier = [fq for fq, func in program.functions()
+                    if func["trace_hook"]]
+        edges = program.call_edges
+        while frontier:
+            fq = frontier.pop()
+            if fq in covered:
+                continue
+            covered.add(fq)
+            frontier.extend(edges.get(fq, ()))
+
+        for fq, func in program.functions():
+            if not func["stats_mutations"] or fq in covered:
+                continue
+            module = fq.partition(":")[0]
+            path = program.modules[module]["path"]
+            for mutation in func["stats_mutations"]:
+                owner = mutation.get("stats_cls") or "*Stats"
+                yield self.violation(
+                    path, mutation["lineno"], 0,
+                    f"counter `{owner}.{mutation['field']}` is mutated in "
+                    f"`{func['qual']}` but no caller chain carries an "
+                    "obs.trace hook; route the event through a hooked "
+                    "note_* path or justify with a suppression")

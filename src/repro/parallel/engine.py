@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from repro.config import TCORConfig
+from repro.obs import trace as obs_trace
 from repro.experiments.common import (
     DEFAULT_SCALE,
     TILE_CACHE_SIZES,
@@ -76,21 +77,30 @@ def simulate_job_batch(alias: str, scale: float,
     Must stay a module-level function (pickled by name into the pool)
     and must mirror :class:`SimulationCache`'s simulation calls exactly
     so pooled and lazy results are interchangeable.
+
+    With the fork start method a worker inherits the parent's module
+    state, including any tracer installed in ``obs.trace.ACTIVE`` at
+    fork time — whose sinks hold duplicated file handles.  Simulating
+    under that inherited tracer would interleave worker events into the
+    parent's trace stream, so the batch runs under an explicit
+    ``activation(None)`` scope: process-local, restored on exit, and
+    the only module state this worker ever touches.
     """
-    workload = build_workload(BENCHMARKS[alias], scale=scale)
-    results = []
-    for job in jobs:
-        if job.kind == "baseline":
-            result = simulate_baseline(
-                workload, tile_cache_bytes=job.tile_cache_bytes)
-        else:
-            result = simulate_tcor(
-                workload,
-                tcor=TCORConfig.for_total_size(job.tile_cache_bytes),
-                l2_enhancements=(job.kind == "tcor"),
-            )
-        results.append((job, result))
-    return results
+    with obs_trace.activation(None):
+        workload = build_workload(BENCHMARKS[alias], scale=scale)
+        results = []
+        for job in jobs:
+            if job.kind == "baseline":
+                result = simulate_baseline(
+                    workload, tile_cache_bytes=job.tile_cache_bytes)
+            else:
+                result = simulate_tcor(
+                    workload,
+                    tcor=TCORConfig.for_total_size(job.tile_cache_bytes),
+                    l2_enhancements=(job.kind == "tcor"),
+                )
+            results.append((job, result))
+        return results
 
 
 class ParallelSimulationCache(SimulationCache):
@@ -180,9 +190,12 @@ class ParallelSimulationCache(SimulationCache):
 
         workers = min(self.jobs, len(by_alias))
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            # The worker's only reachable global write is its own scoped
+            # activation(None) — the fork-hygiene reset above, process-
+            # local and restored on exit.
             futures = [
-                pool.submit(simulate_job_batch, alias, self.scale,
-                            tuple(batch))
+                pool.submit(simulate_job_batch, alias,  # lint: disable=SIM101
+                            self.scale, tuple(batch))
                 for alias, batch in by_alias.items()
             ]
             for future in as_completed(futures):

@@ -144,6 +144,49 @@ class TestSuppression:
         assert result.violations == []
 
 
+class TestDecoratorSuppression:
+    """A decorator list and its ``def`` line are one statement: a
+    suppression anywhere on the span must cover findings anchored
+    anywhere on it, regardless of comment placement."""
+
+    def test_comment_on_decorator_line_covers_the_def(self, tmp_path):
+        write(tmp_path, "sim.py", """
+            import functools
+
+            @functools.lru_cache  # lint: disable=SIM002
+            def accumulate(item, into=[]):
+                return into
+        """)
+        result = lint_paths([str(tmp_path)], root=tmp_path, use_cache=False)
+        assert result.violations == []
+
+    def test_comment_on_the_def_covers_the_decorator_line(self, tmp_path):
+        write(tmp_path, "sim.py", """
+            import functools
+            import random
+
+            @functools.lru_cache(maxsize=random.randint(4, 8))
+            def pick(item):  # lint: disable=SIM001
+                return item
+        """)
+        result = lint_paths([str(tmp_path)], root=tmp_path, use_cache=False)
+        assert result.violations == []
+
+    def test_span_spreading_does_not_leak_past_the_def(self, tmp_path):
+        write(tmp_path, "sim.py", """
+            import functools
+            import random
+
+            @functools.lru_cache  # lint: disable=SIM001
+            def pick(items):
+                return items
+
+            stray = random.random()
+        """)
+        result = lint_paths([str(tmp_path)], root=tmp_path, use_cache=False)
+        assert [v.rule for v in result.violations] == ["SIM001"]
+
+
 class TestSelection:
     def test_select_runs_only_named_rules(self, tmp_path):
         write(tmp_path, "sim.py", """

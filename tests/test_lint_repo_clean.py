@@ -26,6 +26,22 @@ def test_shipped_tree_is_lint_clean():
     assert messages == []
 
 
+def test_shipped_tree_is_semantically_clean():
+    """The whole-program SIM1xx pass (call graph + CFG dataflow) blesses
+    the tree too: no fork-unsafe pool submissions, no untraced counter
+    mutations, no config mutation after construction, no dead counters,
+    no fresh OPT-number literals."""
+    result = lint_paths(
+        [str(REPO_ROOT / tree) for tree in LINTED_TREES],
+        root=REPO_ROOT, use_cache=False, semantic=True,
+    )
+    assert result.semantic_enabled
+    assert result.semantic_modules > 100  # the whole program was modelled
+    semantic = [violation.format() for violation in result.violations
+                if violation.rule.startswith("SIM1")]
+    assert semantic == []
+
+
 def test_seeded_violation_is_caught(tmp_path):
     """End-to-end guarantee: the same pass that blesses the tree still
     fails when a violation is introduced next to it."""

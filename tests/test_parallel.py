@@ -243,3 +243,22 @@ class TestJobBatchWorker:
         assert batch[jobs[1]] == lazy.tcor("GTr", 64 * KIB)
         assert batch[jobs[2]] == lazy.tcor("GTr", 64 * KIB,
                                            l2_enhancements=False)
+
+    def test_worker_sheds_a_fork_inherited_tracer(self):
+        """With the fork start method a worker inherits whatever tracer
+        the parent had installed in ``obs.trace.ACTIVE`` — whose sinks
+        hold the parent's duplicated file handles.  The worker must run
+        its batch with tracing off and restore the module state on the
+        way out (regression test for the SIM101 fork-safety finding)."""
+        from repro.obs import trace as obs_trace
+        from repro.parallel import simulate_job_batch
+
+        inherited = obs_trace.Tracer()
+        jobs = (SimJob("baseline", "GTr", 64 * KIB),)
+        with obs_trace.activation(inherited):
+            simulate_job_batch("GTr", SCALE, jobs)
+            # The simulation emitted nothing into the inherited tracer
+            # and left it installed for the (simulated) parent.
+            assert inherited.events_emitted == 0
+            assert obs_trace.ACTIVE is inherited
+        assert obs_trace.ACTIVE is None

@@ -1,0 +1,361 @@
+"""CFG construction and reaching-definitions dataflow.
+
+These pin the semantic layer's foundations: block structure for every
+compound-statement shape the simulator uses, conservative exception
+edges, and the flow-sensitive origin resolution the SIM1xx rules
+consume.
+"""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+from repro.lint.semantic.cfg import build_cfg
+from repro.lint.semantic.dataflow import (FunctionDataflow,
+                                          definitions_of_stmt)
+
+
+def func_of(source: str) -> ast.FunctionDef:
+    tree = ast.parse(dedent(source))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("no function in fixture")
+
+
+def stmt_of_line(func: ast.FunctionDef, lineno: int) -> ast.stmt:
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", None) \
+                == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestCfgShapes:
+    def test_straight_line_is_one_reachable_body_block(self):
+        cfg = build_cfg(func_of("""
+            def f(x):
+                a = x
+                b = a + 1
+                return b
+        """))
+        body_blocks = {bid for bid in cfg.reachable()
+                       if cfg.blocks[bid].stmts}
+        assert len(body_blocks) == 1
+
+    def test_if_else_branches_rejoin(self):
+        func = func_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        cfg = build_cfg(func)
+        test_block = cfg.block_of_stmt[id(func.body[0])]
+        return_block = cfg.block_of_stmt[id(func.body[1])]
+        # Both arms are successors of the test, and both reach the join.
+        assert len(cfg.blocks[test_block].succs) == 2
+        assert len(cfg.preds(return_block)) >= 1
+        assert return_block in cfg.reachable()
+
+    def test_return_links_to_exit_and_kills_fallthrough(self):
+        func = func_of("""
+            def f():
+                return 1
+                unreachable = 2
+        """)
+        cfg = build_cfg(func)
+        return_block = cfg.block_of_stmt[id(func.body[0])]
+        dead_block = cfg.block_of_stmt[id(func.body[1])]
+        assert cfg.exit in cfg.blocks[return_block].succs
+        assert dead_block not in cfg.reachable()
+
+    def test_while_else_break_skips_else(self):
+        func = func_of("""
+            def f(xs):
+                while xs:
+                    if xs[0]:
+                        break
+                    xs = xs[1:]
+                else:
+                    flag = 1
+                return xs
+        """)
+        cfg = build_cfg(func)
+        while_stmt = func.body[0]
+        else_block = cfg.block_of_stmt[id(while_stmt.orelse[0])]
+        break_stmt = while_stmt.body[0].body[0]
+        break_block = cfg.block_of_stmt[id(break_stmt)]
+        after_block = cfg.block_of_stmt[id(func.body[1])]
+        # break jumps straight to after-the-loop, never into else.
+        assert after_block in cfg.blocks[break_block].succs
+        assert else_block not in cfg.blocks[break_block].succs
+        # normal exhaustion runs else, which falls into after.
+        header_block = cfg.block_of_stmt[id(while_stmt)]
+        assert else_block in cfg.blocks[header_block].succs
+        reachable_from_else = {else_block}
+        frontier = [else_block]
+        while frontier:
+            for succ in cfg.blocks[frontier.pop()].succs:
+                if succ not in reachable_from_else:
+                    reachable_from_else.add(succ)
+                    frontier.append(succ)
+        assert after_block in reachable_from_else
+
+    def test_for_loop_has_back_edge(self):
+        func = func_of("""
+            def f(xs):
+                total = 0
+                for x in xs:
+                    total += x
+                return total
+        """)
+        cfg = build_cfg(func)
+        for_stmt = func.body[1]
+        header = cfg.block_of_stmt[id(for_stmt)]
+        body = cfg.block_of_stmt[id(for_stmt.body[0])]
+        assert body in cfg.blocks[header].succs
+        assert header in cfg.blocks[body].succs  # the back edge
+
+    def test_try_body_blocks_edge_into_every_handler(self):
+        func = func_of("""
+            def f():
+                try:
+                    a = 1
+                    b = 2
+                except ValueError:
+                    x = 1
+                except KeyError:
+                    y = 2
+                return 0
+        """)
+        cfg = build_cfg(func)
+        try_stmt = func.body[0]
+        body_block = cfg.block_of_stmt[id(try_stmt.body[0])]
+        handler_blocks = [cfg.block_of_stmt[id(h)]
+                          for h in try_stmt.handlers]
+        for handler_block in handler_blocks:
+            assert handler_block in cfg.blocks[body_block].succs
+
+    def test_finally_runs_on_both_the_normal_and_handled_paths(self):
+        func = func_of("""
+            def f():
+                try:
+                    a = 1
+                except ValueError:
+                    b = 2
+                finally:
+                    c = 3
+                return c
+        """)
+        cfg = build_cfg(func)
+        try_stmt = func.body[0]
+        final_block = cfg.block_of_stmt[id(try_stmt.finalbody[0])]
+        body_block = cfg.block_of_stmt[id(try_stmt.body[0])]
+        handler_block = cfg.block_of_stmt[id(try_stmt.handlers[0])]
+        handler_exit = cfg.block_of_stmt[id(try_stmt.handlers[0].body[0])]
+        assert final_block in cfg.blocks[body_block].succs
+        assert final_block in cfg.blocks[handler_exit].succs \
+            or final_block in cfg.blocks[handler_block].succs
+        # finally re-raises as well as falls through.
+        assert cfg.exit in cfg.blocks[final_block].succs
+
+    def test_match_with_wildcard_has_no_fallthrough(self):
+        func = func_of("""
+            def f(x):
+                match x:
+                    case 1:
+                        a = 1
+                    case _:
+                        a = 2
+                return a
+        """)
+        cfg = build_cfg(func)
+        match_stmt = func.body[0]
+        match_block = cfg.block_of_stmt[id(match_stmt)]
+        return_block = cfg.block_of_stmt[id(func.body[1])]
+        # Every path out of the subject goes through a case body.
+        assert return_block not in cfg.blocks[match_block].succs
+
+    def test_match_without_wildcard_keeps_fallthrough(self):
+        func = func_of("""
+            def f(x):
+                match x:
+                    case 1:
+                        a = 1
+                return x
+        """)
+        cfg = build_cfg(func)
+        match_stmt = func.body[0]
+        match_block = cfg.block_of_stmt[id(match_stmt)]
+        return_block = cfg.block_of_stmt[id(func.body[1])]
+        assert return_block in cfg.blocks[match_block].succs
+
+
+class TestDefinitionHarvest:
+    def test_unpacking_and_augmented_targets(self):
+        func = func_of("""
+            def f(pair):
+                a, b = pair
+                a += 1
+        """)
+        unpack = definitions_of_stmt(func.body[0])
+        assert {(name, kind) for name, kind, _ in unpack} \
+            == {("a", "unpack"), ("b", "unpack")}
+        aug = definitions_of_stmt(func.body[1])
+        assert [(name, kind) for name, kind, _ in aug] == [("a", "aug")]
+
+    def test_walrus_in_condition_binds(self):
+        func = func_of("""
+            def f(xs):
+                if (n := len(xs)) > 3:
+                    return n
+                return 0
+        """)
+        names = {name for name, _, _ in definitions_of_stmt(func.body[0])}
+        assert names == {"n"}
+
+    def test_comprehension_targets_harvested_once(self):
+        func = func_of("""
+            def f(xs):
+                if sum(y for y in xs) > 0:
+                    pass
+                return 0
+        """)
+        defs = definitions_of_stmt(func.body[0])
+        assert [(name, kind) for name, kind, _ in defs] == [("y", "comp")]
+
+    def test_nested_statement_bodies_are_not_double_harvested(self):
+        func = func_of("""
+            def f(xs):
+                for x in xs:
+                    inner = x
+        """)
+        for_defs = definitions_of_stmt(func.body[0])
+        # The for statement binds only its own target; `inner` belongs
+        # to the body statement placed in the body block.
+        assert [(name, kind) for name, kind, _ in for_defs] \
+            == [("x", "iter")]
+
+    def test_with_as_except_as_and_imports_bind(self):
+        func = func_of("""
+            def f(path):
+                import json as j
+                with open(path) as handle:
+                    try:
+                        data = j.load(handle)
+                    except ValueError as error:
+                        data = repr(error)
+                return data
+        """)
+        import_names = {n for n, _, _
+                        in definitions_of_stmt(func.body[0])}
+        with_names = {n for n, _, _ in definitions_of_stmt(func.body[1])}
+        handler = func.body[1].body[0].handlers[0]
+        except_names = {n for n, _, _ in definitions_of_stmt(handler)}
+        assert import_names == {"j"}
+        assert with_names == {"handle"}
+        assert except_names == {"error"}
+
+
+class TestReachingDefinitions:
+    def test_defs_before_a_possible_raise_reach_the_handler(self):
+        func = func_of("""
+            def f():
+                before = 1
+                try:
+                    risky = compute()
+                    after = 2
+                except ValueError:
+                    use = before
+                return 0
+        """)
+        flow = FunctionDataflow(func)
+        handler = func.body[1].handlers[0]
+        handler_block = flow.cfg.block_of_stmt[id(handler)]
+        names = flow.reaching.names_reaching_block(handler_block)
+        assert "before" in names
+        assert "risky" in names  # conservative: the raise may follow it
+
+    def test_branch_join_merges_both_definitions(self):
+        func = func_of("""
+            def f(flag):
+                if flag:
+                    value = make_a()
+                else:
+                    value = 7
+                return value
+        """)
+        flow = FunctionDataflow(func)
+        origins = flow.origins_of_name("value", func.body[1])
+        assert origins == {"call:make_a", "lit:int"}
+
+    def test_redefinition_kills_upstream_origin(self):
+        func = func_of("""
+            def f():
+                value = "text"
+                value = 7
+                return value
+        """)
+        flow = FunctionDataflow(func)
+        origins = flow.origins_of_name("value", func.body[2])
+        assert origins == {"lit:int"}
+
+    def test_loop_carried_definition_reaches_the_header(self):
+        func = func_of("""
+            def f(xs):
+                total = 0
+                for x in xs:
+                    total = total + x
+                return total
+        """)
+        flow = FunctionDataflow(func)
+        return_block = flow.cfg.block_of_stmt[id(func.body[2])]
+        reaching = flow.reaching.defs_reaching_block(return_block)
+        totals = [d for d in reaching if d.name == "total"]
+        assert len(totals) == 2  # the init and the loop-carried def
+
+
+class TestOrigins:
+    def test_param_attribute_call_and_const_origins(self):
+        func = func_of("""
+            def f(pmd, k):
+                a = pmd.opt_number
+                b = TCORConfig(k)
+                c = NO_NEXT_USE_RANK
+                return a, b, c
+        """)
+        flow = FunctionDataflow(func)
+        at = func.body[3]
+        assert flow.origins_of_name("a", at) == {"attr:opt_number"}
+        assert flow.origins_of_name("b", at) == {"call:TCORConfig"}
+        assert flow.origins_of_name("c", at) == {"const:NO_NEXT_USE_RANK"}
+        assert flow.origins_of_name("k", at) == {"param:k"}
+
+    def test_import_alias_canonicalizes_call_origin(self):
+        tree = ast.parse(dedent("""
+            from concurrent.futures import ProcessPoolExecutor as Pool
+
+            def f():
+                pool = Pool()
+                return pool
+        """))
+        func = tree.body[1]
+        from repro.lint.core import import_aliases
+        flow = FunctionDataflow(func, import_aliases(tree))
+        origins = flow.origins_of_name("pool", func.body[1])
+        assert origins == {"call:concurrent.futures.ProcessPoolExecutor"}
+
+    def test_global_declaration_dominates(self):
+        func = func_of("""
+            def f():
+                global COUNTER
+                COUNTER = COUNTER + 1
+                return COUNTER
+        """)
+        flow = FunctionDataflow(func)
+        assert flow.origins_of_name("COUNTER", func.body[2]) \
+            == {"global:COUNTER"}

@@ -1,0 +1,305 @@
+"""The five SIM1xx whole-program rules, on fixture projects.
+
+Each fixture is a ``{path: source}`` dict fed straight to
+:func:`semantic_pass` with caching off — the same entry point the
+engine uses, so suppressions, rule scoping and message text are all
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.lint.semantic.engine import semantic_pass
+
+
+def run(sources: dict[str, str], select: set[str] | None = None):
+    dedented = {path: dedent(source) for path, source in sources.items()}
+    return semantic_pass(dedented, select=select)
+
+
+def rules_of(result) -> list[str]:
+    return [violation.rule for violation in result.violations]
+
+
+WORKER_POOL = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    TICKS = 0
+
+    def bump():
+        global TICKS
+        TICKS += 1
+
+    def worker(n):
+        bump()
+        return n
+
+    def clean_worker(n):
+        return n * 2
+
+    def fan_out(jobs):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(worker, job) for job in jobs]
+
+    def fan_out_clean(jobs):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(clean_worker, job) for job in jobs]
+"""
+
+
+class TestForkSafety:
+    def test_transitive_global_write_is_flagged_at_the_submit_site(self):
+        result = run({"src/pkg/pool.py": WORKER_POOL},
+                     select={"SIM101"})
+        assert rules_of(result) == ["SIM101"]
+        violation = result.violations[0]
+        assert "TICKS" in violation.message
+        assert "worker" in violation.message
+        # Anchored at the submit call, not at the global write.
+        assert "pool.submit(worker" in dedent(WORKER_POOL).splitlines()[
+            violation.line - 1]
+
+    def test_lambda_and_nested_submissions_are_unpicklable(self):
+        result = run({"src/pkg/pool.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                def local(job):
+                    return job
+                with ProcessPoolExecutor() as pool:
+                    pool.submit(lambda j: j, jobs[0])
+                    pool.submit(local, jobs[1])
+        """}, select={"SIM101"})
+        messages = sorted(v.message for v in result.violations)
+        assert len(messages) == 2
+        assert "lambda" in messages[0]
+        assert "nested function" in messages[1]
+
+    def test_thread_pools_are_not_flagged(self):
+        result = run({"src/pkg/pool.py": """
+            from concurrent.futures import ThreadPoolExecutor
+
+            STATE = 0
+
+            def worker(n):
+                global STATE
+                STATE = n
+
+            def fan_out(jobs):
+                with ThreadPoolExecutor() as pool:
+                    return [pool.submit(worker, job) for job in jobs]
+        """}, select={"SIM101"})
+        assert rules_of(result) == []
+
+
+class TestTraceCoverage:
+    def test_unhooked_stats_mutation_is_flagged(self):
+        result = run({"src/pkg/stats.py": """
+            class FooStats:
+                hits: int = 0
+
+            class Foo:
+                def __init__(self):
+                    self.stats = FooStats()
+
+                def touch(self):
+                    self.stats.hits += 1
+        """}, select={"SIM102"})
+        assert rules_of(result) == ["SIM102"]
+        assert "FooStats.hits" in result.violations[0].message
+
+    def test_hook_on_a_caller_chain_covers_the_mutation(self):
+        result = run({"src/pkg/stats.py": """
+            from pkg import trace
+
+            class FooStats:
+                hits: int = 0
+
+                def note_hit(self):
+                    self.hits += 1
+
+            class Foo:
+                def __init__(self):
+                    self.stats = FooStats()
+
+                def touch(self):
+                    tracer = trace.ACTIVE
+                    self.stats.note_hit()
+        """}, select={"SIM102"})
+        assert rules_of(result) == []
+
+    def test_file_suppression_silences_the_finding_through_the_engine(
+            self, tmp_path):
+        from repro.lint import lint_paths
+        source = dedent("""
+            # lint: disable-file=SIM102
+            class FooStats:
+                hits: int = 0
+
+            class Foo:
+                def __init__(self):
+                    self.stats = FooStats()
+
+                def touch(self):
+                    self.stats.hits += 1
+        """)
+        (tmp_path / "stats.py").write_text(source)
+        result = lint_paths([str(tmp_path)], root=tmp_path,
+                            use_cache=False, semantic=True,
+                            select={"SIM102"})
+        assert rules_of(result) == []
+        # The raw pass still sees it — suppression is the engine's job.
+        raw = semantic_pass({"stats.py": source}, select={"SIM102"})
+        assert rules_of(raw) == ["SIM102"]
+
+
+class TestConfigFreeze:
+    def test_param_annotated_config_store_is_flagged(self):
+        result = run({"src/pkg/tune.py": """
+            class RunConfig:
+                def __init__(self, scale: float):
+                    self.scale = scale
+
+            def tune(config: RunConfig):
+                config.scale = 2.0
+        """}, select={"SIM103"})
+        assert rules_of(result) == ["SIM103"]
+        assert "dataclasses.replace" in result.violations[0].message
+
+    def test_setattr_and_dict_writes_are_caught(self):
+        result = run({"src/pkg/tune.py": """
+            class RunConfig:
+                def __init__(self, scale: float):
+                    self.scale = scale
+
+            def sneak(config: RunConfig):
+                setattr(config, "scale", 2.0)
+                config.__dict__["scale"] = 3.0
+        """}, select={"SIM103"})
+        vias = sorted(v.message.split(" mutates")[0]
+                      for v in result.violations)
+        assert len(result.violations) == 2
+        assert vias == ["__dict__ write", "setattr()"]
+
+    def test_construction_in_the_config_class_is_exempt(self):
+        result = run({"src/pkg/tune.py": """
+            class RunConfig:
+                def __init__(self, scale: float):
+                    self.scale = scale
+                    object.__setattr__(self, "frozen", True)
+        """}, select={"SIM103"})
+        assert rules_of(result) == []
+
+    def test_constructor_call_receiver_is_flagged(self):
+        result = run({"src/pkg/tune.py": """
+            class RunConfig:
+                def __init__(self):
+                    self.scale = 1.0
+
+            def fresh_then_mutated():
+                config = RunConfig()
+                config.scale = 2.0
+                return config
+        """}, select={"SIM103"})
+        assert rules_of(result) == ["SIM103"]
+
+
+class TestDeadCounters:
+    def test_invariant_referencing_unknown_counter_is_flagged(self):
+        result = run({"src/pkg/obs.py": """
+            class CacheStats:
+                hits: int = 0
+
+            def wire(registry):
+                registry.expect_sum(
+                    "totals", ["live.hits", "live.ghost_counter"], "sum")
+        """}, select={"SIM104"})
+        assert rules_of(result) == ["SIM104"]
+        assert "ghost_counter" in result.violations[0].message
+
+    def test_class_scoped_starved_counter_is_flagged(self):
+        result = run({"src/pkg/stats.py": """
+            class FedStats:
+                evictions: int = 0
+
+            class StarvedStats:
+                evictions: int = 0
+
+            class Fed:
+                def __init__(self):
+                    self.stats = FedStats()
+
+                def evict(self):
+                    self.stats.evictions += 1
+        """}, select={"SIM104"})
+        assert rules_of(result) == ["SIM104"]
+        assert "StarvedStats.evictions" in result.violations[0].message
+
+    def test_registry_owned_metrics_satisfy_the_invariant(self):
+        result = run({"src/pkg/obs.py": """
+            def wire(registry):
+                registry.count("live.requests", 1)
+                registry.expect_sum("totals", ["live.requests"], "sum")
+        """}, select={"SIM104"})
+        assert rules_of(result) == []
+
+
+class TestOptProvenance:
+    def test_fresh_literal_opt_number_is_flagged(self):
+        result = run({
+            "src/repro/caches/policy.py": """
+                class Policy:
+                    def insert(self, tag, opt_number):
+                        return (tag, opt_number)
+            """,
+            "src/repro/tcor/feed.py": """
+                from repro.caches.policy import Policy
+
+                def feed(policy: Policy):
+                    policy.insert("t", 7)
+            """,
+        }, select={"SIM105"})
+        assert rules_of(result) == ["SIM105"]
+        assert "opt_number" in result.violations[0].message
+
+    def test_pmd_sourced_and_sentinel_opt_numbers_pass(self):
+        result = run({
+            "src/repro/caches/policy.py": """
+                class Policy:
+                    def insert(self, tag, opt_number):
+                        return (tag, opt_number)
+            """,
+            "src/repro/tcor/feed.py": """
+                from repro.caches.policy import Policy
+
+                def feed(policy: Policy, pmd):
+                    policy.insert("t", pmd.opt_number)
+                    policy.insert("t", opt_number=NO_NEXT_USE_RANK)
+            """,
+        }, select={"SIM105"})
+        assert rules_of(result) == []
+
+    def test_keyword_literal_is_flagged_outside_positional_slots(self):
+        result = run({
+            "src/repro/tcor/feed.py": """
+                def rank_line(tag, opt_number=0):
+                    return (tag, opt_number)
+
+                def feed():
+                    rank_line("t", opt_number=3)
+            """,
+        }, select={"SIM105"})
+        assert rules_of(result) == ["SIM105"]
+
+    def test_calls_outside_tcor_namespaces_are_ignored(self):
+        result = run({
+            "src/pkg/free.py": """
+                def helper(opt_number):
+                    return opt_number
+
+                def feed():
+                    helper(3)
+            """,
+        }, select={"SIM105"})
+        assert rules_of(result) == []
