@@ -1,0 +1,87 @@
+"""Serving-layer throughput and coalescing benchmarks (PR 5).
+
+Two service-level measurements over a real in-process server (real
+event loop, real process pool, real simulator):
+
+- sustained throughput, as jobs/sec over a mixed queue of distinct
+  requests (micro-batching and per-alias workload sharing are what's
+  being measured — the batch of N distinct configs per alias costs one
+  workload build, not N);
+- the coalescing path: a duplicate-heavy burst, reporting the
+  coalesce hit rate (duplicates absorbed without a pool slot).
+
+Both attach their service metrics to the pytest-benchmark record
+(``extra_info``), so the CI artifact (``BENCH_PR5.json``) carries
+jobs/sec and the coalesce rate alongside wall time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.api import SimulationConfig
+from repro.config import KIB
+from repro.serve import InProcessServer, JobRequest
+
+SERVE_ALIASES = ("GTr", "CCS")
+SIZES = (32 * KIB, 64 * KIB, 128 * KIB)
+
+
+def test_serve_throughput_mixed_queue(benchmark):
+    """Jobs/sec over 2 aliases x 3 sizes of distinct requests."""
+    requests = [
+        JobRequest(alias=alias, scale=BENCH_SCALE,
+                   config=SimulationConfig(tile_cache_bytes=size))
+        for alias in SERVE_ALIASES for size in SIZES
+    ]
+
+    def run():
+        with InProcessServer(jobs=2, batch_window_s=0.05,
+                             batch_max=8) as server:
+            with server.client() as client:
+                ids = [client.submit(request)["id"]
+                       for request in requests]
+                results = [client.wait(job_id, timeout_s=1800)
+                           for job_id in ids]
+                metrics = client.metrics()
+        return results, metrics
+
+    results, metrics = run_once(benchmark, run)
+    assert all(result.ok for result in results)
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info["jobs"] = len(requests)
+    benchmark.extra_info["jobs_per_sec"] = round(
+        len(requests) / elapsed, 3)
+    benchmark.extra_info["batches"] = metrics["serve.batches"]
+    # Micro-batching must group the per-alias work: never one batch
+    # per job, at most one batch per (alias, scale) group per window.
+    assert metrics["serve.batches"] <= len(requests)
+    assert metrics["serve.batch_jobs"] == len(requests)
+
+
+def test_serve_coalescing_duplicate_burst(benchmark):
+    """A duplicate-heavy burst: 2 distinct requests, 12 submissions."""
+    distinct = [
+        JobRequest(alias="GTr", scale=BENCH_SCALE,
+                   config=SimulationConfig(tile_cache_bytes=size))
+        for size in (64 * KIB, 128 * KIB)
+    ]
+    burst = distinct * 6
+
+    def run():
+        with InProcessServer(jobs=2, batch_window_s=0.2) as server:
+            with server.client() as client:
+                ids = [client.submit(request)["id"] for request in burst]
+                results = [client.wait(job_id, timeout_s=1800)
+                           for job_id in set(ids)]
+                metrics = client.metrics()
+        return results, metrics
+
+    results, metrics = run_once(benchmark, run)
+    assert all(result.ok for result in results)
+    coalesced = metrics["serve.coalesced"]
+    accepted = metrics["serve.accepted"]
+    rate = coalesced / metrics["serve.submitted"]
+    benchmark.extra_info["submitted"] = metrics["serve.submitted"]
+    benchmark.extra_info["coalesce_hit_rate"] = round(rate, 3)
+    assert accepted == len(distinct)
+    assert coalesced == len(burst) - len(distinct)

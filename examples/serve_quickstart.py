@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Serving-layer quickstart — and the CI smoke test for ``tcor-serve``.
+
+Launches the real ``tcor-serve`` CLI as a subprocess, then walks the
+whole service surface the way a downstream user would:
+
+1. submit a simulation and block for the typed result;
+2. fire a burst of duplicate submissions and watch them coalesce onto
+   one in-flight simulation (``serve.coalesced`` on ``/metrics``);
+3. scrape ``/metrics`` over HTTP and parse the Prometheus text;
+4. send SIGTERM and verify the server drains and exits 0.
+
+Run:
+    python examples/serve_quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.api import SimulationConfig
+from repro.config import KIB
+from repro.obs import parse_prometheus_text
+from repro.serve import JobRequest, ServeClient
+
+SCALE = 0.1
+
+
+def launch(port_file: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--port-file", str(port_file), "--jobs", "2",
+         "--batch-window", "0.2", "--no-disk-cache"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+def await_port(port_file: Path, timeout_s: float = 60.0) -> int:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text())
+        time.sleep(0.05)
+    raise RuntimeError("server did not bind a port in time")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        port_file = Path(tmp) / "port"
+        server = launch(port_file)
+        try:
+            port = await_port(port_file)
+            print(f"server is up on port {port}")
+
+            # 1. One simulation, submitted and awaited in one call.
+            request = JobRequest(
+                alias="GTr", scale=SCALE,
+                config=SimulationConfig(kind="tcor"))
+            with ServeClient(port=port) as client:
+                result = client.run(request, timeout_s=600)
+                print(f"GTr tcor: state={result.state} "
+                      f"lane={result.lane} ok={result.ok} "
+                      f"mm_reads={result.result.mm_reads}")
+                assert result.ok
+
+                # 2. A duplicate burst: every submission lands on the
+                # same job; only one simulation runs.
+                dup = JobRequest(
+                    alias="CCS", scale=SCALE,
+                    config=SimulationConfig(tile_cache_bytes=64 * KIB))
+                ids = {client.submit(dup)["id"] for _ in range(5)}
+                assert len(ids) == 1, "duplicates did not share a job"
+                burst = client.wait(ids.pop(), timeout_s=600)
+                assert burst.ok
+                metrics = client.metrics()
+                print(f"burst of 5 -> coalesced="
+                      f"{metrics['serve.coalesced']:.0f} "
+                      f"accepted={metrics['serve.accepted']:.0f}")
+                assert metrics["serve.coalesced"] == 4
+
+            # 3. The Prometheus surface, over plain HTTP.
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics") as resp:
+                scraped = parse_prometheus_text(resp.read().decode())
+            print(f"/metrics: serve.completed="
+                  f"{scraped['serve.completed']:.0f} "
+                  f"serve.batches={scraped['serve.batches']:.0f}")
+            assert scraped["serve.completed"] >= 2
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz") as resp:
+                health = json.load(resp)
+            assert health["ok"] and not health["draining"]
+
+            # 4. Graceful shutdown: SIGTERM drains and exits 0.
+            server.send_signal(signal.SIGTERM)
+            output, _ = server.communicate(timeout=600)
+            print("-- server log " + "-" * 40)
+            print(output.strip())
+            assert server.returncode == 0, "drain did not exit cleanly"
+            print("server drained and exited 0")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate()
+    print("serve quickstart: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from repro.obs.events import (
     Eviction,
     MemoryTraffic,
     OptDecision,
+    ServeDecision,
     TileMark,
     TraceEvent,
     TraceHeader,
@@ -69,6 +70,7 @@ __all__ = [
     "MetricsRegistry",
     "Observation",
     "OptDecision",
+    "ServeDecision",
     "Sink",
     "StatsLike",
     "TileMark",

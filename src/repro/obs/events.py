@@ -123,13 +123,34 @@ class DramAccess:
     outcome: str
 
 
+@dataclass(frozen=True, slots=True)
+class ServeDecision:
+    """One scheduling decision made by the simulation service.
+
+    ``op`` names the decision (``submit``, ``enqueue``, ``coalesce``,
+    ``memo_hit``, ``disk_hit``, ``reject``, ``dispatch``, ``complete``,
+    ``fail``, ``retry``, ``timeout``, ``recycle``, ``drain``); ``key``
+    is the deterministic request key the decision concerns (``None``
+    for pool-wide decisions); ``lane`` is how the job is being served
+    (``pool``, ``disk`` or ``memo``); ``jobs`` counts the jobs a
+    batch-level decision covers.
+    """
+
+    op: str
+    key: str | None = None
+    lane: str | None = None
+    jobs: int = 0
+
+
 TraceEvent = (TraceHeader | CacheAccess | Eviction | OptDecision
-              | DeadLineDrop | TileMark | MemoryTraffic | DramAccess)
+              | DeadLineDrop | TileMark | MemoryTraffic | DramAccess
+              | ServeDecision)
 
 _EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (TraceHeader, CacheAccess, Eviction, OptDecision,
-                DeadLineDrop, TileMark, MemoryTraffic, DramAccess)
+                DeadLineDrop, TileMark, MemoryTraffic, DramAccess,
+                ServeDecision)
 }
 
 

@@ -24,6 +24,8 @@ from repro.parallel.store import (
     DEFAULT_CACHE_DIR,
     DiskCache,
     experiment_code_signature,
+    result_from_dict,
+    result_to_dict,
     simulation_code_signature,
 )
 
@@ -35,6 +37,8 @@ __all__ = [
     "SimJob",
     "enumerate_jobs",
     "experiment_code_signature",
+    "result_from_dict",
+    "result_to_dict",
     "simulate_job_batch",
     "simulation_code_signature",
 ]

@@ -189,7 +189,8 @@ class ParallelSimulationCache(SimulationCache):
             return len(pending)
 
         workers = min(self.jobs, len(by_alias))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             # The worker's only reachable global write is its own scoped
             # activation(None) — the fork-hygiene reset above, process-
             # local and restored on exit.
@@ -201,4 +202,12 @@ class ParallelSimulationCache(SimulationCache):
             for future in as_completed(futures):
                 for job, result in future.result():
                     self._store_job(job, result)
+        except BaseException:
+            # Ctrl-C (or a server drain cancelling the prefetch) must
+            # not block on — or orphan — workers still crunching queued
+            # batches: drop everything not yet started and re-raise
+            # without waiting for stragglers.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
         return len(pending)

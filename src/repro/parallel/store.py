@@ -18,8 +18,10 @@ torn record, and unreadable records degrade to cache misses.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from dataclasses import asdict, fields
 from pathlib import Path
 
@@ -94,14 +96,23 @@ def experiment_code_signature(package_root: str | os.PathLike | None = None
     return _tree_signature(_package_root(package_root), _EXPERIMENT_SOURCES)
 
 
-def _result_to_dict(result: SystemResult) -> dict:
+def result_to_dict(result: SystemResult) -> dict:
+    """JSON-serializable form of one ``SystemResult`` record."""
     return asdict(result)
 
 
-def _result_from_dict(data: dict) -> SystemResult:
+def result_from_dict(data: dict) -> SystemResult:
+    """Inverse of :func:`result_to_dict`; unknown keys are dropped so
+    old records stay loadable when ``SystemResult`` grows a field."""
     names = {f.name for f in fields(SystemResult)}
     return SystemResult(**{key: value for key, value in data.items()
                            if key in names})
+
+
+# Distinguishes temp files written by concurrent threads of one process
+# (the serve scheduler's write-through and the pool engine share a
+# cache directory); the pid component covers concurrent processes.
+_TMP_SEQUENCE = itertools.count()
 
 
 class DiskCache:
@@ -170,13 +181,20 @@ class DiskCache:
 
     def _read(self, key: str) -> SystemResult | None:
         data = self._load(key)
-        return None if data is None else _result_from_dict(data)
+        return None if data is None else result_from_dict(data)
 
     def _write(self, key: str, meta: dict, data: dict | list) -> None:
+        # The temp name is unique per (process, thread, write), so any
+        # number of concurrent writers — pool workers, server batches,
+        # separate CLI invocations — publish whole records via
+        # ``os.replace`` without ever clobbering each other's temp
+        # files; the last writer of one key wins with identical bytes.
         record = {"version": CACHE_VERSION, "signature": self.signature,
                   "meta": meta, "data": data}
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_TMP_SEQUENCE)}")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             tmp.write_text(json.dumps(record, sort_keys=True, default=str))
@@ -201,7 +219,7 @@ class DiskCache:
         payload = self._baseline_payload(spec, scale, tile_cache_bytes)
         meta = {"kind": "baseline", "alias": spec.alias, "scale": scale,
                 "tile_cache_bytes": tile_cache_bytes}
-        self._write(self._key(payload), meta, _result_to_dict(result))
+        self._write(self._key(payload), meta, result_to_dict(result))
 
     def get_tcor(self, spec: BenchmarkSpec, scale: float, tcor: TCORConfig,
                  l2_enhancements: bool) -> SystemResult | None:
@@ -214,7 +232,7 @@ class DiskCache:
         payload = self._tcor_payload(spec, scale, tcor, l2_enhancements)
         meta = {"kind": "tcor", "alias": spec.alias, "scale": scale,
                 "l2_enhancements": l2_enhancements}
-        self._write(self._key(payload), meta, _result_to_dict(result))
+        self._write(self._key(payload), meta, result_to_dict(result))
 
     # -- runner-facing table records -----------------------------------
     def _tables_payload(self, experiment: str, scale: float,

@@ -1,0 +1,55 @@
+"""``repro.serve`` — async simulation-as-a-service over the simulator.
+
+The serving layer turns the one-shot library (``repro.api``) and batch
+experiment engine (``repro.parallel``) into a long-lived service (see
+DESIGN.md, "The serving layer"):
+
+- :mod:`~repro.serve.schema` — the typed JSON wire schema
+  (:class:`JobRequest` / :class:`JobStatus` / :class:`JobResult` /
+  :class:`ServeError`) and the deterministic request key that powers
+  coalescing and the disk-warm lane;
+- :mod:`~repro.serve.scheduler` — admission control, micro-batching,
+  in-flight coalescing, priority lanes, cache-aware ordering, retry /
+  timeout / watchdog robustness over one process pool;
+- :mod:`~repro.serve.server` — the stdlib ``asyncio`` front door
+  speaking newline-delimited JSON and a thin HTTP/1.1 subset
+  (``/submit``, ``/status/<id>``, ``/result/<id>``, ``/healthz``,
+  ``/metrics``) on one port;
+- :mod:`~repro.serve.client` — the blocking NDJSON client;
+- :mod:`~repro.serve.inprocess` — a real server on a background
+  thread, for tests and notebooks;
+- :mod:`~repro.serve.cli` — the ``tcor-serve`` console entry point
+  with graceful SIGTERM/SIGINT drain.
+
+The serving contract: a served simulation is *byte-identical* to a
+direct :func:`repro.api.simulate` call with the same config — the
+worker runs the exact same facade, and the equivalence suite holds the
+service to it.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.inprocess import InProcessServer
+from repro.serve.metrics import ServeMetrics
+from repro.serve.scheduler import Scheduler
+from repro.serve.schema import (
+    JobRequest,
+    JobResult,
+    JobStatus,
+    ServeError,
+    request_key,
+)
+from repro.serve.server import SimulationServer
+
+__all__ = [
+    "InProcessServer",
+    "JobRequest",
+    "JobResult",
+    "JobStatus",
+    "Scheduler",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "ServeMetrics",
+    "SimulationServer",
+    "request_key",
+]

@@ -1,0 +1,123 @@
+"""``tcor-serve`` — run the simulation service from the command line.
+
+Wires the full stack together: a :class:`~repro.serve.scheduler.
+Scheduler` over a process pool (optionally backed by the PR 2 disk
+cache), a :class:`~repro.serve.server.SimulationServer` on a TCP
+port, signal-driven graceful shutdown (SIGTERM/SIGINT start a drain:
+in-flight and queued jobs finish, new submissions get 503, then the
+process exits 0), and optional structured tracing via ``repro.obs``.
+
+``--port-file`` writes the bound port (useful with ``--port 0``) so
+wrappers and tests can discover the ephemeral port race-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from pathlib import Path
+
+import contextlib
+
+from repro.obs import JsonlSink, Tracer, activation
+from repro.parallel.store import DiskCache
+from repro.serve.scheduler import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_BATCH_WINDOW_S,
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TIMEOUT_S,
+    Scheduler,
+)
+from repro.serve.server import SimulationServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tcor-serve",
+        description="Async simulation service over the TCOR simulator")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8763,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--port-file", type=Path, default=None,
+                        help="write the bound port to this file once "
+                             "listening")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes in the simulation pool")
+    parser.add_argument("--queue-limit", type=int,
+                        default=DEFAULT_QUEUE_LIMIT,
+                        help="admission limit on live jobs (429 beyond)")
+    parser.add_argument("--batch-window", type=float,
+                        default=DEFAULT_BATCH_WINDOW_S, metavar="S",
+                        help="micro-batching window in seconds")
+    parser.add_argument("--batch-max", type=int, default=DEFAULT_BATCH_MAX,
+                        help="max jobs per micro-batch")
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S,
+                        metavar="S", help="default per-job timeout")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="PR 2 disk-cache directory for the warm "
+                             "lane (shared with tcor-experiments)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the disk-warm lane entirely")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="write scheduling decisions as a JSONL "
+                             "event trace")
+    parser.add_argument("--drain-timeout", type=float, default=60.0,
+                        metavar="S",
+                        help="max seconds to wait for live jobs on "
+                             "SIGTERM/SIGINT")
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    disk = None
+    if not args.no_disk_cache:
+        disk = (DiskCache(args.cache_dir) if args.cache_dir is not None
+                else DiskCache())
+    scheduler = Scheduler(jobs=args.jobs, queue_limit=args.queue_limit,
+                          batch_window_s=args.batch_window,
+                          batch_max=args.batch_max, disk=disk,
+                          default_timeout_s=args.timeout)
+    server = SimulationServer(scheduler, host=args.host, port=args.port)
+    await server.start()
+    if args.port_file is not None:
+        args.port_file.write_text(f"{server.port}\n")
+    print(f"tcor-serve listening on {server.host}:{server.port} "
+          f"(pool={args.jobs}, queue_limit={args.queue_limit}, "
+          f"disk={'on' if disk is not None else 'off'})")
+    sys.stdout.flush()
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    serve_task = asyncio.create_task(server.serve_forever())
+    await stop.wait()
+    print("tcor-serve: draining (finishing live jobs, rejecting new "
+          "submissions)")
+    sys.stdout.flush()
+    live = await server.drain(args.drain_timeout)
+    serve_task.cancel()
+    await asyncio.gather(serve_task, return_exceptions=True)
+    print(f"tcor-serve: drained {live} live job(s); bye")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer(sinks=[JsonlSink(str(args.trace))])
+    scope = activation(tracer) if tracer is not None \
+        else contextlib.nullcontext()
+    try:
+        with scope:
+            return asyncio.run(_amain(args))
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

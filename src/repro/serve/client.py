@@ -1,0 +1,110 @@
+"""Blocking NDJSON client for the simulation service.
+
+A deliberately small, dependency-free client over one TCP socket: one
+JSON object per line out, one per line back.  Server-side failures
+(typed :class:`~repro.serve.schema.ServeError` payloads) re-raise
+client-side as :class:`ServeClientError` carrying the same code and
+HTTP-equivalent status, so callers can distinguish ``queue_full``
+back-pressure from a genuine failure.
+
+Synchronous on purpose: the callers are tests, scripts and notebook
+cells; the asynchrony lives server-side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve import schema
+from repro.serve.schema import JobRequest, JobResult, JobStatus
+
+
+class ServeClientError(Exception):
+    """A server-reported error, rehydrated client-side."""
+
+    def __init__(self, code: str, message: str, http_status: int) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.http_status = http_status
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServeClientError":
+        return cls(str(payload.get("code", "internal")),
+                   str(payload.get("message", "unknown error")),
+                   int(payload.get("http_status", 500)))
+
+
+class ServeClient:
+    """One NDJSON connection to a running :class:`SimulationServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 *, timeout_s: float | None = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire ----------------------------------------------------------
+    def call(self, payload: dict) -> dict:
+        """One request/response round trip; raises on server error."""
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeClientError("disconnected",
+                                   "server closed the connection", 502)
+        response = json.loads(line)
+        if not response.get("ok", False):
+            raise ServeClientError.from_payload(
+                response.get("error") or {})
+        return response
+
+    # -- typed operations ----------------------------------------------
+    def submit(self, request: JobRequest, *, wait: bool = False,
+               timeout_s: float | None = None) -> dict:
+        payload: dict = {"op": "submit",
+                         "request": schema.request_to_payload(request)}
+        if wait:
+            payload["wait"] = True
+            if timeout_s is not None:
+                payload["timeout_s"] = timeout_s
+        return self.call(payload)
+
+    def run(self, request: JobRequest,
+            timeout_s: float | None = None) -> JobResult:
+        """Submit and block until the typed result is back."""
+        response = self.submit(request, wait=True, timeout_s=timeout_s)
+        return schema.job_result_from_payload(response["result"])
+
+    def status(self, job_id: str) -> JobStatus:
+        response = self.call({"op": "status", "id": job_id})
+        return schema.status_from_payload(response["status"])
+
+    def wait(self, job_id: str,
+             timeout_s: float | None = None) -> JobResult:
+        payload: dict = {"op": "wait", "id": job_id}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        response = self.call(payload)
+        return schema.job_result_from_payload(response["result"])
+
+    def healthz(self) -> dict:
+        return self.call({"op": "healthz"})
+
+    def metrics(self) -> dict:
+        return self.call({"op": "metrics"})["metrics"]

@@ -1,0 +1,101 @@
+"""The ``serve.*`` metrics namespace and the scheduler's trace hook.
+
+Every scheduling decision lands in two places:
+
+- a :class:`~repro.obs.registry.MetricsRegistry` under ``serve.*``
+  (counters for submissions/coalesces/rejections/retries, gauges for
+  queue depth and in-flight jobs, histograms for batch size and
+  end-to-end latency) — exported on ``/metrics`` in the exact
+  Prometheus text format the observability layer already speaks; and
+- the structured event trace: :meth:`ServeMetrics.decision` emits a
+  typed :class:`~repro.obs.events.ServeDecision` through the global
+  ``repro.obs.trace`` hook, so a traced server run records *why* each
+  job took the lane it took, interleaved with the simulator's own
+  events.  As everywhere else, the disabled-tracer path is one
+  ``None`` check.
+
+All counters pre-register at zero so the very first ``/metrics``
+scrape exposes the full surface — a scrape-shape change is a deploy
+signal, not a traffic signal.
+"""
+
+from __future__ import annotations
+
+from repro.obs import prometheus_text
+from repro.obs.events import ServeDecision
+from repro.obs.registry import MetricsRegistry
+from repro.obs import trace as obs_trace
+
+PREFIX = "serve"
+
+COUNTERS = (
+    "submitted",
+    "accepted",
+    "completed",
+    "failed",
+    "coalesced",
+    "memo_hits",
+    "disk_hits",
+    "batches",
+    "batch_jobs",
+    "retries",
+    "timeouts",
+    "rejected.queue_full",
+    "rejected.draining",
+    "pool_recycles",
+    "watchdog_cancels",
+    "drained",
+)
+
+GAUGES = ("queue_depth", "inflight", "active")
+
+BATCH_SIZE_BOUNDS = (1, 2, 4, 8, 16, 32)
+LATENCY_BOUNDS_S = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+
+class ServeMetrics:
+    """One server's ``serve.*`` namespace plus the decision trace."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in COUNTERS:
+            self.registry.count(f"{PREFIX}.{name}", 0)
+        for name in GAUGES:
+            self.registry.gauge(f"{PREFIX}.{name}", 0)
+        self._batch_sizes = self.registry.histogram(
+            f"{PREFIX}.batch_size", BATCH_SIZE_BOUNDS)
+        self._latency = self.registry.histogram(
+            f"{PREFIX}.latency_s", LATENCY_BOUNDS_S)
+
+    # -- recording -----------------------------------------------------
+    def count(self, name: str, delta: float = 1) -> None:
+        self.registry.count(f"{PREFIX}.{name}", delta)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(f"{PREFIX}.{name}", value)
+
+    def observe_batch(self, jobs: int) -> None:
+        self._batch_sizes.observe(jobs)
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latency.observe(seconds)
+
+    def decision(self, op: str, *, key: str | None = None,
+                 lane: str | None = None, jobs: int = 0) -> None:
+        """Emit one scheduling decision into the structured trace."""
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            tracer.emit(ServeDecision(op=op, key=key, lane=lane,
+                                      jobs=jobs))
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def value(self, name: str) -> float:
+        """One ``serve.*`` counter/gauge's current value (0 if never
+        touched)."""
+        return self.snapshot().get(f"{PREFIX}.{name}", 0)
+
+    def prometheus(self) -> str:
+        return prometheus_text(self.snapshot())

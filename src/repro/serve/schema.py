@@ -1,0 +1,403 @@
+"""Typed request/response schema of the simulation service.
+
+Everything that crosses the wire is a plain JSON object with a typed
+dataclass view on each side:
+
+- :class:`JobRequest` — one simulation to run: a benchmark alias, a
+  geometry scale and a frozen :class:`~repro.api.SimulationConfig`,
+  plus scheduling hints (priority lane, timeout);
+- :class:`JobStatus` — the scheduler's view of a submitted job;
+- :class:`JobResult` — a finished job: the ``SystemResult`` record,
+  its metrics snapshot and invariant check, and how it was served
+  (``pool``, ``disk`` or ``memo`` lane);
+- :class:`ServeError` — a typed failure carrying a machine-readable
+  code and the HTTP status it maps to (``queue_full`` → 429, ...).
+
+Request identity is a deterministic key: :func:`request_key` hashes
+the canonical JSON of (alias, scale, config) exactly the way the PR 2
+:class:`~repro.parallel.store.DiskCache` derives record keys —
+version + code signature + sorted payload through SHA-256 — so two
+submissions of the same simulation coalesce onto one in-flight future
+no matter which client sent them, while scheduling hints (priority,
+timeout) never split identical work.  :func:`probe_disk` /
+:func:`store_disk` map standard-knob requests onto the *same* disk
+records the experiment runner reads and writes, which is what makes
+the scheduler's disk-warm fast lane see caches warmed by
+``tcor-experiments`` runs (and vice versa).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Mapping
+
+from repro.api import SimulationConfig
+from repro.config import (
+    CacheConfig,
+    DEFAULT_GPU,
+    DEFAULT_TCOR,
+    GPUConfig,
+    MemoryConfig,
+    ParameterBufferConfig,
+    ScreenConfig,
+    TCORConfig,
+    TilingEngineConfig,
+)
+from repro.parallel.store import result_from_dict, result_to_dict
+from repro.tcor.system import SystemResult
+from repro.workloads.suite import BENCHMARKS
+
+SCHEMA_VERSION = 1
+
+# Priority lanes, highest first: the batcher always prefers the head
+# of the "interactive" lane when choosing the next micro-batch.
+PRIORITIES = ("interactive", "batch")
+DEFAULT_PRIORITY = "batch"
+
+# Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+TERMINAL_STATES = (DONE, FAILED, TIMEOUT, CANCELLED)
+
+
+class ServeError(Exception):
+    """Typed service failure (JSON-serializable, HTTP-mappable)."""
+
+    def __init__(self, code: str, message: str,
+                 http_status: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.http_status = http_status
+
+    def to_payload(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "http_status": self.http_status}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServeError":
+        return cls(str(payload.get("code", "internal")),
+                   str(payload.get("message", "unknown error")),
+                   int(payload.get("http_status", 500)))
+
+    # -- the service's failure vocabulary ------------------------------
+    @classmethod
+    def bad_request(cls, message: str) -> "ServeError":
+        return cls("bad_request", message, 400)
+
+    @classmethod
+    def not_found(cls, job_id: str) -> "ServeError":
+        return cls("not_found", f"unknown job id {job_id!r}", 404)
+
+    @classmethod
+    def queue_full(cls, limit: int) -> "ServeError":
+        return cls("queue_full",
+                   f"admission queue is full ({limit} jobs); retry later",
+                   429)
+
+    @classmethod
+    def draining(cls) -> "ServeError":
+        return cls("draining",
+                   "server is draining and accepts no new jobs", 503)
+
+    @classmethod
+    def wait_timeout(cls, job_id: str, timeout_s: float) -> "ServeError":
+        return cls("timeout",
+                   f"job {job_id!r} not finished within {timeout_s:g}s",
+                   504)
+
+
+# -- SimulationConfig (de)serialization --------------------------------
+
+def _filtered_kwargs(cls, data: dict) -> dict:
+    names = {f.name for f in fields(cls)}
+    return {key: value for key, value in data.items() if key in names}
+
+
+def _cache_config_from(data: dict) -> CacheConfig:
+    return CacheConfig(**_filtered_kwargs(CacheConfig, data))
+
+
+def tcor_config_from_payload(data: dict) -> TCORConfig:
+    kwargs = _filtered_kwargs(TCORConfig, data)
+    plc = kwargs.get("primitive_list_cache")
+    if isinstance(plc, dict):
+        kwargs["primitive_list_cache"] = _cache_config_from(plc)
+    return TCORConfig(**kwargs)
+
+
+_GPU_NESTED = {
+    "screen": ScreenConfig,
+    "memory": MemoryConfig,
+    "pbuffer": ParameterBufferConfig,
+    "tiling": TilingEngineConfig,
+    "vertex_cache": CacheConfig,
+    "texture_cache": CacheConfig,
+    "tile_cache": CacheConfig,
+    "l2_cache": CacheConfig,
+}
+
+
+def gpu_config_from_payload(data: dict) -> GPUConfig:
+    kwargs = _filtered_kwargs(GPUConfig, data)
+    for name, cls in _GPU_NESTED.items():
+        nested = kwargs.get(name)
+        if isinstance(nested, dict):
+            kwargs[name] = cls(**_filtered_kwargs(cls, nested))
+    return GPUConfig(**kwargs)
+
+
+def config_to_payload(config: SimulationConfig) -> dict:
+    """Canonical JSON-able form of one :class:`SimulationConfig`."""
+    return {
+        "kind": config.kind,
+        "tile_cache_bytes": config.tile_cache_bytes,
+        "l2_enhancements": config.l2_enhancements,
+        "interleaved_lists": config.interleaved_lists,
+        "include_background": config.include_background,
+        "tcor": asdict(config.tcor) if config.tcor is not None else None,
+        "gpu": asdict(config.gpu) if config.gpu is not None else None,
+    }
+
+
+def config_from_payload(data: dict) -> SimulationConfig:
+    """Inverse of :func:`config_to_payload` (unknown keys dropped)."""
+    try:
+        tcor = data.get("tcor")
+        gpu = data.get("gpu")
+        return SimulationConfig(
+            kind=data.get("kind", "tcor"),
+            tile_cache_bytes=data.get("tile_cache_bytes"),
+            l2_enhancements=data.get("l2_enhancements", True),
+            interleaved_lists=data.get("interleaved_lists", True),
+            include_background=data.get("include_background", True),
+            tcor=(tcor_config_from_payload(tcor)
+                  if isinstance(tcor, dict) else None),
+            gpu=(gpu_config_from_payload(gpu)
+                 if isinstance(gpu, dict) else None),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServeError.bad_request(f"malformed config: {exc}") from exc
+
+
+# -- requests ----------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class JobRequest:
+    """One simulation to run, plus scheduling hints.
+
+    ``alias``/``scale``/``config`` define the simulation (and the
+    request key); ``priority`` and ``timeout_s`` are hints to the
+    scheduler and deliberately *not* part of the key, so identical
+    simulations coalesce across lanes.
+    """
+
+    alias: str
+    scale: float = 1.0
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    priority: str = DEFAULT_PRIORITY
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.alias not in BENCHMARKS:
+            raise ServeError.bad_request(
+                f"unknown benchmark alias {self.alias!r}; choose from "
+                f"{sorted(BENCHMARKS)}")
+        if not self.scale > 0:
+            raise ServeError.bad_request(
+                f"scale must be positive, got {self.scale!r}")
+        if self.priority not in PRIORITIES:
+            raise ServeError.bad_request(
+                f"priority must be one of {PRIORITIES}, "
+                f"got {self.priority!r}")
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ServeError.bad_request(
+                f"timeout_s must be positive, got {self.timeout_s!r}")
+
+
+def request_to_payload(request: JobRequest) -> dict:
+    return {
+        "alias": request.alias,
+        "scale": request.scale,
+        "config": config_to_payload(request.config),
+        "priority": request.priority,
+        "timeout_s": request.timeout_s,
+    }
+
+
+def request_from_payload(data: dict) -> JobRequest:
+    if not isinstance(data, dict):
+        raise ServeError.bad_request("request must be a JSON object")
+    config = data.get("config")
+    try:
+        return JobRequest(
+            alias=data.get("alias", ""),
+            scale=float(data.get("scale", 1.0)),
+            config=(config_from_payload(config)
+                    if isinstance(config, dict) else SimulationConfig()),
+            priority=data.get("priority", DEFAULT_PRIORITY),
+            timeout_s=(float(data["timeout_s"])
+                       if data.get("timeout_s") is not None else None),
+        )
+    except ServeError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ServeError.bad_request(f"malformed request: {exc}") from exc
+
+
+def request_key(request: JobRequest, signature: str = "") -> str:
+    """Deterministic identity of one simulation request.
+
+    The same canonical-JSON + SHA-256 derivation the disk store uses:
+    ``signature`` is the simulator-code signature (constant within one
+    server process), and the payload covers exactly the fields that
+    determine the simulation outcome — scheduling hints are excluded.
+    """
+    canonical = json.dumps(
+        {"version": SCHEMA_VERSION, "signature": signature,
+         "payload": {"alias": request.alias, "scale": request.scale,
+                     "config": config_to_payload(request.config)}},
+        sort_keys=True, separators=(",", ":"), default=str,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# -- disk-cache mapping ------------------------------------------------
+
+def disk_mappable(request: JobRequest) -> bool:
+    """Whether this request maps onto a PR 2 disk-cache record.
+
+    The store's payloads cover the standard experiment knobs only: a
+    custom GPU, contiguous PB-Lists or a dropped background workload
+    change the simulation outcome but are not part of any store key,
+    so such requests must bypass the disk lane entirely.
+    """
+    config = request.config
+    if config.gpu is not None:
+        return False
+    return config.include_background and config.interleaved_lists
+
+
+def effective_tile_cache_bytes(config: SimulationConfig) -> int:
+    """The unified baseline budget this config resolves to."""
+    if config.tile_cache_bytes is not None:
+        return config.tile_cache_bytes
+    return DEFAULT_GPU.tile_cache.size_bytes
+
+
+def effective_tcor_config(config: SimulationConfig) -> TCORConfig:
+    """The split TCOR sizing this config resolves to (mirrors
+    :func:`repro.tcor.system.simulate_tcor`'s resolution order:
+    explicit config first, then the total-budget split, then the
+    paper default)."""
+    if config.tcor is not None:
+        return config.tcor
+    if config.tile_cache_bytes is not None:
+        return TCORConfig.for_total_size(config.tile_cache_bytes)
+    return DEFAULT_TCOR
+
+
+def probe_disk(disk, request: JobRequest) -> SystemResult | None:
+    """Disk-cache lookup for a :func:`disk_mappable` request."""
+    spec = BENCHMARKS[request.alias]
+    config = request.config
+    if config.kind == "baseline":
+        return disk.get_baseline(spec, request.scale,
+                                 effective_tile_cache_bytes(config))
+    return disk.get_tcor(spec, request.scale,
+                         effective_tcor_config(config),
+                         l2_enhancements=config.l2_enhancements)
+
+
+def store_disk(disk, request: JobRequest, result: SystemResult) -> None:
+    """Write-through for a :func:`disk_mappable` request's result."""
+    spec = BENCHMARKS[request.alias]
+    config = request.config
+    if config.kind == "baseline":
+        disk.put_baseline(spec, request.scale,
+                          effective_tile_cache_bytes(config), result)
+    else:
+        disk.put_tcor(spec, request.scale, effective_tcor_config(config),
+                      l2_enhancements=config.l2_enhancements,
+                      result=result)
+
+
+# -- status / results --------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class JobStatus:
+    """Scheduler-side view of one submitted job."""
+
+    job_id: str
+    state: str
+    priority: str = DEFAULT_PRIORITY
+    lane: str | None = None
+    attempts: int = 0
+    coalesced: int = 0
+    error: str | None = None
+    queued_for_s: float = 0.0
+    running_for_s: float = 0.0
+
+
+def status_to_payload(status: JobStatus) -> dict:
+    return asdict(status)
+
+
+def status_from_payload(data: dict) -> JobStatus:
+    return JobStatus(**_filtered_kwargs(JobStatus, data))
+
+
+@dataclass(frozen=True, slots=True)
+class JobResult:
+    """One finished job, with the typed ``SystemResult`` view."""
+
+    job_id: str
+    state: str
+    lane: str | None = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    result: SystemResult | None = None
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    invariant_failures: tuple[str, ...] = ()
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.state == DONE and not self.invariant_failures
+
+
+def job_result_to_payload(result: JobResult) -> dict:
+    return {
+        "id": result.job_id,
+        "state": result.state,
+        "lane": result.lane,
+        "attempts": result.attempts,
+        "elapsed_s": result.elapsed_s,
+        "result": (result_to_dict(result.result)
+                   if result.result is not None else None),
+        "metrics": dict(result.metrics),
+        "invariant_failures": list(result.invariant_failures),
+        "error": result.error,
+    }
+
+
+def job_result_from_payload(data: dict) -> JobResult:
+    record = data.get("result")
+    return JobResult(
+        job_id=data.get("id", ""),
+        state=data.get("state", FAILED),
+        lane=data.get("lane"),
+        attempts=int(data.get("attempts", 0)),
+        elapsed_s=float(data.get("elapsed_s", 0.0)),
+        result=(result_from_dict(record)
+                if isinstance(record, dict) else None),
+        metrics=dict(data.get("metrics") or {}),
+        invariant_failures=tuple(data.get("invariant_failures") or ()),
+        error=data.get("error"),
+    )

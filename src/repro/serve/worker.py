@@ -1,0 +1,60 @@
+"""Pool-side worker for the simulation service.
+
+One call simulates one micro-batch: every entry shares a (benchmark
+alias, scale) pair, so the workload is built exactly once and each
+request's :class:`~repro.api.SimulationConfig` runs against it through
+the public :func:`repro.api.simulate` facade — which is what makes a
+served result byte-identical to a direct library call.
+
+Mirrors :func:`repro.parallel.engine.simulate_job_batch`'s fork
+hygiene: the batch runs under a scoped ``activation(None)`` so a
+tracer inherited from the parent at fork time (whose sinks hold
+duplicated file handles) never receives worker events, and the module
+state is restored on the way out.
+
+Per-entry simulation failures are *data*, not exceptions: a raising
+config (e.g. an illegal cache geometry reached only at build time)
+yields an ``error`` record for that entry while the rest of the batch
+completes.  Deterministic failures are never worth retrying, and the
+scheduler treats them accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.api import simulate
+from repro.obs import trace as obs_trace
+from repro.parallel.store import result_to_dict
+from repro.serve import schema
+from repro.workloads.suite import BENCHMARKS, build_workload
+
+
+def simulate_request_batch(alias: str, scale: float,
+                           entries: tuple[tuple[str, dict], ...]
+                           ) -> list[dict]:
+    """Worker entry point: one workload build, then every config.
+
+    ``entries`` are ``(request_key, config_payload)`` pairs; the
+    return value is one JSON-able record per entry — either
+    ``{"key", "result", "metrics", "invariant_failures"}`` or
+    ``{"key", "error"}``.  Must stay a module-level function: it is
+    pickled by name into the process pool.
+    """
+    with obs_trace.activation(None):
+        workload = build_workload(BENCHMARKS[alias], scale=scale)
+        records: list[dict] = []
+        for key, config_payload in entries:
+            try:
+                config = schema.config_from_payload(config_payload)
+                run = simulate(workload, config)
+            except Exception as exc:
+                records.append(
+                    {"key": key,
+                     "error": f"{type(exc).__name__}: {exc}"})
+                continue
+            records.append({
+                "key": key,
+                "result": result_to_dict(run.result),
+                "metrics": dict(run.metrics),
+                "invariant_failures": list(run.invariant_failures),
+            })
+        return records

@@ -136,6 +136,120 @@ class TestDiskCache:
         assert list(tmp_path.glob("*.json")) == []
 
 
+class TestConcurrentDiskWriters:
+    """Atomicity of the store under concurrent writers (the serving
+    layer's write-through path runs in executor threads, and several
+    server/experiment processes may share one cache directory)."""
+
+    def test_racing_writers_never_corrupt_a_record(self, tmp_path):
+        import threading
+
+        disk = DiskCache(tmp_path, signature="sig")
+        spec = BENCHMARKS["GTr"]
+        results = [make_result(label=f"writer-{i}") for i in range(8)]
+        barrier = threading.Barrier(len(results))
+        errors = []
+
+        def write(result):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    disk.put_baseline(spec, SCALE, 64 * KIB, result)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(result,))
+                   for result in results]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        # Whoever won, the record is a complete, loadable result.
+        loaded = disk.get_baseline(spec, SCALE, 64 * KIB)
+        assert loaded in results
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        import threading
+
+        disk = DiskCache(tmp_path, signature="sig")
+        spec = BENCHMARKS["GTr"]
+        threads = [
+            threading.Thread(
+                target=lambda size=size: disk.put_baseline(
+                    spec, SCALE, size, make_result()))
+            for size in (32 * KIB, 64 * KIB, 128 * KIB, 256 * KIB)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+        assert len(list(tmp_path.glob("*.json"))) == 4
+
+    def test_temp_names_are_writer_unique(self, tmp_path):
+        """Two writers in one process (distinct threads) and repeated
+        writes from one thread must never collide on the temp name."""
+        from repro.parallel import store as store_module
+
+        a = store_module.DiskCache(tmp_path, signature="sig")
+        spec = BENCHMARKS["GTr"]
+        seen = set()
+        original_replace = store_module.os.replace
+
+        def spy(src, dst):
+            assert src not in seen, "temp file name reused"
+            seen.add(src)
+            return original_replace(src, dst)
+
+        store_module.os.replace = spy
+        try:
+            for _ in range(3):
+                a.put_baseline(spec, SCALE, 64 * KIB, make_result())
+        finally:
+            store_module.os.replace = original_replace
+        assert len(seen) == 3
+
+
+class TestPrefetchInterrupt:
+    def test_interrupt_shuts_the_pool_down_without_waiting(
+            self, monkeypatch, tmp_path):
+        """Ctrl-C during a fan-out must cancel queued batches and
+        re-raise immediately instead of waiting for stragglers
+        (regression test for the executor-shutdown satellite)."""
+        from concurrent.futures import Future
+
+        from repro.parallel import engine as engine_module
+
+        class InterruptingPool:
+            instances = []
+
+            def __init__(self, max_workers=None):
+                self.max_workers = max_workers
+                self.shutdown_calls = []
+                InterruptingPool.instances.append(self)
+
+            def submit(self, fn, *args, **kwargs):
+                future = Future()
+                future.set_exception(KeyboardInterrupt())
+                return future
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                self.shutdown_calls.append(
+                    {"wait": wait, "cancel_futures": cancel_futures})
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor",
+                            InterruptingPool)
+        cache = ParallelSimulationCache(scale=SCALE, aliases=ALIASES,
+                                        jobs=4)
+        with pytest.raises(KeyboardInterrupt):
+            cache.prefetch(["fig14"])
+        (pool,) = InterruptingPool.instances
+        assert pool.shutdown_calls == \
+            [{"wait": False, "cancel_futures": True}]
+
+
 class TestCodeSignature:
     def test_stable_for_unchanged_tree(self, tmp_path):
         (tmp_path / "tcor").mkdir()

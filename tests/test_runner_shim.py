@@ -1,0 +1,52 @@
+"""The PEP 562 deprecation shim on ``repro.experiments.runner``.
+
+The module must stay importable warning-free (it is the
+``tcor-experiments`` console entry point), while reaching for any of
+the moved names warns and forwards to ``repro.experiments.driver``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+
+import pytest
+
+from repro.experiments import driver, runner
+
+
+class TestRunnerShim:
+    def test_plain_import_is_warning_free(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(runner)
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
+
+    def test_entry_point_is_the_driver_main(self):
+        assert runner.main is driver.main
+        assert runner.__all__ == ["main"]
+
+    @pytest.mark.parametrize("name", runner._MOVED)
+    def test_moved_names_warn_and_forward(self, name):
+        with pytest.warns(DeprecationWarning, match=name):
+            forwarded = getattr(runner, name)
+        assert forwarded is getattr(driver, name)
+
+    def test_legacy_import_statement_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.experiments.runner import run_experiments
+        assert run_experiments is driver.run_experiments
+
+    def test_unknown_attribute_raises_cleanly(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError, match="no_such_name"):
+                runner.no_such_name
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
+
+    def test_warning_names_the_supported_surface(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro\.api|driver"):
+            runner.run_experiments
