@@ -3,8 +3,11 @@
 Exit status: 0 when clean, 1 when violations were found (unless
 ``--no-fail-on-violation``), 2 on usage errors.
 
-``--semantic`` layers the whole-program SIM1xx pass (call graph, CFG
-dataflow) on top of the per-file rules.  ``--baseline PATH`` compares
+``--semantic`` layers the whole-program passes (call graph, CFG
+dataflow) on top of the per-file rules: the SIM1xx semantic family and
+the SIM2xx async-concurrency family (blocking calls on the event loop,
+atomicity across awaits, task lifecycle, lock discipline, obs-hook
+boundary).  ``--baseline PATH`` compares
 against a recorded baseline and fails only on *new* findings;
 ``--update-baseline`` records the current findings as accepted.
 """
@@ -39,8 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
     parser.add_argument("--semantic", action="store_true",
-                        help="also run the whole-program SIM1xx rules "
-                             "(call graph + CFG dataflow)")
+                        help="also run the whole-program SIM1xx and "
+                             "SIM2xx (async concurrency) rules")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the lint caches")
     parser.add_argument("--cache-file", metavar="PATH",

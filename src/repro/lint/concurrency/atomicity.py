@@ -1,0 +1,80 @@
+"""SIM202 — read-modify-write of shared state split across an await.
+
+Single-threaded asyncio code is atomic *between* suspension points and
+only there.  A coroutine that reads ``self.<attr>``, suspends, and then
+writes the same attribute has opened the classic check-then-act window:
+any task scheduled at the suspension can change the attribute, and the
+post-await write commits a decision made against stale state.
+
+The raw material (read→write pairs with a suspension on some CFG path
+between them, not covered by an ``async with <lock>`` span) comes from
+the per-function async summary; this rule adds the type filter: only
+attributes whose inferred type is a shared mutable container or counter
+(dict/OrderedDict/defaultdict/Counter/deque/list/set/int/float, or a
+declared counter field) are scheduler/registry state worth flagging.
+Event flags, bools and untyped attributes stay silent — waking on an
+``asyncio.Event`` and clearing it afterwards is the *protocol*, not a
+race.
+
+Known false negatives (documented in DESIGN.md §11): the read and the
+write must be direct attribute accesses in the same coroutine — state
+mutated through a helper method call, and single-statement ``+=``
+(atomic on the loop), are out of scope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+SHARED_STATE_TYPES = frozenset({
+    "dict", "OrderedDict", "defaultdict", "Counter", "deque",
+    "list", "set", "int", "float",
+})
+
+
+@register_semantic
+class AtomicityRule(SemanticRule):
+    code = "SIM202"
+    name = "atomicity-across-await"
+    description = ("read-modify-write of shared scheduler/registry "
+                   "state split across a suspension point with no "
+                   "lock held")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            blob = func.get("async")
+            if not blob:
+                continue
+            cls_name = func.get("cls")
+            for gap in blob["gaps"]:
+                typed = self._shared_type(program, module, cls_name,
+                                          gap["attr"])
+                if typed is None:
+                    continue
+                yield self.violation(
+                    path, gap["write_line"], 0,
+                    f"`{gap['chain']}` ({typed}) is read at line "
+                    f"{gap['read_line']} and written at line "
+                    f"{gap['write_line']} with a suspension point "
+                    f"between ({gap['susp_kind']} at line "
+                    f"{gap['susp_line']}); an interleaved task can "
+                    "change it in the gap — hold an asyncio.Lock "
+                    "across the section or commit before awaiting")
+
+    def _shared_type(self, program, module: str, cls_name: str | None,
+                     attr: str) -> str | None:
+        if cls_name is None:
+            return None
+        typed = program.attr_type_of(module, cls_name, attr)
+        if typed in SHARED_STATE_TYPES:
+            return typed
+        for _cand_module, cls in program.classes_named(cls_name):
+            if attr in cls["counter_fields"]:
+                return "counter"
+        return None

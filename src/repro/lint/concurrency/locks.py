@@ -1,0 +1,99 @@
+"""SIM205 — lock discipline across the sync/async boundary.
+
+Two mirror-image mistakes:
+
+1. a ``threading.Lock`` (or RLock/Semaphore/Condition) acquired inside
+   a coroutine — ``with self._lock:`` or ``self._lock.acquire()``
+   blocks the whole event loop while contended, which is precisely the
+   stall the lock was supposed to localise; and
+2. an ``asyncio.Lock`` held *across* an executor dispatch or pool
+   submit — every other coroutine queue-jumps behind a worker-thread
+   round-trip (and a drain that needs the lock can deadlock against
+   the pool it is trying to empty).
+
+Lock identity comes from the extraction layer: constructor calls are
+canonicalised through the import aliases, so ``threading.Lock`` and
+``asyncio.Lock`` stay distinguishable even though both leaf names are
+``Lock``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.concurrency.facts import ASYNC_LOCKS, THREADING_LOCKS
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class LockDisciplineRule(SemanticRule):
+    code = "SIM205"
+    name = "lock-discipline"
+    description = ("threading lock used in a coroutine, or asyncio "
+                   "lock held across an executor dispatch")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            blob = func.get("async")
+            if not blob:
+                continue
+            yield from self._check_spans(program, module, path, qual,
+                                         func, blob)
+            yield from self._check_acquires(program, module, path,
+                                            qual, func)
+
+    def _check_spans(self, program, module: str, path: str, qual: str,
+                     func: dict, blob: dict) -> Iterable[Violation]:
+        dispatch_sites = [
+            (entry["lineno"], entry["col"], entry["api"])
+            for entry in func.get("dispatches", ())]
+        dispatch_sites += [
+            (entry["lineno"], entry["col"],
+             f"pool {entry['method']}")
+            for entry in func.get("submits", ())]
+        for span in blob["lock_spans"]:
+            if span["kind"] == "with" \
+                    and span["lock_type"] in THREADING_LOCKS:
+                yield self.violation(
+                    path, span["start"], 0,
+                    f"`{span['chain']}` ({span['lock_type']}) is a "
+                    f"thread lock acquired inside coroutine `{qual}`; "
+                    "contention blocks the whole event loop — use "
+                    "asyncio.Lock for loop-side critical sections")
+                continue
+            if span["kind"] != "async_with" \
+                    or span["lock_type"] not in ASYNC_LOCKS:
+                continue
+            for lineno, col, api in dispatch_sites:
+                if span["start"] <= lineno <= span["end"]:
+                    yield self.violation(
+                        path, lineno, col,
+                        f"asyncio lock `{span['chain']}` is held "
+                        f"across the `{api}` hand-off in `{qual}`; "
+                        "every waiter queues behind a worker "
+                        "round-trip (and drain can deadlock against "
+                        "the pool) — release the lock before "
+                        "dispatching")
+
+    def _check_acquires(self, program, module: str, path: str,
+                        qual: str, func: dict) -> Iterable[Violation]:
+        cls_name = func.get("cls")
+        if cls_name is None:
+            return
+        for call in func["calls"]:
+            raw = call["name"]
+            parts = raw.split(".")
+            if len(parts) != 3 or parts[0] != "self" \
+                    or parts[2] != "acquire":
+                continue
+            lock_type = program.lock_type_of(module, cls_name, parts[1])
+            if lock_type in THREADING_LOCKS:
+                yield self.violation(
+                    path, call["lineno"], call["col"],
+                    f"`{raw}()` takes a thread lock ({lock_type}) "
+                    f"inside coroutine `{qual}`; contention blocks "
+                    "the whole event loop — use asyncio.Lock")

@@ -1,0 +1,80 @@
+"""SIM206 — event-loop/pool boundary writes to obs hook state.
+
+The obs layer's hook target (``repro.obs.trace.ACTIVE``) is installed
+and restored by ``activation(...)`` on the thread that owns the scope —
+in the serve stack, the event-loop thread.  A callable dispatched to a
+*worker thread* (``run_in_executor`` with the default/thread executor,
+``asyncio.to_thread``) that mutates that state races the loop thread's
+view of the tracer: events land in a half-installed sink, or the
+restore on scope exit undoes the loop's tracer instead of its own.
+
+Process-pool hand-offs are exempt — a child process mutates its own
+copy of the module (that hygiene is SIM101's territory); only
+thread-executor dispatches share the interpreter with the loop.  The
+write is found transitively through the call graph, so an innocent-
+looking worker function that calls ``activation`` three hops down is
+still caught.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+# The hook-state globals the obs layer owns (module-qualified writes
+# match by suffix so re-exports and aliased imports are covered).
+HOOK_STATE_NAMES = frozenset({"ACTIVE"})
+
+
+@register_semantic
+class ObsBoundaryRule(SemanticRule):
+    code = "SIM206"
+    name = "obs-hook-state-off-loop"
+    description = ("callable dispatched to a worker thread writes "
+                   "event-loop-owned obs hook state")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            for dispatch in func.get("dispatches", ()):
+                if dispatch["executor"] != "thread":
+                    continue
+                target = dispatch.get("target")
+                if not target:
+                    continue
+                resolved = program.resolve_call(module, qual, target)
+                if resolved is None:
+                    continue
+                offender = self._hook_write(program, resolved)
+                if offender is None:
+                    continue
+                where, name = offender
+                hop = "" if where == resolved \
+                    else " (reached through the call graph)"
+                yield self.violation(
+                    path, dispatch["lineno"], dispatch["col"],
+                    f"`{target}` dispatched to a worker thread writes "
+                    f"obs hook state `{name}` in "
+                    f"{where.replace(':', '.')}{hop}; tracer "
+                    "activation must stay on the event-loop thread — "
+                    "emit events instead, or activate before "
+                    "dispatching")
+
+    def _hook_write(self, program,
+                    entry: str) -> tuple[str, str] | None:
+        for fq in sorted(program.reachable_from(entry)):
+            func = program.function(fq)
+            if func is None:
+                continue
+            for write in func["global_writes"]:
+                if write["name"] in HOOK_STATE_NAMES:
+                    return fq, write["name"]
+            for write in func["module_attr_writes"]:
+                leaf = write["target"].rsplit(".", 1)[-1]
+                if leaf in HOOK_STATE_NAMES:
+                    return fq, write["target"]
+        return None

@@ -1,0 +1,196 @@
+"""Suspension-point augmentation of the per-function CFG.
+
+A coroutine's basic blocks (from :func:`repro.lint.semantic.cfg.
+build_cfg`) say where control *can* flow; this layer says where control
+can *leave the function entirely* and let arbitrary other tasks run:
+
+- ``await <expr>`` anywhere in a statement's own (header) expressions,
+  including awaits nested in comprehensions;
+- ``async for`` — the iterator suspends at every ``__anext__``;
+- ``async with`` — ``__aenter__``/``__aexit__`` suspend;
+- ``async for`` clauses inside comprehensions (``[x async for x ...]``).
+
+:class:`SuspensionCFG` indexes statements by (block, position) so the
+atomicity rule can ask the question that matters: *is there a path from
+statement A to statement B that crosses a suspension point?*  If there
+is, any invariant linking A's read to B's write can be broken by a task
+interleaved at the suspension — the async analogue of a data race.
+
+The query is deliberately conservative in one direction: a suspension
+*on A itself* counts (``v = await f(self.shared)`` ships the read
+across the loop boundary before the write commits), while A == B (a
+single ``+=`` statement) never does — a statement with no await inside
+it runs atomically on the event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.semantic.cfg import CFG, build_cfg
+from repro.lint.semantic.dataflow import _header_exprs
+
+SUSPEND_AWAIT = "await"
+SUSPEND_ASYNC_FOR = "async_for"
+SUSPEND_ASYNC_WITH = "async_with"
+SUSPEND_ASYNC_COMP = "async_comprehension"
+
+
+def _expr_suspends(expr: ast.expr) -> str | None:
+    """The suspension kind hiding in one expression, if any.
+
+    Nested function bodies (lambdas run synchronously only when called,
+    nested defs have their own CFG) do not suspend the enclosing frame.
+    """
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await):
+            return SUSPEND_AWAIT
+        if isinstance(node, ast.comprehension) and node.is_async:
+            return SUSPEND_ASYNC_COMP
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
+def stmt_suspension_kind(stmt: ast.stmt) -> str | None:
+    """How (whether) one statement can suspend the coroutine frame.
+
+    Only the statement's *own* evaluation counts — an ``await`` inside
+    an ``if`` body belongs to that body's statement, which sits in its
+    own CFG block.
+    """
+    if isinstance(stmt, ast.AsyncFor):
+        return SUSPEND_ASYNC_FOR
+    if isinstance(stmt, ast.AsyncWith):
+        return SUSPEND_ASYNC_WITH
+    for header in _header_exprs(stmt):
+        kind = _expr_suspends(header)
+        if kind is not None:
+            return kind
+    return None
+
+
+class SuspensionCFG:
+    """A CFG plus a per-statement suspension index and path queries."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 cfg: CFG | None = None) -> None:
+        self.func = func
+        self.cfg = cfg if cfg is not None else build_cfg(func)
+        # id(stmt) -> suspension kind, for suspending statements only.
+        self.kind_of_stmt: dict[int, str] = {}
+        # id(stmt) -> (bid, position within block), every placed stmt.
+        self._pos: dict[int, tuple[int, int]] = {}
+        for bid, block in self.cfg.blocks.items():
+            for pos, stmt in enumerate(block.stmts):
+                self._pos[id(stmt)] = (bid, pos)
+                kind = stmt_suspension_kind(stmt)
+                if kind is not None:
+                    self.kind_of_stmt[id(stmt)] = kind
+        # Blocks that contain at least one suspension point.
+        self._suspending_blocks = {
+            self._pos[sid][0] for sid in self.kind_of_stmt}
+
+    # -- queries -------------------------------------------------------
+    def suspension_points(self) -> list[tuple[ast.stmt, str]]:
+        """Every suspending statement with its kind, in source order."""
+        points = []
+        for block in self.cfg.blocks.values():
+            for stmt in block.stmts:
+                kind = self.kind_of_stmt.get(id(stmt))
+                if kind is not None:
+                    points.append((stmt, kind))
+        points.sort(key=lambda pair: getattr(pair[0], "lineno", 0))
+        return points
+
+    def suspends(self, stmt: ast.stmt) -> bool:
+        return id(stmt) in self.kind_of_stmt
+
+    def _block_suspends_in_range(self, bid: int, start: int,
+                                 stop: int | None) -> ast.stmt | None:
+        """First suspending statement in ``block.stmts[start:stop]``."""
+        stmts = self.cfg.blocks[bid].stmts
+        for stmt in stmts[start:stop]:
+            if id(stmt) in self.kind_of_stmt:
+                return stmt
+        return None
+
+    def suspension_between(self, src: ast.stmt,
+                           dst: ast.stmt) -> ast.stmt | None:
+        """A suspending statement on some path from ``src`` to ``dst``.
+
+        Counts a suspension on ``src`` itself (the read is shipped
+        across the loop boundary) but not one on ``dst`` alone, and
+        never for ``src is dst``.  Returns the witness statement, or
+        ``None`` when every path is suspension-free.
+        """
+        if src is dst:
+            return None
+        src_loc = self._pos.get(id(src))
+        dst_loc = self._pos.get(id(dst))
+        if src_loc is None or dst_loc is None:
+            return None
+        src_bid, src_pos = src_loc
+        dst_bid, dst_pos = dst_loc
+
+        if src_bid == dst_bid and src_pos < dst_pos:
+            # Straight-line: suspensions at src..dst-1 are crossed.
+            witness = self._block_suspends_in_range(src_bid, src_pos,
+                                                    dst_pos)
+            if witness is not None:
+                return witness
+            # A back edge may still route src -> ... -> dst through a
+            # suspension; fall through to the graph search.
+
+        # From src's block: the tail of src's own block (src included —
+        # its own await counts) feeds the search frontier.
+        witness = self._block_suspends_in_range(src_bid, src_pos, None)
+        frontier = list(self.cfg.blocks[src_bid].succs)
+        seen: set[int] = set()
+        while frontier:
+            bid = frontier.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            if bid == dst_bid:
+                # Only the prefix before dst is on this path.
+                found = self._block_suspends_in_range(bid, 0, dst_pos)
+                if found is not None:
+                    return found
+                # dst's block reached without a suspension so far; keep
+                # exploring other paths into it.
+            elif bid in self._suspending_blocks:
+                found = self._block_suspends_in_range(bid, 0, None)
+                if found is not None and self._reaches(bid, dst_bid):
+                    return found
+            frontier.extend(self.cfg.blocks[bid].succs)
+        # The tail witness (src's own await, or one later in its block)
+        # only matters if control can actually route from src's block
+        # back around to dst — for src_bid == dst_bid that means a real
+        # cycle through the block, not mere co-residence.
+        if witness is not None and self._reaches_via_succs(src_bid,
+                                                           dst_bid):
+            return witness
+        return None
+
+    def _reaches(self, from_bid: int, to_bid: int) -> bool:
+        if from_bid == to_bid:
+            return True
+        return self._reaches_via_succs(from_bid, to_bid)
+
+    def _reaches_via_succs(self, from_bid: int, to_bid: int) -> bool:
+        seen: set[int] = set()
+        frontier = list(self.cfg.blocks[from_bid].succs)
+        while frontier:
+            bid = frontier.pop()
+            if bid == to_bid:
+                return True
+            if bid in seen:
+                continue
+            seen.add(bid)
+            frontier.extend(self.cfg.blocks[bid].succs)
+        return False

@@ -1,0 +1,87 @@
+"""SIM203 / SIM204 — task and coroutine lifecycle.
+
+SIM203: ``asyncio.create_task`` / ``ensure_future`` whose return value
+is discarded (or bound to a never-used name).  The event loop keeps
+only a *weak* reference to scheduled tasks, so a dropped task can be
+garbage-collected mid-flight, and an exception it raises is reported
+nowhere until interpreter shutdown.  Storing the task, awaiting it,
+returning it or handing it to ``gather``/a container all count as
+keeping it alive.
+
+SIM204: calling a coroutine function and discarding the coroutine
+object — the body never runs at all.  Resolved through the project
+call graph, so renamed imports and ``self.method()`` calls are caught;
+wrapping the call in ``create_task``/``gather`` obviously does not
+trip the rule (the coroutine has a consumer).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class FireAndForgetTaskRule(SemanticRule):
+    code = "SIM203"
+    name = "fire-and-forget-task"
+    description = ("spawned task's reference (and any exception it "
+                   "raises) is dropped")
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            for spawn in func.get("task_spawns", ()):
+                sink = spawn["sink"]
+                if sink == "dropped":
+                    yield self.violation(
+                        path, spawn["lineno"], spawn["col"],
+                        f"`{spawn['api']}(...)` in `{qual}` discards "
+                        "the task handle; the loop holds only a weak "
+                        "reference, so the task can be collected "
+                        "mid-flight and its exception is lost — keep "
+                        "the reference and await/cancel it, or attach "
+                        "add_done_callback")
+                elif sink == "local" and (spawn.get("target") in
+                                          (None, "_")
+                                          or spawn.get("uses", 0) == 0):
+                    bound = spawn.get("target") or "_"
+                    yield self.violation(
+                        path, spawn["lineno"], spawn["col"],
+                        f"task from `{spawn['api']}(...)` in `{qual}` "
+                        f"is bound to `{bound}` but never used — the "
+                        "reference dies with the frame; await/cancel "
+                        "it or store it on long-lived state")
+
+
+@register_semantic
+class UnawaitedCoroutineRule(SemanticRule):
+    code = "SIM204"
+    name = "unawaited-coroutine"
+    description = "coroutine object created and discarded; never runs"
+    scope = "module"
+
+    def check_module(self, program, module: str) -> Iterable[Violation]:
+        facts = program.modules[module]
+        path = facts["path"]
+        for qual, func in facts["functions"].items():
+            for call in func["calls"]:
+                if not call.get("discarded") or call.get("awaited"):
+                    continue
+                resolved = program.resolve_call(module, qual,
+                                                call["name"])
+                if resolved is None:
+                    continue
+                target = program.function(resolved)
+                if target is None or not target.get("is_async"):
+                    continue
+                yield self.violation(
+                    path, call["lineno"], call["col"],
+                    f"`{call['name']}(...)` in `{qual}` creates a "
+                    f"coroutine (`{resolved.replace(':', '.')}`) and "
+                    "discards it — the body never executes; await it "
+                    "or schedule it with asyncio.create_task")

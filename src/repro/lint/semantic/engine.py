@@ -30,7 +30,7 @@ from repro.lint.semantic.model import (Program, dependency_signatures,
                                        project_imports)
 from repro.lint.semantic.rules import semantic_rules
 
-SEMANTIC_CACHE_VERSION = 2
+SEMANTIC_CACHE_VERSION = 3
 DEFAULT_SEMANTIC_CACHE = ".lint-semantic-cache.json"
 
 
@@ -104,7 +104,8 @@ def semantic_pass(sources: dict[str, str], *,
                   cache: SemanticCache | None = None,
                   select: set[str] | None = None,
                   ignore: set[str] | None = None) -> SemanticResult:
-    """Run SIM101–SIM105 over ``{rel_path: source}``.
+    """Run the semantic families (SIM1xx + SIM2xx) over
+    ``{rel_path: source}``.
 
     Files that fail to parse are skipped here — the file pass already
     reported them as PARSE violations.

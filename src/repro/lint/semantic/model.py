@@ -18,10 +18,11 @@ import ast
 import hashlib
 import json
 
+from repro.lint.concurrency import facts as concurrency
 from repro.lint.core import FileContext, dotted_name, import_aliases
 from repro.lint.semantic.dataflow import FunctionDataflow
 
-FACTS_VERSION = 4
+FACTS_VERSION = 5
 
 # Method leaves that count as an obs.trace hook carrier (the Tracer's
 # simulator-facing surface) plus the ACTIVE global itself.
@@ -100,14 +101,20 @@ class _FunctionExtractor:
 
     def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
                  qual: str, cls: dict | None, aliases: dict[str, str],
-                 module_function_names: set[str], nested: bool) -> None:
+                 module_function_names: set[str], nested: bool,
+                 module_locks: dict[str, str] | None = None) -> None:
         self.func = func
         self.qual = qual
         self.cls = cls
         self.aliases = aliases
         self.module_function_names = module_function_names
         self.nested = nested
+        self.module_locks = module_locks or {}
         self.flow = FunctionDataflow(func, aliases)
+        self._parents: dict[int, ast.AST] = {}
+        for node in self._own_nodes():
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
 
     # -- helpers -------------------------------------------------------
     def _own_nodes(self):
@@ -156,7 +163,10 @@ class _FunctionExtractor:
         attr_write_sites: list[dict] = []
         stats_mutations: list[dict] = []
         metric_strings: list[dict] = []
+        task_spawns: list[dict] = []
+        dispatches: list[dict] = []
         trace_hook = False
+        is_generator = False
         declared_globals = {
             name for node in self._own_nodes()
             if isinstance(node, ast.Global) for name in node.names}
@@ -172,6 +182,8 @@ class _FunctionExtractor:
                     and isinstance(node.ctx, ast.Load) \
                     and node.attr == "ACTIVE":
                 trace_hook = True
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                is_generator = True
 
             if isinstance(node, ast.Call):
                 raw = dotted_name(node.func)
@@ -194,8 +206,24 @@ class _FunctionExtractor:
                             kw.arg: "|".join(sorted(self._origins(kw.value,
                                                                   node)))
                             for kw in node.keywords if kw.arg}
+                    parent = self._parents.get(id(node))
+                    if isinstance(parent, ast.Await):
+                        entry["awaited"] = True
+                    elif isinstance(parent, ast.Expr):
+                        entry["discarded"] = True
                     calls.append(entry)
                     leaf = raw.split(".")[-1]
+                    if leaf == "result" and "." in raw:
+                        entry["recv"] = sorted(
+                            self._origins(node.func.value, node))
+                    spawn = concurrency.spawn_entry(
+                        node, raw, self.aliases, self._parents)
+                    if spawn is not None:
+                        task_spawns.append(spawn)
+                    dispatch = concurrency.dispatch_entry(
+                        node, raw, self.aliases, self._origins)
+                    if dispatch is not None:
+                        dispatches.append(dispatch)
                     if leaf in TRACE_HOOK_METHODS:
                         trace_hook = True
                     if leaf in ("submit", "map") and "." in raw:
@@ -236,12 +264,22 @@ class _FunctionExtractor:
                                      in_stats_class, init_like, cls_name,
                                      attr_types)
 
-        return {
+        for spawn in task_spawns:
+            if spawn["sink"] == "local" and spawn.get("target"):
+                spawn["uses"] = sum(
+                    1 for node in self._own_nodes()
+                    if isinstance(node, ast.Name)
+                    and node.id == spawn["target"]
+                    and isinstance(node.ctx, ast.Load))
+
+        summary = {
             "qual": self.qual,
             "name": func.name,
             "lineno": func.lineno,
             "cls": cls_name,
             "nested": self.nested,
+            "is_async": isinstance(func, ast.AsyncFunctionDef),
+            "is_generator": is_generator,
             "params": self.flow.params,
             "param_annotations": param_annotations,
             "decorators": [dotted_name(d.func if isinstance(d, ast.Call)
@@ -251,11 +289,19 @@ class _FunctionExtractor:
             "global_writes": global_writes,
             "module_attr_writes": module_attr_writes,
             "submits": submits,
+            "task_spawns": task_spawns,
+            "dispatches": dispatches,
             "attr_write_sites": attr_write_sites,
             "stats_mutations": stats_mutations,
             "metric_strings": metric_strings,
             "trace_hook": trace_hook,
         }
+        if summary["is_async"]:
+            lock_attrs = self.cls.get("lock_types", {}) if self.cls \
+                else {}
+            summary["async"] = concurrency.async_summary(
+                func, self.flow.cfg, lock_attrs, self.module_locks)
+        return summary
 
     def _local_symbolic_bindings(self) -> dict[str, str]:
         """Single-assignment locals bound to a self/param attribute chain
@@ -419,6 +465,24 @@ def _class_facts(node: ast.ClassDef) -> dict:
                         elif isinstance(value, ast.Name):
                             # self.l2 = l2   (annotated constructor param)
                             typed = init_params.get(value.id)
+                        elif isinstance(value, (ast.Dict, ast.DictComp)):
+                            typed = "dict"
+                        elif isinstance(value, (ast.List, ast.ListComp)):
+                            typed = "list"
+                        elif isinstance(value, (ast.Set, ast.SetComp)):
+                            typed = "set"
+                        elif isinstance(value, ast.Constant):
+                            # bool first: True is an int to isinstance.
+                            if isinstance(value.value, bool):
+                                typed = "bool"
+                            elif isinstance(value.value, int):
+                                typed = "int"
+                            elif isinstance(value.value, float):
+                                typed = "float"
+                        if typed is None and isinstance(sub, ast.AnnAssign):
+                            annotation = _annotation_name(sub.annotation)
+                            if annotation:
+                                typed = annotation.split(".")[-1]
                         if typed is None:
                             continue
                         for tgt in targets:
@@ -499,11 +563,14 @@ def extract_module_facts(ctx: FileContext) -> dict:
             elif isinstance(node.ctx, ast.Store):
                 attr_stores.add(node.attr)
 
+    module_locks = concurrency.lock_globals(tree, aliases)
+
     def visit_function(func, cls: dict | None, prefix: str,
                        nested: bool) -> None:
         qual = f"{prefix}{func.name}"
         extractor = _FunctionExtractor(func, qual, cls, aliases,
-                                       module_function_names, nested)
+                                       module_function_names, nested,
+                                       module_locks)
         functions[qual] = extractor.summarize()
         for child in ast.walk(func):
             if child is func:
@@ -513,7 +580,7 @@ def extract_module_facts(ctx: FileContext) -> dict:
                 if inner_qual not in functions:
                     inner = _FunctionExtractor(
                         child, inner_qual, cls, aliases,
-                        module_function_names, True)
+                        module_function_names, True, module_locks)
                     functions[inner_qual] = inner.summarize()
 
     for node in tree.body:
@@ -521,6 +588,8 @@ def extract_module_facts(ctx: FileContext) -> dict:
             visit_function(node, None, "", False)
         elif isinstance(node, ast.ClassDef):
             cls = _class_facts(node)
+            cls["lock_types"] = concurrency.lock_attrs_of_class(node,
+                                                                aliases)
             classes[node.name] = cls
             for item in node.body:
                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -535,6 +604,7 @@ def extract_module_facts(ctx: FileContext) -> dict:
         "module_globals": module_globals,
         "module_aliases": module_aliases,
         "module_global_types": module_global_types,
+        "lock_globals": module_locks,
         "classes": classes,
         "functions": functions,
         "attr_loads": sorted(attr_loads),
@@ -585,6 +655,20 @@ class Program:
 
     def classes_named(self, name: str) -> list[tuple[str, dict]]:
         return self._class_index.get(name, [])
+
+    def attr_type_of(self, module: str, cls_name: str,
+                     attr: str) -> str | None:
+        """Inferred type name of ``cls.attr`` (base classes included)."""
+        return self._attr_type_of(module, cls_name, attr)
+
+    def lock_type_of(self, module: str, cls_name: str,
+                     attr: str) -> str | None:
+        """Canonical lock constructor behind ``self.<attr>``, if any."""
+        for _cand_module, cls in self._class_candidates(module, cls_name):
+            typed = cls.get("lock_types", {}).get(attr)
+            if typed:
+                return typed
+        return None
 
     # -- call resolution -----------------------------------------------
     def _resolve_method(self, module: str, cls_name: str,

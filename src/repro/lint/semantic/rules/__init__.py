@@ -1,4 +1,4 @@
-"""Semantic rule catalogue (SIM101–SIM105).
+"""Semantic rule catalogue (SIM101–SIM105, SIM201–SIM206).
 
 Semantic rules live in their own registry — they need a
 :class:`~repro.lint.semantic.model.Program`, not a single file's AST,
@@ -54,6 +54,13 @@ def register_semantic(rule_cls: type) -> type:
 
 
 def semantic_rules() -> list[SemanticRule]:
+    from repro.lint.concurrency import (  # noqa: F401
+        atomicity,
+        blocking,
+        locks,
+        obs_boundary,
+        tasks,
+    )
     from repro.lint.semantic.rules import (  # noqa: F401
         config_freeze,
         dead_counters,

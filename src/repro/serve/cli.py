@@ -70,11 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _open_disk(cache_dir: Path | None) -> DiskCache:
+    """Construct the disk cache (hashes simulator sources: blocking)."""
+    return DiskCache(cache_dir) if cache_dir is not None else DiskCache()
+
+
 async def _amain(args: argparse.Namespace) -> int:
+    loop = asyncio.get_running_loop()
     disk = None
     if not args.no_disk_cache:
-        disk = (DiskCache(args.cache_dir) if args.cache_dir is not None
-                else DiskCache())
+        # DiskCache() hashes every simulator source file for its code
+        # signature — file I/O that belongs on a worker thread, not on
+        # the event loop (SIM201).
+        disk = await loop.run_in_executor(None, _open_disk,
+                                          args.cache_dir)
     scheduler = Scheduler(jobs=args.jobs, queue_limit=args.queue_limit,
                           batch_window_s=args.batch_window,
                           batch_max=args.batch_max, disk=disk,
@@ -82,13 +91,13 @@ async def _amain(args: argparse.Namespace) -> int:
     server = SimulationServer(scheduler, host=args.host, port=args.port)
     await server.start()
     if args.port_file is not None:
-        args.port_file.write_text(f"{server.port}\n")
+        await loop.run_in_executor(None, args.port_file.write_text,
+                                   f"{server.port}\n")
     print(f"tcor-serve listening on {server.host}:{server.port} "
           f"(pool={args.jobs}, queue_limit={args.queue_limit}, "
           f"disk={'on' if disk is not None else 'off'})")
     sys.stdout.flush()
 
-    loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(signum, stop.set)

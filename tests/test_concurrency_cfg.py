@@ -1,0 +1,230 @@
+"""Suspension-point CFG construction and path queries.
+
+These pin the foundation of the SIM2xx family: which statements can
+yield the coroutine frame to the event loop (``await``, ``async for``,
+``async with``, awaits nested in comprehensions), and the
+``suspension_between`` query the atomicity rule is built on — *is
+there a path from the read to the write that crosses a suspension?*
+"""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+
+from repro.lint.concurrency.suspension import (SUSPEND_ASYNC_COMP,
+                                               SUSPEND_ASYNC_FOR,
+                                               SUSPEND_ASYNC_WITH,
+                                               SUSPEND_AWAIT,
+                                               SuspensionCFG,
+                                               stmt_suspension_kind)
+
+
+def func_of(source: str) -> ast.AsyncFunctionDef:
+    tree = ast.parse(dedent(source))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("no function in fixture")
+
+
+def stmt_of_line(func: ast.AST, lineno: int) -> ast.stmt:
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) \
+                and getattr(node, "lineno", None) == lineno:
+            return node
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestStatementKinds:
+    def test_plain_statements_do_not_suspend(self):
+        func = func_of("""
+            async def f(self):
+                a = 1
+                self.x = a
+                return self.x
+        """)
+        assert all(stmt_suspension_kind(stmt) is None
+                   for stmt in func.body)
+
+    def test_await_in_the_statement_header(self):
+        func = func_of("""
+            async def f(self, g):
+                v = await g()
+                return v
+        """)
+        assert stmt_suspension_kind(func.body[0]) == SUSPEND_AWAIT
+        assert stmt_suspension_kind(func.body[1]) is None
+
+    def test_async_for_and_async_with_headers(self):
+        func = func_of("""
+            async def f(self, source, lock):
+                async for item in source:
+                    use(item)
+                async with lock:
+                    pass
+        """)
+        assert stmt_suspension_kind(func.body[0]) == SUSPEND_ASYNC_FOR
+        assert stmt_suspension_kind(func.body[1]) == SUSPEND_ASYNC_WITH
+
+    def test_await_nested_in_a_comprehension_counts(self):
+        func = func_of("""
+            async def f(self, keys, fetch):
+                values = [await fetch(key) for key in keys]
+                return values
+        """)
+        assert stmt_suspension_kind(func.body[0]) == SUSPEND_AWAIT
+
+    def test_async_comprehension_clause_counts(self):
+        func = func_of("""
+            async def f(self, source):
+                values = [item async for item in source]
+                return values
+        """)
+        assert stmt_suspension_kind(func.body[0]) == SUSPEND_ASYNC_COMP
+
+    def test_await_inside_a_nested_def_or_lambda_does_not(self):
+        func = func_of("""
+            async def f(self, g):
+                async def inner():
+                    return await g()
+                callback = lambda: g()
+                return inner, callback
+        """)
+        assert all(stmt_suspension_kind(stmt) is None
+                   for stmt in func.body)
+
+    def test_body_awaits_belong_to_the_body_statements(self):
+        # The if-statement's own evaluation (the test) never suspends;
+        # the await inside the branch is that statement's suspension.
+        func = func_of("""
+            async def f(self, flag, g):
+                if flag:
+                    await g()
+        """)
+        assert stmt_suspension_kind(func.body[0]) is None
+        assert stmt_suspension_kind(func.body[0].body[0]) == SUSPEND_AWAIT
+
+
+class TestSuspensionIndex:
+    def test_points_are_reported_in_source_order_with_kinds(self):
+        func = func_of("""
+            async def f(self, source, lock, g):
+                await g()
+                async with lock:
+                    v = 1
+                async for item in source:
+                    use(item)
+        """)
+        scfg = SuspensionCFG(func)
+        kinds = [kind for _stmt, kind in scfg.suspension_points()]
+        assert kinds == [SUSPEND_AWAIT, SUSPEND_ASYNC_WITH,
+                         SUSPEND_ASYNC_FOR]
+        lines = [stmt.lineno for stmt, _kind in scfg.suspension_points()]
+        assert lines == sorted(lines)
+
+    def test_suspends_matches_the_kind_index(self):
+        func = func_of("""
+            async def f(self, g):
+                a = 1
+                await g()
+        """)
+        scfg = SuspensionCFG(func)
+        assert not scfg.suspends(func.body[0])
+        assert scfg.suspends(func.body[1])
+
+
+class TestSuspensionBetween:
+    def test_straight_line_gap_is_found(self):
+        func = func_of("""
+            async def f(self, g):
+                v = self.x
+                await g()
+                self.x = v + 1
+        """)
+        scfg = SuspensionCFG(func)
+        read = stmt_of_line(func, 3)
+        write = stmt_of_line(func, 5)
+        witness = scfg.suspension_between(read, write)
+        assert witness is not None and witness.lineno == 4
+
+    def test_adjacent_statements_with_no_await_are_atomic(self):
+        func = func_of("""
+            async def f(self, g):
+                v = self.x
+                self.x = v + 1
+                await g()
+        """)
+        scfg = SuspensionCFG(func)
+        read = stmt_of_line(func, 3)
+        write = stmt_of_line(func, 4)
+        assert scfg.suspension_between(read, write) is None
+
+    def test_src_is_dst_never_suspends(self):
+        func = func_of("""
+            async def f(self, g):
+                self.x = self.x + 1
+                await g()
+        """)
+        scfg = SuspensionCFG(func)
+        stmt = stmt_of_line(func, 3)
+        assert scfg.suspension_between(stmt, stmt) is None
+
+    def test_await_on_the_source_statement_counts(self):
+        # ``v = await probe(self.x)`` ships the read across the loop
+        # boundary before the write commits: the gap is real.
+        func = func_of("""
+            async def f(self, probe):
+                v = await probe(self.x)
+                self.x = v
+        """)
+        scfg = SuspensionCFG(func)
+        read = stmt_of_line(func, 3)
+        write = stmt_of_line(func, 4)
+        witness = scfg.suspension_between(read, write)
+        assert witness is not None and witness.lineno == 3
+
+    def test_branch_with_an_await_on_one_path_is_enough(self):
+        func = func_of("""
+            async def f(self, flag, g):
+                v = self.x
+                if flag:
+                    await g()
+                self.x = v + 1
+        """)
+        scfg = SuspensionCFG(func)
+        read = stmt_of_line(func, 3)
+        write = stmt_of_line(func, 6)
+        witness = scfg.suspension_between(read, write)
+        assert witness is not None and witness.lineno == 5
+
+    def test_loop_back_edge_routes_through_the_await(self):
+        # Textually the write precedes the read, but the loop's back
+        # edge makes read -> await -> (next iteration) -> write a real
+        # path: the stale read can still feed the next write.
+        func = func_of("""
+            async def f(self, push, fetch):
+                while self.more:
+                    self.x = fetch()
+                    v = self.x
+                    await push(v)
+        """)
+        scfg = SuspensionCFG(func)
+        write = stmt_of_line(func, 4)
+        read = stmt_of_line(func, 5)
+        witness = scfg.suspension_between(read, write)
+        assert witness is not None and witness.lineno == 6
+
+    def test_suspension_free_function_has_no_gaps_anywhere(self):
+        func = func_of("""
+            async def f(self):
+                v = self.x
+                if v:
+                    self.x = v + 1
+                return self.x
+        """)
+        scfg = SuspensionCFG(func)
+        assert scfg.suspension_points() == []
+        read = stmt_of_line(func, 3)
+        write = stmt_of_line(func, 5)
+        assert scfg.suspension_between(read, write) is None

@@ -1,0 +1,181 @@
+"""Mixed-family CLI runs: SIM0xx + SIM1xx + SIM2xx in one invocation.
+
+One ``repro-lint --semantic`` run covers all three rule families;
+these tests pin what that means operationally — one exit code, one
+SARIF document, one baseline file, and byte-identical output across a
+warm fact-cache rerun (the CI contract).
+"""
+
+from __future__ import annotations
+
+import json
+from textwrap import dedent
+
+from repro.lint import lint_paths
+from repro.lint.cli import main
+from repro.lint.reporters import sarif_payload
+
+# One violation per family, in three separate modules.
+RNG_MODULE = """
+    import random
+
+    PICK = random.randint(0, 3)
+"""
+POOL_MODULE = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    STATE = 0
+
+    def worker(n):
+        global STATE
+        STATE += n
+        return n
+
+    def fan_out(jobs):
+        with ProcessPoolExecutor() as pool:
+            return [pool.submit(worker, job) for job in jobs]
+"""
+ASYNC_MODULE = """
+    import time
+
+    async def handler(payload):
+        time.sleep(0.1)
+        return payload
+"""
+CLEAN_MODULE = """
+    def double(value):
+        return value * 2
+"""
+
+
+def write_project(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+    return tmp_path
+
+
+def mixed_project(tmp_path):
+    return write_project(tmp_path, {
+        "src/rng.py": RNG_MODULE,
+        "src/pool.py": POOL_MODULE,
+        "src/srv.py": ASYNC_MODULE,
+    })
+
+
+class TestExitCodes:
+    def test_mixed_findings_exit_one_and_name_every_family(
+            self, tmp_path, capsys):
+        root = mixed_project(tmp_path)
+        status = main(["--no-cache", "--semantic", str(root / "src")])
+        out = capsys.readouterr().out
+        assert status == 1
+        for code in ("SIM001", "SIM101", "SIM201"):
+            assert code in out
+
+    def test_clean_tree_exits_zero_with_all_families_on(
+            self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/ok.py": CLEAN_MODULE})
+        status = main(["--no-cache", "--semantic", str(root / "src")])
+        capsys.readouterr()
+        assert status == 0
+
+    def test_selecting_one_family_scopes_the_exit_decision(
+            self, tmp_path, capsys):
+        root = mixed_project(tmp_path)
+        status = main(["--no-cache", "--semantic", "--select", "SIM201",
+                       str(root / "src")])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "SIM201" in out
+        assert "SIM001" not in out and "SIM101" not in out
+
+    def test_concurrency_codes_are_ignorable(self, tmp_path, capsys):
+        root = write_project(tmp_path, {"src/srv.py": ASYNC_MODULE})
+        status = main(["--no-cache", "--semantic", "--ignore", "SIM201",
+                       str(root / "src")])
+        capsys.readouterr()
+        assert status == 0
+
+
+class TestSingleSarif:
+    def test_one_document_carries_all_three_families(
+            self, tmp_path, capsys):
+        root = mixed_project(tmp_path)
+        status = main(["--no-cache", "--semantic", "--format", "sarif",
+                       str(root / "src")])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 1
+        (run,) = payload["runs"]  # one run for the whole mixed pass
+        hit_rules = {entry["ruleId"] for entry in run["results"]}
+        assert {"SIM001", "SIM101", "SIM201"} <= hit_rules
+        # The driver catalogue is namespaced per family and has no
+        # duplicate ids.
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert len(ids) == len(set(ids))
+        assert {"SIM001", "SIM101", "SIM201", "SIM202", "SIM203",
+                "SIM204", "SIM205", "SIM206"} <= set(ids)
+
+    def test_results_point_into_the_right_files(self, tmp_path):
+        root = mixed_project(tmp_path)
+        result = lint_paths([str(root / "src")], root=root,
+                            use_cache=False, semantic=True)
+        payload = sarif_payload(result)
+        uri_of = {entry["ruleId"]:
+                  entry["locations"][0]["physicalLocation"]
+                  ["artifactLocation"]["uri"]
+                  for entry in payload["runs"][0]["results"]}
+        assert uri_of["SIM001"].endswith("rng.py")
+        assert uri_of["SIM101"].endswith("pool.py")
+        assert uri_of["SIM201"].endswith("srv.py")
+
+
+class TestSingleBaseline:
+    def test_one_baseline_file_accepts_all_families(
+            self, tmp_path, capsys):
+        root = mixed_project(tmp_path)
+        baseline = root / ".lint-baseline.json"
+        status = main(["--no-cache", "--semantic", "--update-baseline",
+                       str(baseline), str(root / "src")])
+        capsys.readouterr()
+        assert status == 0
+        recorded = json.loads(baseline.read_text())
+        families = {finding["rule"][:4]
+                    for finding in recorded["findings"]}
+        assert families == {"SIM0", "SIM1", "SIM2"}
+
+        # The baselined mixed run passes; a fresh SIM2xx finding fails.
+        status = main(["--no-cache", "--semantic", "--baseline",
+                       str(baseline), str(root / "src")])
+        capsys.readouterr()
+        assert status == 0
+        (root / "src/fresh.py").write_text(dedent("""
+            import asyncio
+
+            async def kick(coro):
+                asyncio.create_task(coro)
+        """))
+        status = main(["--no-cache", "--semantic", "--baseline",
+                       str(baseline), str(root / "src")])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "SIM203" in out
+        assert "srv.py" not in out  # the baselined finding stays quiet
+
+
+class TestWarmRerunStability:
+    def test_sarif_is_byte_stable_across_a_warm_fact_cache_rerun(
+            self, tmp_path):
+        root = mixed_project(tmp_path)
+        cold = lint_paths([str(root / "src")], root=root, semantic=True)
+        warm = lint_paths([str(root / "src")], root=root, semantic=True)
+        # The warm run really replayed the two-tier cache...
+        assert warm.semantic_facts_from_cache == 3
+        assert warm.semantic_facts_computed == 0
+        assert warm.semantic_findings_from_cache == 3
+        # ...and the reports are byte-identical, SARIF included.
+        assert [v.format() for v in warm.violations] \
+            == [v.format() for v in cold.violations]
+        assert json.dumps(sarif_payload(warm), sort_keys=True) \
+            == json.dumps(sarif_payload(cold), sort_keys=True)

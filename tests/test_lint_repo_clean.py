@@ -42,6 +42,39 @@ def test_shipped_tree_is_semantically_clean():
     assert semantic == []
 
 
+def test_shipped_tree_is_concurrency_clean():
+    """The SIM2xx pass blesses the tree as well: no blocking calls on
+    the event loop, no atomicity gaps across awaits, no dropped tasks
+    or coroutines, no lock-discipline breaches, no off-loop obs hook
+    writes — the serve layer's findings were fixed (executor dispatch,
+    batched probe/write-through) or justified with a suppression."""
+    result = lint_paths(
+        [str(REPO_ROOT / tree) for tree in LINTED_TREES],
+        root=REPO_ROOT, use_cache=False, semantic=True,
+    )
+    concurrency = [violation.format() for violation in result.violations
+                   if violation.rule.startswith("SIM2")]
+    assert concurrency == []
+
+
+def test_seeded_async_violation_is_caught_next_to_the_tree(tmp_path):
+    """The same pass that blesses the tree still fails when a
+    concurrency violation is introduced beside it."""
+    bad = tmp_path / "regression.py"
+    bad.write_text(
+        "import time\n\n\n"
+        "async def handler(payload):\n"
+        "    time.sleep(0.1)\n"
+        "    return payload\n")
+    result = lint_paths(
+        [str(REPO_ROOT / "src"), str(tmp_path)],
+        root=REPO_ROOT, use_cache=False, semantic=True,
+    )
+    seeded = [violation.rule for violation in result.violations
+              if violation.path.endswith("regression.py")]
+    assert seeded == ["SIM201"]
+
+
 def test_seeded_violation_is_caught(tmp_path):
     """End-to-end guarantee: the same pass that blesses the tree still
     fails when a violation is introduced next to it."""

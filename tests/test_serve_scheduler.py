@@ -393,6 +393,71 @@ class TestDiskLane:
 
         run_with_scheduler(body, disk=disk)
 
+    def test_warm_batch_probes_in_one_executor_round_trip(
+            self, monkeypatch):
+        # The fast lane costs one thread hand-off per micro-batch, not
+        # one per job (the SIM201 fix): three warm submissions in one
+        # window must reach the store through a single batched probe.
+        def bomb(alias, scale, entries):
+            raise AssertionError("disk-warm job reached the pool")
+        monkeypatch.setattr(scheduler_module, "simulate_request_batch",
+                            bomb)
+        probe_batches = []
+        single_probe = scheduler_module.schema.probe_disk_batch
+
+        def counting(disk, requests):
+            probe_batches.append(list(requests))
+            return single_probe(disk, requests)
+        monkeypatch.setattr(scheduler_module.schema, "probe_disk_batch",
+                            counting)
+        disk = FakeDisk(warm=make_result())
+
+        async def body(sched):
+            jobs = [sched.submit(request(size=(i + 1) * 128 * KIB))[0]
+                    for i in range(3)]
+            await asyncio.gather(
+                *(asyncio.wait_for(job.done.wait(), 5) for job in jobs))
+            assert all(job.state == DONE and job.lane == "disk"
+                       for job in jobs)
+            assert sched.metrics.value("disk_hits") == 3
+            assert len(probe_batches) == 1
+            assert len(probe_batches[0]) == 3
+
+        run_with_scheduler(body, disk=disk, batch_window_s=0.1)
+
+    def test_cold_batch_writes_through_in_one_round_trip(
+            self, monkeypatch):
+        # Write-through is batched the same way: one executor hop
+        # stores every record the batch produced.
+        monkeypatch.setattr(scheduler_module, "simulate_request_batch",
+                            good_records)
+        store_batches = []
+        single_store = scheduler_module.schema.store_disk_batch
+
+        def counting(disk, entries):
+            store_batches.append(list(entries))
+            return single_store(disk, entries)
+        monkeypatch.setattr(scheduler_module.schema, "store_disk_batch",
+                            counting)
+        disk = FakeDisk(warm=None)
+
+        async def body(sched):
+            jobs = [sched.submit(request(size=(i + 1) * 128 * KIB))[0]
+                    for i in range(3)]
+            await asyncio.gather(
+                *(asyncio.wait_for(job.done.wait(), 5) for job in jobs))
+            assert all(job.lane == "pool" for job in jobs)
+            # Write-through is async; give the executor hop a beat.
+            for _ in range(100):
+                if len(disk.put_calls) == 3:
+                    break
+                await asyncio.sleep(0.01)
+            assert len(store_batches) == 1
+            assert len(store_batches[0]) == 3
+            assert len(disk.put_calls) == 3
+
+        run_with_scheduler(body, disk=disk, batch_window_s=0.1)
+
     def test_scheduler_key_carries_the_disk_signature(self):
         with_disk = Scheduler(disk=FakeDisk())
         without = Scheduler()
