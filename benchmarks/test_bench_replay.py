@@ -1,0 +1,127 @@
+"""Compiled-trace replay engine benchmarks (PR 7).
+
+Three measurements behind ``BENCH_PR7.json``:
+
+- trace-compile time: lowering one workload into the access-trace IR
+  (the one-off cost a sweep amortizes over every configuration);
+- replay throughput: accesses/sec through the TCOR replay kernel over
+  a pre-compiled trace;
+- the headline: the full Table II job matrix (every benchmark x
+  baseline/TCOR/TCOR-without-L2-enhancements) run live versus
+  compile-once-replay-many, asserting the wall-clock speedup the
+  replay engine exists to deliver.
+
+Each speedup leg re-simulates from scratch (no disk cache, no memoized
+traces), so the numbers compare the two engines, not cache warmth.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.config import KIB, TCORConfig
+from repro.replay import compile_workload, replay_baseline, replay_tcor
+from repro.tcor import system
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS, build_workload
+
+TILE_CACHE_BYTES = 64 * KIB
+# The honest bar from the issue: >=5x on the full matrix at the
+# equivalence scale (0.2).  Tiny smoke scales pay the compile cost
+# against much shorter live runs, so they get a reduced floor.
+SPEEDUP_FLOOR = 5.0 if BENCH_SCALE >= 0.2 else 1.5
+
+
+def _job_matrix():
+    tcor_config = TCORConfig.for_total_size(TILE_CACHE_BYTES)
+    for alias in BENCHMARK_ORDER:
+        yield alias, "baseline", {"tile_cache_bytes": TILE_CACHE_BYTES}
+        yield alias, "tcor", {"tcor": tcor_config}
+        yield alias, "tcor", {"tcor": tcor_config,
+                              "l2_enhancements": False}
+
+
+def test_trace_compile_time(benchmark):
+    """One workload lowered to the IR — the sweep's fixed cost."""
+    workload = build_workload(BENCHMARKS["CCS"], scale=BENCH_SCALE)
+    trace = run_once(benchmark, compile_workload, workload)
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info["accesses"] = trace.num_accesses
+    benchmark.extra_info["compile_s"] = round(elapsed, 4)
+    assert trace.num_accesses > 0
+
+
+def test_replay_throughput(benchmark):
+    """Accesses/sec through the TCOR kernel on a compiled trace."""
+    trace = compile_workload(
+        build_workload(BENCHMARKS["CCS"], scale=BENCH_SCALE))
+    tcor_config = TCORConfig.for_total_size(TILE_CACHE_BYTES)
+
+    outcome = run_once(benchmark, replay_tcor, trace, tcor=tcor_config)
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info["accesses"] = trace.num_accesses
+    benchmark.extra_info["accesses_per_sec"] = round(
+        trace.num_accesses / elapsed)
+    assert outcome.result.l2_accesses > 0
+
+
+def test_replay_vs_live_matrix_speedup(benchmark):
+    """Full job matrix: live oracle vs compile-once + replay-per-config.
+
+    The replayed leg is what the benchmark times (trace compiles
+    included); the live leg is timed alongside and lands in
+    ``extra_info`` with the resulting speedup, which must clear
+    ``SPEEDUP_FLOOR``.  Workloads are built once up front for both
+    legs — both engines consume a built workload (and the driver
+    amortizes one build over every config of a batch regardless of
+    engine), so including construction would just dilute the engine
+    comparison with identical work.
+    """
+    jobs = list(_job_matrix())
+    workloads = {alias: build_workload(BENCHMARKS[alias],
+                                       scale=BENCH_SCALE)
+                 for alias in BENCHMARK_ORDER}
+
+    def live_leg():
+        results = []
+        for alias, kind, kwargs in jobs:
+            workload = workloads[alias]
+            if kind == "baseline":
+                results.append(system.simulate_baseline(workload,
+                                                        **kwargs))
+            else:
+                results.append(system.simulate_tcor(workload, **kwargs))
+        return results
+
+    def replay_leg():
+        results = []
+        traces = {}
+        for alias, kind, kwargs in jobs:
+            trace = traces.get(alias)
+            if trace is None:
+                trace = compile_workload(workloads[alias])
+                traces[alias] = trace
+            if kind == "baseline":
+                results.append(replay_baseline(trace, **kwargs).result)
+            else:
+                results.append(replay_tcor(trace, **kwargs).result)
+        return results
+
+    start = time.perf_counter()
+    live_results = live_leg()
+    live_s = time.perf_counter() - start
+
+    replay_results = run_once(benchmark, replay_leg)
+    replay_s = benchmark.stats.stats.total
+    speedup = live_s / replay_s
+
+    benchmark.extra_info["jobs"] = len(jobs)
+    benchmark.extra_info["scale"] = BENCH_SCALE
+    benchmark.extra_info["live_s"] = round(live_s, 3)
+    benchmark.extra_info["replay_s"] = round(replay_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    # Replay is only a speedup if it is also the same simulation.
+    assert [r.l2_misses for r in live_results] == \
+        [r.l2_misses for r in replay_results]
+    assert speedup >= SPEEDUP_FLOOR, \
+        f"replay speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x floor"

@@ -115,33 +115,56 @@ class Report:
         return "\n\n".join(format_table(result) for result in self.tables)
 
 
+_ENGINES = ("auto", "live", "replay")
+
+
 def simulate(workload: "Workload",
              config: SimulationConfig | None = None,
-             *, obs: Observation | None = None) -> RunResult:
+             *, obs: Observation | None = None,
+             engine: str = "auto") -> RunResult:
     """Run ``workload`` through the organization ``config`` describes.
 
     ``obs`` threads a caller-owned :class:`Observation` through the run
     (to share a registry across several simulations, or to attach a
     tracer); by default each call gets a fresh one, so ``metrics`` and
     ``invariant_failures`` cover exactly this run.
+
+    ``engine`` selects the execution path: ``"auto"`` (the default)
+    replays the workload's compiled access trace through the fast
+    kernels when the run is eligible — bit-identical results and
+    metrics, order-of-magnitude faster — and falls back to the live
+    simulator when it is not (a tracer is attached, ``REPRO_NO_REPLAY``
+    is set, or the configuration steps outside the kernels' model);
+    ``"live"`` forces the reference simulator; ``"replay"`` forces the
+    kernels and raises :class:`~repro.replay.ReplayUnsupportedError`
+    when they cannot honor the run.
     """
     from repro.tcor.system import simulate_baseline, simulate_tcor
 
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     config = config if config is not None else SimulationConfig()
     if obs is None:
         obs = Observation(MetricsRegistry())
-    if config.kind == "baseline":
-        result = simulate_baseline(
-            workload, gpu=config.gpu,
-            tile_cache_bytes=config.tile_cache_bytes,
-            include_background=config.include_background, obs=obs)
-    else:
-        result = simulate_tcor(
-            workload, gpu=config.gpu, tcor=config.tcor,
-            total_tile_cache_bytes=config.tile_cache_bytes,
-            l2_enhancements=config.l2_enhancements,
-            interleaved_lists=config.interleaved_lists,
-            include_background=config.include_background, obs=obs)
+    result = None
+    if engine != "live":
+        from repro.replay import try_replay
+
+        result = try_replay(workload, config, obs,
+                            require=(engine == "replay"))
+    if result is None:
+        if config.kind == "baseline":
+            result = simulate_baseline(
+                workload, gpu=config.gpu,
+                tile_cache_bytes=config.tile_cache_bytes,
+                include_background=config.include_background, obs=obs)
+        else:
+            result = simulate_tcor(
+                workload, gpu=config.gpu, tcor=config.tcor,
+                total_tile_cache_bytes=config.tile_cache_bytes,
+                l2_enhancements=config.l2_enhancements,
+                interleaved_lists=config.interleaved_lists,
+                include_background=config.include_background, obs=obs)
     return RunResult(result=result, config=config,
                      metrics=obs.snapshot(),
                      invariant_failures=tuple(obs.registry.check_invariants()))

@@ -130,22 +130,85 @@ class SimulationCache(SimulationProvider):
     :class:`repro.parallel.store.DiskCache`): in-memory misses probe it
     before simulating, and fresh results are written through, so
     repeated runner/benchmark invocations skip re-simulation entirely.
+
+    ``use_replay`` (default on) runs cache-model simulations through
+    the compiled-trace replay kernels when eligible — bit-identical
+    results, compiled once per workload and amortized over every
+    configuration; the live simulator remains the fallback (and the
+    only path when a tracer is active or ``REPRO_NO_REPLAY`` is set).
+    ``trace_cache`` persists compiled traces through ``disk`` (when the
+    store supports them), so warm invocations skip geometry + binning
+    entirely.
     """
 
     def __init__(self, scale: float = DEFAULT_SCALE,
                  aliases: tuple[str, ...] | None = None,
-                 disk=None) -> None:
+                 disk=None, use_replay: bool = True,
+                 trace_cache: bool = True) -> None:
         self.scale = scale
         self.aliases = tuple(aliases) if aliases else BENCHMARK_ORDER
         self.disk = disk
+        self.use_replay = use_replay
+        self.trace_cache = trace_cache
         self._workloads: dict[str, Workload] = {}
         self._systems: dict[tuple, SystemResult] = {}
+        self._traces: dict[str, object] = {}
 
     def workload(self, alias: str) -> Workload:
         if alias not in self._workloads:
             self._workloads[alias] = build_workload(BENCHMARKS[alias],
                                                     scale=self.scale)
+            trace = self._traces.get(alias)
+            if trace is not None:
+                self._workloads[alias].compiled_trace = trace
         return self._workloads[alias]
+
+    # -- replay fast path ----------------------------------------------
+    def _compiled_trace(self, alias: str):
+        """Get-compile-or-load the workload's access trace (memoized).
+
+        A persisted trace (disk stores are duck-typed; older stores
+        without ``get_trace`` are simply skipped) avoids building the
+        workload at all — geometry and binning are the expensive part.
+        """
+        from repro.replay import compiled_trace_for
+
+        trace = self._traces.get(alias)
+        if trace is not None:
+            return trace
+        workload = self._workloads.get(alias)
+        if workload is not None and workload.compiled_trace is not None:
+            trace = workload.compiled_trace
+        if trace is None and self.trace_cache and self.disk is not None:
+            get_trace = getattr(self.disk, "get_trace", None)
+            if get_trace is not None:
+                trace = get_trace(BENCHMARKS[alias], self.scale)
+        if trace is None:
+            trace = compiled_trace_for(self.workload(alias))
+            if self.trace_cache and self.disk is not None:
+                put_trace = getattr(self.disk, "put_trace", None)
+                if put_trace is not None:
+                    put_trace(BENCHMARKS[alias], self.scale, trace)
+        self._traces[alias] = trace
+        if alias in self._workloads:
+            self._workloads[alias].compiled_trace = trace
+        return trace
+
+    def _replay(self, alias: str, kind: str, **kwargs) -> SystemResult | None:
+        """One replayed simulation, or ``None`` -> caller runs live."""
+        if not self.use_replay:
+            return None
+        from repro import replay
+
+        if replay.replay_allowed() is not None:
+            return None
+        try:
+            trace = self._compiled_trace(alias)
+            if kind == "baseline":
+                return replay.replay_baseline(trace, **kwargs).result
+            return replay.replay_tcor(trace, **kwargs).result
+        except replay.ReplayUnsupportedError:
+            return None
 
     def workloads(self) -> list[Workload]:
         return [self.workload(alias) for alias in self.aliases]
@@ -167,18 +230,23 @@ class SimulationCache(SimulationProvider):
     def baseline(self, alias: str, tile_cache_bytes: int) -> SystemResult:
         key = self._baseline_key(alias, tile_cache_bytes)
         result = self._systems.get(key)
-        if result is None and self.disk is not None:
+        if result is not None:
+            return result
+        if self.disk is not None:
             result = self.disk.get_baseline(BENCHMARKS[alias], self.scale,
                                             tile_cache_bytes)
             if result is not None:
                 self._systems[key] = result
+                return result
+        result = self._replay(alias, "baseline",
+                              tile_cache_bytes=tile_cache_bytes)
         if result is None:
             result = simulate_baseline(self.workload(alias),
                                        tile_cache_bytes=tile_cache_bytes)
-            self._systems[key] = result
-            if self.disk is not None:
-                self.disk.put_baseline(BENCHMARKS[alias], self.scale,
-                                       tile_cache_bytes, result)
+        self._systems[key] = result
+        if self.disk is not None:
+            self.disk.put_baseline(BENCHMARKS[alias], self.scale,
+                                   tile_cache_bytes, result)
         return result
 
     def tcor(self, alias: str, tile_cache_bytes: int,
@@ -188,18 +256,23 @@ class SimulationCache(SimulationProvider):
                 else TCORConfig.for_total_size(tile_cache_bytes))
         key = self._tcor_key(alias, tile_cache_bytes, tcor, l2_enhancements)
         result = self._systems.get(key)
-        if result is None and self.disk is not None:
+        if result is not None:
+            return result
+        if self.disk is not None:
             result = self.disk.get_tcor(BENCHMARKS[alias], self.scale, tcor,
                                         l2_enhancements)
             if result is not None:
                 self._systems[key] = result
+                return result
+        result = self._replay(alias, "tcor", tcor=tcor,
+                              l2_enhancements=l2_enhancements)
         if result is None:
             result = simulate_tcor(self.workload(alias), tcor=tcor,
                                    l2_enhancements=l2_enhancements)
-            self._systems[key] = result
-            if self.disk is not None:
-                self.disk.put_tcor(BENCHMARKS[alias], self.scale, tcor,
-                                   l2_enhancements, result)
+        self._systems[key] = result
+        if self.disk is not None:
+            self.disk.put_tcor(BENCHMARKS[alias], self.scale, tcor,
+                               l2_enhancements, result)
         return result
 
     @staticmethod

@@ -21,11 +21,18 @@ from repro.experiments.common import (
     ExperimentResult,
     SimulationCache,
 )
+from repro.api import SimulationConfig, simulate
 from repro.geometry.traversal import TraversalOrder
-from repro.tcor.system import simulate_baseline, simulate_tcor
 from repro.workloads.suite import BENCHMARKS, build_workload
 
 KIB = 1024
+
+
+def _sim(workload, **config_kwargs):
+    """One simulation through the public facade — replay-eligible
+    (every sweep here stays inside the kernels' geometry envelope),
+    with the live simulator as automatic fallback."""
+    return simulate(workload, SimulationConfig(**config_kwargs)).result
 
 
 def run_traversal_orders(alias: str = "TRu", scale: float = DEFAULT_SCALE,
@@ -35,8 +42,8 @@ def run_traversal_orders(alias: str = "TRu", scale: float = DEFAULT_SCALE,
     for order in TraversalOrder:
         workload = build_workload(BENCHMARKS[alias], scale=scale,
                                   order=order)
-        base = simulate_baseline(workload)
-        tcor = simulate_tcor(workload)
+        base = _sim(workload, kind="baseline")
+        tcor = _sim(workload)
         rows.append([
             order.value,
             round(tcor.attr_read_hit_ratio, 3),
@@ -59,7 +66,7 @@ def run_tile_cache_split(alias: str = "Snp", scale: float = DEFAULT_SCALE,
     """Primitive-List vs Attribute budget split at a fixed 64 KiB."""
     workload = (cache.workload(alias) if cache
                 else build_workload(BENCHMARKS[alias], scale=scale))
-    base = simulate_baseline(workload)
+    base = _sim(workload, kind="baseline")
     rows = []
     for pl_kib in (8, 16, 24, 32):
         attr_kib = 64 - pl_kib
@@ -68,7 +75,7 @@ def run_tile_cache_split(alias: str = "Snp", scale: float = DEFAULT_SCALE,
                                              pl_kib * KIB),
             attribute_buffer_bytes=attr_kib * KIB,
         )
-        tcor = simulate_tcor(workload, tcor=tcor_config)
+        tcor = _sim(workload, tcor=tcor_config)
         rows.append([
             f"{pl_kib}+{attr_kib}",
             round(tcor.attr_read_hit_ratio, 3),
@@ -94,8 +101,8 @@ def run_l2_size(alias: str = "DDS", scale: float = DEFAULT_SCALE,
         gpu = replace(DEFAULT_GPU,
                       l2_cache=replace(DEFAULT_GPU.l2_cache,
                                        size_bytes=l2_kib * KIB))
-        base = simulate_baseline(workload, gpu=gpu)
-        tcor = simulate_tcor(workload, gpu=gpu)
+        base = _sim(workload, kind="baseline", gpu=gpu)
+        tcor = _sim(workload, gpu=gpu)
         elimination = 100 * (1 - tcor.pb_mm_accesses
                              / max(1, base.pb_mm_accesses))
         rows.append([l2_kib, base.pb_mm_accesses, tcor.pb_mm_accesses,

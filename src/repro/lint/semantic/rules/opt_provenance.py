@@ -9,10 +9,15 @@ distance the builder never computed — simulations keep running and
 quietly stop being OPT.
 
 The rule resolves every call through the project call graph; when the
-callee is a ``tcor``/``caches`` function with an OPT-named parameter,
-the argument's reaching-definition origin set must be literal-free
-(attribute loads, parameters, sentinel constants and computed
-expressions all pass — ``lit:int``/``lit:float`` does not).
+callee is a ``tcor``/``caches``/``replay`` function with an OPT-named
+parameter, the argument's reaching-definition origin set must be
+literal-free (attribute loads, parameters, sentinel constants and
+computed expressions all pass — ``lit:int``/``lit:float`` does not).
+``replay`` is in the set because the replay kernels consume the same
+OPT numbers from the trace compiler's arrays: array loads and the
+parameters they flow through are legitimate provenance, fresh literals
+into a kernel's ``opt`` slots are exactly as forged as in the live
+path.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from typing import Iterable
 from repro.lint.core import Violation
 from repro.lint.semantic.rules import SemanticRule, register_semantic
 
-_MODULE_PARTS = {"tcor", "caches"}
+_MODULE_PARTS = {"tcor", "caches", "replay"}
 _BAD_ORIGINS = {"lit:int", "lit:float"}
 
 

@@ -70,13 +70,23 @@ def enumerate_jobs(names, aliases) -> list[SimJob]:
 
 
 def simulate_job_batch(alias: str, scale: float,
-                       jobs: tuple[SimJob, ...]
+                       jobs: tuple[SimJob, ...],
+                       use_replay: bool = True,
+                       trace_dir: str | None = None
                        ) -> list[tuple[SimJob, SystemResult]]:
-    """Worker entry point: one workload build, then every variant.
+    """Worker entry point: one trace compile, then every variant.
 
     Must stay a module-level function (pickled by name into the pool)
     and must mirror :class:`SimulationCache`'s simulation calls exactly
     so pooled and lazy results are interchangeable.
+
+    ``use_replay`` (default) compiles the workload's access trace once
+    and replays it through the fast kernels for every job in the batch
+    — bit-identical to the live calls, which remain the fallback for
+    ineligible configurations.  ``trace_dir``, when given, is a
+    :class:`~repro.parallel.store.DiskCache` directory to load/persist
+    the compiled trace through: on a trace hit the worker skips
+    building the workload (geometry + binning) entirely.
 
     With the fork start method a worker inherits the parent's module
     state, including any tracer installed in ``obs.trace.ACTIVE`` at
@@ -87,18 +97,57 @@ def simulate_job_batch(alias: str, scale: float,
     the only module state this worker ever touches.
     """
     with obs_trace.activation(None):
-        workload = build_workload(BENCHMARKS[alias], scale=scale)
+        spec = BENCHMARKS[alias]
+        replay = None
+        if use_replay:
+            from repro import replay as replay_module
+
+            if replay_module.replay_allowed() is None:
+                replay = replay_module
+        disk = None
+        trace = None
+        if replay is not None and trace_dir is not None:
+            from repro.parallel.store import DiskCache
+
+            disk = DiskCache(trace_dir)
+            trace = disk.get_trace(spec, scale)
+        workload = None
         results = []
         for job in jobs:
-            if job.kind == "baseline":
-                result = simulate_baseline(
-                    workload, tile_cache_bytes=job.tile_cache_bytes)
-            else:
-                result = simulate_tcor(
-                    workload,
-                    tcor=TCORConfig.for_total_size(job.tile_cache_bytes),
-                    l2_enhancements=(job.kind == "tcor"),
-                )
+            result = None
+            if replay is not None:
+                if trace is None:
+                    if workload is None:
+                        workload = build_workload(spec, scale=scale)
+                    trace = replay.compiled_trace_for(workload)
+                    if disk is not None:
+                        disk.put_trace(spec, scale, trace)
+                try:
+                    if job.kind == "baseline":
+                        result = replay.replay_baseline(
+                            trace,
+                            tile_cache_bytes=job.tile_cache_bytes).result
+                    else:
+                        result = replay.replay_tcor(
+                            trace,
+                            tcor=TCORConfig.for_total_size(
+                                job.tile_cache_bytes),
+                            l2_enhancements=(job.kind == "tcor"),
+                        ).result
+                except replay.ReplayUnsupportedError:
+                    result = None
+            if result is None:
+                if workload is None:
+                    workload = build_workload(spec, scale=scale)
+                if job.kind == "baseline":
+                    result = simulate_baseline(
+                        workload, tile_cache_bytes=job.tile_cache_bytes)
+                else:
+                    result = simulate_tcor(
+                        workload,
+                        tcor=TCORConfig.for_total_size(job.tile_cache_bytes),
+                        l2_enhancements=(job.kind == "tcor"),
+                    )
             results.append((job, result))
         return results
 
@@ -114,9 +163,19 @@ class ParallelSimulationCache(SimulationCache):
 
     def __init__(self, scale: float = DEFAULT_SCALE,
                  aliases: tuple[str, ...] | None = None,
-                 jobs: int = 1, disk=None) -> None:
-        super().__init__(scale=scale, aliases=aliases, disk=disk)
+                 jobs: int = 1, disk=None, use_replay: bool = True,
+                 trace_cache: bool = True) -> None:
+        super().__init__(scale=scale, aliases=aliases, disk=disk,
+                         use_replay=use_replay, trace_cache=trace_cache)
         self.jobs = max(1, int(jobs))
+
+    def _worker_trace_dir(self) -> str | None:
+        """Trace-store directory for pool workers (compiled once by the
+        first worker, loaded by the rest), or ``None`` when disabled."""
+        if not (self.use_replay and self.trace_cache):
+            return None
+        directory = getattr(self.disk, "directory", None)
+        return str(directory) if directory is not None else None
 
     # -- keys and storage ----------------------------------------------
     def _job_key(self, job: SimJob) -> tuple:
@@ -194,9 +253,11 @@ class ParallelSimulationCache(SimulationCache):
             # The worker's only reachable global write is its own scoped
             # activation(None) — the fork-hygiene reset above, process-
             # local and restored on exit.
+            trace_dir = self._worker_trace_dir()
             futures = [
                 pool.submit(simulate_job_batch, alias,  # lint: disable=SIM101
-                            self.scale, tuple(batch))
+                            self.scale, tuple(batch), self.use_replay,
+                            trace_dir)
                 for alias, batch in by_alias.items()
             ]
             for future in as_completed(futures):

@@ -56,6 +56,26 @@ _SIMULATION_SOURCES = (
 _EXPERIMENT_SOURCES = _SIMULATION_SOURCES + ("analysis", "experiments",
                                              "timing")
 
+# Compiled access traces depend only on what shapes the event stream
+# and the IR itself — deliberately *narrower* than the simulation
+# signature, so a cache-model edit (tcor/, caches/) re-simulates
+# against warm traces instead of recompiling every workload.
+_TRACE_SOURCES = (
+    "config.py",
+    "constants.py",
+    "geometry",
+    "pbuffer",
+    "replay",
+    "tiling",
+    "workloads",
+)
+
+# Compiled traces are big (npz archives, not counter records), so the
+# trace store is capped: least-recently-used archives are evicted once
+# the total size passes the budget.
+_TRACE_CACHE_BYTES_ENV = "REPRO_TRACE_CACHE_BYTES"
+DEFAULT_TRACE_CACHE_BYTES = 512 * 1024 * 1024
+
 
 def _tree_signature(root: Path, names: tuple[str, ...]) -> str:
     digest = hashlib.sha256()
@@ -96,6 +116,13 @@ def experiment_code_signature(package_root: str | os.PathLike | None = None
     return _tree_signature(_package_root(package_root), _EXPERIMENT_SOURCES)
 
 
+def trace_code_signature(package_root: str | os.PathLike | None = None
+                         ) -> str:
+    """Hash of the sources a compiled access trace depends on (the
+    event stream producers + the trace compiler)."""
+    return _tree_signature(_package_root(package_root), _TRACE_SOURCES)
+
+
 def result_to_dict(result: SystemResult) -> dict:
     """JSON-serializable form of one ``SystemResult`` record."""
     return asdict(result)
@@ -125,7 +152,9 @@ class DiskCache:
 
     def __init__(self, directory: str | os.PathLike | None = None,
                  signature: str | None = None,
-                 table_signature: str | None = None) -> None:
+                 table_signature: str | None = None,
+                 trace_signature: str | None = None,
+                 trace_cache_bytes: int | None = None) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
         self.directory = Path(directory)
@@ -133,6 +162,13 @@ class DiskCache:
                           else simulation_code_signature())
         self.table_signature = (table_signature if table_signature is not None
                                 else experiment_code_signature())
+        self.trace_signature = (trace_signature if trace_signature is not None
+                                else trace_code_signature())
+        if trace_cache_bytes is None:
+            trace_cache_bytes = int(
+                os.environ.get(_TRACE_CACHE_BYTES_ENV)
+                or DEFAULT_TRACE_CACHE_BYTES)
+        self.trace_cache_bytes = trace_cache_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -234,6 +270,92 @@ class DiskCache:
                 "l2_enhancements": l2_enhancements}
         self._write(self._key(payload), meta, result_to_dict(result))
 
+    # -- compiled access traces ----------------------------------------
+    def _trace_key(self, spec: BenchmarkSpec, scale: float) -> str:
+        # Keyed by the *trace* signature (event-stream producers + the
+        # IR), not the full simulation signature: cache-model edits must
+        # leave compiled traces warm.
+        canonical = json.dumps(
+            {"version": CACHE_VERSION, "signature": self.trace_signature,
+             "payload": {"kind": "trace", "spec": asdict(spec),
+                         "scale": scale}},
+            sort_keys=True, separators=(",", ":"), default=str,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _trace_path(self, key: str) -> Path:
+        return self.directory / f"trace-{key}.npz"
+
+    def get_trace(self, spec: BenchmarkSpec, scale: float):
+        """The persisted compiled trace for (spec, scale), or ``None``.
+
+        Any failure — missing file, torn archive, IR version mismatch —
+        degrades to a cache miss."""
+        from repro.replay import load_trace
+
+        path = self._trace_path(self._trace_key(spec, scale))
+        try:
+            with open(path, "rb") as handle:
+                trace = load_trace(handle)
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        try:
+            # LRU bookkeeping for the size cap; best-effort.
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return trace
+
+    def put_trace(self, spec: BenchmarkSpec, scale: float, trace) -> None:
+        from repro.replay import save_trace
+
+        path = self._trace_path(self._trace_key(spec, scale))
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_TMP_SEQUENCE)}")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                save_trace(handle, trace)
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        self._enforce_trace_cap(keep=path)
+
+    def _enforce_trace_cap(self, keep: Path) -> int:
+        """Evict least-recently-used trace archives over the budget.
+
+        The just-written archive is always spared (evicting it would
+        defeat the write), so a single trace larger than the whole
+        budget still persists.  Returns the number evicted."""
+        try:
+            archives = [(path, path.stat()) for path
+                        in self.directory.glob("trace-*.npz")]
+        except OSError:
+            return 0
+        total = sum(stat.st_size for _, stat in archives)
+        evicted = 0
+        # Oldest first; the spared file sorts wherever, it is skipped.
+        for path, stat in sorted(archives, key=lambda item: item[1].st_mtime):
+            if total <= self.trace_cache_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= stat.st_size
+            evicted += 1
+        return evicted
+
     # -- runner-facing table records -----------------------------------
     def _tables_payload(self, experiment: str, scale: float,
                         aliases: tuple[str, ...]) -> dict:
@@ -268,13 +390,15 @@ class DiskCache:
                 f"{self.stores} stores ({self.directory})")
 
     def clear(self) -> int:
-        """Delete every record; returns the number removed."""
+        """Delete every record (results, tables and compiled traces);
+        returns the number removed."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.json", "trace-*.npz"):
+                for path in self.directory.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed

@@ -1,0 +1,124 @@
+"""Compile-once access-trace IR + replay kernels (see DESIGN.md §12).
+
+``compile_workload`` lowers a workload into a config-independent IR;
+``replay_baseline`` / ``replay_tcor`` run the cache models over it
+bit-identically to the live simulator (which remains the reference
+oracle, gated by tests/test_replay_equivalence.py).  ``try_replay`` is
+the dispatch helper the public facade and the experiment caches use:
+it replays when the run is eligible and returns ``None`` (caller falls
+back to the live path) when it is not — a tracer is attached, the
+``REPRO_NO_REPLAY`` escape hatch is set, or the configuration steps
+outside what the kernels model.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import trace as obs_trace
+from repro.obs.registry import Observation
+from repro.replay.ir import (
+    TRACE_IR_VERSION,
+    CompiledTrace,
+    FrameIR,
+    TraceHeader,
+    compile_workload,
+    compiled_trace_for,
+    load_trace,
+    save_trace,
+)
+from repro.replay.kernels import (
+    ReplayOutcome,
+    ReplayUnsupportedError,
+    replay_baseline,
+    replay_tcor,
+)
+
+__all__ = [
+    "TRACE_IR_VERSION",
+    "CompiledTrace",
+    "FrameIR",
+    "TraceHeader",
+    "ReplayOutcome",
+    "ReplayUnsupportedError",
+    "compile_workload",
+    "compiled_trace_for",
+    "load_trace",
+    "save_trace",
+    "observe_replay",
+    "replay_allowed",
+    "replay_baseline",
+    "replay_tcor",
+    "try_replay",
+]
+
+
+def replay_allowed(obs: Observation | None = None) -> str | None:
+    """``None`` when replay may substitute for the live simulator,
+    else the reason it may not.
+
+    A tracer — whether attached to this run's observation or installed
+    globally — needs the live path's per-access event stream, and
+    ``REPRO_NO_REPLAY`` is the operator escape hatch.
+    """
+    if os.environ.get("REPRO_NO_REPLAY"):
+        return "REPRO_NO_REPLAY is set"
+    if obs is not None and obs.tracer is not None:
+        return "a tracer is attached to this run"
+    if obs_trace.ACTIVE is not None:
+        return "a tracer is globally active"
+    return None
+
+
+def observe_replay(obs: Observation, outcome: ReplayOutcome) -> None:
+    """Register the replay's reconstructed stats under the live path's
+    metric names, so snapshots are byte-identical across engines."""
+    from repro.tcor.system import PB_ACCOUNTING_RULE
+
+    registry = obs.registry
+    outcome.l2_stats.register(registry, f"live.{outcome.l2_name}")
+    outcome.memory.register(registry, "live.dram")
+    for prefix, stats in outcome.frame_stats:
+        stats.register(registry, prefix)
+    registry.count("live.system.pb_l2_reads",
+                   outcome.counters["pb_l2_reads"])
+    registry.count("live.system.pb_l2_writes",
+                   outcome.counters["pb_l2_writes"])
+    obs.expect_sum(*PB_ACCOUNTING_RULE)
+
+
+def try_replay(workload, config, obs: Observation | None = None,
+               require: bool = False):
+    """Replay ``workload`` under ``config`` if eligible.
+
+    Returns the :class:`~repro.tcor.system.SystemResult` (registering
+    metrics into ``obs`` when given), or ``None`` when the run must use
+    the live simulator; with ``require=True`` ineligibility raises
+    :class:`ReplayUnsupportedError` instead.
+    """
+    reason = replay_allowed(obs)
+    if reason is not None:
+        if require:
+            raise ReplayUnsupportedError(reason)
+        return None
+    try:
+        trace = compiled_trace_for(workload)
+        if config.kind == "baseline":
+            outcome = replay_baseline(
+                trace, gpu=config.gpu,
+                tile_cache_bytes=config.tile_cache_bytes,
+                include_background=config.include_background)
+        else:
+            outcome = replay_tcor(
+                trace, gpu=config.gpu, tcor=config.tcor,
+                total_tile_cache_bytes=config.tile_cache_bytes,
+                l2_enhancements=config.l2_enhancements,
+                interleaved_lists=config.interleaved_lists,
+                include_background=config.include_background)
+    except ReplayUnsupportedError:
+        if require:
+            raise
+        return None
+    if obs is not None:
+        observe_replay(obs, outcome)
+    return outcome.result

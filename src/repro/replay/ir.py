@@ -1,0 +1,443 @@
+"""The config-independent access-trace IR (compile once, replay many).
+
+The paper's enabling observation — the Parameter Buffer stream is fully
+determined before any cache sees it — means a workload's entire access
+sequence can be lowered *once* into flat parallel arrays and then
+replayed through any number of cache configurations.  This module is the
+compiler half: :func:`compile_workload` walks the Tiling Engine event
+stream and the background traffic model exactly once and captures
+
+- per frame, the build/fetch event streams as parallel ``kind`` +
+  operand arrays (tile/position for PMD traffic, primitive id /
+  attribute count / OPT Number / last-use rank for attribute traffic,
+  tile id / rank / flush flag for ``TileDone``);
+- per frame, the Parameter Buffer address map (attribute base blocks and
+  counts, the tile-rank table);
+- at trace level, the background (texture/vertex/instruction) access
+  stream, which is frame-independent by construction (stateless
+  per-tile/per-primitive RNG derivation);
+- a header binding the trace to the workload (alias, scale, geometry
+  constants) so persisted traces are content-addressed by the PR 2
+  code-signature scheme (see ``DiskCache.get_trace``).
+
+Everything configuration-*dependent* (PB-Lists layout, set counts,
+indexing functions) is resolved lazily by the memoized view helpers the
+replay kernels call, so one compiled trace serves baseline and TCOR,
+contiguous and interleaved, 64 KiB and 128 KiB alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.workloads.suite import Workload
+
+# Bump whenever the IR layout changes; persisted traces with another
+# version fail to load (treated as a cache miss by DiskCache.get_trace).
+TRACE_IR_VERSION = 1
+
+# Event kinds, build stream.
+BUILD_PMD_WRITE = 0
+BUILD_ATTR_WRITE = 1
+# Event kinds, fetch stream.
+FETCH_PMD_READ = 0
+FETCH_ATTR_READ = 1
+FETCH_TILE_DONE = 2
+
+_I64 = np.int64
+
+
+def _np(values) -> np.ndarray:
+    return np.asarray(values, dtype=_I64)
+
+
+class FrameIR:
+    """One frame's compiled event streams and PB address map.
+
+    All arrays are plain Python ``list``s of ints at runtime (the replay
+    kernels iterate them in tight loops where lists beat ndarrays);
+    serialization converts to int64 ndarrays.
+    """
+
+    __slots__ = (
+        "build_kind", "bp_tile", "bp_pos",
+        "bw_pid", "bw_nattr", "bw_opt", "bw_last",
+        "fetch_kind", "fp_tile", "fp_pos",
+        "fr_pid", "fr_nattr", "fr_opt", "fr_last",
+        "td_tile", "td_rank", "td_fb",
+        "attr_base", "attr_count", "rank_of_tile",
+        "_views",
+    )
+
+    def __init__(self, build_kind, bp_tile, bp_pos,
+                 bw_pid, bw_nattr, bw_opt, bw_last,
+                 fetch_kind, fp_tile, fp_pos,
+                 fr_pid, fr_nattr, fr_opt, fr_last,
+                 td_tile, td_rank, td_fb,
+                 attr_base, attr_count, rank_of_tile) -> None:
+        self.build_kind = build_kind
+        self.bp_tile = bp_tile
+        self.bp_pos = bp_pos
+        self.bw_pid = bw_pid
+        self.bw_nattr = bw_nattr
+        self.bw_opt = bw_opt
+        self.bw_last = bw_last
+        self.fetch_kind = fetch_kind
+        self.fp_tile = fp_tile
+        self.fp_pos = fp_pos
+        self.fr_pid = fr_pid
+        self.fr_nattr = fr_nattr
+        self.fr_opt = fr_opt
+        self.fr_last = fr_last
+        self.td_tile = td_tile
+        self.td_rank = td_rank
+        self.td_fb = td_fb
+        self.attr_base = attr_base
+        self.attr_count = attr_count
+        self.rank_of_tile = rank_of_tile
+        self._views: dict = {}
+
+    @property
+    def num_accesses(self) -> int:
+        """Logical accesses this frame contributes (throughput metric)."""
+        return len(self.build_kind) + len(self.fetch_kind)
+
+    # ------------------------------------------------------------------
+    # Config-dependent memoized views
+    # ------------------------------------------------------------------
+    def pmd_views(self, header: "TraceHeader", interleaved: bool):
+        """(build_tags, build_ranks, fetch_tags, fetch_ranks) lists.
+
+        Tags are 64-byte line addresses of each PMD access under the
+        requested PB-Lists layout; ranks are the dead-line tag of the
+        owning tile (``layout.tile_of_block`` recovers the event's tile
+        exactly for both layouts, so the rank is the event tile's rank).
+        """
+        key = ("pmd", interleaved)
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached
+        shift = header.block_bytes.bit_length() - 1
+        ranks = _np(self.rank_of_tile)
+        out = []
+        for tiles, positions in ((self.bp_tile, self.bp_pos),
+                                 (self.fp_tile, self.fp_pos)):
+            t = _np(tiles)
+            p = _np(positions)
+            if interleaved:
+                section, offset = np.divmod(p, header.pmds_per_block)
+                addr = (header.lists_base
+                        + (section * header.num_tiles + t) * header.block_bytes
+                        + offset * header.pmd_bytes)
+            else:
+                addr = (header.lists_base + t * header.tile_list_bytes
+                        + p * header.pmd_bytes)
+            out.append((addr >> shift).tolist())
+            out.append(ranks[t].tolist() if len(t) else [])
+        view = tuple(out)
+        self._views[key] = view
+        return view
+
+    def attr_tag_base(self, header: "TraceHeader") -> list:
+        """First 64-byte block tag of every primitive's attribute run.
+
+        Attributes are block-aligned at one block per attribute, so
+        primitive ``p`` owns tags ``base[p] .. base[p]+count[p]-1``.
+        """
+        cached = self._views.get("attr_base")
+        if cached is None:
+            shift = header.block_bytes.bit_length() - 1
+            cached = (_np(self.attr_base) >> shift).tolist()
+            self._views["attr_base"] = cached
+        return cached
+
+    def attr_sets(self, num_sets: int, use_xor: bool) -> list:
+        """Primitive-id -> Primitive Buffer set index, per indexing fn."""
+        key = ("attr_sets", num_sets, use_xor)
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached
+        if not use_xor:
+            cached = [pid % num_sets for pid in range(len(self.attr_count))]
+        else:
+            bits = max(1, (num_sets - 1).bit_length())
+            mask = (1 << bits) - 1
+            power_of_two = num_sets & (num_sets - 1) == 0
+            cached = []
+            for pid in range(len(self.attr_count)):
+                folded = 0
+                remaining = pid
+                while remaining:
+                    folded ^= remaining & mask
+                    remaining >>= bits
+                cached.append(folded if power_of_two and folded < num_sets
+                              else folded % num_sets)
+        self._views[key] = cached
+        return cached
+
+
+class TraceHeader:
+    """Workload identity + the geometry constants the kernels need."""
+
+    __slots__ = ("alias", "scale", "num_tiles", "num_primitives",
+                 "block_bytes", "pmd_bytes", "pmds_per_block",
+                 "lists_base", "tile_list_bytes", "attribute_stride",
+                 "fb_writes_per_tile", "l1_estimates")
+
+    def __init__(self, alias, scale, num_tiles, num_primitives,
+                 block_bytes, pmd_bytes, pmds_per_block, lists_base,
+                 tile_list_bytes, attribute_stride, fb_writes_per_tile,
+                 l1_estimates) -> None:
+        self.alias = alias
+        self.scale = scale
+        self.num_tiles = num_tiles
+        self.num_primitives = num_primitives
+        self.block_bytes = block_bytes
+        self.pmd_bytes = pmd_bytes
+        self.pmds_per_block = pmds_per_block
+        self.lists_base = lists_base
+        self.tile_list_bytes = tile_list_bytes
+        self.attribute_stride = attribute_stride
+        self.fb_writes_per_tile = fb_writes_per_tile
+        self.l1_estimates = l1_estimates
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class CompiledTrace:
+    """A workload lowered to replayable arrays: header + background +
+    per-frame event streams."""
+
+    __slots__ = ("header", "frames",
+                 "bg_tile_tag", "bg_tile_reg", "bg_tile_wr", "bg_tile_off",
+                 "bg_prim_tag", "bg_prim_reg", "bg_prim_wr", "bg_prim_off")
+
+    def __init__(self, header, frames,
+                 bg_tile_tag, bg_tile_reg, bg_tile_wr, bg_tile_off,
+                 bg_prim_tag, bg_prim_reg, bg_prim_wr, bg_prim_off) -> None:
+        self.header = header
+        self.frames = frames
+        self.bg_tile_tag = bg_tile_tag
+        self.bg_tile_reg = bg_tile_reg
+        self.bg_tile_wr = bg_tile_wr
+        self.bg_tile_off = bg_tile_off
+        self.bg_prim_tag = bg_prim_tag
+        self.bg_prim_reg = bg_prim_reg
+        self.bg_prim_wr = bg_prim_wr
+        self.bg_prim_off = bg_prim_off
+
+    @property
+    def num_accesses(self) -> int:
+        return sum(frame.num_accesses for frame in self.frames)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def compile_workload(workload: Workload) -> CompiledTrace:
+    """Lower a workload into the IR (one pass over events + background)."""
+    # Imported here so the IR module itself stays importable without the
+    # full simulator (e.g. when only loading persisted traces).
+    from repro.tiling.events import (
+        AttributeRead,
+        AttributeWrite,
+        PmdRead,
+        PmdWrite,
+        TileDone,
+    )
+
+    screen = workload.screen
+    background = workload.background
+    shift = 6  # 64-byte blocks; asserted against the config below.
+
+    frames = []
+    pbuffer = None
+    for trace in workload.traces:
+        pb = trace.pb
+        pbuffer = pb.pbuffer
+        build_kind: list = []
+        bp_tile: list = []
+        bp_pos: list = []
+        bw_pid: list = []
+        bw_nattr: list = []
+        bw_opt: list = []
+        bw_last: list = []
+        for event in trace.build_events:
+            if type(event) is PmdWrite:
+                build_kind.append(BUILD_PMD_WRITE)
+                bp_tile.append(event.tile_id)
+                bp_pos.append(event.position)
+            elif type(event) is AttributeWrite:
+                build_kind.append(BUILD_ATTR_WRITE)
+                bw_pid.append(event.primitive_id)
+                bw_nattr.append(event.num_attributes)
+                bw_opt.append(event.opt_number)
+                bw_last.append(event.last_use_rank)
+            else:  # pragma: no cover - the builder emits only these two
+                raise TypeError(f"unknown build event {event!r}")
+        fetch_kind: list = []
+        fp_tile: list = []
+        fp_pos: list = []
+        fr_pid: list = []
+        fr_nattr: list = []
+        fr_opt: list = []
+        fr_last: list = []
+        td_tile: list = []
+        td_rank: list = []
+        td_fb: list = []
+        for event in trace.fetch_events:
+            if type(event) is PmdRead:
+                fetch_kind.append(FETCH_PMD_READ)
+                fp_tile.append(event.tile_id)
+                fp_pos.append(event.position)
+            elif type(event) is AttributeRead:
+                fetch_kind.append(FETCH_ATTR_READ)
+                fr_pid.append(event.primitive_id)
+                fr_nattr.append(event.num_attributes)
+                fr_opt.append(event.opt_number)
+                fr_last.append(event.last_use_rank)
+            elif type(event) is TileDone:
+                fetch_kind.append(FETCH_TILE_DONE)
+                td_tile.append(event.tile_id)
+                td_rank.append(event.tile_rank)
+                td_fb.append(1 if pb.list_length(event.tile_id) else 0)
+            else:  # pragma: no cover - the fetcher emits only these three
+                raise TypeError(f"unknown fetch event {event!r}")
+        attrs = pb.attributes
+        attr_base = [attrs.primitive_base(pid)
+                     for pid in range(attrs.num_primitives)]
+        attr_count = [attrs.attribute_count(pid)
+                      for pid in range(attrs.num_primitives)]
+        rank_of_tile = [pb.rank_of_tile[tile]
+                        for tile in range(screen.num_tiles)]
+        frames.append(FrameIR(
+            build_kind, bp_tile, bp_pos,
+            bw_pid, bw_nattr, bw_opt, bw_last,
+            fetch_kind, fp_tile, fp_pos,
+            fr_pid, fr_nattr, fr_opt, fr_last,
+            td_tile, td_rank, td_fb,
+            attr_base, attr_count, rank_of_tile,
+        ))
+
+    if pbuffer is None:
+        raise ValueError("workload has no traces to compile")
+
+    # Background traffic is frame-independent (stateless per-entity RNG),
+    # so it is captured once at trace level and indexed by tile id /
+    # primitive id during replay.
+    bg_tile_tag: list = []
+    bg_tile_reg: list = []
+    bg_tile_wr: list = []
+    bg_tile_off = [0]
+    for tile_id in range(screen.num_tiles):
+        for access in background.tile_accesses(tile_id):
+            bg_tile_tag.append(access.address >> shift)
+            bg_tile_reg.append(int(access.region))
+            bg_tile_wr.append(int(access.op))
+        bg_tile_off.append(len(bg_tile_tag))
+    num_prims = max((frame_prims for frame_prims in
+                     (len(frame.attr_count) for frame in frames)),
+                    default=0)
+    bg_prim_tag: list = []
+    bg_prim_reg: list = []
+    bg_prim_wr: list = []
+    bg_prim_off = [0]
+    for pid in range(num_prims):
+        for access in background.primitive_accesses(pid):
+            bg_prim_tag.append(access.address >> shift)
+            bg_prim_reg.append(int(access.region))
+            bg_prim_wr.append(int(access.op))
+        bg_prim_off.append(len(bg_prim_tag))
+
+    header = TraceHeader(
+        alias=workload.spec.alias,
+        scale=workload.scale,
+        num_tiles=screen.num_tiles,
+        num_primitives=workload.num_primitives,
+        block_bytes=pbuffer.block_bytes,
+        pmd_bytes=pbuffer.pmd_bytes,
+        pmds_per_block=pbuffer.pmds_per_block,
+        lists_base=pbuffer.pb_lists_pointer,
+        tile_list_bytes=(pbuffer.max_primitives_per_tile
+                         * pbuffer.pmd_bytes),
+        attribute_stride=pbuffer.attribute_stride,
+        fb_writes_per_tile=background.framebuffer_writes_per_tile(),
+        l1_estimates=background.l1_access_estimates(
+            workload.num_primitives),
+    )
+    if header.block_bytes != 1 << shift:
+        raise ValueError("trace IR assumes 64-byte Parameter Buffer blocks")
+    return CompiledTrace(
+        header, frames,
+        bg_tile_tag, bg_tile_reg, bg_tile_wr, bg_tile_off,
+        bg_prim_tag, bg_prim_reg, bg_prim_wr, bg_prim_off,
+    )
+
+
+def compiled_trace_for(workload: Workload) -> CompiledTrace:
+    """Get-or-compile the workload's trace (memoized on the workload)."""
+    trace = workload.compiled_trace
+    if trace is None:
+        trace = compile_workload(workload)
+        workload.compiled_trace = trace
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Serialization (npz: one compressed archive of int64 arrays + JSON meta)
+# ----------------------------------------------------------------------
+_FRAME_FIELDS = (
+    "build_kind", "bp_tile", "bp_pos",
+    "bw_pid", "bw_nattr", "bw_opt", "bw_last",
+    "fetch_kind", "fp_tile", "fp_pos",
+    "fr_pid", "fr_nattr", "fr_opt", "fr_last",
+    "td_tile", "td_rank", "td_fb",
+    "attr_base", "attr_count", "rank_of_tile",
+)
+_TRACE_FIELDS = (
+    "bg_tile_tag", "bg_tile_reg", "bg_tile_wr", "bg_tile_off",
+    "bg_prim_tag", "bg_prim_reg", "bg_prim_wr", "bg_prim_off",
+)
+
+
+def save_trace(file, trace: CompiledTrace) -> None:
+    """Serialize to an open binary file handle (or path)."""
+    meta = {
+        "version": TRACE_IR_VERSION,
+        "header": trace.header.as_dict(),
+        "num_frames": len(trace.frames),
+    }
+    arrays = {
+        "meta_json": np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    for name in _TRACE_FIELDS:
+        arrays[name] = _np(getattr(trace, name))
+    for index, frame in enumerate(trace.frames):
+        for name in _FRAME_FIELDS:
+            arrays[f"f{index}_{name}"] = _np(getattr(frame, name))
+    np.savez_compressed(file, **arrays)
+
+
+def load_trace(file) -> CompiledTrace:
+    """Deserialize; raises ``ValueError`` on a version mismatch."""
+    with np.load(file) as archive:
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        if meta.get("version") != TRACE_IR_VERSION:
+            raise ValueError(
+                f"trace IR version {meta.get('version')} != "
+                f"{TRACE_IR_VERSION}"
+            )
+        header = TraceHeader(**meta["header"])
+        frames = []
+        for index in range(meta["num_frames"]):
+            fields = {name: archive[f"f{index}_{name}"].tolist()
+                      for name in _FRAME_FIELDS}
+            frames.append(FrameIR(**fields))
+        trace_fields = {name: archive[name].tolist()
+                        for name in _TRACE_FIELDS}
+    return CompiledTrace(header, frames, **trace_fields)

@@ -4,7 +4,11 @@ One call simulates one micro-batch: every entry shares a (benchmark
 alias, scale) pair, so the workload is built exactly once and each
 request's :class:`~repro.api.SimulationConfig` runs against it through
 the public :func:`repro.api.simulate` facade — which is what makes a
-served result byte-identical to a direct library call.
+served result byte-identical to a direct library call.  Because the
+facade defaults to the compiled-trace replay engine and memoizes the
+compiled trace on the workload, the whole micro-batch shares one trace
+compile: the first eligible entry lowers the workload, the rest replay
+(ineligible configs fall back to the live simulator per entry).
 
 Mirrors :func:`repro.parallel.engine.simulate_job_batch`'s fork
 hygiene: the batch runs under a scoped ``activation(None)`` so a

@@ -169,7 +169,7 @@ def _finalize(result: SystemResult, shared: SharedL2,
 # The cross-structure conservation rule every simulation attaches to its
 # registry: the pb_l2_* request counters must equal the L2's by-region
 # accounting of Parameter Buffer traffic (one counter owner, two views).
-_PB_ACCOUNTING_RULE = (
+PB_ACCOUNTING_RULE = (
     "L2 PB accounting: by-region PB reads+writes == pb_l2 counters",
     ("live.l2.by_region.pb_lists.reads",
      "live.l2.by_region.pb_lists.writes",
@@ -189,7 +189,7 @@ def _observe_counters(obs: Observation, counters: dict) -> None:
     """Export the PB request counters and attach the conservation rule."""
     obs.registry.count("live.system.pb_l2_reads", counters["pb_l2_reads"])
     obs.registry.count("live.system.pb_l2_writes", counters["pb_l2_writes"])
-    obs.expect_sum(*_PB_ACCOUNTING_RULE)
+    obs.expect_sum(*PB_ACCOUNTING_RULE)
 
 
 def _trace_scope(obs: Observation | None):

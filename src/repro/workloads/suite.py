@@ -102,6 +102,10 @@ class Workload:
     scenes: list[Scene]
     traces: list[TilingTrace]
     background: "BackgroundTrafficModel"
+    # Memoized access-trace IR (repro.replay); compiled on first use so
+    # every configuration replayed against this workload shares it.
+    compiled_trace: object | None = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def num_primitives(self) -> int:

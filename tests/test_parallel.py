@@ -282,7 +282,8 @@ class TestDiskBackedSimulationCache:
         disk = DiskCache(tmp_path, signature="sig")
         warm = SimulationCache(scale=SCALE, aliases=("GTr",), disk=disk)
         first = warm.baseline("GTr", 64 * KIB)
-        assert disk.stores == 1
+        # One SystemResult record + one compiled-trace archive.
+        assert disk.stores == 2
 
         def bomb(*args, **kwargs):
             raise AssertionError("disk-cached result was re-simulated")

@@ -303,3 +303,36 @@ class TestOptProvenance:
             """,
         }, select={"SIM105"})
         assert rules_of(result) == []
+
+    def test_replay_kernel_literal_opt_is_flagged(self):
+        result = run({
+            "src/repro/replay/kernels.py": """
+                def attr_read(pid, opt_number):
+                    return (pid, opt_number)
+            """,
+            "src/repro/replay/driver.py": """
+                from repro.replay.kernels import attr_read
+
+                def feed():
+                    attr_read(0, 7)
+            """,
+        }, select={"SIM105"})
+        assert rules_of(result) == ["SIM105"]
+        assert "opt_number" in result.violations[0].message
+
+    def test_replay_trace_array_opt_passes(self):
+        # The replay kernels' OPT numbers come from the trace compiler's
+        # arrays — loads and the parameters they flow through are
+        # legitimate provenance, same as PMD fields on the live path.
+        result = run({
+            "src/repro/replay/kernels.py": """
+                def attr_read(pid, opt_number):
+                    return (pid, opt_number)
+
+                def replay(frame):
+                    for index in frame.order:
+                        opt = frame.fr_opt[index]
+                        attr_read(frame.fr_pid[index], opt)
+            """,
+        }, select={"SIM105"})
+        assert rules_of(result) == []
