@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Cluster quickstart — and the CI smoke test for ``tcor-serve-router``.
+
+Launches a real two-shard cluster the way an operator would — two
+``tcor-serve`` workers plus the router CLI reading a ``backends.json``
+membership file — then drives it the way a downstream user would,
+through :func:`repro.api.connect`:
+
+1. run baseline and TCOR simulations through the
+   :class:`~repro.serve.handle.ServeHandle` provider and report the
+   speedup, exactly like the local quickstart;
+2. SIGKILL one backend mid-service and verify the next request still
+   completes on the survivor (the router drains and requeues);
+3. scrape the router's ``/metrics`` and ``/healthz`` over HTTP and
+   check the ``serve.cluster.*`` surface reflects the failover;
+4. SIGTERM the router and verify it drains and exits 0.
+
+Run:
+    python examples/cluster_quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import repro.api as api
+from repro.obs import parse_prometheus_text
+
+SCALE = 0.1
+WORKERS = ("alpha", "beta")
+
+
+def launch_worker(name: str, tmp: Path) -> tuple:
+    port_file = tmp / f"{name}.port"
+    # Each worker in its own process group: the forced SIGKILL below
+    # must take its simulation pool down with it, like a dying machine.
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--port-file", str(port_file), "--jobs", "2",
+         "--no-disk-cache", "--name", name],
+        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        start_new_session=True)
+    return proc, port_file
+
+
+def launch_router(backends_file: Path, tmp: Path) -> tuple:
+    port_file = tmp / "router.port"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--router",
+         str(backends_file), "--port", "0", "--port-file",
+         str(port_file), "--no-disk-cache", "--probe-interval", "0.2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc, port_file
+
+
+def await_port(port_file: Path, timeout_s: float = 60.0) -> int:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text())
+        time.sleep(0.05)
+    raise RuntimeError(f"{port_file.name}: no port bound in time")
+
+
+def kill_group(proc: subprocess.Popen) -> None:
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass  # already gone
+    proc.wait(timeout=30)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        workers = {name: launch_worker(name, tmp) for name in WORKERS}
+        router = None
+        try:
+            ports = {name: await_port(port_file)
+                     for name, (_, port_file) in workers.items()}
+            backends_file = tmp / "backends.json"
+            backends_file.write_text(json.dumps({"backends": [
+                {"name": name, "address": f"127.0.0.1:{port}"}
+                for name, port in sorted(ports.items())]}))
+            router, router_port_file = launch_router(backends_file, tmp)
+            port = await_port(router_port_file)
+            print(f"router is up on port {port}, "
+                  f"shards: {sorted(ports)}")
+
+            # 1. The cluster as a simulation provider.
+            with api.connect(f"127.0.0.1:{port}", scale=SCALE) as handle:
+                baseline = handle.baseline("GTr", 64 * 1024)
+                tcor = handle.tcor("GTr", 64 * 1024)
+                factor = (baseline.pb_l2_accesses
+                          / max(1, tcor.pb_l2_accesses))
+                print(f"GTr @ 64KiB: PB->L2 accesses baseline="
+                      f"{baseline.pb_l2_accesses} tcor="
+                      f"{tcor.pb_l2_accesses} ({factor:.2f}x fewer)")
+                assert tcor.pb_l2_accesses < baseline.pb_l2_accesses
+
+                # 2. Forced backend loss mid-service: the next request
+                # must complete on the survivor.
+                kill_group(workers["beta"][0])
+                print("killed shard 'beta'; serving must continue")
+                survivor_run = handle.tcor("CCS", 64 * 1024)
+                assert survivor_run.pb_l2_accesses > 0
+                print(f"CCS @ 64KiB after failover: PB->L2 accesses="
+                      f"{survivor_run.pb_l2_accesses}")
+
+            # 3. The cluster observability surface, over plain HTTP.
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics") as resp:
+                scraped = parse_prometheus_text(resp.read().decode())
+            print(f"/metrics: completed="
+                  f"{scraped['serve.cluster.completed']:.0f} "
+                  f"forwarded={scraped['serve.cluster.forwarded']:.0f} "
+                  f"backends_up="
+                  f"{scraped['serve.cluster.backends_up']:.0f}")
+            assert scraped["serve.cluster.completed"] >= 3
+            assert scraped["serve.cluster.failed"] == 0
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz") as resp:
+                    health = json.load(resp)
+                if health["backends_up"] == 1:
+                    break
+                time.sleep(0.2)
+            assert health["ok"] and health["role"] == "router"
+            assert health["backends_up"] == 1, health["backends"]
+
+            # 4. Graceful shutdown: SIGTERM drains and exits 0.
+            router.send_signal(signal.SIGTERM)
+            output, _ = router.communicate(timeout=120)
+            print("-- router log " + "-" * 40)
+            print(output.strip())
+            assert router.returncode == 0, "drain did not exit cleanly"
+            print("router drained and exited 0")
+        finally:
+            if router is not None and router.poll() is None:
+                router.kill()
+                router.communicate()
+            for proc, _ in workers.values():
+                kill_group(proc)
+    print("cluster quickstart: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ __all__ = [
     "Report",
     "RunResult",
     "SimulationConfig",
+    "connect",
     "run_experiment",
     "simulate",
     "simulation_cache",
@@ -185,6 +186,25 @@ def simulation_cache(scale: float, *,
     store = DiskCache() if disk else None
     return ParallelSimulationCache(scale=scale, aliases=aliases,
                                    jobs=jobs, disk=store)
+
+
+def connect(endpoints, *, scale: float = 1.0,
+            aliases: tuple[str, ...] | None = None,
+            timeout_s: float = 600.0) -> "SimulationProvider":
+    """A remote simulation provider over a running ``tcor-serve``
+    worker or cluster router.
+
+    ``endpoints`` is one ``"host:port"`` string, a ``(host, port)``
+    pair, or a list of either for client-side failover.  The returned
+    :class:`~repro.serve.handle.ServeHandle` is a drop-in for
+    :func:`simulation_cache` — same provider contract, byte-identical
+    results — with the simulations executed (and coalesced, cached and
+    sharded) by the service.
+    """
+    from repro.serve.handle import connect as serve_connect
+
+    return serve_connect(endpoints, scale=scale, aliases=aliases,
+                         timeout_s=timeout_s)
 
 
 def run_experiment(name: str, *, scale: float = 1.0, jobs: int = 1,

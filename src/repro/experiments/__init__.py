@@ -2,8 +2,9 @@
 
 Every module exposes ``run(scale=..., cache=...) -> ExperimentResult``
 (or a list of results for paired figures).  The CLI
-(``python -m repro.experiments.runner``) regenerates everything and
-prints paper-style tables.
+(``python -m repro.experiments.driver``, installed as
+``tcor-experiments``) regenerates everything and prints paper-style
+tables.
 """
 
 from repro.experiments.common import (

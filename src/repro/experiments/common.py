@@ -214,11 +214,11 @@ class SimulationCache(SimulationProvider):
         return [self.workload(alias) for alias in self.aliases]
 
     @staticmethod
-    def _baseline_key(alias: str, tile_cache_bytes: int) -> tuple:
+    def baseline_key(alias: str, tile_cache_bytes: int) -> tuple:
         return ("baseline", alias, tile_cache_bytes)
 
     @staticmethod
-    def _tcor_key(alias: str, tile_cache_bytes: int, tcor: TCORConfig,
+    def tcor_key(alias: str, tile_cache_bytes: int, tcor: TCORConfig,
                   l2_enhancements: bool) -> tuple:
         # The derived partition is part of the key: two TCOR configs
         # with the same total budget but a different split (future
@@ -228,7 +228,7 @@ class SimulationCache(SimulationProvider):
                 tcor.attribute_buffer_bytes, l2_enhancements)
 
     def baseline(self, alias: str, tile_cache_bytes: int) -> SystemResult:
-        key = self._baseline_key(alias, tile_cache_bytes)
+        key = self.baseline_key(alias, tile_cache_bytes)
         result = self._systems.get(key)
         if result is not None:
             return result
@@ -254,7 +254,7 @@ class SimulationCache(SimulationProvider):
              tcor_config: TCORConfig | None = None) -> SystemResult:
         tcor = (tcor_config if tcor_config is not None
                 else TCORConfig.for_total_size(tile_cache_bytes))
-        key = self._tcor_key(alias, tile_cache_bytes, tcor, l2_enhancements)
+        key = self.tcor_key(alias, tile_cache_bytes, tcor, l2_enhancements)
         result = self._systems.get(key)
         if result is not None:
             return result
@@ -276,7 +276,7 @@ class SimulationCache(SimulationProvider):
         return result
 
     @staticmethod
-    def _metric_prefix(key: tuple) -> str:
+    def metric_prefix(key: tuple) -> str:
         """Registry namespace for one memoized simulation.
 
         ``sim.baseline.CCS.tc64`` or ``sim.tcor.CCS.tc64.pl16ab47``;
@@ -302,7 +302,7 @@ class SimulationCache(SimulationProvider):
         for key in sorted(self._systems, key=str):
             result = self._systems[key]
             for name, value in flatten(asdict(result),
-                                       self._metric_prefix(key)).items():
+                                       self.metric_prefix(key)).items():
                 registry.gauge(name, value)
                 exported += 1
         return exported

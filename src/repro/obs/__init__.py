@@ -18,6 +18,7 @@ handle ``simulate_baseline`` / ``simulate_tcor`` accept.
 from repro.obs.diff import DiffReport, Drift, diff_metrics
 from repro.obs.events import (
     CacheAccess,
+    ClusterDecision,
     DeadLineDrop,
     DramAccess,
     Eviction,
@@ -58,6 +59,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "CacheAccess",
+    "ClusterDecision",
     "DeadLineDrop",
     "DiffReport",
     "DramAccess",

@@ -142,15 +142,37 @@ class ServeDecision:
     jobs: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class ClusterDecision:
+    """One routing decision made by the cluster front-end router.
+
+    ``op`` names the decision (``submit``, ``coalesce``, ``memo_hit``,
+    ``tier_hit``, ``forward``, ``complete``, ``fail``, ``retry``,
+    ``requeue``, ``reject``, ``backend_down``, ``backend_up``,
+    ``version_mismatch``, ``drain``); ``key`` is the deterministic
+    request key concerned; ``shard`` names the backend shard involved
+    (``None`` for cluster-wide decisions); ``lane`` is how the job was
+    ultimately served (``memory``, ``disk``, or the backend's own
+    lane); ``jobs`` counts the jobs a shard-level decision covers
+    (e.g. the in-flight jobs requeued when a backend is lost).
+    """
+
+    op: str
+    key: str | None = None
+    shard: str | None = None
+    lane: str | None = None
+    jobs: int = 0
+
+
 TraceEvent = (TraceHeader | CacheAccess | Eviction | OptDecision
               | DeadLineDrop | TileMark | MemoryTraffic | DramAccess
-              | ServeDecision)
+              | ServeDecision | ClusterDecision)
 
 _EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (TraceHeader, CacheAccess, Eviction, OptDecision,
                 DeadLineDrop, TileMark, MemoryTraffic, DramAccess,
-                ServeDecision)
+                ServeDecision, ClusterDecision)
 }
 
 

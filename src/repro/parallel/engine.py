@@ -180,9 +180,9 @@ class ParallelSimulationCache(SimulationCache):
     # -- keys and storage ----------------------------------------------
     def _job_key(self, job: SimJob) -> tuple:
         if job.kind == "baseline":
-            return self._baseline_key(job.alias, job.tile_cache_bytes)
+            return self.baseline_key(job.alias, job.tile_cache_bytes)
         tcor = TCORConfig.for_total_size(job.tile_cache_bytes)
-        return self._tcor_key(job.alias, job.tile_cache_bytes, tcor,
+        return self.tcor_key(job.alias, job.tile_cache_bytes, tcor,
                               l2_enhancements=(job.kind == "tcor"))
 
     def _store_job(self, job: SimJob, result: SystemResult) -> None:

@@ -1,0 +1,205 @@
+"""``repro.api.connect`` — the cluster as a simulation provider.
+
+:class:`ServeHandle` implements the
+:class:`~repro.experiments.common.SimulationProvider` ABC over a
+:class:`~repro.serve.client.ServeClient` connection, so a remote
+``tcor-serve`` worker — or the whole sharded cluster behind a router —
+is a drop-in replacement for :func:`repro.api.simulation_cache`:
+experiment modules, the driver and the benchmark suite simulate
+through it unchanged, and the serving contract guarantees the results
+are byte-identical to local :func:`repro.api.simulate` calls.
+
+Division of labour mirrors the local providers: workloads (cheap,
+deterministic geometry) build in-process and memoize; system
+simulations (expensive) go over the wire, where the service's
+coalescing/memo/tier machinery deduplicates them, and land in a local
+memo so each (kind, alias, budget) cell is fetched at most once per
+handle.  :meth:`prefetch` submits the named experiments' whole job
+matrix without waiting, letting the service batch and shard it, then
+collects the results — the remote analogue of the parallel provider's
+process-pool fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.api import SimulationConfig
+from repro.config import TCORConfig
+from repro.experiments.common import SimulationCache, SimulationProvider
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.schema import DONE, JobRequest
+from repro.tcor.system import SystemResult
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    Workload,
+    build_workload,
+)
+
+DEFAULT_RESULT_TIMEOUT_S = 600.0
+
+
+class ServeHandle(SimulationProvider):
+    """A remote simulation provider over one service connection.
+
+    Construct via :func:`connect` (or :func:`repro.api.connect`).
+    Context-manageable; :meth:`close` is idempotent and closes the
+    underlying client.
+    """
+
+    def __init__(self, client: ServeClient, *, scale: float = 1.0,
+                 aliases: tuple[str, ...] | None = None,
+                 timeout_s: float = DEFAULT_RESULT_TIMEOUT_S) -> None:
+        self.client = client
+        self.scale = scale
+        self.aliases = tuple(aliases) if aliases else BENCHMARK_ORDER
+        self.timeout_s = timeout_s
+        self._workloads: dict[str, Workload] = {}
+        self._systems: dict[tuple, SystemResult] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the provider contract -----------------------------------------
+    def workload(self, alias: str) -> Workload:
+        if alias not in self._workloads:
+            self._workloads[alias] = build_workload(BENCHMARKS[alias],
+                                                    scale=self.scale)
+        return self._workloads[alias]
+
+    def baseline(self, alias: str, tile_cache_bytes: int) -> SystemResult:
+        key = SimulationCache.baseline_key(alias, tile_cache_bytes)
+        result = self._systems.get(key)
+        if result is None:
+            result = self._run(self._baseline_request(alias,
+                                                      tile_cache_bytes))
+            self._systems[key] = result
+        return result
+
+    def tcor(self, alias: str, tile_cache_bytes: int,
+             l2_enhancements: bool = True,
+             tcor_config: TCORConfig | None = None) -> SystemResult:
+        resolved = (tcor_config if tcor_config is not None
+                    else TCORConfig.for_total_size(tile_cache_bytes))
+        key = SimulationCache.tcor_key(alias, tile_cache_bytes,
+                                       resolved, l2_enhancements)
+        result = self._systems.get(key)
+        if result is None:
+            result = self._run(self._tcor_request(
+                alias, tile_cache_bytes, l2_enhancements, tcor_config))
+            self._systems[key] = result
+        return result
+
+    def prefetch(self, names=None) -> int:
+        """Submit the named experiments' job matrix, collect results.
+
+        Submissions go out without waiting (the service coalesces
+        duplicates and shards the work); results are then collected in
+        submission order.  Returns the number of jobs fetched over the
+        wire (memoized cells are skipped).
+        """
+        from repro.parallel.engine import (
+            EXPERIMENT_VARIANTS,
+            enumerate_jobs,
+        )
+
+        names = tuple(names) if names is not None \
+            else tuple(EXPERIMENT_VARIANTS)
+        submitted: list[tuple[tuple, str]] = []
+        for job in enumerate_jobs(names, self.aliases):
+            if job.kind == "baseline":
+                key = SimulationCache.baseline_key(job.alias,
+                                                   job.tile_cache_bytes)
+                request = self._baseline_request(job.alias,
+                                                 job.tile_cache_bytes)
+            else:
+                l2e = job.kind == "tcor"
+                key = SimulationCache.tcor_key(
+                    job.alias, job.tile_cache_bytes,
+                    TCORConfig.for_total_size(job.tile_cache_bytes), l2e)
+                request = self._tcor_request(job.alias,
+                                             job.tile_cache_bytes, l2e,
+                                             None)
+            if key in self._systems:
+                continue
+            response = self.client.submit(request)
+            submitted.append((key, response["id"]))
+        for key, job_id in submitted:
+            self._systems[key] = self._collect(
+                self.client.wait(job_id, timeout_s=self.timeout_s))
+        return len(submitted)
+
+    def export_metrics(self, registry) -> int:
+        """Every fetched SystemResult, flattened into ``sim.*`` gauges
+        under the same names the local providers use."""
+        from repro.obs.registry import flatten
+
+        exported = 0
+        for key in sorted(self._systems, key=str):
+            result = self._systems[key]
+            prefix = SimulationCache.metric_prefix(key)
+            for name, value in flatten(asdict(result), prefix).items():
+                registry.gauge(name, value)
+                exported += 1
+        return exported
+
+    # -- wire plumbing -------------------------------------------------
+    def _baseline_request(self, alias: str,
+                          tile_cache_bytes: int) -> JobRequest:
+        return JobRequest(
+            alias=alias, scale=self.scale,
+            config=SimulationConfig(kind="baseline",
+                                    tile_cache_bytes=tile_cache_bytes),
+            timeout_s=self.timeout_s)
+
+    def _tcor_request(self, alias: str, tile_cache_bytes: int,
+                      l2_enhancements: bool,
+                      tcor_config: TCORConfig | None) -> JobRequest:
+        return JobRequest(
+            alias=alias, scale=self.scale,
+            config=SimulationConfig(kind="tcor",
+                                    tile_cache_bytes=tile_cache_bytes,
+                                    l2_enhancements=l2_enhancements,
+                                    tcor=tcor_config),
+            timeout_s=self.timeout_s)
+
+    def _run(self, request: JobRequest) -> SystemResult:
+        return self._collect(self.client.run(request,
+                                             timeout_s=self.timeout_s))
+
+    @staticmethod
+    def _collect(result) -> SystemResult:
+        if result.state != DONE or result.result is None:
+            raise ServeClientError(
+                "remote_failed",
+                result.error or f"job finished in state {result.state}",
+                502)
+        return result.result
+
+
+def connect(endpoints, *, scale: float = 1.0,
+            aliases: tuple[str, ...] | None = None,
+            timeout_s: float = DEFAULT_RESULT_TIMEOUT_S,
+            connect_timeout_s: float | None = None) -> ServeHandle:
+    """Connect to a ``tcor-serve`` worker, a list of workers, or the
+    cluster router, as a :class:`SimulationProvider`.
+
+    ``endpoints`` takes every form :class:`ServeClient` does — one
+    ``"host:port"`` string, a ``(host, port)`` pair, or a list for
+    client-side failover.  The returned handle is a drop-in for
+    :func:`repro.api.simulation_cache`.
+    """
+    client = ServeClient(
+        endpoints,
+        timeout_s=(connect_timeout_s if connect_timeout_s is not None
+                   else timeout_s))
+    return ServeHandle(client, scale=scale, aliases=aliases,
+                       timeout_s=timeout_s)

@@ -28,9 +28,13 @@ class InProcessServer:
     """A live server on a daemon thread, for tests and notebooks."""
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
-                 start_timeout_s: float = 30.0,
+                 start_timeout_s: float = 30.0, scheduler=None,
                  **scheduler_kwargs) -> None:
-        self.scheduler = Scheduler(**scheduler_kwargs)
+        # ``scheduler`` hosts any object speaking the scheduler surface
+        # — notably a cluster Router — behind the same front door; by
+        # default a fresh single-node Scheduler is built.
+        self.scheduler = scheduler if scheduler is not None \
+            else Scheduler(**scheduler_kwargs)
         self.server = SimulationServer(self.scheduler, host=host,
                                        port=port)
         self._loop: asyncio.AbstractEventLoop | None = None

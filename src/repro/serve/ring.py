@@ -1,0 +1,110 @@
+"""Consistent-hash ring: stable request-key → shard affinity.
+
+The cluster router places every backend at ``replicas`` pseudo-random
+points on a 2^64 ring (SHA-256 of ``"{node}#{i}"``) and routes each
+request key to the first point clockwise from the key's own hash.
+Two properties make this the right shape for key-affinity sharding:
+
+- **stability** — adding or removing one backend remaps only the keys
+  whose arc the change touches (≈ 1/N of the keyspace), so the memo
+  and disk warmth the surviving shards accumulated stays where it is;
+- **balance** — with enough virtual points per node the arcs even out:
+  at the default ``replicas`` the max/min shard-load ratio over
+  uniform keys stays comfortably inside 1.5 for small clusters (the
+  ring unit tests pin that bound at 3 nodes).
+
+:meth:`HashRing.node_for` takes an ``avoid`` set so the router can
+walk past a shard that is down (or mid-drain) to the next arc owner —
+the same deterministic fallback every router instance computes, with
+no coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+DEFAULT_REPLICAS = 160
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring position for one string."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual replicas."""
+
+    def __init__(self, nodes: tuple[str, ...] = (),
+                 *, replicas: int = DEFAULT_REPLICAS) -> None:
+        self.replicas = max(1, int(replicas))
+        self._points: list[int] = []      # sorted ring positions
+        self._owners: list[str] = []      # owner of each position
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+    def add(self, node: str) -> bool:
+        """Place one node on the ring; no-op if already present."""
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for index in range(self.replicas):
+            position = _point(f"{node}#{index}")
+            at = bisect.bisect(self._points, position)
+            # Collisions between 64-bit points are vanishingly rare;
+            # insertion order breaks the tie deterministically.
+            self._points.insert(at, position)
+            self._owners.insert(at, node)
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Take one node off the ring; no-op if absent."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        kept = [(position, owner) for position, owner
+                in zip(self._points, self._owners) if owner != node]
+        self._points = [position for position, _ in kept]
+        self._owners = [owner for _, owner in kept]
+        return True
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- lookup --------------------------------------------------------
+    def node_for(self, key: str, avoid: frozenset[str] | set[str] = frozenset()
+                 ) -> str | None:
+        """The node owning ``key``'s arc, walking past ``avoid``-ed
+        nodes to the next distinct owner clockwise.  ``None`` when the
+        ring is empty or every node is avoided."""
+        if not self._points:
+            return None
+        eligible = self._nodes - set(avoid)
+        if not eligible:
+            return None
+        start = bisect.bisect(self._points, _point(key)) \
+            % len(self._points)
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner in eligible:
+                return owner
+        return None
+
+    def spread(self, keys) -> dict[str, int]:
+        """How many of ``keys`` land on each node (balance probes)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            owner = self.node_for(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

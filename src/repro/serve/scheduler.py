@@ -104,8 +104,12 @@ class Scheduler:
                  retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
                  watchdog_interval_s: float = DEFAULT_WATCHDOG_INTERVAL_S,
                  memo_limit: int = DEFAULT_MEMO_LIMIT,
-                 executor_factory=None) -> None:
+                 executor_factory=None,
+                 name: str | None = None) -> None:
         self.jobs = max(1, int(jobs))
+        # Provenance: a named scheduler (one shard of a cluster) stamps
+        # its name into every result as ``served_by``.
+        self.name = name
         self.queue_limit = max(1, int(queue_limit))
         self.batch_window_s = batch_window_s
         self.batch_max = max(1, int(batch_max))
@@ -266,7 +270,8 @@ class Scheduler:
         payload = {"id": job.key, "state": job.state, "lane": job.lane,
                    "attempts": job.attempts,
                    "elapsed_s": elapsed, "result": None, "metrics": {},
-                   "invariant_failures": [], "error": job.error}
+                   "invariant_failures": [], "error": job.error,
+                   "served_by": self.name}
         if job.record is not None:
             payload["result"] = job.record.get("result")
             payload["metrics"] = job.record.get("metrics", {})

@@ -49,7 +49,18 @@ from repro.parallel.store import result_from_dict, result_to_dict
 from repro.tcor.system import SystemResult
 from repro.workloads.suite import BENCHMARKS
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+# How far apart two speakers' schema versions may be and still talk.
+# Adjacent versions interoperate (fields only ever *grow*, and both
+# payload parsers drop unknown keys); anything further apart fails
+# fast with a typed ``version_mismatch`` instead of corrupting state.
+VERSION_COMPAT_SPAN = 1
+
+
+def versions_compatible(theirs: int, ours: int = SCHEMA_VERSION) -> bool:
+    """Whether two wire-schema versions may interoperate."""
+    return abs(int(theirs) - int(ours)) <= VERSION_COMPAT_SPAN
 
 # Priority lanes, highest first: the batcher always prefers the head
 # of the "interactive" lane when choosing the next micro-batch.
@@ -111,6 +122,20 @@ class ServeError(Exception):
         return cls("timeout",
                    f"job {job_id!r} not finished within {timeout_s:g}s",
                    504)
+
+    @classmethod
+    def version_mismatch(cls, theirs, ours: int = None) -> "ServeError":
+        ours = SCHEMA_VERSION if ours is None else ours
+        return cls("version_mismatch",
+                   f"wire schema version {theirs!r} is not within "
+                   f"{VERSION_COMPAT_SPAN} of this speaker's "
+                   f"{ours}; upgrade one side",
+                   426)
+
+    @classmethod
+    def no_backends(cls) -> "ServeError":
+        return cls("no_backends",
+                   "no healthy backend shard is available", 503)
 
 
 # -- SimulationConfig (de)serialization --------------------------------
@@ -356,7 +381,12 @@ def store_disk_batch(disk, entries: list[tuple[JobRequest,
 
 @dataclass(frozen=True, slots=True)
 class JobStatus:
-    """Scheduler-side view of one submitted job."""
+    """Scheduler-side view of one submitted job.
+
+    ``shard`` is forwarded-job provenance: the cluster router records
+    which backend shard a job was (last) routed to; single-node
+    schedulers leave it ``None``.
+    """
 
     job_id: str
     state: str
@@ -367,6 +397,7 @@ class JobStatus:
     error: str | None = None
     queued_for_s: float = 0.0
     running_for_s: float = 0.0
+    shard: str | None = None
 
 
 def status_to_payload(status: JobStatus) -> dict:
@@ -379,7 +410,14 @@ def status_from_payload(data: dict) -> JobStatus:
 
 @dataclass(frozen=True, slots=True)
 class JobResult:
-    """One finished job, with the typed ``SystemResult`` view."""
+    """One finished job, with the typed ``SystemResult`` view.
+
+    Forwarded-job provenance rides along: ``shard`` names the backend
+    the cluster router served this job through (``None`` off-cluster),
+    and ``served_by`` is the serving process's self-reported name
+    (``tcor-serve --name``), so a result can always be attributed to
+    the exact worker that produced it.
+    """
 
     job_id: str
     state: str
@@ -390,6 +428,8 @@ class JobResult:
     metrics: Mapping[str, float] = field(default_factory=dict)
     invariant_failures: tuple[str, ...] = ()
     error: str | None = None
+    shard: str | None = None
+    served_by: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -408,6 +448,8 @@ def job_result_to_payload(result: JobResult) -> dict:
         "metrics": dict(result.metrics),
         "invariant_failures": list(result.invariant_failures),
         "error": result.error,
+        "shard": result.shard,
+        "served_by": result.served_by,
     }
 
 
@@ -424,4 +466,6 @@ def job_result_from_payload(data: dict) -> JobResult:
         metrics=dict(data.get("metrics") or {}),
         invariant_failures=tuple(data.get("invariant_failures") or ()),
         error=data.get("error"),
+        shard=data.get("shard"),
+        served_by=data.get("served_by"),
     )

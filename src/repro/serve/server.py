@@ -109,10 +109,24 @@ class SimulationServer:
     def _op_healthz(self) -> dict:
         body = self.scheduler.counts()
         body["draining"] = self.scheduler.draining
+        body["schema_version"] = schema.SCHEMA_VERSION
         body["ok"] = True
         return body
 
     async def _dispatch_op(self, payload: dict) -> dict:
+        # Wire-schema negotiation: a versionless request is treated as
+        # current (old clients keep working); a versioned one must be
+        # within the compatibility span or gets the typed 426.
+        theirs = payload.get("v")
+        if theirs is not None:
+            try:
+                compatible = schema.versions_compatible(theirs)
+            except (TypeError, ValueError):
+                raise ServeError.bad_request(
+                    f"version field must be an integer, got "
+                    f"{theirs!r}") from None
+            if not compatible:
+                raise ServeError.version_mismatch(theirs)
         op = payload.get("op")
         if op == "submit":
             return await self._op_submit(payload)
@@ -257,8 +271,8 @@ class SimulationServer:
             body = json.dumps(payload, sort_keys=True).encode()
             content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  413: "Payload Too Large", 429: "Too Many Requests",
-                  503: "Service Unavailable",
+                  413: "Payload Too Large", 426: "Upgrade Required",
+                  429: "Too Many Requests", 503: "Service Unavailable",
                   504: "Gateway Timeout"}.get(status, "Error")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"

@@ -1,7 +1,6 @@
-"""The repro.api facade and the deprecated runner import shim."""
+"""The repro.api facade."""
 
 import dataclasses
-import warnings
 
 import pytest
 
@@ -89,32 +88,9 @@ class TestRunExperiment:
         assert any(name.startswith("table.") for name in report.metrics)
 
 
-class TestDeprecatedRunnerShim:
-    def test_moved_names_warn_and_delegate(self):
-        import repro.experiments.driver as driver
-        import repro.experiments.runner as runner
+class TestConnectExport:
+    def test_connect_is_exported(self):
+        from repro.api import connect
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            func = runner.run_experiments
-        assert func is driver.run_experiments
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-
-    def test_entry_point_import_does_not_warn(self):
-        import importlib
-
-        import repro.experiments.runner as runner
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            module = importlib.reload(runner)
-            _ = module.main
-        assert not [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-
-    def test_unknown_attribute_still_raises(self):
-        import repro.experiments.runner as runner
-
-        with pytest.raises(AttributeError):
-            _ = runner.does_not_exist
+        assert callable(connect)
+        assert "connect" in repro.api.__all__

@@ -8,7 +8,7 @@ import pytest
 
 def run_cli(*args: str) -> subprocess.CompletedProcess:
     return subprocess.run(
-        [sys.executable, "-m", "repro.experiments.runner", *args],
+        [sys.executable, "-m", "repro.experiments.driver", *args],
         capture_output=True, text=True, timeout=600,
     )
 
@@ -45,7 +45,7 @@ def run_cli_env(*args: str, env: dict | None = None) -> subprocess.CompletedProc
     merged = dict(os.environ)
     merged.update(env or {})
     return subprocess.run(
-        [sys.executable, "-m", "repro.experiments.runner", *args],
+        [sys.executable, "-m", "repro.experiments.driver", *args],
         capture_output=True, text=True, timeout=600, env=merged,
     )
 

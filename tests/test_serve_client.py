@@ -1,0 +1,208 @@
+"""The cluster-aware client: endpoints, typed failures, negotiation.
+
+Every failure path must raise :class:`ServeClientError` — never a bare
+``OSError`` — and the wire-schema version field must let adjacent
+versions interoperate while rejecting distant ones with the typed 426.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    SCHEMA_VERSION,
+    InProcessServer,
+    JobRequest,
+    ServeClient,
+    ServeClientError,
+)
+from repro.serve.client import _normalize_endpoints
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def server():
+    with InProcessServer(jobs=1, batch_window_s=0.02) as live:
+        yield live
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestEndpointForms:
+    def test_host_port_pair(self):
+        assert _normalize_endpoints("h", 1, None) == [("h", 1)]
+
+    def test_single_address_string(self):
+        assert _normalize_endpoints("h:1", 0, None) == [("h", 1)]
+
+    def test_tuple_form(self):
+        assert _normalize_endpoints(("h", 1), 0, None) == [("h", 1)]
+
+    def test_list_of_addresses(self):
+        assert _normalize_endpoints(["h:1", ("g", 2)], 0, None) \
+            == [("h", 1), ("g", 2)]
+
+    def test_endpoints_keyword(self):
+        assert _normalize_endpoints("ignored", 0, ["h:1"]) == [("h", 1)]
+
+    def test_malformed_address_is_typed(self):
+        with pytest.raises(ServeClientError) as info:
+            _normalize_endpoints(["nocolon"], 0, None)
+        assert info.value.code == "bad_endpoint"
+
+    def test_empty_list_is_typed(self):
+        with pytest.raises(ServeClientError) as info:
+            _normalize_endpoints([], 0, None)
+        assert info.value.code == "bad_endpoint"
+
+
+class TestTypedFailures:
+    def test_refused_connection_is_connect_failed(self):
+        with pytest.raises(ServeClientError) as info:
+            ServeClient("127.0.0.1", free_port(), timeout_s=2.0)
+        assert info.value.code == "connect_failed"
+        assert info.value.http_status == 502
+
+    def test_socket_timeout_is_a_typed_timeout(self):
+        """A server that accepts but never replies must surface as
+        code="timeout", not a bare socket.timeout."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted: list[socket.socket] = []
+
+        def accept_and_hold():
+            conn, _ = listener.accept()
+            accepted.append(conn)  # keep it open, answer nothing
+
+        thread = threading.Thread(target=accept_and_hold, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient("127.0.0.1", port, timeout_s=0.3)
+            with pytest.raises(ServeClientError) as info:
+                client.healthz()
+            assert info.value.code == "timeout"
+            assert info.value.http_status == 504
+            client.close()
+        finally:
+            for conn in accepted:
+                conn.close()
+            listener.close()
+
+    def test_disconnect_mid_call_is_typed(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def accept_and_slam():
+            conn, _ = listener.accept()
+            conn.close()
+
+        thread = threading.Thread(target=accept_and_slam, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient("127.0.0.1", port, timeout_s=5.0)
+            with pytest.raises(ServeClientError) as info:
+                client.healthz()
+            assert info.value.code == "disconnected"
+            client.close()
+        finally:
+            listener.close()
+
+    def test_close_is_idempotent(self, server):
+        client = server.client()
+        client.close()
+        client.close()  # second close must be a no-op
+
+    def test_context_manager_after_failed_call_closes_cleanly(self):
+        """__exit__ after the connection already died must not raise."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        thread = threading.Thread(
+            target=lambda: listener.accept()[0].close(), daemon=True)
+        thread.start()
+        try:
+            with ServeClient("127.0.0.1", port, timeout_s=5.0) as client:
+                with pytest.raises(ServeClientError):
+                    client.healthz()
+        finally:
+            listener.close()
+
+
+class TestFailover:
+    def test_dead_first_endpoint_falls_through(self, server):
+        client = ServeClient(
+            endpoints=[f"127.0.0.1:{free_port()}",
+                       f"{server.host}:{server.port}"],
+            timeout_s=10.0)
+        try:
+            assert client.healthz()["ok"] is True
+            assert client.port == server.port
+        finally:
+            client.close()
+
+    def test_all_dead_endpoints_typed(self):
+        with pytest.raises(ServeClientError) as info:
+            ServeClient(endpoints=[f"127.0.0.1:{free_port()}",
+                                   f"127.0.0.1:{free_port()}"],
+                        timeout_s=2.0)
+        assert info.value.code == "connect_failed"
+
+    def test_run_retries_on_the_survivor(self, server):
+        """A submission that lands on a dead connection is retried on
+        the next endpoint — deterministic keys make that idempotent."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        dead_port = listener.getsockname()[1]
+        thread = threading.Thread(
+            target=lambda: listener.accept()[0].close(), daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(
+                endpoints=[f"127.0.0.1:{dead_port}",
+                           f"{server.host}:{server.port}"],
+                timeout_s=120.0)
+            result = client.run(JobRequest(alias="GTr", scale=SCALE),
+                                timeout_s=300)
+            assert result.state == "done"
+            client.close()
+        finally:
+            listener.close()
+
+
+class TestVersionNegotiation:
+    def test_healthz_advertises_the_schema_version(self, server):
+        with server.client() as client:
+            assert client.healthz()["schema_version"] == SCHEMA_VERSION
+
+    def test_adjacent_version_interoperates(self, server):
+        with server.client() as client:
+            reply = client.call({"op": "healthz",
+                                 "v": SCHEMA_VERSION - 1})
+            assert reply["ok"] is True
+
+    def test_distant_version_is_a_typed_426(self, server):
+        with server.client() as client:
+            with pytest.raises(ServeClientError) as info:
+                client.call({"op": "healthz", "v": SCHEMA_VERSION + 2})
+        assert info.value.code == "version_mismatch"
+        assert info.value.http_status == 426
+
+    def test_non_integer_version_is_a_bad_request(self, server):
+        with server.client() as client:
+            with pytest.raises(ServeClientError) as info:
+                client.call({"op": "healthz", "v": "latest"})
+        assert info.value.code == "bad_request"

@@ -1,0 +1,94 @@
+"""The consistent-hash ring (cluster sharding's unit contract).
+
+The acceptance criteria pin two properties: **stability** (membership
+changes remap only the lost node's keys) and **balance** (uniform keys
+spread within max/min <= 1.5 at 3 shards).
+"""
+
+from __future__ import annotations
+
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing
+
+KEYS = [f"key-{i}" for i in range(20000)]
+
+
+class TestMembership:
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert len(ring) == 0
+        assert ring.node_for("anything") is None
+
+    def test_add_remove_and_contains(self):
+        ring = HashRing(["a"])
+        assert "a" in ring and len(ring) == 1
+        assert ring.add("b") is True
+        assert ring.add("b") is False  # idempotent
+        assert ring.nodes == frozenset({"a", "b"})
+        assert ring.remove("b") is True
+        assert ring.remove("b") is False
+        assert "b" not in ring
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(key) == "only" for key in KEYS[:100])
+
+
+class TestDeterminism:
+    def test_ownership_is_deterministic(self):
+        one = HashRing(["a", "b", "c"])
+        two = HashRing(["c", "a", "b"])  # insertion order irrelevant
+        for key in KEYS[:500]:
+            assert one.node_for(key) == two.node_for(key)
+
+
+class TestStability:
+    def test_removal_only_remaps_the_lost_nodes_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("b")
+        for key, owner in before.items():
+            after = ring.node_for(key)
+            if owner == "b":
+                assert after in ("a", "c")
+            else:
+                assert after == owner  # survivors keep their keys
+
+    def test_readding_restores_the_original_mapping(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {key: ring.node_for(key) for key in KEYS[:2000]}
+        ring.remove("b")
+        ring.add("b")
+        assert {key: ring.node_for(key)
+                for key in KEYS[:2000]} == before
+
+    def test_avoid_set_equals_removal(self):
+        """Routing around a down shard (avoid) must agree with the
+        ring that shard was removed from — so drain/requeue and the
+        health loop compute identical ownership."""
+        full = HashRing(["a", "b", "c"])
+        shrunk = HashRing(["a", "c"])
+        for key in KEYS[:1000]:
+            assert full.node_for(key, avoid=frozenset({"b"})) \
+                == shrunk.node_for(key)
+
+    def test_all_avoided_is_none(self):
+        ring = HashRing(["a", "b"])
+        assert ring.node_for("k", avoid=frozenset({"a", "b"})) is None
+
+
+class TestBalance:
+    def test_three_shards_within_tolerance(self):
+        """The ISSUE gate: uniform keys, 3 shards, max/min <= 1.5."""
+        ring = HashRing(["shard0", "shard1", "shard2"])
+        spread = ring.spread(KEYS)
+        assert set(spread) == {"shard0", "shard1", "shard2"}
+        assert sum(spread.values()) == len(KEYS)
+        assert max(spread.values()) / min(spread.values()) <= 1.5
+
+    def test_more_replicas_never_hurt_coverage(self):
+        sparse = HashRing(["a", "b", "c"], replicas=8)
+        dense = HashRing(["a", "b", "c"], replicas=DEFAULT_REPLICAS)
+        loose = sparse.spread(KEYS)
+        tight = dense.spread(KEYS)
+        assert max(tight.values()) / min(tight.values()) \
+            <= max(loose.values()) / max(1, min(loose.values()))
