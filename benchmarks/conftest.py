@@ -27,18 +27,19 @@ import os
 
 import pytest
 
+from repro import envvars
 from repro.api import simulation_cache
 from repro.experiments.common import SimulationProvider
 
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
-BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_SCALE = float(os.environ.get(envvars.BENCH_SCALE, "0.2"))
+BENCH_JOBS = int(os.environ.get(envvars.BENCH_JOBS, "1"))
 
 
 @pytest.fixture(scope="session")
 def sim_cache() -> SimulationProvider:
     cache = simulation_cache(
         BENCH_SCALE, jobs=BENCH_JOBS,
-        disk=not os.environ.get("REPRO_NO_DISK_CACHE"))
+        disk=not os.environ.get(envvars.NO_DISK_CACHE))
     if BENCH_JOBS > 1:
         cache.prefetch()
     return cache

@@ -1,0 +1,44 @@
+"""Central table of the reproduction's environment variables.
+
+Every ``REPRO_*`` knob the tool-chain reads is named here, once, as a
+module constant — readers go through these constants (``os.environ.
+get(envvars.CACHE_DIR)``), never through a scattered string literal.
+The contract is machine-checked: the SIM304 lint rule flags any
+``REPRO_*`` string literal outside this module, so adding a knob means
+adding its constant (and docs) here first.
+
+Knobs:
+
+- ``CACHE_DIR`` — directory of the persistent result store
+  (default ``.repro-cache/``);
+- ``NO_DISK_CACHE`` — set non-empty to disable the persistent store;
+- ``NO_REPLAY`` — operator escape hatch: force the live simulator
+  even when a run is replay-eligible;
+- ``TRACE_CACHE_BYTES`` — size cap of the compiled-trace store;
+- ``BENCH_SCALE`` — geometry scale of the benchmark harness;
+- ``BENCH_JOBS`` — worker processes prefetching the benchmark matrix.
+"""
+
+from __future__ import annotations
+
+import os
+
+CACHE_DIR = "REPRO_CACHE_DIR"
+NO_DISK_CACHE = "REPRO_NO_DISK_CACHE"
+NO_REPLAY = "REPRO_NO_REPLAY"
+TRACE_CACHE_BYTES = "REPRO_TRACE_CACHE_BYTES"
+BENCH_SCALE = "REPRO_BENCH_SCALE"
+BENCH_JOBS = "REPRO_BENCH_JOBS"
+
+# Every knob above, for exhaustive iteration (docs, diagnostics, and
+# the SIM304 contract check read this).
+ALL_VARS = (CACHE_DIR, NO_DISK_CACHE, NO_REPLAY, TRACE_CACHE_BYTES,
+            BENCH_SCALE, BENCH_JOBS)
+
+
+def get(name: str, default: str | None = None) -> str | None:
+    """``os.environ.get`` limited to the declared knobs."""
+    if name not in ALL_VARS:
+        raise ValueError(f"undeclared environment variable {name!r}; "
+                         "add it to repro.envvars first")
+    return os.environ.get(name, default)

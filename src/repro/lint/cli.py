@@ -4,12 +4,15 @@ Exit status: 0 when clean, 1 when violations were found (unless
 ``--no-fail-on-violation``), 2 on usage errors.
 
 ``--semantic`` layers the whole-program passes (call graph, CFG
-dataflow) on top of the per-file rules: the SIM1xx semantic family and
+dataflow) on top of the per-file rules: the SIM1xx semantic family,
 the SIM2xx async-concurrency family (blocking calls on the event loop,
 atomicity across awaits, task lifecycle, lock discipline, obs-hook
-boundary).  ``--baseline PATH`` compares
-against a recorded baseline and fails only on *new* findings;
-``--update-baseline`` records the current findings as accepted.
+boundary) and the SIM3xx contract family (live↔replay counter parity,
+metric-name, wire-schema, env-var and version discipline).
+``--baseline PATH`` compares against a recorded baseline and fails
+only on *new* findings; ``--update-baseline`` records the current
+findings as accepted.  ``--explain SIM104`` prints one rule's full
+documentation.
 """
 
 from __future__ import annotations
@@ -19,7 +22,8 @@ import argparse
 from repro.lint.core import all_rules
 from repro.lint.engine import (apply_baseline, lint_paths, load_baseline,
                                write_baseline)
-from repro.lint.reporters import REPORTERS, render_rule_list
+from repro.lint.reporters import (REPORTERS, render_explain,
+                                  render_rule_list)
 
 DEFAULT_PATHS = ["src", "benchmarks", "examples"]
 DEFAULT_BASELINE = ".lint-baseline.json"
@@ -42,8 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
     parser.add_argument("--semantic", action="store_true",
-                        help="also run the whole-program SIM1xx and "
-                             "SIM2xx (async concurrency) rules")
+                        help="also run the whole-program SIM1xx, SIM2xx "
+                             "(async concurrency) and SIM3xx (contract "
+                             "analysis) rules")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the lint caches")
     parser.add_argument("--cache-file", metavar="PATH",
@@ -61,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "baseline and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--explain", metavar="CODE",
+                        help="print one rule's full documentation and exit")
     parser.add_argument("--fail-on-violation", dest="fail_on_violation",
                         action=argparse.BooleanOptionalAction, default=True,
                         help="exit 1 when violations are found (default)")
@@ -79,6 +86,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list_rules:
         print(render_rule_list())
+        return 0
+
+    if args.explain:
+        text = render_explain(args.explain.strip().upper())
+        if text is None:
+            parser.error(f"unknown rule code {args.explain!r}; "
+                         "see --list-rules")
+        print(text)
         return 0
 
     select = _parse_codes(args.select)

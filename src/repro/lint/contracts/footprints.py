@@ -1,0 +1,173 @@
+"""SIM301 — live↔replay stats-footprint parity.
+
+The replay kernels (DESIGN.md §12) reconstruct each cache model's
+``*Stats`` object from raw counter arrays, so equivalence with the
+live simulator rests on an unwritten contract: *the set of stats
+fields the live model writes is exactly the set the kernel's
+constructor call supplies*.  Drift is silent in both directions — a
+counter added to the live cache but not the kernel replays as a
+structural zero; a kwarg the live model stopped writing makes the
+kernel invent history.  The equivalence tests only catch the subset a
+workload happens to exercise.
+
+This rule proves the contract statically, per model.  The **live
+footprint** is computed from the reachable closure of the model's
+entry modules (``spec.STATS_MODELS``): every resolved mutation of the
+model's stats class — augmented stores inside the class, container
+mutations like ``self.by_region.setdefault``, and typed
+``<recv>.stats.<field>`` writes — restricted to the class's declared
+fields.  The **replay footprint** is the keyword set of the stats
+class's constructor call in ``repro.replay.kernels`` (positional args
+are themselves findings: they couple the kernel to field order).  The
+two sets must match up to the spec's per-model waivers, each of which
+documents why a statically-reachable live counter is dynamically dead.
+
+Findings anchor at the replay constructor so the fix site is in view.
+Suppress with ``# lint: disable=SIM301`` only alongside a new waiver
+in ``repro.lint.contracts.spec`` explaining the asymmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.contracts import spec
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+_CONTAINER_TYPES = ("dict", "list", "set")
+
+
+@register_semantic
+class StatsFootprintParityRule(SemanticRule):
+    code = "SIM301"
+    name = "stats-footprint-parity"
+    description = ("stats field written by a live cache model but absent "
+                   "from its replay constructor (or vice versa)")
+    scope = "program"
+
+    def check_program(self, program) -> Iterable[Violation]:
+        replay = program.modules.get(spec.REPLAY_MODULE)
+        if replay is None:
+            return  # partial scan: no replay side to diff against
+        replay_path = replay["path"]
+        stats_classes = {model["stats_cls"]
+                         for model in spec.STATS_MODELS.values()}
+
+        # Replay side: constructor calls of the stats classes, grouped
+        # by the model the spec maps their site to.
+        sites: dict[str, list[dict]] = {}
+        for qual, func in sorted(replay["functions"].items()):
+            top = qual.split(".")[0]
+            for call in func["calls"]:
+                leaf = call["name"].split(".")[-1]
+                if leaf not in stats_classes:
+                    continue
+                model = spec.REPLAY_SITES.get((top, leaf))
+                if model is None:
+                    yield self.violation(
+                        replay_path, call["lineno"], call.get("col", 0),
+                        f"`{leaf}` constructed in `{qual}` maps to no "
+                        "model in contracts.spec.REPLAY_SITES — an "
+                        "unaccounted replay kernel escapes the parity "
+                        "check")
+                    continue
+                if call.get("pos"):
+                    yield self.violation(
+                        replay_path, call["lineno"], call.get("col", 0),
+                        f"`{leaf}` for model `{model}` takes positional "
+                        "arguments; pass stats fields by keyword so the "
+                        "footprint is checkable and field order is free "
+                        "to change")
+                sites.setdefault(model, []).append(
+                    {"lineno": call["lineno"], "col": call.get("col", 0),
+                     "cls": leaf, "kwargs": set(call.get("kw", ()))})
+
+        for model_name, model in sorted(spec.STATS_MODELS.items()):
+            if any(entry not in program.modules
+                   for entry in model["live_modules"]):
+                continue  # partial scan: live footprint unprovable
+            footprint = self._live_footprint(program, model)
+            if footprint is None:
+                continue  # stats class not in the scanned set
+            valid, live = footprint
+            model_sites = sites.get(model_name)
+            if not model_sites:
+                yield self.violation(
+                    replay_path, 1, 0,
+                    f"no `{model['stats_cls']}` constructor in the replay "
+                    f"kernels maps to model `{model_name}`; the kernel "
+                    "no longer reconstructs its stats")
+                continue
+            waived = set(model["waived_live"])
+            for site in model_sites:
+                kwargs = site["kwargs"]
+                for field in sorted(kwargs - valid):
+                    yield self.violation(
+                        replay_path, site["lineno"], site["col"],
+                        f"replay kernel for model `{model_name}` passes "
+                        f"`{field}=`, which is not a declared field of "
+                        f"{site['cls']}")
+                for field in sorted(live - kwargs - waived):
+                    yield self.violation(
+                        replay_path, site["lineno"], site["col"],
+                        f"model `{model_name}`: live code writes "
+                        f"{site['cls']}.{field} but the replay "
+                        "constructor never sets it — replay reports a "
+                        "structural zero for this counter")
+                for field in sorted((kwargs & valid) - live - waived):
+                    yield self.violation(
+                        replay_path, site["lineno"], site["col"],
+                        f"model `{model_name}`: replay constructor sets "
+                        f"{site['cls']}.{field} but no reachable live "
+                        "mutation writes it — replay invents history "
+                        "the live model cannot produce")
+
+    @staticmethod
+    def _live_footprint(program, model) -> tuple[set, set] | None:
+        """(valid fields, live-written fields) for one model, or None
+        when the stats class is outside the scanned set."""
+        stats_cls = model["stats_cls"]
+        homes = program.classes_named(stats_cls)
+        if not homes:
+            return None
+        valid: set[str] = set()
+        containers: set[str] = set()
+        for _module, cls in homes:
+            valid.update(cls["counter_fields"])
+            for field, typed in cls["attr_types"].items():
+                if typed in _CONTAINER_TYPES:
+                    valid.add(field)
+                    containers.add(field)
+
+        closure: set[str] = set()
+        for entry in model["live_modules"]:
+            for qual in program.modules[entry]["functions"]:
+                closure.update(program.reachable_from(f"{entry}:{qual}"))
+
+        written: set[str] = set()
+        for fq in sorted(closure):
+            func = program.function(fq)
+            if func is None:
+                continue
+            for mutation in func["stats_mutations"]:
+                if mutation.get("stats_cls") == stats_cls \
+                        and mutation["field"] in valid:
+                    written.add(mutation["field"])
+            if func.get("cls") != stats_cls:
+                continue
+            # Inside the stats class itself: plain self.<field> stores
+            # (dataclasses have no *Stats-suffix heuristic to rely on)
+            # and container mutations (`self.by_region.setdefault`).
+            for site in func["attr_write_sites"]:
+                if site["recv"] == "self" and not site["self_ctx"] \
+                        and site["via"] == "store" \
+                        and site["field"] in valid:
+                    written.add(site["field"])
+            for call in func["calls"]:
+                parts = call["name"].split(".")
+                if len(parts) == 3 and parts[0] == "self" \
+                        and parts[1] in containers \
+                        and parts[2] in spec.CONTAINER_MUTATORS:
+                    written.add(parts[1])
+        return valid, written

@@ -1,0 +1,171 @@
+"""SIM302 — metric-name discipline.
+
+Metric names are stringly-typed: ``metrics.count("admited")`` exports
+a fresh, permanently-zero series next to the real ``admitted`` counter
+and nothing fails.  The serve layer already pre-registers every name
+(``repro/serve/metrics.py`` builds its instruments from the
+``COUNTERS``/``GAUGES`` tables at construction), so the ground truth
+exists; this rule closes the loop by resolving every constant metric
+literal against it.
+
+For each ``count``/``gauge``/``histogram`` call with a constant name,
+the receiver's class is resolved through the same inference the
+SIM1xx rules use (``self`` attributes, annotated parameters, module
+globals).  Receivers typed as a metrics namespace class (or a subclass)
+take *relative* names, which must appear in that namespace's declared
+tables.  Receivers typed as a raw registry take *absolute* names,
+which must live under an approved prefix (``live.``/``sim.``/
+``serve.``) — and ``serve.*`` names must additionally be
+pre-registered, because the serve snapshot machinery only exports
+declared instruments.  Unresolvable receivers are only held to the
+absolute-prefix convention when the name already looks absolute;
+other string literals passed to unrelated ``count`` methods (e.g.
+``str.count``) are left alone.
+
+Dynamically-minted families (per-shard forwarding counters) are
+declared in ``spec.DYNAMIC_METRIC_PREFIXES``.  Suppress with
+``# lint: disable=SIM302`` for intentionally out-of-band names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.contracts import spec
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class MetricNameRule(SemanticRule):
+    code = "SIM302"
+    name = "metric-name-discipline"
+    description = ("metric-name literal that is not pre-registered or "
+                   "violates the namespace conventions")
+    scope = "program"
+
+    def check_program(self, program) -> Iterable[Violation]:
+        namespaces, registered, table_findings = \
+            self._namespace_tables(program)
+        yield from table_findings
+        for module, facts in sorted(program.modules.items()):
+            if not spec.module_matches(module, spec.METRIC_MODULE_PREFIXES):
+                continue
+            path = facts["path"]
+            for _qual, func in sorted(facts["functions"].items()):
+                for metric in func["metric_strings"]:
+                    if metric["role"] != "own":
+                        continue
+                    yield from self._check_literal(
+                        program, module, facts, func, metric, path,
+                        namespaces, registered)
+
+    # -- table loading -------------------------------------------------
+    @staticmethod
+    def _namespace_tables(program):
+        """(class -> namespace info, registered absolute names, table
+        findings).  ``registered`` is None when the metrics module is
+        outside the scan (absolute serve.* checks then stay quiet)."""
+        findings: list[Violation] = []
+        metrics = program.modules.get(spec.METRICS_MODULE)
+        if metrics is None:
+            return {}, None, findings
+        tables = metrics["const_tables"]
+        namespaces: dict[str, dict] = {}
+        registered: set[str] = set()
+        rule = MetricNameRule
+        for cls_name, ns in spec.METRIC_NAMESPACES.items():
+            counters = tables.get(ns["counters"])
+            gauges = tables.get(ns["gauges"])
+            if not isinstance(counters, list) or not isinstance(gauges,
+                                                                list):
+                findings.append(Violation(
+                    path=metrics["path"], line=1, col=0, rule=rule.code,
+                    message=(f"expected literal name tables "
+                             f"`{ns['counters']}`/`{ns['gauges']}` for "
+                             f"{cls_name} in {spec.METRICS_MODULE}; "
+                             "SIM302 cannot validate metric names "
+                             "without them")))
+                continue
+            names = set(counters) | set(gauges) | set(spec.HISTOGRAM_NAMES)
+            namespaces[cls_name] = {"prefix": ns["prefix"], "names": names}
+            registered.update(f"{ns['prefix']}.{name}" for name in names)
+        return namespaces, registered, findings
+
+    # -- per-literal check ---------------------------------------------
+    def _check_literal(self, program, module, facts, func, metric, path,
+                       namespaces, registered) -> Iterable[Violation]:
+        name = metric["name"]
+        call = metric.get("call") or ""
+        recv = call.rsplit(".", 1)[0] if "." in call else ""
+        cls = self._receiver_class(program, module, facts, func, recv)
+        ns = self._namespace_of(program, cls, namespaces)
+        if ns is not None:
+            if name in ns["names"]:
+                return
+            yield self.violation(
+                path, metric["lineno"], 0,
+                f"`{name}` is not a declared {ns['prefix']}.* metric; "
+                f"register it in {spec.METRICS_MODULE} or fix the typo "
+                "— an unregistered name exports a fresh series the "
+                "snapshot machinery never aggregates")
+            return
+        absolute = cls in spec.REGISTRY_CLASSES \
+            or name.startswith(spec.ABSOLUTE_PREFIXES)
+        if not absolute:
+            return  # unresolved receiver, non-metric-looking name
+        if not name.startswith(spec.ABSOLUTE_PREFIXES):
+            yield self.violation(
+                path, metric["lineno"], 0,
+                f"absolute metric name `{name}` is outside the "
+                f"{'/'.join(spec.ABSOLUTE_PREFIXES)} namespaces")
+            return
+        if registered is None or not name.startswith("serve."):
+            return  # live./sim. names are owned by Stats.register()
+        if name in registered \
+                or name.startswith(spec.DYNAMIC_METRIC_PREFIXES):
+            return
+        yield self.violation(
+            path, metric["lineno"], 0,
+            f"`{name}` is not pre-registered in {spec.METRICS_MODULE}; "
+            "serve.* metrics must come from the declared tables")
+
+    # -- receiver resolution -------------------------------------------
+    @staticmethod
+    def _receiver_class(program, module, facts, func, recv) -> str | None:
+        if not recv:
+            return None
+        parts = recv.split(".")
+        if parts[0] in ("self", "cls"):
+            cls = func.get("cls")
+            attrs = parts[1:]
+        elif parts[0] in func.get("param_annotations", {}):
+            cls = func["param_annotations"][parts[0]].split(".")[-1]
+            attrs = parts[1:]
+        elif parts[0] in facts["module_global_types"]:
+            cls = facts["module_global_types"][parts[0]]
+            attrs = parts[1:]
+        else:
+            return None
+        for attr in attrs:
+            if cls is None:
+                return None
+            cls = program.attr_type_of(module, cls, attr)
+        return cls
+
+    @staticmethod
+    def _namespace_of(program, cls, namespaces) -> dict | None:
+        """Namespace info for ``cls``, following base classes."""
+        seen: set[str] = set()
+        frontier = [cls] if cls else []
+        while frontier:
+            current = frontier.pop()
+            if current in seen or current is None:
+                continue
+            seen.add(current)
+            if current in namespaces:
+                return namespaces[current]
+            for _module, cls_facts in program.classes_named(current):
+                frontier.extend(base.split(".")[-1]
+                                for base in cls_facts["bases"])
+        return None

@@ -1,0 +1,93 @@
+"""SIM305 — version-constant discipline.
+
+Version negotiation has exactly one correct implementation per
+protocol, and it lives next to the constant: ``versions_compatible``
+for the wire schema (which honours ``VERSION_COMPAT_SPAN``),
+``trace_ir_compatible`` for the trace IR (exact match — kernels index
+arrays positionally), and *nothing* for the facts format (the
+semantic cache is invalidated wholesale by ``rules_signature()``).
+A raw comparison anywhere else — ``payload["v"] == 2`` or
+``meta["version"] == TRACE_IR_VERSION`` inline — freezes today's
+number into a call site that the next version bump silently breaks:
+the comparison keeps "working", it just starts rejecting (or worse,
+accepting) the wrong peers.
+
+Two patterns are findings:
+
+1. a comparison whose one side is a spec'd version constant
+   (``spec.VERSION_CONSTANTS``) outside its declared helper function —
+   the fix is to call the helper;
+2. inside version-bearing modules (``spec.VERSIONED_MODULE_PREFIXES``),
+   a comparison of a version-named dict field (``v``/``version``/
+   ``schema_version``) against a raw integer literal — the fix is to
+   compare against the constant via its helper.
+
+Unspec'd constants (e.g. the lint caches' own format versions, which
+are pure invalidation cookies with no compat semantics) are exempt by
+construction: they compare key-vs-constant, not key-vs-literal.
+Suppress with ``# lint: disable=SIM305`` only for a comparison that is
+deliberately version-exact *and* documented as such.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.contracts import spec
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class VersionDisciplineRule(SemanticRule):
+    code = "SIM305"
+    name = "version-discipline"
+    description = ("version constant compared outside its helper, or a "
+                   "version field compared against a raw int literal")
+    scope = "program"
+
+    def check_program(self, program) -> Iterable[Violation]:
+        for module, facts in sorted(program.modules.items()):
+            versioned = spec.module_matches(
+                module, spec.VERSIONED_MODULE_PREFIXES)
+            path = facts["path"]
+            for qual, func in sorted(facts["functions"].items()):
+                for compare in func["version_compares"]:
+                    yield from self._check_compare(
+                        module, path, qual, func, compare, versioned)
+
+    def _check_compare(self, module, path, qual, func, compare,
+                       versioned) -> Iterable[Violation]:
+        sides = (compare["left"], compare["right"])
+        kinds = [side.partition(":")[0] for side in sides]
+        values = [side.partition(":")[2] for side in sides]
+
+        for kind, value in zip(kinds, values):
+            if kind != "const" or value not in spec.VERSION_CONSTANTS:
+                continue
+            home = spec.VERSION_CONSTANTS[value]
+            allowed = module == home["module"] and (
+                func["name"] in home["helpers"] or qual in home["helpers"])
+            if allowed:
+                continue
+            if home["helpers"]:
+                fix = (f"route the check through "
+                       f"{home['module']}.{home['helpers'][0]}()")
+            else:
+                fix = (f"{value} has no compat semantics; nothing may "
+                       "branch on it")
+            yield self.violation(
+                path, compare["lineno"], 0,
+                f"`{value}` compared directly in `{qual}`; {fix} — an "
+                "inline comparison freezes the current number past the "
+                "next version bump")
+
+        if versioned and "key" in kinds and "int" in kinds:
+            key = values[kinds.index("key")]
+            literal = values[kinds.index("int")]
+            yield self.violation(
+                path, compare["lineno"], 0,
+                f"version field `{key}` compared against the raw "
+                f"literal {literal} in `{qual}`; compare against the "
+                "protocol's constant through its helper so version "
+                "bumps stay one-line changes")

@@ -1,0 +1,126 @@
+"""SIM303 — wire-schema contract.
+
+The serve protocol negotiates a schema version per connection
+(``versions_compatible`` with a compat span), but the field names each
+side actually reads and writes are plain dict accesses — a server that
+reads ``payload["prio"]`` while clients send ``priority`` fails only
+at runtime, and only on the path that reads it.  The schema module
+declares the ground truth: ``WIRE_FIELDS`` maps each schema version to
+the field names it introduces.
+
+This rule checks three things against that table:
+
+1. **Field reads/writes** — every constant string key read or written
+   through a wire-payload receiver (the per-module receiver names in
+   ``spec.WIRE_READERS``) must be declared by some schema version
+   within the compat span of the current ``SCHEMA_VERSION``.  Fields
+   of retired versions (outside the span) count as undeclared: the
+   code path can never see them from a compatible peer.
+2. **Envelope literals** — every key of a dict literal containing an
+   ``"op"`` entry (the request/response envelope shape) must likewise
+   be declared.
+3. **Op parity** — every constant ``op`` a client-side module sends
+   must have a matching ``op == "..."`` handler comparison in the
+   server.  An op without a handler is a guaranteed ``unknown_op``
+   error for every client on the current code.
+
+Receiver names are scoped per module so that unrelated dicts that
+happen to share a name elsewhere are not dragged in.  Suppress with
+``# lint: disable=SIM303`` for deliberately schema-less payloads
+(and say why), or add the field to ``WIRE_FIELDS`` under the version
+that introduces it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.contracts import spec
+from repro.lint.core import Violation
+from repro.lint.semantic.rules import SemanticRule, register_semantic
+
+
+@register_semantic
+class WireSchemaRule(SemanticRule):
+    code = "SIM303"
+    name = "wire-schema-contract"
+    description = ("wire field not declared by any schema version in the "
+                   "compat span, or an op sent with no server handler")
+    scope = "program"
+
+    def check_program(self, program) -> Iterable[Violation]:
+        schema = program.modules.get(spec.WIRE_SCHEMA_MODULE)
+        if schema is None:
+            return  # partial scan: no table to check against
+        tables = schema["const_tables"]
+        wire_fields = tables.get(spec.WIRE_FIELDS_TABLE)
+        version = tables.get(spec.WIRE_VERSION_CONST)
+        span = tables.get(spec.WIRE_SPAN_CONST)
+        if not isinstance(wire_fields, dict) or not isinstance(version, int) \
+                or not isinstance(span, int):
+            yield self.violation(
+                schema["path"], 1, 0,
+                f"expected literal `{spec.WIRE_FIELDS_TABLE}`, "
+                f"`{spec.WIRE_VERSION_CONST}` and "
+                f"`{spec.WIRE_SPAN_CONST}` in {spec.WIRE_SCHEMA_MODULE}; "
+                "SIM303 cannot validate wire fields without them")
+            return
+        allowed: set[str] = set()
+        span_versions: list[int] = []
+        for raw, names in wire_fields.items():
+            declared = int(raw)  # facts round-trip dict keys as strings
+            if abs(declared - version) <= span:
+                span_versions.append(declared)
+                allowed.update(names)
+        span_label = ",".join(f"v{v}" for v in sorted(span_versions))
+
+        handlers_scanned = all(module in program.modules
+                               for module in spec.OP_HANDLERS)
+        ops_handled: set[str] = set()
+        for module in spec.OP_HANDLERS:
+            facts = program.modules.get(module)
+            if facts is None:
+                continue
+            for func in facts["functions"].values():
+                for compare in func["str_compares"]:
+                    if compare["name"].split(".")[-1] == "op":
+                        ops_handled.add(compare["value"])
+
+        for module, receivers in sorted(spec.WIRE_READERS.items()):
+            facts = program.modules.get(module)
+            if facts is None:
+                continue
+            path = facts["path"]
+            sender = module in spec.OP_SENDERS
+            for _qual, func in sorted(facts["functions"].items()):
+                for access in func["str_keys"]:
+                    if access["recv"].split(".")[-1] not in receivers:
+                        continue
+                    if access["key"] in allowed:
+                        continue
+                    verb = "writes" if access["via"] == "index_store" \
+                        else "reads"
+                    yield self.violation(
+                        path, access["lineno"], 0,
+                        f"`{access['recv']}` {verb} wire field "
+                        f"`{access['key']}`, which no schema version in "
+                        f"the compat span ({span_label}) declares; add "
+                        f"it to {spec.WIRE_FIELDS_TABLE} under the "
+                        "version that introduces it")
+                for envelope in func["dict_ops"]:
+                    for key in envelope["keys"]:
+                        if key not in allowed:
+                            yield self.violation(
+                                path, envelope["lineno"], 0,
+                                f"envelope literal carries undeclared "
+                                f"wire field `{key}` (compat span "
+                                f"{span_label})")
+                    op = envelope["op"]
+                    if sender and handlers_scanned and op is not None \
+                            and op not in ops_handled:
+                        yield self.violation(
+                            path, envelope["lineno"], 0,
+                            f"op `{op}` is sent here but no handler in "
+                            f"{'/'.join(spec.OP_HANDLERS)} compares "
+                            "against it; every request with this op "
+                            "fails as unknown_op")

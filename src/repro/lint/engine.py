@@ -126,9 +126,10 @@ def lint_paths(paths: list[str], *, root: str | os.PathLike | None = None,
                ) -> LintResult:
     """Run every registered rule over the Python files under ``paths``.
 
-    With ``semantic=True`` the whole-program pass (SIM101–SIM105) runs
-    on top; its facts/findings cache in ``semantic_cache_file``
-    (default ``<root>/.lint-semantic-cache.json``).
+    With ``semantic=True`` the whole-program families (SIM1xx, SIM2xx,
+    SIM3xx) run on top; their facts/findings cache in
+    ``semantic_cache_file`` (default
+    ``<root>/.lint-semantic-cache.json``).
     """
     root_path = Path(root) if root is not None else Path.cwd()
     rules = all_rules()

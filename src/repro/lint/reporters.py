@@ -108,6 +108,40 @@ def render_sarif(result: LintResult) -> str:
     return json.dumps(sarif_payload(result), indent=2)
 
 
+_FAMILIES = {
+    "SIM0": "file/project rule (always on)",
+    "SIM1": "whole-program semantic rule (--semantic)",
+    "SIM2": "async-concurrency rule (--semantic)",
+    "SIM3": "contract-analysis rule (--semantic)",
+}
+
+
+def render_explain(code: str) -> str | None:
+    """Full documentation for one rule, or ``None`` if unknown.
+
+    The rule's class docstring (falling back to its defining module's
+    docstring) is the authoritative long-form description — the same
+    text DESIGN.md quotes from.
+    """
+    import inspect
+    import sys
+
+    for rule in _catalogue():
+        if rule.code != code:
+            continue
+        doc = type(rule).__doc__  # not getdoc(): no MRO inheritance
+        doc = inspect.cleandoc(doc) if doc else \
+            inspect.getdoc(sys.modules[type(rule).__module__])
+        family = _FAMILIES.get(code[:4], "rule")
+        scope = getattr(rule, "scope", None)
+        header = f"{rule.code} ({rule.name}) — {family}"
+        if scope:
+            header += f", scope={scope}"
+        return "\n".join([header, f"  {rule.description}", "",
+                          doc or "(no documentation)"])
+    return None
+
+
 def render_rule_list() -> str:
     lines = []
     for rule in _catalogue():

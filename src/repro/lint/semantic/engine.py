@@ -104,7 +104,7 @@ def semantic_pass(sources: dict[str, str], *,
                   cache: SemanticCache | None = None,
                   select: set[str] | None = None,
                   ignore: set[str] | None = None) -> SemanticResult:
-    """Run the semantic families (SIM1xx + SIM2xx) over
+    """Run the semantic families (SIM1xx + SIM2xx + SIM3xx) over
     ``{rel_path: source}``.
 
     Files that fail to parse are skipped here — the file pass already

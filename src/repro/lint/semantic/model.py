@@ -17,12 +17,20 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import re
 
 from repro.lint.concurrency import facts as concurrency
 from repro.lint.core import FileContext, dotted_name, import_aliases
 from repro.lint.semantic.dataflow import FunctionDataflow
 
-FACTS_VERSION = 5
+FACTS_VERSION = 6
+
+# Environment-variable discipline (SIM304): a string constant that *is*
+# a knob name, as opposed to prose mentioning one — hence fullmatch.
+_ENV_VAR_RE = re.compile(r"REPRO_[A-Z][A-Z0-9_]*")
+
+# Dict keys that carry a wire-schema version (SIM305).
+_VERSION_KEYS = ("v", "version", "schema_version")
 
 # Method leaves that count as an obs.trace hook carrier (the Tracer's
 # simulator-facing surface) plus the ACTIVE global itself.
@@ -87,6 +95,66 @@ def _annotation_name(node: ast.expr | None) -> str | None:
     return dotted_name(node)
 
 
+def _literal_value(node: ast.expr) -> tuple[bool, object]:
+    """(ok, JSON-safe value) of a pure-literal expression.
+
+    Tuples/sets become lists and dict keys become strings, so a value
+    round-trips unchanged through the JSON fact cache — byte-stable
+    warm reruns depend on that.
+    """
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if value is None or isinstance(value, (str, int, float, bool)):
+            return True, value
+        return False, None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        items = []
+        for element in node.elts:
+            ok, value = _literal_value(element)
+            if not ok:
+                return False, None
+            items.append(value)
+        return True, items
+    if isinstance(node, ast.Dict):
+        table = {}
+        for key, value_node in zip(node.keys, node.values):
+            if not isinstance(key, ast.Constant):
+                return False, None
+            ok, value = _literal_value(value_node)
+            if not ok:
+                return False, None
+            table[str(key.value)] = value
+        return True, table
+    return False, None
+
+
+def _version_side(expr: ast.expr) -> str:
+    """Descriptor of one comparison operand for SIM305: ``int:<n>`` for
+    an integer literal, ``key:<k>`` for a versionish dict access,
+    ``const:<NAME>`` for a ``*VERSION`` constant, else ``expr``."""
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, int) and not isinstance(expr.value, bool):
+            return f"int:{expr.value}"
+        return "expr"
+    if isinstance(expr, ast.Call):
+        raw = dotted_name(expr.func)
+        if raw == "int" and expr.args:
+            return _version_side(expr.args[0])
+        if raw and raw.split(".")[-1] == "get" and expr.args \
+                and isinstance(expr.args[0], ast.Constant) \
+                and expr.args[0].value in _VERSION_KEYS:
+            return f"key:{expr.args[0].value}"
+        return "expr"
+    if isinstance(expr, ast.Subscript) \
+            and isinstance(expr.slice, ast.Constant) \
+            and expr.slice.value in _VERSION_KEYS:
+        return f"key:{expr.slice.value}"
+    name = dotted_name(expr)
+    if name and name.split(".")[-1].endswith("VERSION"):
+        return f"const:{name.split('.')[-1]}"
+    return "expr"
+
+
 def _literal_strings(node: ast.expr) -> list[str]:
     """String literals in a (possibly nested) literal container."""
     found: list[str] = []
@@ -118,11 +186,19 @@ class _FunctionExtractor:
 
     # -- helpers -------------------------------------------------------
     def _own_nodes(self):
-        """Nodes of this function's body, nested defs excluded."""
+        """Nodes of this function's body, nested defs excluded.
+
+        A nested def is yielded (so the parent sees the binding) but
+        never entered: its body belongs to its own extractor, and
+        counting it here too would double every fact inside it.
+        """
         stack = list(self.func.body)
         while stack:
             node = stack.pop()
             yield node
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef, ast.Lambda)):
+                continue
             for child in ast.iter_child_nodes(node):
                 if isinstance(child, (ast.FunctionDef,
                                       ast.AsyncFunctionDef, ast.Lambda)):
@@ -163,6 +239,10 @@ class _FunctionExtractor:
         attr_write_sites: list[dict] = []
         stats_mutations: list[dict] = []
         metric_strings: list[dict] = []
+        str_keys: list[dict] = []
+        dict_ops: list[dict] = []
+        str_compares: list[dict] = []
+        version_compares: list[dict] = []
         task_spawns: list[dict] = []
         dispatches: list[dict] = []
         trace_hook = False
@@ -184,6 +264,51 @@ class _FunctionExtractor:
                 trace_hook = True
             if isinstance(node, (ast.Yield, ast.YieldFrom)):
                 is_generator = True
+
+            if isinstance(node, ast.Subscript) \
+                    and isinstance(node.slice, ast.Constant) \
+                    and isinstance(node.slice.value, str):
+                recv = dotted_name(node.value)
+                if recv:
+                    str_keys.append({
+                        "recv": recv, "key": node.slice.value,
+                        "lineno": node.lineno,
+                        "via": "index" if isinstance(node.ctx, ast.Load)
+                        else "index_store"})
+
+            if isinstance(node, ast.Dict):
+                keys = [key.value for key in node.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)]
+                if "op" in keys:  # a wire envelope literal
+                    op_value = None
+                    for key, value in zip(node.keys, node.values):
+                        if isinstance(key, ast.Constant) \
+                                and key.value == "op" \
+                                and isinstance(value, ast.Constant) \
+                                and isinstance(value.value, str):
+                            op_value = value.value
+                    dict_ops.append({"keys": keys, "op": op_value,
+                                     "lineno": node.lineno})
+
+            if isinstance(node, ast.Compare) and len(node.ops) == 1:
+                sides = (node.left, node.comparators[0])
+                if isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                    for this, other in (sides, sides[::-1]):
+                        if isinstance(other, ast.Constant) \
+                                and isinstance(other.value, str):
+                            name = dotted_name(this)
+                            if name:
+                                str_compares.append(
+                                    {"name": name, "value": other.value,
+                                     "lineno": node.lineno})
+                left = _version_side(node.left)
+                right = _version_side(node.comparators[0])
+                if left.partition(":")[0] in ("key", "const") \
+                        or right.partition(":")[0] in ("key", "const"):
+                    version_compares.append(
+                        {"left": left, "right": right,
+                         "lineno": node.lineno})
 
             if isinstance(node, ast.Call):
                 raw = dotted_name(node.func)
@@ -240,7 +365,16 @@ class _FunctionExtractor:
                             and isinstance(node.args[0].value, str):
                         metric_strings.append(
                             {"name": node.args[0].value,
-                             "lineno": node.lineno, "role": "own"})
+                             "lineno": node.lineno, "role": "own",
+                             "call": recorded})
+                    if leaf in ("get", "pop", "setdefault") \
+                            and "." in recorded and node.args \
+                            and isinstance(node.args[0], ast.Constant) \
+                            and isinstance(node.args[0].value, str):
+                        str_keys.append(
+                            {"recv": recorded.rsplit(".", 1)[0],
+                             "key": node.args[0].value,
+                             "lineno": node.lineno, "via": leaf})
                     if leaf == "setattr" and raw == "setattr" \
                             and len(node.args) >= 2:
                         attr_write_sites.append(self._attr_site(
@@ -294,6 +428,10 @@ class _FunctionExtractor:
             "attr_write_sites": attr_write_sites,
             "stats_mutations": stats_mutations,
             "metric_strings": metric_strings,
+            "str_keys": str_keys,
+            "dict_ops": dict_ops,
+            "str_compares": str_compares,
+            "version_compares": version_compares,
             "trace_hook": trace_hook,
         }
         if summary["is_async"]:
@@ -457,6 +595,13 @@ def _class_facts(node: ast.ClassDef) -> dict:
                         targets = sub.targets \
                             if isinstance(sub, ast.Assign) else [sub.target]
                         value = sub.value
+                        if isinstance(value, ast.IfExp):
+                            # ``x if x is not None else Default()`` —
+                            # either branch names the type; prefer the
+                            # default-constructor branch.
+                            value = (value.orelse
+                                     if isinstance(value.orelse, ast.Call)
+                                     else value.body)
                         typed = None
                         if isinstance(value, ast.Call):
                             called = dotted_name(value.func)
@@ -530,6 +675,7 @@ def extract_module_facts(ctx: FileContext) -> dict:
     module_globals: dict[str, int] = {}
     module_aliases: dict[str, str] = {}
     module_global_types: dict[str, str] = {}
+    const_tables: dict[str, object] = {}
     for node in tree.body:
         targets = []
         value = None
@@ -547,6 +693,17 @@ def extract_module_facts(ctx: FileContext) -> dict:
                 called = dotted_name(value.func)
                 if called:
                     module_global_types[target.id] = called.split(".")[-1]
+            if value is not None:
+                ok, literal = _literal_value(value)
+                if ok:
+                    const_tables[target.id] = literal
+
+    env_literals: list[dict] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                and _ENV_VAR_RE.fullmatch(node.value):
+            env_literals.append({"name": node.value,
+                                 "lineno": getattr(node, "lineno", 1)})
 
     classes: dict[str, dict] = {}
     functions: dict[str, dict] = {}
@@ -604,6 +761,8 @@ def extract_module_facts(ctx: FileContext) -> dict:
         "module_globals": module_globals,
         "module_aliases": module_aliases,
         "module_global_types": module_global_types,
+        "const_tables": const_tables,
+        "env_literals": env_literals,
         "lock_globals": module_locks,
         "classes": classes,
         "functions": functions,

@@ -1,4 +1,4 @@
-"""Semantic rule catalogue (SIM101–SIM105, SIM201–SIM206).
+"""Semantic rule catalogue (SIM101–SIM105, SIM201–SIM206, SIM301–SIM305).
 
 Semantic rules live in their own registry — they need a
 :class:`~repro.lint.semantic.model.Program`, not a single file's AST,
@@ -60,6 +60,13 @@ def semantic_rules() -> list[SemanticRule]:
         locks,
         obs_boundary,
         tasks,
+    )
+    from repro.lint.contracts import (  # noqa: F401
+        envvar_discipline,
+        footprints,
+        metric_names,
+        version_discipline,
+        wire_schema,
     )
     from repro.lint.semantic.rules import (  # noqa: F401
         config_freeze,

@@ -26,6 +26,7 @@ from abc import ABC, abstractmethod
 from dataclasses import asdict, fields
 from pathlib import Path
 
+from repro import envvars
 from repro.config import DEFAULT_GPU, GPUConfig, TCORConfig
 from repro.tcor.system import SystemResult
 from repro.workloads.suite import BenchmarkSpec
@@ -74,7 +75,7 @@ _TRACE_SOURCES = (
 # Compiled traces are big (npz archives, not counter records), so the
 # trace store is capped: least-recently-used archives are evicted once
 # the total size passes the budget.
-_TRACE_CACHE_BYTES_ENV = "REPRO_TRACE_CACHE_BYTES"
+_TRACE_CACHE_BYTES_ENV = envvars.TRACE_CACHE_BYTES
 DEFAULT_TRACE_CACHE_BYTES = 512 * 1024 * 1024
 
 
@@ -193,7 +194,8 @@ class DiskCache:
                  trace_signature: str | None = None,
                  trace_cache_bytes: int | None = None) -> None:
         if directory is None:
-            directory = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+            directory = os.environ.get(envvars.CACHE_DIR) \
+                or DEFAULT_CACHE_DIR
         self.directory = Path(directory)
         self.signature = (signature if signature is not None
                           else simulation_code_signature())

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 
+from repro import envvars
 from repro.obs import trace as obs_trace
 from repro.obs.registry import Observation
 from repro.replay.ir import (
@@ -26,6 +27,7 @@ from repro.replay.ir import (
     compiled_trace_for,
     load_trace,
     save_trace,
+    trace_ir_compatible,
 )
 from repro.replay.kernels import (
     ReplayOutcome,
@@ -49,6 +51,7 @@ __all__ = [
     "replay_allowed",
     "replay_baseline",
     "replay_tcor",
+    "trace_ir_compatible",
     "try_replay",
 ]
 
@@ -61,8 +64,8 @@ def replay_allowed(obs: Observation | None = None) -> str | None:
     globally — needs the live path's per-access event stream, and
     ``REPRO_NO_REPLAY`` is the operator escape hatch.
     """
-    if os.environ.get("REPRO_NO_REPLAY"):
-        return "REPRO_NO_REPLAY is set"
+    if os.environ.get(envvars.NO_REPLAY):
+        return f"{envvars.NO_REPLAY} is set"
     if obs is not None and obs.tracer is not None:
         return "a tracer is attached to this run"
     if obs_trace.ACTIVE is not None:

@@ -38,6 +38,17 @@ from repro.workloads.suite import Workload
 # version fail to load (treated as a cache miss by DiskCache.get_trace).
 TRACE_IR_VERSION = 1
 
+
+def trace_ir_compatible(theirs) -> bool:
+    """Whether a persisted trace's IR version can be replayed.
+
+    The IR has no compatibility span: kernels index the arrays
+    positionally, so any layout change is a full break.  All version
+    comparisons go through this helper (the SIM305 contract rule
+    forbids comparing ``TRACE_IR_VERSION`` anywhere else).
+    """
+    return theirs == TRACE_IR_VERSION
+
 # Event kinds, build stream.
 BUILD_PMD_WRITE = 0
 BUILD_ATTR_WRITE = 1
@@ -427,7 +438,7 @@ def load_trace(file) -> CompiledTrace:
     """Deserialize; raises ``ValueError`` on a version mismatch."""
     with np.load(file) as archive:
         meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-        if meta.get("version") != TRACE_IR_VERSION:
+        if not trace_ir_compatible(meta.get("version")):
             raise ValueError(
                 f"trace IR version {meta.get('version')} != "
                 f"{TRACE_IR_VERSION}"

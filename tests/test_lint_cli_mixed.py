@@ -99,6 +99,27 @@ class TestExitCodes:
         assert status == 0
 
 
+class TestExplain:
+    def test_explain_prints_the_full_rule_documentation(self, capsys):
+        # One rule per family; lower-case codes are normalised.
+        for code, fragment in (("sim001", "RNG"),
+                               ("SIM104", "whole-program symbol table"),
+                               ("SIM202", "suspension"),
+                               ("SIM301", "footprint")):
+            status = main(["--explain", code])
+            out = capsys.readouterr().out
+            assert status == 0
+            assert out.startswith(code.upper() + " (")
+            assert fragment.lower() in out.lower()
+
+    def test_explain_rejects_unknown_codes(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--explain", "SIM999"])
+        assert excinfo.value.code == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+
 class TestSingleSarif:
     def test_one_document_carries_all_three_families(
             self, tmp_path, capsys):

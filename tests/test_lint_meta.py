@@ -1,0 +1,56 @@
+"""Meta-checks over the lint rule catalogue itself.
+
+Every registered rule — file, project, and all three semantic
+families — must be exercised by at least one fixture test, documented
+in DESIGN.md or the README, and carry real long-form documentation for
+``repro-lint --explain``.  This keeps the catalogue honest as rules
+are added: a new code cannot land silently undocumented or untested.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.lint.core import all_rules
+from repro.lint.reporters import render_explain
+from repro.lint.semantic.rules import semantic_rules
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def catalogue_codes() -> list[str]:
+    return sorted({rule.code for rule in all_rules()}
+                  | {rule.code for rule in semantic_rules()})
+
+
+def test_every_rule_has_a_fixture_test():
+    corpus = "\n".join(
+        path.read_text()
+        for path in (ROOT / "tests").glob("test_*.py")
+        if path.name != "test_lint_meta.py")
+    untested = [code for code in catalogue_codes() if code not in corpus]
+    assert untested == [], \
+        f"rule codes with no test mention: {untested}"
+
+
+def test_every_rule_is_documented():
+    docs = (ROOT / "DESIGN.md").read_text() \
+        + (ROOT / "README.md").read_text()
+    undocumented = [code for code in catalogue_codes()
+                    if code not in docs]
+    assert undocumented == [], \
+        f"rule codes absent from DESIGN.md and README.md: {undocumented}"
+
+
+def test_every_rule_explains_itself():
+    for code in catalogue_codes():
+        text = render_explain(code)
+        assert text is not None, code
+        # Header plus a real body, not just the one-line description.
+        assert text.startswith(f"{code} ("), code
+        assert len(text.splitlines()) > 4, \
+            f"{code} has no long-form documentation"
+
+
+def test_explain_rejects_unknown_codes():
+    assert render_explain("SIM999") is None

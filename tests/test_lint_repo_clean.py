@@ -57,6 +57,23 @@ def test_shipped_tree_is_concurrency_clean():
     assert concurrency == []
 
 
+def test_shipped_tree_is_contract_clean():
+    """The SIM3xx contract pass blesses the tree: every counter the
+    live caches write is reconstructed by the replay kernels (modulo
+    the spec's justified waivers), every metric literal resolves
+    against the registered tables, every wire field is declared within
+    the schema compat span, every REPRO_* knob reads through
+    repro.envvars, and version constants are only compared via their
+    helpers."""
+    result = lint_paths(
+        [str(REPO_ROOT / tree) for tree in LINTED_TREES],
+        root=REPO_ROOT, use_cache=False, semantic=True,
+    )
+    contracts = [violation.format() for violation in result.violations
+                 if violation.rule.startswith("SIM3")]
+    assert contracts == []
+
+
 def test_seeded_async_violation_is_caught_next_to_the_tree(tmp_path):
     """The same pass that blesses the tree still fails when a
     concurrency violation is introduced beside it."""

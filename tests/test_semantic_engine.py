@@ -225,11 +225,13 @@ class TestCli:
 
 
 class TestSemanticRegistry:
-    def test_both_families_with_stable_codes(self):
+    def test_all_families_with_stable_codes(self):
         codes = [rule.code for rule in semantic_rules()]
         assert codes == ["SIM101", "SIM102", "SIM103", "SIM104", "SIM105",
                          "SIM201", "SIM202", "SIM203", "SIM204", "SIM205",
-                         "SIM206"]
+                         "SIM206",
+                         "SIM301", "SIM302", "SIM303", "SIM304",
+                         "SIM305"]
 
     def test_scopes_partition_cacheable_from_global(self):
         scopes = {rule.code: rule.scope for rule in semantic_rules()}
