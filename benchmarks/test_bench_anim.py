@@ -1,0 +1,77 @@
+"""Animated-workload + Rendering Elimination benchmarks (PR 10).
+
+Three measurements behind ``BENCH_PR10.json``:
+
+- the headline RE effect on a coherent camera path: fraction of tiles
+  discarded and the main-memory / L2 traffic it saves (extra_info on
+  the live run);
+- multi-frame replay throughput: accesses/sec through the TCOR kernel
+  over a compiled animated trace with RE enabled (the signature
+  arrays ride in the IR, so the skip decisions replay for free);
+- the ``fig_re`` sweep end to end, with its built-in placebo and
+  conservation assertions.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.anim import AnimationSpec, build_animated_workload
+from repro.experiments import fig_re
+from repro.replay import compile_workload, replay_tcor
+from repro.tcor import system
+from repro.workloads.suite import BENCHMARKS
+
+ANIM = AnimationSpec(frames=6, path="orbit", dwell=2, travel=2, seed=7)
+
+
+def _animated(alias="SoD", anim=ANIM):
+    return build_animated_workload(BENCHMARKS[alias], anim,
+                                   scale=BENCH_SCALE)
+
+
+def test_re_discard_and_traffic_saved(benchmark):
+    """Live 6-frame orbit: tiles skipped and traffic saved by RE."""
+    workload = _animated()
+    off = system.simulate_tcor(workload)
+
+    result = run_once(benchmark, system.simulate_tcor, workload,
+                      rendering_elimination=True)
+    skip_pct = 100.0 * result.tiles_skipped_fraction
+    benchmark.extra_info["frames"] = ANIM.frames
+    benchmark.extra_info["tiles_skipped_pct"] = round(skip_pct, 2)
+    benchmark.extra_info["mm_traffic_saved_pct"] = round(
+        100.0 * (1 - result.mm_accesses / off.mm_accesses), 2)
+    benchmark.extra_info["l2_traffic_saved_pct"] = round(
+        100.0 * (1 - result.l2_accesses / off.l2_accesses), 2)
+    assert result.tiles_skipped > 0
+    assert result.mm_accesses < off.mm_accesses
+
+
+def test_multiframe_replay_throughput(benchmark):
+    """Accesses/sec replaying an animated trace with RE enabled."""
+    trace = compile_workload(_animated())
+
+    outcome = run_once(benchmark, replay_tcor, trace,
+                       rendering_elimination=True)
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info["frames"] = ANIM.frames
+    benchmark.extra_info["accesses"] = trace.num_accesses
+    benchmark.extra_info["accesses_per_sec"] = round(
+        trace.num_accesses / elapsed)
+    benchmark.extra_info["tiles_skipped"] = outcome.result.tiles_skipped
+    assert outcome.result.tiles_skipped > 0
+
+
+def test_fig_re_sweep(benchmark):
+    """The experiment family end to end (one benchmark, both
+    policies); its placebo and conservation checks are hard asserts
+    inside ``run``."""
+    result = run_once(benchmark, fig_re.run, scale=BENCH_SCALE,
+                      aliases=("SoD",))
+    skip_col = result.headers.index("skip_%")
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["max_skip_pct"] = max(
+        row[skip_col] for row in result.rows)
+    assert len(result.rows) == (len(fig_re.FRAME_COUNTS)
+                                * len(fig_re.CHURN_PCTS)
+                                * len(fig_re.POLICIES))

@@ -1,0 +1,134 @@
+"""Camera paths as per-frame affine screen transforms.
+
+The animation layer moves the *camera*, which in screen space is a
+rigid/affine transform applied to every primitive of the frame.  Paths
+follow a waypoint schedule: the camera **dwells** (holds perfectly
+still) for ``dwell`` frames, then **travels** toward the next waypoint
+over ``travel`` frames with smoothstep easing.  Dwell frames are the
+coherent case Rendering Elimination exploits — with no churn or
+jitter, a dwelling camera reproduces the previous frame exactly, so
+every occupied tile's signature matches and the whole frame is
+discardable.
+
+Everything here is pure float arithmetic on Python scalars, so a path
+evaluated at frame ``f`` is bit-identical across runs and processes —
+a requirement for content-addressed request keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.anim.spec import AnimationSpec
+from repro.config import ScreenConfig
+from repro.geometry.primitives import Primitive, Vertex
+
+
+@dataclass(frozen=True, slots=True)
+class Affine2D:
+    """Row-major 2x2 linear part plus a translation.
+
+    ``x' = a*x + b*y + tx``; ``y' = c*x + d*y + ty``.  Depth is passed
+    through untouched — the tiler bins in 2D.
+    """
+
+    a: float = 1.0
+    b: float = 0.0
+    c: float = 0.0
+    d: float = 1.0
+    tx: float = 0.0
+    ty: float = 0.0
+
+    def apply(self, x: float, y: float) -> tuple[float, float]:
+        return (self.a * x + self.b * y + self.tx,
+                self.c * x + self.d * y + self.ty)
+
+    def apply_vertex(self, vertex: Vertex) -> Vertex:
+        x, y = self.apply(vertex.x, vertex.y)
+        return Vertex(x, y, vertex.z)
+
+    def apply_primitive(self, prim: Primitive) -> Primitive:
+        return Primitive(
+            prim.primitive_id,
+            self.apply_vertex(prim.v0),
+            self.apply_vertex(prim.v1),
+            self.apply_vertex(prim.v2),
+            num_attributes=prim.num_attributes,
+        )
+
+
+IDENTITY = Affine2D()
+
+
+def smoothstep(t: float) -> float:
+    """Hermite ease 3t^2 - 2t^3, clamped to [0, 1]."""
+    t = min(1.0, max(0.0, t))
+    return t * t * (3.0 - 2.0 * t)
+
+
+def path_parameter(frame: int, dwell: int, travel: int) -> float:
+    """Continuous waypoint coordinate for ``frame``.
+
+    The integer part counts completed waypoints, the fractional part is
+    the eased travel progress toward the next one.  While the camera
+    dwells the value is exactly the waypoint index, so consecutive
+    dwell frames share the exact same transform.
+    """
+    if frame < 0:
+        raise ValueError("frame must be non-negative")
+    cycle = dwell + travel
+    waypoint, phase = divmod(frame, cycle)
+    if phase < dwell or travel == 0:
+        return float(waypoint)
+    # Travel frames ease from just past the held waypoint to exactly
+    # the next one, so the final travel frame already matches the
+    # upcoming dwell (one extra coherent frame per cycle).
+    return waypoint + smoothstep((phase - dwell + 1) / travel)
+
+
+def rotation_about(cx: float, cy: float, angle: float) -> Affine2D:
+    """Rigid rotation by ``angle`` radians about (cx, cy)."""
+    cos_a = math.cos(angle)
+    sin_a = math.sin(angle)
+    return Affine2D(
+        a=cos_a, b=-sin_a, c=sin_a, d=cos_a,
+        tx=cx - cos_a * cx + sin_a * cy,
+        ty=cy - sin_a * cx - cos_a * cy,
+    )
+
+
+def scale_about(cx: float, cy: float, factor: float) -> Affine2D:
+    """Uniform zoom by ``factor`` about (cx, cy)."""
+    return Affine2D(
+        a=factor, d=factor,
+        tx=cx * (1.0 - factor),
+        ty=cy * (1.0 - factor),
+    )
+
+
+def camera_transform(spec: AnimationSpec, frame: int,
+                     screen: ScreenConfig) -> Affine2D:
+    """The camera's screen transform at ``frame``.
+
+    Frame 0 is always the identity (the base scene as generated), so a
+    one-frame animation degenerates to the standard workload.
+    """
+    u = path_parameter(frame, spec.dwell, spec.travel)
+    if spec.path == "static" or u == 0.0 or spec.amplitude == 0.0:
+        return IDENTITY
+    cx = screen.width / 2.0
+    cy = screen.height / 2.0
+    if spec.path == "orbit":
+        return rotation_about(cx, cy, spec.amplitude * u)
+    if spec.path == "dolly":
+        # Log-space zoom: each waypoint multiplies the scale by
+        # exp(amplitude), alternating in and out so the geometry never
+        # runs off screen over a long sequence.
+        swing = math.sin(u * math.pi / 2.0)
+        return scale_about(cx, cy, math.exp(spec.amplitude * swing))
+    # pan: bounded Lissajous-style translation, amplitude as a screen
+    # fraction so it composes with any resolution.
+    dx = spec.amplitude * screen.width * math.sin(u * math.pi / 2.0)
+    dy = spec.amplitude * screen.height * (1.0 - math.cos(u * math.pi / 2.0))
+    return Affine2D(tx=dx, ty=dy)

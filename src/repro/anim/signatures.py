@@ -1,0 +1,74 @@
+"""Per-tile input signatures for Rendering Elimination.
+
+A tile's raster output is a pure function of the primitives that
+overlap it: their identities, transformed vertex positions, and bound
+state (here, the attribute payload size — the only bind the memory
+model sees).  Hashing exactly those inputs per tile gives a signature
+that matches across frames iff the tile would be rendered identically,
+which is the discard condition of *Rendering Elimination: Early
+Discard of Redundant Tiles* (PAPERS.md).
+
+Signatures are 56-bit BLAKE2b digests computed from packed binary
+vertex data — not Python ``hash()``, which is salted per process and
+would break replay/live and cross-process equivalence.  56 bits keeps
+the value inside an int64 so the replay IR can carry one flat signed
+array per frame.  Tiles with an empty primitive list get the reserved
+signature :data:`EMPTY_TILE_SIG` (0); they never participate in the
+skip decision because an empty tile generates no fetch traffic to
+discard (and counting them would fake perfect skip rates on sparse
+screens).  Occupied tiles hashing to 0 are nudged to 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.geometry.scene import Scene
+
+#: Signature reserved for tiles whose primitive list is empty.
+EMPTY_TILE_SIG = 0
+
+_PRIM_PACK = struct.Struct("<qq9d")
+_SIG_BYTES = 7  # 56-bit digests fit an int64 with sign bit to spare
+
+
+def primitive_digest_input(prim) -> bytes:
+    """Canonical byte encoding of one primitive's rasterizer inputs."""
+    return _PRIM_PACK.pack(
+        prim.primitive_id, prim.num_attributes,
+        prim.v0.x, prim.v0.y, prim.v0.z,
+        prim.v1.x, prim.v1.y, prim.v1.z,
+        prim.v2.x, prim.v2.y, prim.v2.z,
+    )
+
+
+def tile_signatures(scene: Scene) -> list[int]:
+    """One signature per tile (row-major, ``screen.num_tiles`` long)."""
+    blobs = [primitive_digest_input(prim) for prim in scene.primitives]
+    signatures: list[int] = []
+    for pids in scene.tile_lists():
+        if not pids:
+            signatures.append(EMPTY_TILE_SIG)
+            continue
+        digest = hashlib.blake2b(digest_size=_SIG_BYTES)
+        for pid in pids:
+            digest.update(blobs[pid])
+        value = int.from_bytes(digest.digest(), "little")
+        signatures.append(value if value != EMPTY_TILE_SIG else 1)
+    return signatures
+
+
+def skip_mask(current: list[int], previous: list[int] | None) -> list[bool]:
+    """Which tiles of the current frame are discardable.
+
+    A tile is skipped when it is occupied (non-empty signature) and its
+    signature matches the previous frame's.  With no previous frame
+    nothing is skipped — frame 0 always renders in full.
+    """
+    if previous is None:
+        return [False] * len(current)
+    if len(previous) != len(current):
+        raise ValueError("frames disagree on tile count")
+    return [sig != EMPTY_TILE_SIG and sig == prev
+            for sig, prev in zip(current, previous)]

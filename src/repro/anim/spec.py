@@ -1,0 +1,109 @@
+"""Animation sequence description.
+
+An :class:`AnimationSpec` is the content-addressed recipe for a
+multi-frame sequence: everything that shapes the per-frame geometry is
+in here (camera path, waypoint timing, object churn and jitter, the
+animation seed), so two requests carrying equal specs replay the exact
+same frames.  The payload round-trip mirrors ``SimulationConfig``'s
+wire treatment: field names are stable, unknown keys are dropped, and
+the dict feeds straight into the serve request key.
+
+Frame prefixes are stable by construction: every per-frame random draw
+is seeded by ``(seed, frame)`` alone, never by ``frames``.  Truncating
+a spec to its first ``k`` frames therefore reproduces the first ``k``
+frames of the longer sequence bit-for-bit — the property the streaming
+client leans on when it submits a sequence one cumulative prefix at a
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+
+#: Supported camera paths.  ``static`` holds the camera still (only
+#: churn/jitter move geometry); the other three are the classic
+#: scripted moves of a benchmark flythrough.
+PATHS = ("static", "orbit", "dolly", "pan")
+
+
+@dataclass(frozen=True, slots=True)
+class AnimationSpec:
+    """Deterministic multi-frame animation recipe.
+
+    Parameters
+    ----------
+    frames:
+        Number of frames in the sequence (>= 1).
+    path:
+        Camera path family, one of :data:`PATHS`.
+    amplitude:
+        Path strength per waypoint: radians for ``orbit``, log-scale
+        zoom factor for ``dolly``, screen fraction for ``pan``.
+    dwell:
+        Frames the camera holds still at each waypoint.  Dwell frames
+        are where Rendering Elimination earns its keep: with no churn
+        or jitter, a held camera repeats the previous frame exactly.
+    travel:
+        Frames spent easing between consecutive waypoints.
+    churn:
+        Fraction of objects respawned (new geometry, new location)
+        each frame; 1.0 makes every frame's content fresh.
+    jitter:
+        Per-object drift velocity in pixels/frame (rigid translation
+        plus a slow rotation about the object's own centroid).
+    seed:
+        Animation-layer seed, mixed with the benchmark seed so the
+        same benchmark can run under many distinct sequences.
+    """
+
+    frames: int = 4
+    path: str = "orbit"
+    amplitude: float = 0.2
+    dwell: int = 1
+    travel: int = 1
+    churn: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ValueError("an animation needs at least one frame")
+        if self.path not in PATHS:
+            raise ValueError(
+                f"unknown camera path {self.path!r}; expected one of {PATHS}")
+        if self.amplitude < 0.0:
+            raise ValueError("amplitude must be non-negative")
+        if self.dwell < 0 or self.travel < 0:
+            raise ValueError("dwell/travel frame counts must be >= 0")
+        if self.dwell + self.travel < 1:
+            raise ValueError("dwell + travel must cover at least one frame")
+        if not (0.0 <= self.churn <= 1.0):
+            raise ValueError("churn is a fraction in [0, 1]")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    def prefix(self, frames: int) -> "AnimationSpec":
+        """The same animation truncated to its first ``frames`` frames."""
+        if not (1 <= frames <= self.frames):
+            raise ValueError(
+                f"prefix length {frames} outside 1..{self.frames}")
+        return replace(self, frames=frames)
+
+
+def anim_to_payload(spec: AnimationSpec) -> dict:
+    """Wire/dict form of an animation spec (canonical field names)."""
+    return asdict(spec)
+
+
+def anim_from_payload(data: dict) -> AnimationSpec:
+    """Rebuild a spec from its payload dict.
+
+    Unknown keys are dropped (same forward-compat posture as the config
+    payload); missing keys fall back to defaults; invalid values raise
+    ``ValueError`` via the dataclass validation.
+    """
+    known = {f.name for f in fields(AnimationSpec)}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    return AnimationSpec(**kwargs)

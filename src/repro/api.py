@@ -66,6 +66,10 @@ class SimulationConfig:
     l2_enhancements: bool = True
     interleaved_lists: bool = True
     include_background: bool = True
+    # Rendering Elimination (repro.anim): discard fetch-phase work for
+    # tiles whose input signature matches the previous frame.  Only
+    # meaningful on multi-frame workloads; a single frame never skips.
+    rendering_elimination: bool = False
     tcor: TCORConfig | None = None
     gpu: GPUConfig | None = None
 
@@ -158,14 +162,16 @@ def simulate(workload: "Workload",
             result = simulate_baseline(
                 workload, gpu=config.gpu,
                 tile_cache_bytes=config.tile_cache_bytes,
-                include_background=config.include_background, obs=obs)
+                include_background=config.include_background,
+                rendering_elimination=config.rendering_elimination, obs=obs)
         else:
             result = simulate_tcor(
                 workload, gpu=config.gpu, tcor=config.tcor,
                 total_tile_cache_bytes=config.tile_cache_bytes,
                 l2_enhancements=config.l2_enhancements,
                 interleaved_lists=config.interleaved_lists,
-                include_background=config.include_background, obs=obs)
+                include_background=config.include_background,
+                rendering_elimination=config.rendering_elimination, obs=obs)
     return RunResult(result=result, config=config,
                      metrics=obs.snapshot(),
                      invariant_failures=tuple(obs.registry.check_invariants()))

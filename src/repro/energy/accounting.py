@@ -47,17 +47,35 @@ def memory_hierarchy_energy(result: SystemResult,
 
 
 def compute_energy(workload: Workload,
-                   model: EnergyModel | None = None) -> float:
-    """Non-memory GPU energy of a frame (same for every organization)."""
+                   model: EnergyModel | None = None,
+                   result: SystemResult | None = None) -> float:
+    """Non-memory GPU energy (same for every cache organization).
+
+    Pixel-side work (shader instructions, fixed-function raster) is
+    charged per *rendered* frame; geometry work is charged for every
+    frame, because vertices are shaded and binned during the build
+    phase — before Rendering Elimination can discard a tile.  When
+    ``result`` carries RE accounting, the discarded tiles' share of
+    the pixel work is removed: a skipped tile pays only its signature
+    compare (charged on the memory side as ``signature_unit``
+    accesses) and zero raster energy.
+    """
     model = model or EnergyModel.default()
     spec = workload.spec
     screen = workload.screen
+    frames = max(1, len(workload.traces))
+    rendered_frames = float(frames)
+    if result is not None and result.tiles_total:
+        rendered_frames = (frames
+                           * (result.tiles_total - result.tiles_skipped)
+                           / result.tiles_total)
     pixels = screen.width * screen.height * workload.scale
-    shader_nj = (pixels * spec.shader_insts_per_pixel
+    shader_nj = (pixels * rendered_frames * spec.shader_insts_per_pixel
                  * model.shader_instruction_nj)
-    geometry_nj = (workload.num_primitives * len(workload.traces)
+    geometry_nj = (workload.num_primitives * frames
                    * model.geometry_per_primitive_nj)
-    fixed_nj = pixels * model.fixed_function_per_pixel_nj
+    fixed_nj = (pixels * rendered_frames
+                * model.fixed_function_per_pixel_nj)
     return shader_nj + geometry_nj + fixed_nj
 
 
@@ -73,6 +91,6 @@ def gpu_energy(result: SystemResult, workload: Workload,
         label=result.label,
         alias=result.alias,
         memory_hierarchy_nj=sum(breakdown.values()),
-        compute_nj=compute_energy(workload, model),
+        compute_nj=compute_energy(workload, model, result=result),
         breakdown=breakdown,
     )

@@ -125,6 +125,10 @@ class EnergyModel:
                 "instruction_l1", 16 * KIB),
             "l2": StructureEnergy.for_sram(
                 "l2", gpu.l2_cache.size_bytes, gpu.l2_cache.associativity),
+            # Rendering Elimination's signature table: one 56-bit
+            # signature per screen tile plus the comparator.
+            "signature_unit": StructureEnergy.for_sram(
+                "signature_unit", max(1024, gpu.screen.num_tiles * 8)),
         }
         return cls(structures=structures)
 

@@ -54,6 +54,7 @@ from repro.experiments import (
     fig20_21_energy,
     fig22_gpu_energy,
     fig23_24_throughput,
+    fig_re,
     lookahead_gap,
     sensitivity,
     tables,
@@ -83,6 +84,7 @@ _MODULES = {
     "fig20": fig20_21_energy,
     "fig22": fig22_gpu_energy,
     "fig23": fig23_24_throughput,
+    "fig_re": fig_re,
     "sensitivity": sensitivity,
     "lookahead": lookahead_gap,
 }

@@ -91,6 +91,18 @@ def _sample_attribute_count(mean: float, rng: np.random.Generator) -> int:
     return int(min(15, max(1, count)))
 
 
+def fat_triangle(prim_id: int, cx: float, cy: float, extent: float,
+                 num_attributes: int, rng: np.random.Generator) -> Primitive:
+    """Public entry for other geometry producers (the animation layer's
+    object respawn) so churned objects share the suite's triangle shape."""
+    return _fat_triangle(prim_id, cx, cy, extent, num_attributes, rng)
+
+
+def sample_attribute_count(mean: float, rng: np.random.Generator) -> int:
+    """Public counterpart of the suite's attribute-count distribution."""
+    return _sample_attribute_count(mean, rng)
+
+
 def _mean_coverage(screen: ScreenConfig, extent: float, samples: int,
                    size_spread: float, rng: np.random.Generator) -> float:
     total = 0

@@ -61,6 +61,11 @@ STATS_MODELS = {
         "live_modules": ("repro.caches.hierarchy",),
         "waived_live": {},
     },
+    "re": {
+        "stats_cls": "REStats",
+        "live_modules": ("repro.anim.elimination",),
+        "waived_live": {},
+    },
 }
 
 #: The module holding the replay kernels whose constructor calls are
@@ -76,6 +81,7 @@ REPLAY_SITES = {
     ("replay_tcor", "AttributeCacheStats"): "attribute",
     ("_l2_engine", "CacheStats"): "l2",
     ("_l2_engine", "MemoryCounters"): "dram",
+    ("_finalize_re", "REStats"): "re",
 }
 
 #: Container-mutating method names: a call ``self.<field>.<method>``
@@ -112,10 +118,11 @@ HISTOGRAM_NAMES = ("batch_size", "latency_s")
 DYNAMIC_METRIC_PREFIXES = ("serve.cluster.shard.",)
 
 #: Absolute metric names must live in one of these namespaces.
-ABSOLUTE_PREFIXES = ("live.", "sim.", "serve.")
+ABSOLUTE_PREFIXES = ("live.", "sim.", "serve.", "anim.", "re.")
 
 #: Modules whose metric literals SIM302 checks.
-METRIC_MODULE_PREFIXES = ("repro.serve", "repro.obs", "repro.replay")
+METRIC_MODULE_PREFIXES = ("repro.serve", "repro.obs", "repro.replay",
+                          "repro.anim")
 
 #: Receivers of these classes take absolute names; the ``serve.*``
 #: subset must be pre-registered.

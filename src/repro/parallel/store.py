@@ -40,6 +40,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 _SIMULATION_SOURCES = (
     "config.py",
     "constants.py",
+    "anim",
     "caches",
     "dram",
     "energy",
@@ -65,6 +66,7 @@ _EXPERIMENT_SOURCES = _SIMULATION_SOURCES + ("analysis", "experiments",
 _TRACE_SOURCES = (
     "config.py",
     "constants.py",
+    "anim",
     "geometry",
     "pbuffer",
     "replay",
@@ -222,20 +224,39 @@ class DiskCache:
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     @staticmethod
+    def _anim_payload(anim) -> dict | None:
+        # Animated sequences are part of simulation identity; the
+        # single-frame default keys to None so pre-animation records
+        # and requests share keys.
+        if anim is None:
+            return None
+        from repro.anim.spec import anim_to_payload
+
+        return anim_to_payload(anim)
+
+    @staticmethod
     def _baseline_payload(spec: BenchmarkSpec, scale: float,
                           tile_cache_bytes: int,
-                          gpu: GPUConfig | None = None) -> dict:
+                          gpu: GPUConfig | None = None,
+                          rendering_elimination: bool = False,
+                          anim=None) -> dict:
         gpu = (gpu or DEFAULT_GPU).with_tile_cache_size(tile_cache_bytes)
         return {"kind": "baseline", "spec": asdict(spec), "scale": scale,
-                "gpu": asdict(gpu)}
+                "gpu": asdict(gpu),
+                "rendering_elimination": rendering_elimination,
+                "anim": DiskCache._anim_payload(anim)}
 
     @staticmethod
     def _tcor_payload(spec: BenchmarkSpec, scale: float,
                       tcor: TCORConfig, l2_enhancements: bool,
-                      gpu: GPUConfig | None = None) -> dict:
+                      gpu: GPUConfig | None = None,
+                      rendering_elimination: bool = False,
+                      anim=None) -> dict:
         return {"kind": "tcor", "spec": asdict(spec), "scale": scale,
                 "gpu": asdict(gpu or DEFAULT_GPU), "tcor": asdict(tcor),
-                "l2_enhancements": l2_enhancements}
+                "l2_enhancements": l2_enhancements,
+                "rendering_elimination": rendering_elimination,
+                "anim": DiskCache._anim_payload(anim)}
 
     # -- record I/O ----------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -285,39 +306,56 @@ class DiskCache:
 
     # -- SimulationCache-facing API ------------------------------------
     def get_baseline(self, spec: BenchmarkSpec, scale: float,
-                     tile_cache_bytes: int) -> SystemResult | None:
+                     tile_cache_bytes: int,
+                     rendering_elimination: bool = False,
+                     anim=None) -> SystemResult | None:
         return self._read(
-            self._key(self._baseline_payload(spec, scale, tile_cache_bytes)))
+            self._key(self._baseline_payload(
+                spec, scale, tile_cache_bytes,
+                rendering_elimination=rendering_elimination, anim=anim)))
 
     def put_baseline(self, spec: BenchmarkSpec, scale: float,
-                     tile_cache_bytes: int, result: SystemResult) -> None:
-        payload = self._baseline_payload(spec, scale, tile_cache_bytes)
+                     tile_cache_bytes: int, result: SystemResult,
+                     rendering_elimination: bool = False,
+                     anim=None) -> None:
+        payload = self._baseline_payload(
+            spec, scale, tile_cache_bytes,
+            rendering_elimination=rendering_elimination, anim=anim)
         meta = {"kind": "baseline", "alias": spec.alias, "scale": scale,
                 "tile_cache_bytes": tile_cache_bytes}
         self._write(self._key(payload), meta, result_to_dict(result))
 
     def get_tcor(self, spec: BenchmarkSpec, scale: float, tcor: TCORConfig,
-                 l2_enhancements: bool) -> SystemResult | None:
+                 l2_enhancements: bool,
+                 rendering_elimination: bool = False,
+                 anim=None) -> SystemResult | None:
         return self._read(
-            self._key(self._tcor_payload(spec, scale, tcor,
-                                         l2_enhancements)))
+            self._key(self._tcor_payload(
+                spec, scale, tcor, l2_enhancements,
+                rendering_elimination=rendering_elimination, anim=anim)))
 
     def put_tcor(self, spec: BenchmarkSpec, scale: float, tcor: TCORConfig,
-                 l2_enhancements: bool, result: SystemResult) -> None:
-        payload = self._tcor_payload(spec, scale, tcor, l2_enhancements)
+                 l2_enhancements: bool, result: SystemResult,
+                 rendering_elimination: bool = False,
+                 anim=None) -> None:
+        payload = self._tcor_payload(
+            spec, scale, tcor, l2_enhancements,
+            rendering_elimination=rendering_elimination, anim=anim)
         meta = {"kind": "tcor", "alias": spec.alias, "scale": scale,
                 "l2_enhancements": l2_enhancements}
         self._write(self._key(payload), meta, result_to_dict(result))
 
     # -- compiled access traces ----------------------------------------
-    def _trace_key(self, spec: BenchmarkSpec, scale: float) -> str:
+    def _trace_key(self, spec: BenchmarkSpec, scale: float,
+                   anim=None) -> str:
         # Keyed by the *trace* signature (event-stream producers + the
         # IR), not the full simulation signature: cache-model edits must
         # leave compiled traces warm.
         canonical = json.dumps(
             {"version": CACHE_VERSION, "signature": self.trace_signature,
              "payload": {"kind": "trace", "spec": asdict(spec),
-                         "scale": scale}},
+                         "scale": scale,
+                         "anim": self._anim_payload(anim)}},
             sort_keys=True, separators=(",", ":"), default=str,
         )
         return hashlib.sha256(canonical.encode()).hexdigest()
@@ -325,14 +363,14 @@ class DiskCache:
     def _trace_path(self, key: str) -> Path:
         return self.directory / f"trace-{key}.npz"
 
-    def get_trace(self, spec: BenchmarkSpec, scale: float):
+    def get_trace(self, spec: BenchmarkSpec, scale: float, anim=None):
         """The persisted compiled trace for (spec, scale), or ``None``.
 
         Any failure — missing file, torn archive, IR version mismatch —
         degrades to a cache miss."""
         from repro.replay import load_trace
 
-        path = self._trace_path(self._trace_key(spec, scale))
+        path = self._trace_path(self._trace_key(spec, scale, anim))
         try:
             with open(path, "rb") as handle:
                 trace = load_trace(handle)
@@ -347,10 +385,11 @@ class DiskCache:
         self.hits += 1
         return trace
 
-    def put_trace(self, spec: BenchmarkSpec, scale: float, trace) -> None:
+    def put_trace(self, spec: BenchmarkSpec, scale: float, trace,
+                  anim=None) -> None:
         from repro.replay import save_trace
 
-        path = self._trace_path(self._trace_key(spec, scale))
+        path = self._trace_path(self._trace_key(spec, scale, anim))
         tmp = path.with_suffix(
             f".tmp.{os.getpid()}.{threading.get_ident()}."
             f"{next(_TMP_SEQUENCE)}")

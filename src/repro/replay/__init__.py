@@ -81,13 +81,19 @@ def observe_replay(obs: Observation, outcome: ReplayOutcome) -> None:
     registry = obs.registry
     outcome.l2_stats.register(registry, f"live.{outcome.l2_name}")
     outcome.memory.register(registry, "live.dram")
+    re_ran = False
     for prefix, stats in outcome.frame_stats:
         stats.register(registry, prefix)
+        re_ran = re_ran or prefix == "live.re"
     registry.count("live.system.pb_l2_reads",
                    outcome.counters["pb_l2_reads"])
     registry.count("live.system.pb_l2_writes",
                    outcome.counters["pb_l2_writes"])
     obs.expect_sum(*PB_ACCOUNTING_RULE)
+    if re_ran:
+        from repro.anim.elimination import RE_ACCOUNTING_RULE
+
+        obs.expect_sum(*RE_ACCOUNTING_RULE)
 
 
 def try_replay(workload, config, obs: Observation | None = None,
@@ -110,14 +116,16 @@ def try_replay(workload, config, obs: Observation | None = None,
             outcome = replay_baseline(
                 trace, gpu=config.gpu,
                 tile_cache_bytes=config.tile_cache_bytes,
-                include_background=config.include_background)
+                include_background=config.include_background,
+                rendering_elimination=config.rendering_elimination)
         else:
             outcome = replay_tcor(
                 trace, gpu=config.gpu, tcor=config.tcor,
                 total_tile_cache_bytes=config.tile_cache_bytes,
                 l2_enhancements=config.l2_enhancements,
                 interleaved_lists=config.interleaved_lists,
-                include_background=config.include_background)
+                include_background=config.include_background,
+                rendering_elimination=config.rendering_elimination)
     except ReplayUnsupportedError:
         if require:
             raise

@@ -36,7 +36,8 @@ from repro.workloads.suite import Workload
 
 # Bump whenever the IR layout changes; persisted traces with another
 # version fail to load (treated as a cache miss by DiskCache.get_trace).
-TRACE_IR_VERSION = 1
+# v2: per-frame ``tile_sig`` arrays (Rendering Elimination signatures).
+TRACE_IR_VERSION = 2
 
 
 def trace_ir_compatible(theirs) -> bool:
@@ -78,7 +79,7 @@ class FrameIR:
         "fetch_kind", "fp_tile", "fp_pos",
         "fr_pid", "fr_nattr", "fr_opt", "fr_last",
         "td_tile", "td_rank", "td_fb",
-        "attr_base", "attr_count", "rank_of_tile",
+        "attr_base", "attr_count", "rank_of_tile", "tile_sig",
         "_views",
     )
 
@@ -87,7 +88,7 @@ class FrameIR:
                  fetch_kind, fp_tile, fp_pos,
                  fr_pid, fr_nattr, fr_opt, fr_last,
                  td_tile, td_rank, td_fb,
-                 attr_base, attr_count, rank_of_tile) -> None:
+                 attr_base, attr_count, rank_of_tile, tile_sig) -> None:
         self.build_kind = build_kind
         self.bp_tile = bp_tile
         self.bp_pos = bp_pos
@@ -108,6 +109,10 @@ class FrameIR:
         self.attr_base = attr_base
         self.attr_count = attr_count
         self.rank_of_tile = rank_of_tile
+        # Per-tile Rendering Elimination signatures (56-bit ints; 0 for
+        # empty tiles), one per tile — identical to what the live
+        # simulator computes from the frame's scene.
+        self.tile_sig = tile_sig
         self._views: dict = {}
 
     @property
@@ -252,6 +257,7 @@ def compile_workload(workload: Workload) -> CompiledTrace:
     """Lower a workload into the IR (one pass over events + background)."""
     # Imported here so the IR module itself stays importable without the
     # full simulator (e.g. when only loading persisted traces).
+    from repro.anim.signatures import tile_signatures
     from repro.tiling.events import (
         AttributeRead,
         AttributeWrite,
@@ -264,9 +270,11 @@ def compile_workload(workload: Workload) -> CompiledTrace:
     background = workload.background
     shift = 6  # 64-byte blocks; asserted against the config below.
 
+    if len(workload.scenes) != len(workload.traces):
+        raise ValueError("workload scenes and traces disagree on frames")
     frames = []
     pbuffer = None
-    for trace in workload.traces:
+    for scene, trace in zip(workload.scenes, workload.traces):
         pb = trace.pb
         pbuffer = pb.pbuffer
         build_kind: list = []
@@ -331,6 +339,7 @@ def compile_workload(workload: Workload) -> CompiledTrace:
             fr_pid, fr_nattr, fr_opt, fr_last,
             td_tile, td_rank, td_fb,
             attr_base, attr_count, rank_of_tile,
+            tile_signatures(scene),
         ))
 
     if pbuffer is None:
@@ -406,7 +415,7 @@ _FRAME_FIELDS = (
     "fetch_kind", "fp_tile", "fp_pos",
     "fr_pid", "fr_nattr", "fr_opt", "fr_last",
     "td_tile", "td_rank", "td_fb",
-    "attr_base", "attr_count", "rank_of_tile",
+    "attr_base", "attr_count", "rank_of_tile", "tile_sig",
 )
 _TRACE_FIELDS = (
     "bg_tile_tag", "bg_tile_reg", "bg_tile_wr", "bg_tile_off",

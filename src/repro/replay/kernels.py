@@ -473,10 +473,43 @@ def _attr_cache(num_sets: int, ways: int, ab_entries: int, window: int,
 # ----------------------------------------------------------------------
 # System kernels
 # ----------------------------------------------------------------------
+def _frame_skip(frame, prev_sig, re_counters):
+    """One frame's Rendering Elimination skip mask (replay side).
+
+    Mirrors :meth:`RenderingElimination.begin_frame`: ``None`` on the
+    first frame, else per-tile ``sig != 0 and sig == previous`` with
+    one signature compare charged per tile.  Returns ``(skip,
+    this_frame_sig)`` so the caller can thread ``prev_sig``.
+    """
+    sig = frame.tile_sig
+    if prev_sig is None:
+        return None, sig
+    re_counters[0] += len(sig)
+    return [s != 0 and s == p for s, p in zip(sig, prev_sig)], sig
+
+
+def _finalize_re(result: SystemResult, frame_stats: list,
+                 re_counters: list) -> None:
+    """Mirror of the live path's RE finalization: copy the signature
+    unit's counters into the result and reconstruct the ``REStats`` the
+    observability layer registers under ``live.re``."""
+    from repro.anim.elimination import REStats
+
+    compares, total, skipped = re_counters
+    frame_stats.append(("live.re", REStats(
+        signature_compares=compares, tiles_total=total,
+        tiles_skipped=skipped, tiles_rendered=total - skipped)))
+    result.tiles_total = total
+    result.tiles_skipped = skipped
+    result.signature_compares = compares
+    result.structure_accesses["signature_unit"] = compares
+
+
 def replay_baseline(trace: CompiledTrace,
                     gpu: GPUConfig | None = None,
                     tile_cache_bytes: int | None = None,
-                    include_background: bool = True) -> ReplayOutcome:
+                    include_background: bool = True,
+                    rendering_elimination: bool = False) -> ReplayOutcome:
     """Replay of :func:`repro.tcor.system.simulate_baseline`."""
     gpu = gpu or DEFAULT_GPU
     if tile_cache_bytes is not None:
@@ -505,7 +538,13 @@ def replay_baseline(trace: CompiledTrace,
     bg_p_wr = trace.bg_prim_wr
     bg_p_off = trace.bg_prim_off
 
+    re_counters = [0, 0, 0]  # [compares, tiles_total, tiles_skipped]
+    prev_sig = None
+
     for frame in trace.frames:
+        skip = None
+        if rendering_elimination:
+            skip, prev_sig = _frame_skip(frame, prev_sig, re_counters)
         tn = [0] * 6
         tby: dict = {}
         t_access, t_flush = _block_l1(tile_config.num_sets,
@@ -537,15 +576,22 @@ def replay_baseline(trace: CompiledTrace,
         fr_pid = frame.fr_pid
         fr_nattr = frame.fr_nattr
         fr_last = frame.fr_last
+        fp_tile = frame.fp_tile
         td_tile = frame.td_tile
         td_fb = frame.td_fb
         pmd_index = attr_index = done_index = 0
+        skip_tile = False
         for kind in frame.fetch_kind:
             if kind == FETCH_PMD_READ:
-                t_access(fetch_tags[pmd_index], False, 0,
-                         fetch_ranks[pmd_index])
+                skip_tile = skip is not None and skip[fp_tile[pmd_index]]
+                if not skip_tile:
+                    t_access(fetch_tags[pmd_index], False, 0,
+                             fetch_ranks[pmd_index])
                 pmd_index += 1
             elif kind == FETCH_ATTR_READ:
+                if skip_tile:
+                    attr_index += 1
+                    continue
                 attr_reads += 1
                 pid = fr_pid[attr_index]
                 last = fr_last[attr_index]
@@ -554,8 +600,13 @@ def replay_baseline(trace: CompiledTrace,
                     t_access(tag, False, 1, last)
                 attr_index += 1
             else:
-                if include_background:
-                    tile = td_tile[done_index]
+                tile = td_tile[done_index]
+                skipped = skip is not None and skip[tile]
+                skip_tile = False
+                if rendering_elimination:
+                    re_counters[1] += 1
+                    re_counters[2] += skipped
+                if include_background and not skipped:
                     for j in range(bg_t_off[tile], bg_t_off[tile + 1]):
                         l2_access(bg_t_tag[j], bg_t_wr[j] == 1,
                                   bg_t_reg[j], None)
@@ -581,6 +632,8 @@ def replay_baseline(trace: CompiledTrace,
     }
     if include_background:
         result.structure_accesses.update(header.l1_estimates)
+    if rendering_elimination:
+        _finalize_re(result, frame_stats, re_counters)
     _finalize(result, pbc, l2n, mem, memory)
     return ReplayOutcome(result, l2_config.name, l2_stats, memory,
                          frame_stats,
@@ -593,7 +646,8 @@ def replay_tcor(trace: CompiledTrace,
                 total_tile_cache_bytes: int | None = None,
                 l2_enhancements: bool = True,
                 interleaved_lists: bool = True,
-                include_background: bool = True) -> ReplayOutcome:
+                include_background: bool = True,
+                rendering_elimination: bool = False) -> ReplayOutcome:
     """Replay of :func:`repro.tcor.system.simulate_tcor`."""
     gpu = gpu or DEFAULT_GPU
     if tcor is None:
@@ -633,8 +687,14 @@ def replay_tcor(trace: CompiledTrace,
     bg_p_wr = trace.bg_prim_wr
     bg_p_off = trace.bg_prim_off
 
+    re_counters = [0, 0, 0]  # [compares, tiles_total, tiles_skipped]
+    prev_sig = None
+
     for frame in trace.frames:
         completed[0] = -1
+        skip = None
+        if rendering_elimination:
+            skip, prev_sig = _frame_skip(frame, prev_sig, re_counters)
         pn = [0] * 6
         pby: dict = {}
         pl_access, pl_flush = _block_l1(pl_config.num_sets,
@@ -675,16 +735,23 @@ def replay_tcor(trace: CompiledTrace,
         fr_nattr = frame.fr_nattr
         fr_opt = frame.fr_opt
         fr_last = frame.fr_last
+        fp_tile = frame.fp_tile
         td_tile = frame.td_tile
         td_rank = frame.td_rank
         td_fb = frame.td_fb
         pmd_index = attr_index = done_index = 0
+        skip_tile = False
         for kind in frame.fetch_kind:
             if kind == FETCH_PMD_READ:
-                pl_access(fetch_tags[pmd_index], False, 0,
-                          fetch_ranks[pmd_index])
+                skip_tile = skip is not None and skip[fp_tile[pmd_index]]
+                if not skip_tile:
+                    pl_access(fetch_tags[pmd_index], False, 0,
+                              fetch_ranks[pmd_index])
                 pmd_index += 1
             elif kind == FETCH_ATTR_READ:
+                if skip_tile:
+                    attr_index += 1
+                    continue
                 nattr = fr_nattr[attr_index]
                 hit = attr_read(fr_pid[attr_index], nattr,
                                 fr_opt[attr_index], fr_last[attr_index])
@@ -695,9 +762,16 @@ def replay_tcor(trace: CompiledTrace,
                 attr_entries_moved += 2 * nattr
                 attr_index += 1
             else:
+                tile = td_tile[done_index]
+                skipped = skip is not None and skip[tile]
+                skip_tile = False
+                if rendering_elimination:
+                    re_counters[1] += 1
+                    re_counters[2] += skipped
+                # The scoreboard advances for skipped tiles too: the PB
+                # frees their lists exactly as if rendered.
                 completed[0] = td_rank[done_index]
-                if include_background:
-                    tile = td_tile[done_index]
+                if include_background and not skipped:
                     for j in range(bg_t_off[tile], bg_t_off[tile + 1]):
                         l2_access(bg_t_tag[j], bg_t_wr[j] == 1,
                                   bg_t_reg[j], None)
@@ -734,6 +808,8 @@ def replay_tcor(trace: CompiledTrace,
     }
     if include_background:
         result.structure_accesses.update(header.l1_estimates)
+    if rendering_elimination:
+        _finalize_re(result, frame_stats, re_counters)
     _finalize(result, pbc, l2n, mem, memory)
     return ReplayOutcome(result, l2_config.name, l2_stats, memory,
                          frame_stats,

@@ -27,11 +27,26 @@ cells; the asynchrony lives server-side.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import socket
 
 from repro.serve import schema
 from repro.serve.schema import JobRequest, JobResult, JobStatus
+
+
+def sequence_name(alias: str, scale: float, anim) -> str:
+    """Deterministic affinity name for one animation stream.
+
+    Derived from the stream's content (benchmark, scale, recipe), so
+    every client streaming the same sequence shares one ring placement
+    without coordinating.
+    """
+    recipe = json.dumps(
+        {"alias": alias, "scale": scale,
+         "anim": schema.anim_to_payload(anim)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(recipe.encode()).hexdigest()[:16]
 
 
 class ServeClientError(Exception):
@@ -235,6 +250,41 @@ class ServeClient:
         """Submit and block until the typed result is back."""
         response = self.submit(request, wait=True, timeout_s=timeout_s)
         return schema.job_result_from_payload(response["result"])
+
+    def run_sequence(self, alias: str, anim, *, scale: float = 1.0,
+                     config=None, sequence: str | None = None,
+                     priority: str = schema.DEFAULT_PRIORITY,
+                     timeout_s: float | None = None) -> list[JobResult]:
+        """Stream one animated sequence as cumulative frame prefixes.
+
+        Frame ``f`` submits the request for ``anim.prefix(f + 1)`` —
+        the animation layer's determinism contract guarantees every
+        prefix reproduces the first frames bit-for-bit, so prefix
+        requests are content-addressed and coalesce/memoize like any
+        other.  Each frame after the first re-asserts the previous
+        prefix first (an instant memo hit on a warm scheduler), which
+        both exploits and surfaces sequence warmth in the ``serve.*``
+        metrics; all submissions carry the same ``sequence`` affinity
+        hint so the cluster router pins the stream to one shard.
+        Returns one :class:`JobResult` per frame, in order.
+        """
+        from repro.api import SimulationConfig
+
+        config = config if config is not None else SimulationConfig()
+        if sequence is None:
+            sequence = sequence_name(alias, scale, anim)
+        results: list[JobResult] = []
+        previous: JobRequest | None = None
+        for frame in range(anim.frames):
+            request = JobRequest(alias=alias, scale=scale, config=config,
+                                 priority=priority, timeout_s=timeout_s,
+                                 anim=anim.prefix(frame + 1),
+                                 sequence=sequence)
+            if previous is not None:
+                self.run(previous, timeout_s=timeout_s)
+            results.append(self.run(request, timeout_s=timeout_s))
+            previous = request
+        return results
 
     def status(self, job_id: str) -> JobStatus:
         response = self.call({"op": "status", "id": job_id})

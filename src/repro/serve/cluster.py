@@ -289,6 +289,8 @@ class Router:
         """
         key = schema.request_key(request, self.signature)
         self.metrics.count("submitted")
+        if request.sequence is not None:
+            self.metrics.count("sequence_frames")
         self.metrics.decision("submit", key=key)
         existing = self._jobs.get(key)
         if existing is not None:
@@ -483,22 +485,35 @@ class Router:
                                    f"{error.get('message', '')}")
                 return
 
+    def _route_key(self, job: RouterJob) -> str:
+        """What the hash ring places for this job.
+
+        Frames of one animation stream carry a ``sequence`` hint; they
+        route by the stream's identity rather than the per-frame
+        request key, so consecutive frames land on the shard whose
+        memo and memory tiers the earlier frames already warmed."""
+        request = job.request
+        if request.sequence is not None:
+            return f"seq:{request.alias}:{request.sequence}"
+        return job.key
+
     async def _acquire_backend(self, job: RouterJob,
                                avoid: set[str]) -> Backend | None:
-        """The ring owner for this job's key among healthy backends,
-        waiting briefly through total outages (a restarting cluster
-        should queue, not fail)."""
+        """The ring owner for this job's routing key among healthy
+        backends, waiting briefly through total outages (a restarting
+        cluster should queue, not fail)."""
         assert self._membership is not None
         deadline = time.monotonic() + self.no_backend_wait_s
+        route_key = self._route_key(job)
         while True:
             down = {name for name, backend in self._backends.items()
                     if not backend.up}
-            name = self.ring.node_for(job.key, avoid=down | avoid)
+            name = self.ring.node_for(route_key, avoid=down | avoid)
             if name is None and avoid:
                 # Every healthy shard was already tried this round;
                 # widen back to any healthy shard rather than failing.
                 avoid.clear()
-                name = self.ring.node_for(job.key, avoid=down)
+                name = self.ring.node_for(route_key, avoid=down)
             if name is not None:
                 return self._backends[name]
             remaining = deadline - time.monotonic()

@@ -47,6 +47,7 @@ COUNTERS = (
     "disk_hits",
     "batches",
     "batch_jobs",
+    "sequence_frames",
     "retries",
     "timeouts",
     "rejected.queue_full",
@@ -126,6 +127,7 @@ CLUSTER_COUNTERS = (
     "tier.memory_hits",
     "tier.disk_hits",
     "tier.misses",
+    "sequence_frames",
     "forwarded",
     "retries",
     "requeued",

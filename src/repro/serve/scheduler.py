@@ -211,6 +211,8 @@ class Scheduler:
         """
         key = schema.request_key(request, self.signature)
         self.metrics.count("submitted")
+        if request.sequence is not None:
+            self.metrics.count("sequence_frames")
         self.metrics.decision("submit", key=key)
         existing = self._jobs.get(key)
         if existing is not None:
@@ -333,7 +335,11 @@ class Scheduler:
                 break
         if head is None:
             return []
-        group = (head.request.alias, head.request.scale)
+        # The animation recipe is part of batch compatibility: a batch
+        # shares one workload build, and an animated workload is a
+        # different (multi-frame) build per AnimationSpec.
+        group = (head.request.alias, head.request.scale,
+                 head.request.anim)
         batch: list[Job] = []
         for priority in schema.PRIORITIES:
             queue = self._queues[priority]
@@ -343,8 +349,8 @@ class Scheduler:
                 if job.state != schema.QUEUED:
                     continue
                 if (len(batch) < self.batch_max
-                        and (job.request.alias,
-                             job.request.scale) == group):
+                        and (job.request.alias, job.request.scale,
+                             job.request.anim) == group):
                     batch.append(job)
                 else:
                     kept.append(job)
@@ -431,12 +437,15 @@ class Scheduler:
         entries = tuple(
             (job.key, schema.config_to_payload(job.request.config))
             for job in batch)
+        anim_payload = (schema.anim_to_payload(request0.anim)
+                        if request0.anim is not None else None)
         pool = self._pool
         try:
             records = await asyncio.wait_for(
                 self._loop.run_in_executor(
                     pool, simulate_request_batch,
-                    request0.alias, request0.scale, entries),
+                    request0.alias, request0.scale, entries,
+                    anim_payload),
                 timeout)
         except (asyncio.TimeoutError, asyncio.CancelledError):
             # Timeout, watchdog cancellation, or close(): the worker

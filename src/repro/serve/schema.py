@@ -33,6 +33,7 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Mapping
 
+from repro.anim.spec import AnimationSpec, anim_from_payload, anim_to_payload
 from repro.api import SimulationConfig
 from repro.config import (
     CacheConfig,
@@ -91,6 +92,15 @@ WIRE_FIELDS = {
         # Cluster provenance (router-stamped) and the membership file.
         "shard", "served_by",
         "backends", "name", "address", "host", "port",
+    ),
+    3: (
+        # Animated sequences + Rendering Elimination (declared under a
+        # fresh version, still within the compat span of 2): the config
+        # flag, the JobRequest animation recipe and its AnimationSpec
+        # payload fields, and the sequence-affinity hint.
+        "rendering_elimination", "anim", "sequence",
+        "frames", "path", "amplitude", "dwell", "travel", "churn",
+        "jitter", "seed",
     ),
 }
 
@@ -226,6 +236,7 @@ def config_to_payload(config: SimulationConfig) -> dict:
         "l2_enhancements": config.l2_enhancements,
         "interleaved_lists": config.interleaved_lists,
         "include_background": config.include_background,
+        "rendering_elimination": config.rendering_elimination,
         "tcor": asdict(config.tcor) if config.tcor is not None else None,
         "gpu": asdict(config.gpu) if config.gpu is not None else None,
     }
@@ -242,6 +253,7 @@ def config_from_payload(data: dict) -> SimulationConfig:
             l2_enhancements=data.get("l2_enhancements", True),
             interleaved_lists=data.get("interleaved_lists", True),
             include_background=data.get("include_background", True),
+            rendering_elimination=data.get("rendering_elimination", False),
             tcor=(tcor_config_from_payload(tcor)
                   if isinstance(tcor, dict) else None),
             gpu=(gpu_config_from_payload(gpu)
@@ -257,10 +269,14 @@ def config_from_payload(data: dict) -> SimulationConfig:
 class JobRequest:
     """One simulation to run, plus scheduling hints.
 
-    ``alias``/``scale``/``config`` define the simulation (and the
-    request key); ``priority`` and ``timeout_s`` are hints to the
-    scheduler and deliberately *not* part of the key, so identical
-    simulations coalesce across lanes.
+    ``alias``/``scale``/``config``/``anim`` define the simulation (and
+    the request key); ``priority``, ``timeout_s`` and ``sequence`` are
+    hints to the scheduler and deliberately *not* part of the key, so
+    identical simulations coalesce across lanes.  ``anim`` selects the
+    coherent multi-frame workload (``build_animated_workload``) instead
+    of the suite's single frame; ``sequence`` names the animation
+    stream a request belongs to, which the cluster router uses to pin
+    every frame of one sequence to the same shard (warm memo tier).
     """
 
     alias: str
@@ -268,6 +284,8 @@ class JobRequest:
     config: SimulationConfig = field(default_factory=SimulationConfig)
     priority: str = DEFAULT_PRIORITY
     timeout_s: float | None = None
+    anim: AnimationSpec | None = None
+    sequence: str | None = None
 
     def __post_init__(self) -> None:
         if self.alias not in BENCHMARKS:
@@ -277,6 +295,10 @@ class JobRequest:
         if not self.scale > 0:
             raise ServeError.bad_request(
                 f"scale must be positive, got {self.scale!r}")
+        if self.anim is not None and not isinstance(self.anim,
+                                                    AnimationSpec):
+            raise ServeError.bad_request(
+                f"anim must be an AnimationSpec, got {self.anim!r}")
         if self.priority not in PRIORITIES:
             raise ServeError.bad_request(
                 f"priority must be one of {PRIORITIES}, "
@@ -293,6 +315,9 @@ def request_to_payload(request: JobRequest) -> dict:
         "config": config_to_payload(request.config),
         "priority": request.priority,
         "timeout_s": request.timeout_s,
+        "anim": (anim_to_payload(request.anim)
+                 if request.anim is not None else None),
+        "sequence": request.sequence,
     }
 
 
@@ -300,6 +325,7 @@ def request_from_payload(data: dict) -> JobRequest:
     if not isinstance(data, dict):
         raise ServeError.bad_request("request must be a JSON object")
     config = data.get("config")
+    anim = data.get("anim")
     try:
         return JobRequest(
             alias=data.get("alias", ""),
@@ -309,6 +335,10 @@ def request_from_payload(data: dict) -> JobRequest:
             priority=data.get("priority", DEFAULT_PRIORITY),
             timeout_s=(float(data["timeout_s"])
                        if data.get("timeout_s") is not None else None),
+            anim=(anim_from_payload(anim)
+                  if isinstance(anim, dict) else None),
+            sequence=(str(data["sequence"])
+                      if data.get("sequence") is not None else None),
         )
     except ServeError:
         raise
@@ -327,7 +357,9 @@ def request_key(request: JobRequest, signature: str = "") -> str:
     canonical = json.dumps(
         {"version": SCHEMA_VERSION, "signature": signature,
          "payload": {"alias": request.alias, "scale": request.scale,
-                     "config": config_to_payload(request.config)}},
+                     "config": config_to_payload(request.config),
+                     "anim": (anim_to_payload(request.anim)
+                              if request.anim is not None else None)}},
         sort_keys=True, separators=(",", ":"), default=str,
     )
     return hashlib.sha256(canonical.encode()).hexdigest()
@@ -341,10 +373,15 @@ def disk_mappable(request: JobRequest) -> bool:
     The store's payloads cover the standard experiment knobs only: a
     custom GPU, contiguous PB-Lists or a dropped background workload
     change the simulation outcome but are not part of any store key,
-    so such requests must bypass the disk lane entirely.
+    so such requests must bypass the disk lane entirely.  Animated /
+    Rendering Elimination requests likewise stay off the disk lane:
+    their results live in the scheduler's memo and memory tiers, which
+    the sequence-affinity routing keeps warm.
     """
     config = request.config
     if config.gpu is not None:
+        return False
+    if config.rendering_elimination or request.anim is not None:
         return False
     return config.include_background and config.interleaved_lists
 

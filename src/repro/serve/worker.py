@@ -33,18 +33,28 @@ from repro.workloads.suite import BENCHMARKS, build_workload
 
 
 def simulate_request_batch(alias: str, scale: float,
-                           entries: tuple[tuple[str, dict], ...]
+                           entries: tuple[tuple[str, dict], ...],
+                           anim_payload: dict | None = None
                            ) -> list[dict]:
     """Worker entry point: one workload build, then every config.
 
     ``entries`` are ``(request_key, config_payload)`` pairs; the
     return value is one JSON-able record per entry — either
     ``{"key", "result", "metrics", "invariant_failures"}`` or
-    ``{"key", "error"}``.  Must stay a module-level function: it is
-    pickled by name into the process pool.
+    ``{"key", "error"}``.  ``anim_payload`` (an ``AnimationSpec``
+    payload, shared by the whole batch) switches the build to the
+    coherent multi-frame animated workload.  Must stay a module-level
+    function: it is pickled by name into the process pool.
     """
     with obs_trace.activation(None):
-        workload = build_workload(BENCHMARKS[alias], scale=scale)
+        if anim_payload is not None:
+            from repro.anim import anim_from_payload, build_animated_workload
+
+            workload = build_animated_workload(
+                BENCHMARKS[alias], anim_from_payload(anim_payload),
+                scale=scale)
+        else:
+            workload = build_workload(BENCHMARKS[alias], scale=scale)
         records: list[dict] = []
         for key, config_payload in entries:
             try:

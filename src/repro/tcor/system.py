@@ -43,6 +43,11 @@ from repro.tiling.events import (
 from repro.workloads.suite import Workload
 from repro.workloads.trace import Region
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular-free: repro.anim imports repro.workloads
+    from repro.anim.elimination import RenderingElimination
+
 _PB_REGIONS = (Region.PB_LISTS, Region.PB_ATTRIBUTES)
 
 
@@ -64,6 +69,11 @@ class SystemResult:
     attr_read_hits: int = 0
     attr_reads: int = 0
     write_bypasses: int = 0
+    # Rendering Elimination accounting (repro.anim); all zero unless the
+    # run had ``rendering_elimination`` enabled.
+    tiles_total: int = 0
+    tiles_skipped: int = 0
+    signature_compares: int = 0
     structure_accesses: dict = field(default_factory=dict)
 
     @property
@@ -81,6 +91,11 @@ class SystemResult:
     @property
     def attr_read_hit_ratio(self) -> float:
         return self.attr_read_hits / self.attr_reads if self.attr_reads else 0.0
+
+    @property
+    def tiles_skipped_fraction(self) -> float:
+        return self.tiles_skipped / self.tiles_total if self.tiles_total \
+            else 0.0
 
 
 def _l2_cache(config: CacheConfig, policy) -> SetAssociativeCache:
@@ -192,6 +207,59 @@ def _observe_counters(obs: Observation, counters: dict) -> None:
     obs.expect_sum(*PB_ACCOUNTING_RULE)
 
 
+def _re_engine(rendering_elimination: bool,
+               obs: Observation | None):
+    """The run's Rendering Elimination unit (or None when disabled).
+
+    Registered up front so its counters appear in the registry even for
+    a sequence where nothing ever matches, and the tile-conservation
+    invariant is attached alongside (DESIGN.md §15).
+    """
+    if not rendering_elimination:
+        return None
+    from repro.anim.elimination import RE_ACCOUNTING_RULE, RenderingElimination
+
+    engine = RenderingElimination()
+    if obs is not None:
+        engine.stats.register(obs.registry, "live.re")
+        obs.expect_sum(*RE_ACCOUNTING_RULE)
+    return engine
+
+
+def _frame_skip_mask(engine: RenderingElimination | None,
+                     workload: Workload, frame_index: int):
+    """The frame's per-tile skip mask, or None (render everything)."""
+    if engine is None:
+        return None
+    from repro.anim.signatures import tile_signatures
+
+    return engine.begin_frame(
+        tile_signatures(workload.scenes[frame_index]))
+
+
+def _re_tile_done(engine: RenderingElimination | None,
+                  skipped: bool) -> None:
+    """Account one completed tile with the signature unit, if present."""
+    if engine is not None:
+        engine.tile_done(skipped)
+
+
+def _finalize_re(result: SystemResult, engine) -> None:
+    """Copy the signature unit's counters into the result.
+
+    The ``signature_unit`` structure-access entry exists only when RE
+    ran, so RE-off results (and their energy) are byte-identical to
+    pre-RE builds.
+    """
+    if engine is None:
+        return
+    stats = engine.stats
+    result.tiles_total = stats.tiles_total
+    result.tiles_skipped = stats.tiles_skipped
+    result.signature_compares = stats.signature_compares
+    result.structure_accesses["signature_unit"] = stats.signature_compares
+
+
 def _trace_scope(obs: Observation | None):
     """Activate the observation's tracer for the simulation's duration.
 
@@ -216,6 +284,7 @@ def simulate_baseline(workload: Workload,
                       gpu: GPUConfig | None = None,
                       tile_cache_bytes: int | None = None,
                       include_background: bool = True,
+                      rendering_elimination: bool = False,
                       obs: Observation | None = None) -> SystemResult:
     """The paper's baseline: unified LRU Tile Cache, contiguous PB-Lists
     layout, LRU L2 with no dead-line awareness.
@@ -223,6 +292,10 @@ def simulate_baseline(workload: Workload,
     ``obs`` threads an :class:`~repro.obs.registry.Observation` through
     the run: live stats register into its metrics registry, and its
     tracer (if any) is activated for the simulation's duration.
+    ``rendering_elimination`` arms the early-discard unit: tiles whose
+    input signature matches the previous frame generate no fetch-phase
+    traffic (build traffic is unchanged — the Parameter Buffer must be
+    built to compute the signatures).
     """
     gpu = gpu or DEFAULT_GPU
     if tile_cache_bytes is not None:
@@ -231,14 +304,17 @@ def simulate_baseline(workload: Workload,
     counters = {"pb_l2_reads": 0, "pb_l2_writes": 0}
     result = SystemResult(label="baseline", alias=workload.spec.alias)
     tile_cache_accesses = 0
+    re_engine = _re_engine(rendering_elimination, obs)
     if obs is not None:
         _observe_shared(obs, shared)
 
     with _trace_scope(obs):
         _emit_header("baseline", workload)
         tracer = obs_trace.ACTIVE
-        for trace in workload.traces:
+        for frame_index, trace in enumerate(workload.traces):
             pb = trace.pb
+            skip = _frame_skip_mask(re_engine, workload, frame_index)
+            skip_tile = False
             layout = ContiguousPBListsLayout(workload.screen.num_tiles,
                                              pb.pbuffer)
             tile_cache = BaselineTileCache(gpu.tile_cache, layout,
@@ -270,16 +346,24 @@ def simulate_baseline(workload: Workload,
                     if mark is not None:
                         tracer.set_tile(*mark)
                 if isinstance(event, PmdRead):
+                    skip_tile = skip is not None and skip[event.tile_id]
+                    if skip_tile:
+                        continue
                     _send(shared, tile_cache.read_pmd(event.tile_id,
                                                       event.position),
                           counters)
                 elif isinstance(event, AttributeRead):
+                    if skip_tile:
+                        continue
                     result.attr_reads += 1
                     _send(shared,
                           tile_cache.read_attributes(event.primitive_id),
                           counters)
                 elif isinstance(event, TileDone):
-                    if include_background:
+                    skipped = skip is not None and skip[event.tile_id]
+                    skip_tile = False
+                    _re_tile_done(re_engine, skipped)
+                    if include_background and not skipped:
                         _send_background(
                             shared,
                             workload.background.tile_accesses(event.tile_id),
@@ -309,6 +393,7 @@ def simulate_baseline(workload: Workload,
         result.structure_accesses.update(
             workload.background.l1_access_estimates(workload.num_primitives)
         )
+    _finalize_re(result, re_engine)
     if obs is not None:
         _observe_counters(obs, counters)
     return _finalize(result, shared, counters)
@@ -321,12 +406,16 @@ def simulate_tcor(workload: Workload,
                   l2_enhancements: bool = True,
                   interleaved_lists: bool = True,
                   include_background: bool = True,
+                  rendering_elimination: bool = False,
                   obs: Observation | None = None) -> SystemResult:
     """TCOR: split Tile Cache (LRU Primitive List Cache + OPT Attribute
     Cache), interleaved PB-Lists, and optionally the dead-line L2.
 
     ``obs`` threads an :class:`~repro.obs.registry.Observation` through
-    the run exactly as in :func:`simulate_baseline`.
+    the run exactly as in :func:`simulate_baseline`; a discarded tile
+    still reports ``tile_done`` to the progress scoreboard (its PB
+    lists are freed exactly as if rendered), which is how RE composes
+    with the dead-line L2 and the OPT attribute policy.
     """
     gpu = gpu or DEFAULT_GPU
     if tcor is None:
@@ -346,6 +435,7 @@ def simulate_tcor(workload: Workload,
     pl_accesses = 0
     pb_buffer_ops = 0
     attr_entries_moved = 0
+    re_engine = _re_engine(rendering_elimination, obs)
 
     layout_cls = (InterleavedPBListsLayout if interleaved_lists
                   else ContiguousPBListsLayout)
@@ -355,9 +445,11 @@ def simulate_tcor(workload: Workload,
     with _trace_scope(obs):
         _emit_header(label, workload)
         tracer = obs_trace.ACTIVE
-        for trace in workload.traces:
+        for frame_index, trace in enumerate(workload.traces):
             pb = trace.pb
             progress.reset()
+            skip = _frame_skip_mask(re_engine, workload, frame_index)
+            skip_tile = False
             layout = layout_cls(workload.screen.num_tiles, pb.pbuffer)
             pl_cache = PrimitiveListCache(tcor.primitive_list_cache, layout,
                                           pb.rank_of_tile)
@@ -398,10 +490,15 @@ def simulate_tcor(workload: Workload,
                     if mark is not None:
                         tracer.set_tile(*mark)
                 if isinstance(event, PmdRead):
+                    skip_tile = skip is not None and skip[event.tile_id]
+                    if skip_tile:
+                        continue
                     _send(shared, pl_cache.read_pmd(event.tile_id,
                                                     event.position),
                           counters)
                 elif isinstance(event, AttributeRead):
+                    if skip_tile:
+                        continue
                     outcome = attr_cache.read(
                         event.primitive_id, event.num_attributes,
                         event.opt_number, event.last_use_rank,
@@ -413,8 +510,13 @@ def simulate_tcor(workload: Workload,
                     attr_entries_moved += 2 * event.num_attributes
                     _send(shared, outcome.l2_requests, counters)
                 elif isinstance(event, TileDone):
+                    skipped = skip is not None and skip[event.tile_id]
+                    skip_tile = False
+                    _re_tile_done(re_engine, skipped)
+                    # The scoreboard advances for skipped tiles too: the
+                    # PB frees their lists exactly as if rendered.
                     progress.tile_done(event.tile_rank)
-                    if include_background:
+                    if include_background and not skipped:
                         _send_background(
                             shared,
                             workload.background.tile_accesses(event.tile_id),
@@ -447,6 +549,7 @@ def simulate_tcor(workload: Workload,
         result.structure_accesses.update(
             workload.background.l1_access_estimates(workload.num_primitives)
         )
+    _finalize_re(result, re_engine)
     if obs is not None:
         _observe_counters(obs, counters)
     return _finalize(result, shared, counters)

@@ -106,6 +106,10 @@ class Workload:
     # every configuration replayed against this workload shares it.
     compiled_trace: object | None = field(default=None, repr=False,
                                           compare=False)
+    # The animation recipe that produced the frames (repro.anim), or
+    # None for the suite's independently-reseeded frames.  Part of the
+    # workload's identity: caches key compiled traces and results on it.
+    anim: object | None = None
 
     @property
     def num_primitives(self) -> int:

@@ -1,0 +1,221 @@
+"""Animation layer: determinism, prefix stability, signatures, RE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anim import (
+    PATHS,
+    AnimationSpec,
+    EMPTY_TILE_SIG,
+    RenderingElimination,
+    anim_from_payload,
+    anim_to_payload,
+    build_animated_workload,
+    camera_transform,
+    path_parameter,
+    skip_mask,
+    tile_signatures,
+)
+from repro.tcor.system import simulate_tcor
+from repro.workloads.suite import BENCHMARKS
+
+ALIAS = "CCS"
+SCALE = 0.08
+
+
+def _scene_bytes(scene) -> list[tuple]:
+    return [(p.primitive_id, p.num_attributes,
+             p.v0.x, p.v0.y, p.v1.x, p.v1.y, p.v2.x, p.v2.y)
+            for p in scene.primitives]
+
+
+class TestSpec:
+    def test_payload_round_trip(self):
+        spec = AnimationSpec(frames=5, path="pan", amplitude=0.3,
+                             dwell=2, travel=3, churn=0.25, jitter=1.5,
+                             seed=9)
+        assert anim_from_payload(anim_to_payload(spec)) == spec
+
+    def test_unknown_payload_keys_dropped(self):
+        payload = anim_to_payload(AnimationSpec())
+        payload["from_the_future"] = 42
+        assert anim_from_payload(payload) == AnimationSpec()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"frames": 0},
+        {"path": "barrel_roll"},
+        {"churn": 1.5},
+        {"dwell": 0, "travel": 0},
+        {"jitter": -1.0},
+        {"seed": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AnimationSpec(**kwargs)
+
+    def test_prefix_bounds(self):
+        spec = AnimationSpec(frames=4)
+        assert spec.prefix(4) == spec
+        assert spec.prefix(2).frames == 2
+        with pytest.raises(ValueError):
+            spec.prefix(5)
+        with pytest.raises(ValueError):
+            spec.prefix(0)
+
+
+class TestDeterminism:
+    def test_same_spec_same_frames(self):
+        anim = AnimationSpec(frames=3, path="orbit", churn=0.3,
+                             jitter=2.0, seed=5)
+        a = build_animated_workload(BENCHMARKS[ALIAS], anim, scale=SCALE)
+        b = build_animated_workload(BENCHMARKS[ALIAS], anim, scale=SCALE)
+        for scene_a, scene_b in zip(a.scenes, b.scenes):
+            assert _scene_bytes(scene_a) == _scene_bytes(scene_b)
+
+    def test_prefix_reproduces_leading_frames(self):
+        """The streaming contract: prefix(k) == first k frames."""
+        anim = AnimationSpec(frames=5, path="dolly", churn=0.4,
+                             jitter=1.0, seed=13)
+        full = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                       scale=SCALE)
+        for k in (1, 3, 5):
+            part = build_animated_workload(BENCHMARKS[ALIAS],
+                                           anim.prefix(k), scale=SCALE)
+            assert len(part.scenes) == k
+            for frame in range(k):
+                assert _scene_bytes(part.scenes[frame]) == \
+                    _scene_bytes(full.scenes[frame])
+
+    def test_frame_zero_is_the_suite_scene(self):
+        from repro.workloads.suite import build_workload
+
+        anim = AnimationSpec(frames=2, path="orbit", seed=3)
+        animated = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        base = build_workload(BENCHMARKS[ALIAS], scale=SCALE)
+        assert _scene_bytes(animated.scenes[0]) == \
+            _scene_bytes(base.scenes[0])
+
+    def test_workload_records_the_recipe(self):
+        anim = AnimationSpec(frames=2)
+        workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        assert workload.anim == anim
+
+    def test_churn_respawns_content_but_not_population(self):
+        calm = AnimationSpec(frames=3, path="static", churn=0.0, seed=1)
+        churned = AnimationSpec(frames=3, path="static", churn=1.0,
+                                seed=1)
+        a = build_animated_workload(BENCHMARKS[ALIAS], calm, scale=SCALE)
+        b = build_animated_workload(BENCHMARKS[ALIAS], churned,
+                                    scale=SCALE)
+        for frame in range(3):
+            assert len(a.scenes[frame]) == len(b.scenes[frame])
+        # Full churn: frame 1 shares no geometry with frame 0 ...
+        assert _scene_bytes(b.scenes[1]) != _scene_bytes(b.scenes[0])
+        # ... while the unchurned static camera repeats it exactly.
+        assert _scene_bytes(a.scenes[1]) == _scene_bytes(a.scenes[0])
+
+
+class TestPaths:
+    def test_all_paths_build(self):
+        for path in PATHS:
+            anim = AnimationSpec(frames=3, path=path, seed=2)
+            workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                               scale=SCALE)
+            assert len(workload.traces) == 3
+
+    def test_dwell_holds_the_camera(self):
+        """dwell+travel waypoint schedule: consecutive dwell frames
+        share one path parameter, travel frames ease between."""
+        params = [path_parameter(frame, 2, 2) for frame in range(6)]
+        assert params[0] == params[1]  # first dwell
+        assert params[1] < params[2] <= params[3]  # easing forward
+        assert params[4] == params[5]  # next dwell
+
+    def test_static_path_is_identity(self):
+        from repro.config import DEFAULT_GPU
+
+        anim = AnimationSpec(frames=4, path="static")
+        for frame in range(4):
+            transform = camera_transform(anim, frame, DEFAULT_GPU.screen)
+            point = transform.apply(123.0, 45.0)
+            assert point == (123.0, 45.0)
+
+
+class TestSignatures:
+    def test_empty_tiles_use_the_reserved_signature(self, small_screen):
+        from repro.geometry.scene import Scene
+
+        scene = Scene(small_screen, [], [])
+        signatures = tile_signatures(scene)
+        assert len(signatures) == small_screen.num_tiles
+        assert all(sig == EMPTY_TILE_SIG for sig in signatures)
+
+    def test_identical_scene_identical_signatures(self):
+        anim = AnimationSpec(frames=2, path="static")
+        workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        assert tile_signatures(workload.scenes[0]) == \
+            tile_signatures(workload.scenes[1])
+
+    def test_signatures_fit_an_int64(self):
+        anim = AnimationSpec(frames=1)
+        workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        for sig in tile_signatures(workload.scenes[0]):
+            assert 0 <= sig < 2 ** 63
+
+    def test_skip_mask_rules(self):
+        current = [0, 5, 7, 9]
+        previous = [0, 5, 8, 9]
+        # Empty tiles (sig 0) never skip, matches do, changes don't.
+        assert skip_mask(current, previous) == [False, True, False, True]
+        assert skip_mask(current, None) == [False] * 4
+        with pytest.raises(ValueError):
+            skip_mask([1, 2], [1])
+
+
+class TestRenderingElimination:
+    def test_engine_accounting(self):
+        engine = RenderingElimination()
+        assert engine.begin_frame([3, 0, 4]) is None  # frame 0 renders
+        mask = engine.begin_frame([3, 0, 5])
+        assert mask == [True, False, False]
+        assert engine.stats.signature_compares == 3
+        for skipped in mask:
+            engine.tile_done(skipped)
+        assert engine.stats.tiles_total == 3
+        assert engine.stats.tiles_skipped == 1
+        assert engine.stats.tiles_rendered == 2
+        assert engine.stats.skip_fraction == pytest.approx(1 / 3)
+
+    def test_live_coherent_path_skips_tiles(self):
+        anim = AnimationSpec(frames=4, path="orbit", dwell=2, travel=2,
+                             seed=7)
+        workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        result = simulate_tcor(workload, rendering_elimination=True)
+        assert result.tiles_total > 0
+        assert result.tiles_skipped > 0
+        assert result.signature_compares > 0
+        assert result.structure_accesses["signature_unit"] == \
+            result.signature_compares
+
+    def test_live_full_churn_skips_nothing(self):
+        anim = AnimationSpec(frames=3, path="static", churn=1.0, seed=7)
+        workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        result = simulate_tcor(workload, rendering_elimination=True)
+        assert result.tiles_skipped == 0
+        assert result.signature_compares > 0
+
+    def test_re_off_results_carry_no_re_surface(self):
+        anim = AnimationSpec(frames=2, path="orbit", seed=7)
+        workload = build_animated_workload(BENCHMARKS[ALIAS], anim,
+                                           scale=SCALE)
+        result = simulate_tcor(workload)
+        assert result.tiles_total == 0
+        assert result.tiles_skipped == 0
+        assert "signature_unit" not in result.structure_accesses

@@ -217,7 +217,8 @@ class TestMetricNames:
         messages = sorted(v.message for v in result.violations)
         assert len(messages) == 2
         assert "not pre-registered" in messages[0]
-        assert "outside the live./sim./serve. namespaces" in messages[1]
+        assert "outside the live./sim./serve./anim./re. namespaces" \
+            in messages[1]
 
     def test_unresolved_receiver_with_plain_string_is_quiet(self):
         # str.count and friends must not be mistaken for metrics.

@@ -88,3 +88,75 @@ class TestAccounting:
         report = gpu_energy(simulate_baseline(tiny_workload), tiny_workload)
         assert sum(report.breakdown.values()) == \
             pytest.approx(report.memory_hierarchy_nj)
+
+
+class TestRenderingEliminationEnergy:
+    """The PR-10 energy satellite: a discarded tile contributes its
+    signature compare but zero raster/pixel energy, and the split
+    still conserves (memory + compute == total, exactly)."""
+
+    def _animated(self, churn=0.0):
+        from repro.anim import AnimationSpec, build_animated_workload
+        from repro.workloads.suite import BENCHMARKS
+
+        anim = AnimationSpec(frames=4, path="orbit", dwell=2, travel=2,
+                             churn=churn, seed=7)
+        return build_animated_workload(BENCHMARKS["SoD"], anim,
+                                       scale=0.08)
+
+    def test_re_off_report_is_unchanged(self, tiny_workload):
+        """Byte-identity with the pre-RE accounting: a single-frame
+        run without RE evaluates the exact original formula."""
+        model = EnergyModel.default()
+        report = gpu_energy(simulate_tcor(tiny_workload), tiny_workload,
+                            model)
+        spec = tiny_workload.spec
+        screen = tiny_workload.screen
+        pixels = screen.width * screen.height * tiny_workload.scale
+        expected = (pixels * spec.shader_insts_per_pixel
+                    * model.shader_instruction_nj
+                    + tiny_workload.num_primitives
+                    * model.geometry_per_primitive_nj
+                    + pixels * model.fixed_function_per_pixel_nj)
+        assert report.compute_nj == expected  # exact, not approx
+        assert "signature_unit" not in report.breakdown
+
+    def test_signature_unit_appears_only_when_re_ran(self):
+        workload = self._animated()
+        off = gpu_energy(simulate_tcor(workload), workload)
+        on = gpu_energy(
+            simulate_tcor(workload, rendering_elimination=True), workload)
+        assert "signature_unit" not in off.breakdown
+        assert on.breakdown["signature_unit"] > 0
+
+    def test_skipped_tiles_drop_compute_and_memory_energy(self):
+        workload = self._animated()
+        result_on = simulate_tcor(workload, rendering_elimination=True)
+        assert result_on.tiles_skipped > 0
+        off = gpu_energy(simulate_tcor(workload), workload)
+        on = gpu_energy(result_on, workload)
+        assert on.compute_nj < off.compute_nj
+        assert on.memory_hierarchy_nj < off.memory_hierarchy_nj
+
+    def test_full_churn_costs_the_compares_without_the_savings(self):
+        workload = self._animated(churn=1.0)
+        result_on = simulate_tcor(workload, rendering_elimination=True)
+        assert result_on.tiles_skipped == 0
+        off = gpu_energy(simulate_tcor(workload), workload)
+        on = gpu_energy(result_on, workload)
+        assert on.compute_nj == off.compute_nj
+        assert on.memory_hierarchy_nj > off.memory_hierarchy_nj
+
+    def test_conservation_invariant_in_registry(self):
+        from repro.anim import register_energy_gauges
+        from repro.obs.registry import MetricsRegistry
+
+        workload = self._animated()
+        report = gpu_energy(
+            simulate_tcor(workload, rendering_elimination=True), workload)
+        registry = MetricsRegistry()
+        register_energy_gauges(registry, "SoD", 0, report)
+        assert registry.check_invariants() == []
+        snapshot = registry.snapshot()
+        assert snapshot["re.SoD.c000.energy.total_nj"] == \
+            report.total_gpu_nj

@@ -105,6 +105,32 @@ class TestTables:
             assert measured == pytest.approx(published, rel=0.3)
 
 
+class TestFigRE:
+    def test_fig_re_shapes_and_namespaces(self):
+        from repro.experiments import fig_re
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = fig_re.run(scale=0.08, aliases=("SoD",),
+                            registry=registry)
+        assert result.exp_id == "fig_re"
+        # frames x churn x policy rows for the one benchmark.
+        assert len(result.rows) == (len(fig_re.FRAME_COUNTS)
+                                    * len(fig_re.CHURN_PCTS)
+                                    * len(fig_re.POLICIES))
+        skip_col = result.headers.index("skip_%")
+        churn_col = result.headers.index("churn_%")
+        for row in result.rows:
+            if row[churn_col] == 100:
+                assert row[skip_col] == 0.0
+            if row[churn_col] == 0:
+                assert row[skip_col] > 0.0
+        snapshot = registry.snapshot()
+        assert any(name.startswith("anim.SoD.") for name in snapshot)
+        assert any(name.startswith("re.SoD.c000.") for name in snapshot)
+        assert "re.SoD.c000.energy.total_nj" in snapshot
+
+
 class TestRunner:
     def test_run_experiments_aliases(self):
         results = run_experiments(["table1"], scale=SCALE, aliases=ALIASES)

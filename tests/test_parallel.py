@@ -23,7 +23,7 @@ from repro.parallel import (
     simulation_code_signature,
 )
 from repro.tcor.system import SystemResult
-from repro.workloads.suite import BENCHMARKS
+from repro.workloads.suite import BENCHMARKS, build_workload
 
 ALIASES = ("GTr", "CCS")
 SCALE = 0.05
@@ -210,6 +210,69 @@ class TestConcurrentDiskWriters:
         finally:
             store_module.os.replace = original_replace
         assert len(seen) == 3
+
+
+class TestTraceStoreVersioning:
+    """Persisted compiled traces carry ``TRACE_IR_VERSION``; a record
+    written by an older IR (e.g. the single-frame v1 layout without
+    per-tile signature arrays) must degrade to a clean cache miss —
+    re-compiled, never mis-replayed."""
+
+    def _compile(self, anim=None, scale=0.05):
+        from repro.replay import compile_workload
+
+        if anim is None:
+            workload = build_workload(BENCHMARKS["GTr"], scale=scale)
+        else:
+            from repro.anim import build_animated_workload
+
+            workload = build_animated_workload(BENCHMARKS["GTr"], anim,
+                                               scale=scale)
+        return workload, compile_workload(workload)
+
+    def test_trace_round_trip(self, tmp_path):
+        disk = DiskCache(tmp_path, trace_signature="tsig")
+        spec = BENCHMARKS["GTr"]
+        _, trace = self._compile()
+        disk.put_trace(spec, 0.05, trace)
+        loaded = disk.get_trace(spec, 0.05)
+        assert loaded is not None
+        assert loaded.num_accesses == trace.num_accesses
+        assert loaded.header.as_dict() == trace.header.as_dict()
+
+    def test_stale_ir_version_is_a_clean_miss(self, tmp_path,
+                                              monkeypatch):
+        from repro.replay import ir
+
+        disk = DiskCache(tmp_path, trace_signature="tsig")
+        spec = BENCHMARKS["GTr"]
+        _, trace = self._compile()
+        # Persist the archive stamped as the pre-animation v1 layout,
+        # as an older build of the repo would have written it.
+        with monkeypatch.context() as patch:
+            patch.setattr(ir, "TRACE_IR_VERSION", 1)
+            disk.put_trace(spec, 0.05, trace)
+        assert len(list(tmp_path.glob("trace-*.npz"))) == 1
+        # Today's reader must refuse it (miss), not replay garbage.
+        assert disk.get_trace(spec, 0.05) is None
+        assert disk.misses == 1
+
+    def test_animated_traces_do_not_alias_static_ones(self, tmp_path):
+        from repro.anim import AnimationSpec
+
+        disk = DiskCache(tmp_path, trace_signature="tsig")
+        spec = BENCHMARKS["GTr"]
+        anim = AnimationSpec(frames=3, path="orbit", seed=5)
+        _, animated = self._compile(anim=anim)
+        disk.put_trace(spec, 0.05, animated, anim=anim)
+        # Static lookups miss; the animated key hits with all frames.
+        assert disk.get_trace(spec, 0.05) is None
+        assert disk.get_trace(spec, 0.05, anim=anim.prefix(2)) is None
+        loaded = disk.get_trace(spec, 0.05, anim=anim)
+        assert loaded is not None
+        assert len(loaded.frames) == 3
+        for frame, frame_loaded in zip(animated.frames, loaded.frames):
+            assert list(frame.tile_sig) == list(frame_loaded.tile_sig)
 
 
 class TestPrefetchInterrupt:

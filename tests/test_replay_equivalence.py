@@ -133,6 +133,59 @@ class TestRandomizedMatrix:
                     f"{alias}: metrics diverged for {config}"
 
 
+class TestAnimatedMatrix:
+    """The PR-10 gate: multi-frame animated workloads with Rendering
+    Elimination on and off must replay bit-identically to the live
+    simulator — the per-tile signature arrays travel in the trace IR,
+    so the replay kernels reproduce the same skip decisions, the same
+    scoreboard advances and the same ``re.*`` accounting."""
+
+    def test_animated_mini_matrix(self):
+        from repro.anim import AnimationSpec, build_animated_workload
+
+        cells = [
+            ("SoD", 4, 0.0, "tcor"),
+            ("SoD", 4, 0.0, "baseline"),
+            ("GTr", 3, 0.5, "tcor"),
+            ("CCS", 3, 1.0, "baseline"),
+        ]
+        for alias, frames, churn, kind in cells:
+            anim = AnimationSpec(frames=frames, path="orbit", dwell=2,
+                                 travel=2, churn=churn, seed=23)
+            workload = build_animated_workload(BENCHMARKS[alias], anim,
+                                               scale=0.05)
+            for re_on in (False, True):
+                config = SimulationConfig(kind=kind,
+                                          rendering_elimination=re_on)
+                live = simulate(workload, config, engine="live")
+                replayed = simulate(workload, config, engine="replay")
+                label = f"{alias} f{frames} churn={churn} {kind} " \
+                        f"re={re_on}"
+                _assert_results_equal(label, live.result, replayed.result)
+                assert dict(live.metrics) == dict(replayed.metrics), \
+                    f"{label}: metrics diverged"
+                assert live.ok and replayed.ok
+
+    def test_animated_trace_round_trips_with_signatures(self):
+        from repro.anim import AnimationSpec, build_animated_workload
+
+        anim = AnimationSpec(frames=3, path="orbit", dwell=1, travel=1,
+                             seed=23)
+        workload = build_animated_workload(BENCHMARKS["SoD"], anim,
+                                           scale=0.05)
+        trace = compile_workload(workload)
+        buffer = io.BytesIO()
+        save_trace(buffer, trace)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        for frame, frame_loaded in zip(trace.frames, loaded.frames):
+            assert list(frame.tile_sig) == list(frame_loaded.tile_sig)
+        _assert_results_equal(
+            "SoD",
+            replay_tcor(trace, rendering_elimination=True).result,
+            replay_tcor(loaded, rendering_elimination=True).result)
+
+
 class TestRoundTrip:
     """IR serialization: compile -> save -> load -> replay -> equal."""
 
